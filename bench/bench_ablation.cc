@@ -1,0 +1,173 @@
+// Ablations over the design choices DESIGN.md calls out: signature
+// algorithm (rsa-sha1 vs rsa-sha256 vs hmac-sha1), RSA modulus size
+// (512 vs 1024, author vs player asymmetry), digest algorithm inside the
+// references, AES key size for content encryption, and C14N-in-the-loop
+// versus the (incorrect) plain-serialization digesting a naive
+// implementation might attempt.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "crypto/sha1.h"
+#include "xml/c14n.h"
+#include "xmldsig/verifier.h"
+
+namespace discsec {
+namespace {
+
+using bench::SharedWorld;
+
+xml::Document TestDoc() {
+  return xml::Parse(bench::ClusterWithPayload(16 << 10).ToXmlString())
+      .value();
+}
+
+// --------------------------------------------- signature algorithm
+
+void BM_SignatureAlgorithm(benchmark::State& state) {
+  auto& world = SharedWorld();
+  const char* names[] = {"rsa_sha1", "rsa_sha256", "hmac_sha1"};
+  int which = static_cast<int>(state.range(0));
+  xmldsig::SigningKey key;
+  xmldsig::VerifyOptions verify;
+  Bytes secret = ToBytes("shared-player-secret");
+  switch (which) {
+    case 0:
+      key = xmldsig::SigningKey::Rsa(world.studio_key.private_key,
+                                     crypto::kAlgRsaSha1);
+      verify.trusted_key = world.studio_key.public_key;
+      break;
+    case 1:
+      key = xmldsig::SigningKey::Rsa(world.studio_key.private_key,
+                                     crypto::kAlgRsaSha256);
+      verify.trusted_key = world.studio_key.public_key;
+      break;
+    case 2:
+      key = xmldsig::SigningKey::HmacSecret(secret);
+      verify.hmac_secret = secret;
+      break;
+  }
+  xmldsig::Signer signer(key, {});
+  xml::Document doc = TestDoc();
+  auto sig = signer.SignEnveloped(&doc, doc.root());
+  if (!sig.ok()) {
+    state.SkipWithError("sign failed");
+    return;
+  }
+  bool verify_side = state.range(1) == 1;
+  for (auto _ : state) {
+    if (verify_side) {
+      auto result = xmldsig::Verifier::VerifyFirstSignature(doc, verify);
+      if (!result.ok()) state.SkipWithError("verify failed");
+      benchmark::DoNotOptimize(result.ok());
+    } else {
+      xml::Document fresh = TestDoc();
+      auto s = signer.SignEnveloped(&fresh, fresh.root());
+      if (!s.ok()) state.SkipWithError("sign failed");
+      benchmark::DoNotOptimize(s.value());
+    }
+  }
+  state.SetLabel(std::string(names[which]) +
+                 (verify_side ? "/verify" : "/sign"));
+}
+BENCHMARK(BM_SignatureAlgorithm)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------- RSA modulus size
+
+void BM_RsaModulusSize(benchmark::State& state) {
+  Rng rng(515);
+  auto pair = crypto::RsaGenerateKeyPair(
+                  static_cast<size_t>(state.range(0)), &rng)
+                  .value();
+  xmldsig::KeyInfoSpec ki;
+  ki.include_key_value = true;
+  xmldsig::Signer signer(xmldsig::SigningKey::Rsa(pair.private_key), ki);
+  xml::Document doc = TestDoc();
+  auto sig = signer.SignEnveloped(&doc, doc.root());
+  if (!sig.ok()) {
+    state.SkipWithError("sign failed");
+    return;
+  }
+  xmldsig::VerifyOptions verify;
+  verify.allow_bare_key_value = true;
+  bool verify_side = state.range(1) == 1;
+  for (auto _ : state) {
+    if (verify_side) {
+      auto result = xmldsig::Verifier::VerifyFirstSignature(doc, verify);
+      if (!result.ok()) state.SkipWithError("verify failed");
+    } else {
+      xml::Document fresh = TestDoc();
+      auto s = signer.SignEnveloped(&fresh, fresh.root());
+      if (!s.ok()) state.SkipWithError("sign failed");
+    }
+  }
+  state.SetLabel(std::to_string(state.range(0)) +
+                 (verify_side ? "b/verify" : "b/sign"));
+}
+BENCHMARK(BM_RsaModulusSize)
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({1024, 0})
+    ->Args({1024, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------- AES key size (content)
+
+void BM_ContentCipherKeySize(benchmark::State& state) {
+  auto& world = SharedWorld();
+  xmlenc::EncryptionSpec spec;
+  spec.key_mode = xmlenc::KeyMode::kDirectReference;
+  spec.key_name = "k";
+  spec.content_algorithm = state.range(0) == 128 ? crypto::kAlgAes128Cbc
+                                                 : crypto::kAlgAes256Cbc;
+  auto encryptor = xmlenc::Encryptor::Create(spec, &world.rng).value();
+  Bytes payload = world.rng.NextBytes(64 << 10);
+  for (auto _ : state) {
+    auto data = encryptor.EncryptData(payload);
+    if (!data.ok()) state.SkipWithError("encrypt failed");
+    benchmark::DoNotOptimize(data.value()->name());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(payload.size()));
+  state.SetLabel("aes-" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ContentCipherKeySize)->Arg(128)->Arg(256);
+
+// --------------------------------------------- C14N in the loop
+
+void BM_DigestPath_C14N(benchmark::State& state) {
+  // What the spec requires: canonicalize, then digest.
+  xml::Document doc = TestDoc();
+  for (auto _ : state) {
+    std::string canonical = xml::Canonicalize(doc);
+    benchmark::DoNotOptimize(
+        crypto::Sha1::Hash(ToBytes(canonical)));
+  }
+}
+
+void BM_DigestPath_PlainSerialize(benchmark::State& state) {
+  // The naive alternative (digest the serializer output): ~the same cost —
+  // C14N is NOT the expensive part, so there is no performance excuse for
+  // skipping it and breaking cross-implementation verification.
+  xml::Document doc = TestDoc();
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  for (auto _ : state) {
+    std::string plain = xml::Serialize(doc, options);
+    benchmark::DoNotOptimize(crypto::Sha1::Hash(ToBytes(plain)));
+  }
+}
+BENCHMARK(BM_DigestPath_C14N)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DigestPath_PlainSerialize)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace discsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,109 @@
+// E8 — §3.1/§4 access control: permission-request evaluation and XACML-lite
+// PDP decision throughput versus policy-set size.
+
+#include <benchmark/benchmark.h>
+
+#include "access/pep.h"
+#include "access/permission_request.h"
+#include "access/policy.h"
+
+namespace discsec {
+namespace access {
+namespace {
+
+Policy MakePolicy(int index) {
+  Policy policy;
+  policy.id = "policy-" + std::to_string(index);
+  policy.target.subjects = {"CN=Org" + std::to_string(index) + "*"};
+  Rule permit;
+  permit.id = "permit";
+  permit.effect = Decision::kPermit;
+  permit.target.resources = {"localstorage"};
+  permit.conditions.push_back(
+      {"path", Condition::Op::kPrefix, "app" + std::to_string(index) + "/"});
+  Rule deny;
+  deny.id = "deny-system";
+  deny.effect = Decision::kDeny;
+  deny.conditions.push_back({"path", Condition::Op::kPrefix, "system/"});
+  policy.rules = {permit, deny};
+  return policy;
+}
+
+void BM_PdpEvaluate(benchmark::State& state) {
+  PolicyDecisionPoint pdp;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) pdp.AddPolicy(MakePolicy(i));
+  RequestContext request;
+  request.subject = "CN=Org" + std::to_string(n / 2) + " Signing";
+  request.resource = "localstorage";
+  request.action = "write";
+  request.attributes = {{"path", "app" + std::to_string(n / 2) + "/x"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdp.Evaluate(request));
+  }
+  state.counters["policies"] = n;
+}
+BENCHMARK(BM_PdpEvaluate)->Arg(1)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_PolicySetParse(benchmark::State& state) {
+  PolicyDecisionPoint source;
+  int n = static_cast<int>(state.range(0));
+  for (int i = 0; i < n; ++i) source.AddPolicy(MakePolicy(i));
+  std::string xml_text = source.ToXmlString();
+  for (auto _ : state) {
+    PolicyDecisionPoint pdp;
+    if (!pdp.LoadPolicySet(xml_text).ok()) {
+      state.SkipWithError("parse failed");
+    }
+    benchmark::DoNotOptimize(pdp.PolicyCount());
+  }
+  state.counters["xml_bytes"] = static_cast<double>(xml_text.size());
+}
+BENCHMARK(BM_PolicySetParse)->Arg(10)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_PermissionRequestParse(benchmark::State& state) {
+  PermissionRequest request;
+  request.app_id = "0x4501";
+  request.org_id = "acme.example";
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    Permission p;
+    p.resource = "localstorage";
+    p.attributes = {{"path", "dir" + std::to_string(i) + "/"},
+                    {"access", "readwrite"}};
+    request.permissions.push_back(p);
+  }
+  std::string xml_text = request.ToXmlString();
+  for (auto _ : state) {
+    auto parsed = PermissionRequest::FromXmlString(xml_text);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(parsed.value().permissions.size());
+  }
+}
+BENCHMARK(BM_PermissionRequestParse)->Arg(2)->Arg(16)->Arg(64);
+
+void BM_PepLaunchGrantTable(benchmark::State& state) {
+  // The launch-time EvaluateAll the engine performs.
+  PolicyDecisionPoint pdp;
+  for (int i = 0; i < 20; ++i) pdp.AddPolicy(MakePolicy(i));
+  PermissionRequest request;
+  request.app_id = "1";
+  request.org_id = "org5";
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    Permission p;
+    p.resource = "localstorage";
+    p.attributes = {{"path", "app5/f" + std::to_string(i)},
+                    {"access", "readwrite"}};
+    request.permissions.push_back(p);
+  }
+  PolicyEnforcementPoint pep(&pdp, request, "CN=Org5 Signing");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pep.EvaluateAll());
+  }
+}
+BENCHMARK(BM_PepLaunchGrantTable)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace access
+}  // namespace discsec
+
+BENCHMARK_MAIN();

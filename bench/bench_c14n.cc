@@ -1,0 +1,150 @@
+// E4 — Fig. 6: canonicalization and signature-mode comparison.
+//
+// (a) Canonical XML throughput versus document size and nesting depth —
+//     c14n runs on every sign AND every verify, so this is the XML
+//     pipeline's characteristic cost the binary DCF baseline avoids.
+// (b) The three signature placements of Fig. 6 (enveloped, enveloping,
+//     detached) over the same content.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/c14n.h"
+#include "xmldsig/signer.h"
+
+namespace discsec {
+namespace {
+
+using bench::SharedWorld;
+
+/// A document with `width` children per node and `depth` levels,
+/// namespaces and attributes included to exercise the sorting paths.
+std::string SyntheticDoc(int depth, int width) {
+  std::string out = "<root xmlns:a=\"urn:a\" xmlns:b=\"urn:b\">";
+  std::function<void(int)> emit = [&](int level) {
+    if (level == 0) {
+      out += "<leaf b:y=\"2\" a:x=\"1\" plain=\"0\">text &amp; more</leaf>";
+      return;
+    }
+    for (int i = 0; i < width; ++i) {
+      out += "<node idx=\"" + std::to_string(i) + "\" xmlns:c=\"urn:c\">";
+      emit(level - 1);
+      out += "</node>";
+    }
+  };
+  emit(depth);
+  out += "</root>";
+  return out;
+}
+
+void BM_C14N_BySize(benchmark::State& state) {
+  // Depth fixed, width grows: size scaling.
+  std::string text = SyntheticDoc(2, static_cast<int>(state.range(0)));
+  auto doc = xml::Parse(text).value();
+  size_t out_size = 0;
+  for (auto _ : state) {
+    std::string canonical = xml::Canonicalize(doc);
+    out_size = canonical.size();
+    benchmark::DoNotOptimize(canonical);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+  state.counters["input_bytes"] = static_cast<double>(text.size());
+  state.counters["canonical_bytes"] = static_cast<double>(out_size);
+}
+BENCHMARK(BM_C14N_BySize)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_C14N_ByDepth(benchmark::State& state) {
+  // Width fixed, depth grows: namespace-context propagation cost.
+  std::string text = SyntheticDoc(static_cast<int>(state.range(0)), 2);
+  auto doc = xml::Parse(text).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::Canonicalize(doc));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_C14N_ByDepth)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_C14N_WithComments(benchmark::State& state) {
+  std::string text = SyntheticDoc(2, 64);
+  auto doc = xml::Parse(text).value();
+  xml::C14NOptions options;
+  options.with_comments = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::Canonicalize(doc, options));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_C14N_WithComments);
+
+void BM_C14N_Subtree(benchmark::State& state) {
+  // Subtree canonicalization with inherited namespace context — the form
+  // every "#id" Reference uses.
+  std::string text = SyntheticDoc(3, 8);
+  auto doc = xml::Parse(text).value();
+  xml::Element* leaf = nullptr;
+  doc.root()->ForEachElement([&](xml::Element* e) {
+    if (e->name() == "leaf") leaf = e;
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xml::CanonicalizeElement(*leaf));
+  }
+}
+BENCHMARK(BM_C14N_Subtree);
+
+// ------------------------------------------------- signature placements
+
+void BM_SignatureMode_Enveloped(benchmark::State& state) {
+  auto& world = SharedWorld();
+  xmldsig::KeyInfoSpec ki;
+  ki.include_key_value = true;
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world.studio_key.private_key), ki);
+  std::string text = SyntheticDoc(2, 16);
+  for (auto _ : state) {
+    auto doc = xml::Parse(text).value();
+    auto sig = signer.SignEnveloped(&doc, doc.root());
+    if (!sig.ok()) state.SkipWithError("sign failed");
+    benchmark::DoNotOptimize(sig.value());
+  }
+}
+BENCHMARK(BM_SignatureMode_Enveloped)->Unit(benchmark::kMicrosecond);
+
+void BM_SignatureMode_Detached(benchmark::State& state) {
+  auto& world = SharedWorld();
+  xmldsig::KeyInfoSpec ki;
+  ki.include_key_value = true;
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world.studio_key.private_key), ki);
+  std::string text = SyntheticDoc(2, 16);
+  for (auto _ : state) {
+    auto doc = xml::Parse(text).value();
+    xml::Element* target = doc.root()->FirstChildElement();
+    auto sig = signer.SignDetached(&doc, target, "part", doc.root());
+    if (!sig.ok()) state.SkipWithError("sign failed");
+    benchmark::DoNotOptimize(sig.value());
+  }
+}
+BENCHMARK(BM_SignatureMode_Detached)->Unit(benchmark::kMicrosecond);
+
+void BM_SignatureMode_Enveloping(benchmark::State& state) {
+  auto& world = SharedWorld();
+  xmldsig::KeyInfoSpec ki;
+  ki.include_key_value = true;
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world.studio_key.private_key), ki);
+  auto content = xml::Parse(SyntheticDoc(2, 16)).value();
+  for (auto _ : state) {
+    auto sig = signer.SignEnveloping(*content.root());
+    if (!sig.ok()) state.SkipWithError("sign failed");
+    benchmark::DoNotOptimize(sig.value());
+  }
+}
+BENCHMARK(BM_SignatureMode_Enveloping)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace discsec
+
+BENCHMARK_MAIN();

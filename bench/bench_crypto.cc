@@ -1,0 +1,150 @@
+// E10 — crypto substrate throughput: contextualizes E1-E7 by showing how
+// much of the XML pipeline's cost is primitives versus XML processing.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "crypto/aes.h"
+#include "crypto/algorithms.h"
+#include "crypto/bigint.h"
+#include "crypto/hmac.h"
+#include "crypto/rsa.h"
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace discsec {
+namespace crypto {
+namespace {
+
+void BM_Sha1(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha1)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_HmacSha1(benchmark::State& state) {
+  Rng rng(2);
+  Bytes key = rng.NextBytes(20);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hmac::Sha1Mac(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_HmacSha1)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_AesCbcEncrypt(benchmark::State& state) {
+  Rng rng(3);
+  size_t key_size = static_cast<size_t>(state.range(0));
+  Bytes key = rng.NextBytes(key_size);
+  Bytes iv = rng.NextBytes(16);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AesCbcEncrypt(key, iv, data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_AesCbcEncrypt)
+    ->Args({16, 4096})
+    ->Args({32, 4096})
+    ->Args({16, 262144});
+
+void BM_AesCbcDecrypt(benchmark::State& state) {
+  Rng rng(4);
+  Bytes key = rng.NextBytes(16);
+  Bytes iv = rng.NextBytes(16);
+  Bytes data = rng.NextBytes(static_cast<size_t>(state.range(0)));
+  Bytes ciphertext = AesCbcEncrypt(key, iv, data).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AesCbcDecrypt(key, ciphertext));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_AesCbcDecrypt)->Arg(4096)->Arg(262144);
+
+void BM_AesKeyWrap(benchmark::State& state) {
+  Rng rng(5);
+  Bytes kek = rng.NextBytes(16);
+  Bytes key_data = rng.NextBytes(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AesKeyWrap(kek, key_data));
+  }
+}
+BENCHMARK(BM_AesKeyWrap);
+
+void BM_RsaSign(benchmark::State& state) {
+  Rng rng(6);
+  auto pair =
+      RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), &rng).value();
+  Bytes digest = Sha1::Hash(rng.NextBytes(1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RsaSignDigest(pair.private_key, kAlgSha1, digest));
+  }
+  state.counters["modulus_bits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaVerify(benchmark::State& state) {
+  Rng rng(7);
+  auto pair =
+      RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), &rng).value();
+  Bytes digest = Sha1::Hash(rng.NextBytes(1000));
+  Bytes signature = RsaSignDigest(pair.private_key, kAlgSha1, digest).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RsaVerifyDigest(pair.public_key, kAlgSha1, digest, signature));
+  }
+  state.counters["modulus_bits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_RsaVerify)->Arg(512)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_RsaKeyGen(benchmark::State& state) {
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RsaGenerateKeyPair(static_cast<size_t>(state.range(0)), &rng));
+  }
+}
+BENCHMARK(BM_RsaKeyGen)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+void BM_BigIntModPow(benchmark::State& state) {
+  Rng rng(9);
+  size_t bits = static_cast<size_t>(state.range(0));
+  BigInt modulus = BigInt::GeneratePrime(bits, &rng);
+  BigInt base = BigInt::RandomBelow(modulus, &rng);
+  BigInt exponent = BigInt::RandomWithBits(bits, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigInt::ModPow(base, exponent, modulus));
+  }
+}
+BENCHMARK(BM_BigIntModPow)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace crypto
+}  // namespace discsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,197 @@
+// E5 — Figs. 7-8: XML Encryption of the Track target (non-markup octets,
+// embedded vs detached EncryptedData) and the Manifest target (element
+// replaced in place), plus the paper's partial-encryption performance
+// claim: "the player needs to decrypt only the scores, which can be done in
+// parallel to the execution of the markup" — here measured as
+// partial-vs-full decrypt cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "disc/content.h"
+#include "xmlenc/decryptor.h"
+#include "xmlenc/encryptor.h"
+
+namespace discsec {
+namespace {
+
+using bench::SharedWorld;
+
+xmlenc::KeyRing Ring() {
+  xmlenc::KeyRing ring;
+  ring.AddKey("disc-content-key", SharedWorld().disc_content_key);
+  return ring;
+}
+
+void BM_EncryptTrackData(benchmark::State& state) {
+  // Fig. 7: a chapter's AV essence as a standalone EncryptedData.
+  auto& world = SharedWorld();
+  Bytes ts = disc::GenerateTransportStream(
+      1, static_cast<size_t>(state.range(0)));
+  auto encryptor =
+      xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &world.rng)
+          .value();
+  for (auto _ : state) {
+    auto data = encryptor.EncryptData(ts, "video/mp2t", "enc-track");
+    if (!data.ok()) state.SkipWithError("encrypt failed");
+    benchmark::DoNotOptimize(data.value()->name());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(ts.size()));
+}
+BENCHMARK(BM_EncryptTrackData)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_DecryptTrackData(benchmark::State& state) {
+  auto& world = SharedWorld();
+  Bytes ts = disc::GenerateTransportStream(
+      1, static_cast<size_t>(state.range(0)));
+  auto encryptor =
+      xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &world.rng)
+          .value();
+  auto data = encryptor.EncryptData(ts, "video/mp2t").value();
+  xmlenc::Decryptor decryptor(Ring());
+  for (auto _ : state) {
+    auto plain = decryptor.DecryptData(*data);
+    if (!plain.ok()) state.SkipWithError("decrypt failed");
+    benchmark::DoNotOptimize(plain.value().size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(ts.size()));
+}
+BENCHMARK(BM_DecryptTrackData)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_EncryptManifestElement(benchmark::State& state) {
+  // Fig. 8: the XML manifest element replaced in place.
+  auto& world = SharedWorld();
+  disc::InteractiveCluster cluster =
+      bench::ClusterWithPayload(static_cast<size_t>(state.range(0)));
+  auto encryptor =
+      xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &world.rng)
+          .value();
+  for (auto _ : state) {
+    xml::Document doc = cluster.ToXml();
+    auto result =
+        encryptor.EncryptElement(&doc, doc.FindById("quiz"), "enc-quiz");
+    if (!result.ok()) state.SkipWithError("encrypt failed");
+    benchmark::DoNotOptimize(result.value());
+  }
+}
+BENCHMARK(BM_EncryptManifestElement)
+    ->Arg(1 << 10)
+    ->Arg(16 << 10)
+    ->Arg(128 << 10)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------- partial vs full
+
+/// A local-storage scores document next to markup, as in §4's example.
+std::string ScoresDoc(int entries) {
+  std::string out = "<app><markup>";
+  for (int i = 0; i < 200; ++i) out += "<widget idx=\"" + std::to_string(i) +
+                                       "\">layout chrome</widget>";
+  out += "</markup><scores>";
+  for (int i = 0; i < entries; ++i) {
+    out += "<entry rank=\"" + std::to_string(i) + "\">" +
+           std::to_string(10000 - i) + "</entry>";
+  }
+  out += "</scores></app>";
+  return out;
+}
+
+void BM_PartialEncryptScoresOnly(benchmark::State& state) {
+  // Encrypt only <scores>: the markup stays plaintext and needs no crypto
+  // work at load time.
+  auto& world = SharedWorld();
+  std::string text = ScoresDoc(static_cast<int>(state.range(0)));
+  auto encryptor =
+      xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &world.rng)
+          .value();
+  xmlenc::Decryptor decryptor(Ring());
+  for (auto _ : state) {
+    auto doc = xml::Parse(text).value();
+    xml::Element* scores =
+        doc.root()->FirstChildElementByLocalName("scores");
+    if (!encryptor.EncryptElement(&doc, scores).ok()) {
+      state.SkipWithError("encrypt failed");
+    }
+    if (!decryptor.DecryptAll(&doc, nullptr, {}).ok()) {
+      state.SkipWithError("decrypt failed");
+    }
+    benchmark::DoNotOptimize(doc.root());
+  }
+}
+BENCHMARK(BM_PartialEncryptScoresOnly)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullEncryptWholeApp(benchmark::State& state) {
+  // Encrypt the whole application element: every load pays for the markup
+  // bytes too.
+  auto& world = SharedWorld();
+  std::string text = ScoresDoc(static_cast<int>(state.range(0)));
+  auto encryptor =
+      xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &world.rng)
+          .value();
+  xmlenc::Decryptor decryptor(Ring());
+  for (auto _ : state) {
+    auto doc = xml::Parse(text).value();
+    // Encrypt the root's content (everything).
+    if (!encryptor.EncryptContent(&doc, doc.root()).ok()) {
+      state.SkipWithError("encrypt failed");
+    }
+    if (!decryptor.DecryptAll(&doc, nullptr, {}).ok()) {
+      state.SkipWithError("decrypt failed");
+    }
+    benchmark::DoNotOptimize(doc.root());
+  }
+}
+BENCHMARK(BM_FullEncryptWholeApp)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMicrosecond);
+
+// ------------------------------------------------- key handling modes
+
+void BM_KeyMode(benchmark::State& state) {
+  auto& world = SharedWorld();
+  Bytes payload = world.rng.NextBytes(4096);
+  xmlenc::EncryptionSpec spec;
+  xmlenc::KeyRing ring;
+  switch (state.range(0)) {
+    case 0:  // direct reference
+      spec = world.MakeEncryptionSpec();
+      ring.AddKey("disc-content-key", world.disc_content_key);
+      break;
+    case 1:  // AES key wrap
+      spec.key_mode = xmlenc::KeyMode::kAesKeyWrap;
+      spec.kek = world.disc_content_key;
+      spec.key_name = "kek";
+      ring.AddKey("kek", world.disc_content_key);
+      break;
+    case 2:  // RSA transport
+      spec.key_mode = xmlenc::KeyMode::kRsaTransport;
+      spec.recipient_key = world.server_key.public_key;
+      ring.SetRsaKey(world.server_key.private_key);
+      break;
+  }
+  xmlenc::Decryptor decryptor(std::move(ring));
+  for (auto _ : state) {
+    auto encryptor = xmlenc::Encryptor::Create(spec, &world.rng).value();
+    auto data = encryptor.EncryptData(payload);
+    if (!data.ok()) state.SkipWithError("encrypt failed");
+    auto plain = decryptor.DecryptData(*data.value());
+    if (!plain.ok()) state.SkipWithError("decrypt failed");
+    benchmark::DoNotOptimize(plain.value().size());
+  }
+  static const char* kNames[] = {"direct", "kw_aes", "rsa_transport"};
+  state.SetLabel(kNames[state.range(0)]);
+}
+BENCHMARK(BM_KeyMode)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace discsec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// E1 — §4 / ref.[37]: "XML based security incurs 2.5 to 5.1 times more
+// overhead as compared to OMA DCF".
+//
+// Packages the same application payload two ways and reports the byte
+// overhead of each container relative to the raw payload:
+//   xml_total / dcf_total / raw payload bytes, plus overhead_ratio =
+//   xml_overhead / dcf_overhead (the paper's 2.5-5.1x band for
+//   message-sized payloads).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "dcf/dcf.h"
+#include "xmldsig/verifier.h"
+
+namespace discsec {
+namespace {
+
+using bench::SharedWorld;
+
+/// XML pipeline: sign (enveloped, cert chain) + encrypt the manifest.
+std::string BuildXmlProtected(size_t payload_bytes) {
+  auto& world = SharedWorld();
+  authoring::Author author = world.MakeAuthor();
+  authoring::Author::ProtectOptions options;
+  options.sign = true;
+  options.encrypt_ids = {"quiz"};
+  options.encryption = world.MakeEncryptionSpec();
+  auto doc = author.BuildProtected(bench::ClusterWithPayload(payload_bytes),
+                                   options, &world.rng);
+  return xml::Serialize(doc.value());
+}
+
+/// DCF pipeline: the raw cluster markup in a binary protected container.
+Bytes BuildDcfProtected(size_t payload_bytes, const Bytes& mac_key) {
+  auto& world = SharedWorld();
+  std::string raw =
+      bench::ClusterWithPayload(payload_bytes).ToXmlString();
+  return dcf::DcfProtect(ToBytes(raw), "application/xml", "disc-content-key",
+                         world.disc_content_key, mac_key, &world.rng)
+      .value();
+}
+
+void BM_ProtectionOverhead(benchmark::State& state) {
+  size_t payload = static_cast<size_t>(state.range(0));
+  auto& world = SharedWorld();
+  Bytes mac_key = world.disc_content_key;  // shared integrity key
+
+  size_t raw = bench::ClusterWithPayload(payload).ToXmlString().size();
+  std::string xml_protected = BuildXmlProtected(payload);
+  Bytes dcf_protected = BuildDcfProtected(payload, mac_key);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildXmlProtected(payload));
+  }
+
+  double xml_overhead = static_cast<double>(xml_protected.size()) - raw;
+  double dcf_overhead = static_cast<double>(dcf_protected.size()) - raw;
+  state.counters["raw_bytes"] = static_cast<double>(raw);
+  state.counters["xml_bytes"] = static_cast<double>(xml_protected.size());
+  state.counters["dcf_bytes"] = static_cast<double>(dcf_protected.size());
+  state.counters["xml_overhead"] = xml_overhead;
+  state.counters["dcf_overhead"] = dcf_overhead;
+  state.counters["overhead_ratio"] =
+      dcf_overhead > 0 ? xml_overhead / dcf_overhead : 0;
+  // The paper's ref.[37] metric: total protected size, XML vs binary DCF.
+  // Its 2.5-5.1x band holds in the small-message regime where framing
+  // dominates; it amortizes toward the base64 floor (~1.33x) as payloads
+  // grow.
+  state.counters["container_ratio"] =
+      static_cast<double>(xml_protected.size()) / dcf_protected.size();
+  state.counters["xml_expansion"] =
+      static_cast<double>(xml_protected.size()) / raw;
+  state.counters["dcf_expansion"] =
+      static_cast<double>(dcf_protected.size()) / raw;
+}
+BENCHMARK(BM_ProtectionOverhead)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1 << 10)
+    ->Arg(4 << 10)
+    ->Arg(16 << 10)
+    ->Arg(64 << 10)
+    ->Arg(256 << 10)
+    ->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace discsec
+
+BENCHMARK_MAIN();

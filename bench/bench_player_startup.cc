@@ -1,0 +1,116 @@
+// E7 — §8 feasibility: "this performance reduction while using XML based
+// security would be within the allowable performance requirements" of a CE
+// player. Measures disc-insert-to-application-running latency for signed,
+// signed+encrypted, and unsigned discs, and the security layer's share of
+// the total.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace discsec {
+namespace {
+
+using bench::SharedWorld;
+
+enum class Protection { kNone, kSigned, kSignedAndEncrypted };
+
+disc::DiscImage BuildDisc(Protection protection, size_t payload) {
+  auto& world = SharedWorld();
+  disc::InteractiveCluster cluster = bench::ClusterWithPayload(payload);
+  authoring::Author author = world.MakeAuthor();
+  xml::Document doc = cluster.ToXml();
+  switch (protection) {
+    case Protection::kNone:
+      break;
+    case Protection::kSigned:
+      doc = author.BuildSigned(cluster, authoring::SignLevel::kCluster)
+                .value();
+      break;
+    case Protection::kSignedAndEncrypted: {
+      authoring::Author::ProtectOptions options;
+      options.sign = true;
+      options.encrypt_ids = {"quiz"};
+      options.encryption = world.MakeEncryptionSpec();
+      doc = author.BuildProtected(cluster, options, &world.rng).value();
+      break;
+    }
+  }
+  return author.Master(cluster, doc).value();
+}
+
+void RunStartup(benchmark::State& state, Protection protection) {
+  auto& world = SharedWorld();
+  disc::DiscImage image =
+      BuildDisc(protection, static_cast<size_t>(state.range(0)));
+  player::PhaseTimings timings;
+  for (auto _ : state) {
+    player::InteractiveApplicationEngine engine(world.MakePlayerConfig());
+    auto report = engine.LaunchFromDisc(image);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      break;
+    }
+    timings = report->timings;
+  }
+  double security_us =
+      static_cast<double>(timings.verify_us + timings.decrypt_us);
+  double total_us = static_cast<double>(timings.TotalUs());
+  state.counters["security_us"] = security_us;
+  state.counters["total_us"] = total_us;
+  state.counters["security_share"] =
+      total_us > 0 ? security_us / total_us : 0;
+}
+
+void BM_Startup_Unsigned(benchmark::State& state) {
+  RunStartup(state, Protection::kNone);
+}
+void BM_Startup_Signed(benchmark::State& state) {
+  RunStartup(state, Protection::kSigned);
+}
+void BM_Startup_SignedEncrypted(benchmark::State& state) {
+  RunStartup(state, Protection::kSignedAndEncrypted);
+}
+
+BENCHMARK(BM_Startup_Unsigned)
+    ->Arg(1 << 10)
+    ->Arg(32 << 10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Startup_Signed)
+    ->Arg(1 << 10)
+    ->Arg(32 << 10)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Startup_SignedEncrypted)
+    ->Arg(1 << 10)
+    ->Arg(32 << 10)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScriptExecutionBudget(benchmark::State& state) {
+  // Interpreter throughput under the embedded profile: steps per second
+  // for a busy loop of the given iteration count.
+  script::Limits limits;
+  limits.max_steps = 0;  // unlimited for measurement
+  std::string source = "var s = 0; for (var i = 0; i < " +
+                       std::to_string(state.range(0)) + "; i++) { s += i; }";
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    script::Interpreter interpreter(limits);
+    auto result = interpreter.Run(source);
+    if (!result.ok()) state.SkipWithError("script failed");
+    steps = interpreter.steps_used();
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["steps_per_second"] = benchmark::Counter(
+      static_cast<double>(steps) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScriptExecutionBudget)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace discsec
+
+BENCHMARK_MAIN();

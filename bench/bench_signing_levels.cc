@@ -1,0 +1,116 @@
+// E3 — Figs. 3-5: signing/verification at the levels of the content
+// hierarchy (cluster, track, manifest, markup part, code part, single
+// script, single SubMarkup).
+//
+// Expected shape (the §9 claim "the flexibility of partially signing ...
+// translates into better performance"): verification cost drops with
+// granularity because fewer bytes are canonicalized and digested; the
+// signed_bytes counter makes the scope visible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/c14n.h"
+#include "xmldsig/verifier.h"
+
+namespace discsec {
+namespace {
+
+using authoring::SignLevel;
+using bench::SharedWorld;
+
+const SignLevel kLevels[] = {
+    SignLevel::kCluster,   SignLevel::kTrack,  SignLevel::kManifest,
+    SignLevel::kMarkupPart, SignLevel::kCodePart, SignLevel::kScript,
+    SignLevel::kSubMarkup,
+};
+
+std::string NameFor(SignLevel level) {
+  return authoring::SignLevelName(level);
+}
+
+std::string ArgName(SignLevel level) {
+  std::string n = NameFor(level);
+  for (char& c : n) {
+    if (c == '-') c = '_';
+  }
+  return n;
+}
+
+size_t SignedBytes(const disc::InteractiveCluster& cluster, SignLevel level,
+                   const std::string& name) {
+  xml::Document doc = cluster.ToXml();
+  if (level == SignLevel::kCluster) {
+    return xml::Canonicalize(doc).size();
+  }
+  std::string id =
+      authoring::ResolveSignTargetId(cluster, level, "", name).value();
+  return xml::CanonicalizeElement(*doc.FindById(id)).size();
+}
+
+void RunSign(benchmark::State& state, SignLevel level,
+             const std::string& name) {
+  auto& world = SharedWorld();
+  // A sizable application so granularity differences are visible.
+  disc::InteractiveCluster cluster = bench::ClusterWithPayload(32 << 10);
+  authoring::Author author = world.MakeAuthor();
+  for (auto _ : state) {
+    auto doc = author.BuildSigned(cluster, level, "", name);
+    if (!doc.ok()) state.SkipWithError(doc.status().ToString().c_str());
+    benchmark::DoNotOptimize(doc.value().root());
+  }
+  state.counters["signed_bytes"] =
+      static_cast<double>(SignedBytes(cluster, level, name));
+}
+
+void RunVerify(benchmark::State& state, SignLevel level,
+               const std::string& name) {
+  auto& world = SharedWorld();
+  disc::InteractiveCluster cluster = bench::ClusterWithPayload(32 << 10);
+  authoring::Author author = world.MakeAuthor();
+  auto doc = author.BuildSigned(cluster, level, "", name);
+  std::string wire = xml::Serialize(doc.value());
+  pki::CertStore store;
+  (void)store.AddTrustedRoot(world.root_cert);
+  for (auto _ : state) {
+    auto parsed = xml::Parse(wire).value();
+    xmldsig::VerifyOptions options;
+    options.cert_store = &store;
+    options.now = testing_world::kNow;
+    auto result = xmldsig::Verifier::VerifyFirstSignature(parsed, options);
+    if (!result.ok()) state.SkipWithError("verify failed");
+    benchmark::DoNotOptimize(result.value().signer_subject);
+  }
+  state.counters["signed_bytes"] =
+      static_cast<double>(SignedBytes(cluster, level, name));
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+}
+
+void RegisterAll() {
+  for (SignLevel level : kLevels) {
+    std::string name = level == SignLevel::kScript      ? "main"
+                       : level == SignLevel::kSubMarkup ? "menu"
+                                                        : "";
+    benchmark::RegisterBenchmark(
+        ("BM_Sign/" + ArgName(level)).c_str(),
+        [level, name](benchmark::State& state) { RunSign(state, level, name); })
+        ->Unit(benchmark::kMicrosecond);
+    benchmark::RegisterBenchmark(
+        ("BM_Verify/" + ArgName(level)).c_str(),
+        [level, name](benchmark::State& state) {
+          RunVerify(state, level, name);
+        })
+        ->Unit(benchmark::kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace discsec
+
+int main(int argc, char** argv) {
+  discsec::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,39 @@
+#ifndef DISCSEC_BENCH_BENCH_UTIL_H_
+#define DISCSEC_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include "tests/test_world.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace bench {
+
+/// Shared deterministic world (keys, certs, demo cluster) for benchmarks.
+inline testing_world::World& SharedWorld() {
+  static testing_world::World world;
+  return world;
+}
+
+/// A cluster whose application payload (script source) is approximately
+/// `payload_bytes` — the size knob for the E1/E2/E6 sweeps.
+inline disc::InteractiveCluster ClusterWithPayload(size_t payload_bytes) {
+  disc::InteractiveCluster cluster = SharedWorld().DemoCluster();
+  std::string filler = "var data = \"";
+  filler.reserve(payload_bytes + 64);
+  Rng rng(payload_bytes);
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  while (filler.size() < payload_bytes + 12) {
+    filler.push_back(kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  filler += "\";";
+  cluster.tracks[1].manifest.scripts.push_back({"payload", filler});
+  return cluster;
+}
+
+}  // namespace bench
+}  // namespace discsec
+
+#endif  // DISCSEC_BENCH_BENCH_UTIL_H_

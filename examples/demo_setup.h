@@ -1,0 +1,156 @@
+#ifndef DISCSEC_EXAMPLES_DEMO_SETUP_H_
+#define DISCSEC_EXAMPLES_DEMO_SETUP_H_
+
+// Shared scaffolding for the example programs: a root CA, a studio signing
+// certificate, a server certificate, and a demo Interactive Cluster with a
+// movie track and a quiz-game application track.
+
+#include <string>
+
+#include "access/policy.h"
+#include "authoring/author.h"
+#include "disc/content.h"
+#include "pki/cert_store.h"
+#include "pki/certificate.h"
+#include "pki/key_codec.h"
+#include "player/engine.h"
+
+namespace demo {
+
+using namespace discsec;
+
+inline constexpr int64_t kNow = 1120000000;  // mid-2005, like the paper
+inline constexpr int64_t kYear = 365LL * 24 * 3600;
+
+struct Demo {
+  Rng rng{7};
+  crypto::RsaKeyPair root_key = crypto::RsaGenerateKeyPair(512, &rng).value();
+  crypto::RsaKeyPair studio_key =
+      crypto::RsaGenerateKeyPair(512, &rng).value();
+  crypto::RsaKeyPair server_key =
+      crypto::RsaGenerateKeyPair(512, &rng).value();
+  pki::Certificate root_cert = MakeRootCert();
+  pki::Certificate studio_cert =
+      MakeLeafCert("CN=Acme Studios Signing", 2, studio_key.public_key);
+  pki::Certificate server_cert =
+      MakeLeafCert("CN=cdn.acme.example", 3, server_key.public_key);
+  Bytes content_key = rng.NextBytes(16);
+
+  pki::Certificate MakeRootCert() {
+    pki::CertificateInfo info;
+    info.subject = "CN=Player Root CA";
+    info.issuer = info.subject;
+    info.serial = 1;
+    info.not_before = kNow - kYear;
+    info.not_after = kNow + 20 * kYear;
+    info.is_ca = true;
+    info.public_key = root_key.public_key;
+    return pki::IssueCertificate(info, root_key.private_key).value();
+  }
+
+  pki::Certificate MakeLeafCert(const std::string& subject, uint64_t serial,
+                                const crypto::RsaPublicKey& key) {
+    pki::CertificateInfo info;
+    info.subject = subject;
+    info.issuer = "CN=Player Root CA";
+    info.serial = serial;
+    info.not_before = kNow - kYear;
+    info.not_after = kNow + 2 * kYear;
+    info.public_key = key;
+    return pki::IssueCertificate(info, root_key.private_key).value();
+  }
+
+  authoring::Author MakeAuthor() {
+    xmldsig::KeyInfoSpec key_info;
+    key_info.certificate_chain = {studio_cert, root_cert};
+    key_info.key_name = pki::KeyFingerprint(studio_key.public_key);
+    return authoring::Author(
+        xmldsig::SigningKey::Rsa(studio_key.private_key), key_info);
+  }
+
+  player::PlayerConfig MakePlayerConfig() {
+    player::PlayerConfig config;
+    (void)config.trust.AddTrustedRoot(root_cert);
+    config.now = kNow;
+    config.keys.AddKey("disc-content-key", content_key);
+
+    access::Policy policy;
+    policy.id = "platform";
+    policy.target.subjects = {"CN=Acme*", "disc:*"};
+    access::Rule storage;
+    storage.effect = access::Decision::kPermit;
+    storage.target.resources = {"localstorage"};
+    storage.conditions.push_back(
+        {"path", access::Condition::Op::kPrefix, "scores/"});
+    access::Rule graphics;
+    graphics.effect = access::Decision::kPermit;
+    graphics.target.resources = {"graphics"};
+    policy.rules = {storage, graphics};
+    config.pdp.AddPolicy(std::move(policy));
+    return config;
+  }
+
+  xmlenc::EncryptionSpec MakeEncryptionSpec() {
+    xmlenc::EncryptionSpec spec;
+    spec.content_key = content_key;
+    spec.key_mode = xmlenc::KeyMode::kDirectReference;
+    spec.key_name = "disc-content-key";
+    return spec;
+  }
+
+  disc::InteractiveCluster MakeCluster() {
+    disc::InteractiveCluster cluster;
+    cluster.id = "feature-disc";
+    cluster.title = "Feature Film + Quiz Game";
+
+    disc::ClipInfo clip;
+    clip.id = "clip-main";
+    clip.ts_path = std::string(disc::kStreamDir) + "00001.m2ts";
+    clip.duration_ms = 2000;
+    cluster.clips.push_back(clip);
+    disc::Playlist playlist;
+    playlist.id = "pl-main";
+    playlist.items.push_back({"clip-main", 0, 2000});
+    cluster.playlists.push_back(playlist);
+    disc::Track movie;
+    movie.id = "track-movie";
+    movie.kind = disc::Track::Kind::kAudioVideo;
+    movie.playlist_id = "pl-main";
+    cluster.tracks.push_back(movie);
+
+    disc::Track app;
+    app.id = "track-app";
+    app.kind = disc::Track::Kind::kApplication;
+    app.manifest.id = "quiz";
+    app.manifest.markups.push_back(
+        {"menu", "layout",
+         "<smil><head><layout>"
+         "<root-layout width=\"1920\" height=\"1080\"/>"
+         "<region id=\"title\" left=\"60\" top=\"40\" width=\"800\" "
+         "height=\"120\"/>"
+         "<region id=\"board\" left=\"60\" top=\"200\" width=\"1800\" "
+         "height=\"800\"/>"
+         "</layout></head><body><par dur=\"indefinite\">"
+         "<img region=\"title\" src=\"title.png\"/>"
+         "<text region=\"board\" src=\"questions.txt\"/>"
+         "</par></body></smil>"});
+    app.manifest.scripts.push_back(
+        {"main",
+         "function onLoad() {\n"
+         "  ui.drawText('title', 'Quiz Night!');\n"
+         "  scores.submit('alice', 4200);\n"
+         "  print('best: ' + scores.best());\n"
+         "}\n"});
+    app.manifest.permission_request_xml =
+        "<permissionrequestfile appid=\"0x4501\" orgid=\"acme.example\">"
+        "<localstorage path=\"scores/\" access=\"readwrite\"/>"
+        "<graphics plane=\"true\"/>"
+        "</permissionrequestfile>";
+    cluster.tracks.push_back(app);
+    return cluster;
+  }
+};
+
+}  // namespace demo
+
+#endif  // DISCSEC_EXAMPLES_DEMO_SETUP_H_

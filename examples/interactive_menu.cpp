@@ -1,0 +1,76 @@
+// Interactive session example: after the security pipeline admits the
+// application, the user drives it with remote-control keys. Handlers
+// remain policy-gated and step-budgeted for the whole session — a rogue
+// handler cannot do at event time what it could not do at launch.
+
+#include <cstdio>
+
+#include "examples/demo_setup.h"
+#include "player/session.h"
+#include "xml/serializer.h"
+
+using namespace discsec;
+
+int main() {
+  std::printf("== discsec example: interactive disc menu ==\n\n");
+  demo::Demo d;
+
+  // A menu application: arrow keys move the selection, Enter activates.
+  disc::InteractiveCluster cluster = d.MakeCluster();
+  cluster.tracks[1].manifest.scripts[0].source = R"JS(
+    var items = ['Play Movie', 'Bonus Quiz', 'Scores', 'Settings'];
+    var selected = 0;
+    function render() {
+      ui.drawText('board', '> ' + items[selected]);
+    }
+    function onLoad() {
+      ui.drawText('title', 'Main Menu');
+      render();
+    }
+    function onKey(key) {
+      if (key === 'Down') { selected = (selected + 1) % items.length; }
+      if (key === 'Up') {
+        selected = (selected + items.length - 1) % items.length;
+      }
+      if (key === 'Enter') { return 'activate:' + items[selected]; }
+      render();
+      return 'selected:' + items[selected];
+    }
+  )JS";
+
+  authoring::Author author = d.MakeAuthor();
+  auto doc = author.BuildSigned(cluster, authoring::SignLevel::kCluster);
+  if (!doc.ok()) {
+    std::printf("sign failed: %s\n", doc.status().ToString().c_str());
+    return 1;
+  }
+
+  player::InteractiveApplicationEngine engine(d.MakePlayerConfig());
+  auto session =
+      engine.BeginSession(xml::Serialize(doc.value()), player::Origin::kDisc);
+  if (!session.ok()) {
+    std::printf("launch failed: %s\n", session.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("application admitted (signer: %s)\n\n",
+              session.value()->report().signer_subject.c_str());
+
+  const char* keys[] = {"Down", "Down", "Up", "Enter"};
+  for (const char* key : keys) {
+    auto outcome = session.value()->PressKey(key);
+    if (!outcome.ok()) {
+      std::printf("  [%s] error: %s\n", key,
+                  outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  [%-5s] -> %s\n", key, outcome->result.c_str());
+  }
+
+  std::printf("\nscreen history:\n");
+  for (const auto& op : session.value()->render_ops()) {
+    std::printf("  %-6s | %s\n", op.region.c_str(), op.payload.c_str());
+  }
+  std::printf("\nsession used %llu interpreter steps\n",
+              static_cast<unsigned long long>(session.value()->steps_used()));
+  return 0;
+}

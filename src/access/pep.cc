@@ -1,0 +1,66 @@
+#include "access/pep.h"
+
+namespace discsec {
+namespace access {
+
+Status PolicyEnforcementPoint::Check(
+    const std::string& resource, const std::string& action,
+    const std::map<std::string, std::string>& attributes) const {
+  // Least privilege: the application must have requested the resource.
+  const Permission* requested = nullptr;
+  for (const Permission& p : request_.permissions) {
+    if (p.resource == resource) {
+      requested = &p;
+      break;
+    }
+  }
+  if (requested == nullptr) {
+    return Status::PermissionDenied("application did not request resource '" +
+                                    resource + "'");
+  }
+  // The request may narrow the action ("access" attribute).
+  const std::string* access = requested->Attr("access");
+  if (access != nullptr && *access != "readwrite" && *access != action &&
+      !(action == "read" && *access == "readwrite") &&
+      !(action == "write" && *access == "readwrite")) {
+    return Status::PermissionDenied("application requested only '" + *access +
+                                    "' access to '" + resource + "'");
+  }
+
+  RequestContext ctx;
+  ctx.subject = subject_;
+  ctx.resource = resource;
+  ctx.action = action;
+  ctx.attributes = attributes;
+  // The request's own attributes provide defaults (e.g. the declared path).
+  for (const auto& [name, value] : requested->attributes) {
+    ctx.attributes.emplace(name, value);
+  }
+  Decision decision = pdp_->Evaluate(ctx);
+  if (decision == Decision::kPermit) return Status::OK();
+  return Status::PermissionDenied("policy " +
+                                  std::string(DecisionName(decision)) +
+                                  " for " + subject_ + " on " + resource +
+                                  ":" + action);
+}
+
+std::map<std::string, bool> PolicyEnforcementPoint::EvaluateAll() const {
+  std::map<std::string, bool> grants;
+  for (const Permission& p : request_.permissions) {
+    const std::string* access = p.Attr("access");
+    bool granted;
+    if (access != nullptr && *access == "readwrite") {
+      granted = Check(p.resource, "read").ok() &&
+                Check(p.resource, "write").ok();
+    } else if (access != nullptr) {
+      granted = Check(p.resource, *access).ok();
+    } else {
+      granted = Check(p.resource, "use").ok();
+    }
+    grants[p.resource] = granted;
+  }
+  return grants;
+}
+
+}  // namespace access
+}  // namespace discsec

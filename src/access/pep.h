@@ -1,0 +1,51 @@
+#ifndef DISCSEC_ACCESS_PEP_H_
+#define DISCSEC_ACCESS_PEP_H_
+
+#include <map>
+#include <string>
+
+#include "access/permission_request.h"
+#include "access/policy.h"
+
+namespace discsec {
+namespace access {
+
+/// The Policy Enforcement Point — the player component that combines an
+/// application's permission *request* with the platform's *policy*
+/// (MHP model, paper §4: "Based on the adopted policy, the platform can
+/// allow or reject the rights to the resources").
+///
+/// A grant requires BOTH: the application asked for the resource in its
+/// permission request file, AND the PDP permits it for this subject.
+/// Resources never requested are denied outright (least privilege).
+class PolicyEnforcementPoint {
+ public:
+  PolicyEnforcementPoint(const PolicyDecisionPoint* pdp,
+                         PermissionRequest request, std::string subject)
+      : pdp_(pdp), request_(std::move(request)), subject_(std::move(subject)) {}
+
+  /// Checks whether the application may perform `action` on `resource`
+  /// with the given attributes. Returns OK or PermissionDenied.
+  Status Check(const std::string& resource, const std::string& action,
+               const std::map<std::string, std::string>& attributes = {})
+      const;
+
+  /// Evaluates every permission in the request up front, returning the set
+  /// of granted resource names — the launch-time grant table the engine
+  /// stores. The action checked is the `access` attribute when present
+  /// ("read", "write", "readwrite" expands to both), else "use".
+  std::map<std::string, bool> EvaluateAll() const;
+
+  const PermissionRequest& request() const { return request_; }
+  const std::string& subject() const { return subject_; }
+
+ private:
+  const PolicyDecisionPoint* pdp_;
+  PermissionRequest request_;
+  std::string subject_;
+};
+
+}  // namespace access
+}  // namespace discsec
+
+#endif  // DISCSEC_ACCESS_PEP_H_

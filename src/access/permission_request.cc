@@ -1,0 +1,69 @@
+#include "access/permission_request.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace access {
+
+bool PermissionRequest::Requests(const std::string& resource) const {
+  for (const Permission& p : permissions) {
+    if (p.resource == resource) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<xml::Element> PermissionRequest::ToXml() const {
+  auto root = std::make_unique<xml::Element>("permissionrequestfile");
+  root->SetAttribute("appid", app_id);
+  root->SetAttribute("orgid", org_id);
+  for (const Permission& p : permissions) {
+    xml::Element* e = root->AppendElement(p.resource);
+    for (const auto& [name, value] : p.attributes) {
+      e->SetAttribute(name, value);
+    }
+  }
+  return root;
+}
+
+std::string PermissionRequest::ToXmlString() const {
+  xml::Document doc = xml::Document::WithRoot(ToXml());
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+Result<PermissionRequest> PermissionRequest::FromXml(
+    const xml::Element& element) {
+  if (element.LocalName() != "permissionrequestfile") {
+    return Status::ParseError("expected <permissionrequestfile>");
+  }
+  PermissionRequest out;
+  const std::string* app_id = element.GetAttribute("appid");
+  const std::string* org_id = element.GetAttribute("orgid");
+  if (app_id == nullptr || org_id == nullptr) {
+    return Status::ParseError("permissionrequestfile needs appid and orgid");
+  }
+  out.app_id = *app_id;
+  out.org_id = *org_id;
+  for (const auto& child : element.children()) {
+    if (!child->IsElement()) continue;
+    const auto* e = static_cast<const xml::Element*>(child.get());
+    Permission p;
+    p.resource = std::string(e->LocalName());
+    for (const auto& attr : e->attributes()) {
+      if (!attr.IsNamespaceDecl()) p.attributes[attr.name] = attr.value;
+    }
+    out.permissions.push_back(std::move(p));
+  }
+  return out;
+}
+
+Result<PermissionRequest> PermissionRequest::FromXmlString(
+    std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return FromXml(*doc.root());
+}
+
+}  // namespace access
+}  // namespace discsec

@@ -1,0 +1,54 @@
+#ifndef DISCSEC_ACCESS_PERMISSION_REQUEST_H_
+#define DISCSEC_ACCESS_PERMISSION_REQUEST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace access {
+
+/// One requested permission: a resource category plus qualifying attributes.
+/// Resource names used by the player:
+///   "localstorage"  (attrs: path, access=read|write|readwrite, quota)
+///   "network"       (attrs: host)
+///   "graphics"      (attrs: plane)
+///   "userpreferences" (attrs: read, write)
+///   "file"          (attrs: path, access)
+struct Permission {
+  std::string resource;
+  std::map<std::string, std::string> attributes;
+
+  const std::string* Attr(const std::string& name) const {
+    auto it = attributes.find(name);
+    return it == attributes.end() ? nullptr : &it->second;
+  }
+};
+
+/// An MHP-style XML "permission request file" (the paper's §4/§7): the
+/// content author attaches it to the application to request player
+/// resources; the platform grants or rejects each request per its policy.
+struct PermissionRequest {
+  std::string app_id;
+  std::string org_id;
+  std::vector<Permission> permissions;
+
+  /// Whether the application requested `resource` at all (any attributes).
+  bool Requests(const std::string& resource) const;
+
+  /// Serializes to <permissionrequestfile>.
+  std::unique_ptr<xml::Element> ToXml() const;
+  std::string ToXmlString() const;
+
+  /// Parses a <permissionrequestfile> element or document.
+  static Result<PermissionRequest> FromXml(const xml::Element& element);
+  static Result<PermissionRequest> FromXmlString(std::string_view text);
+};
+
+}  // namespace access
+}  // namespace discsec
+
+#endif  // DISCSEC_ACCESS_PERMISSION_REQUEST_H_

@@ -1,0 +1,257 @@
+#include "access/policy.h"
+
+#include "common/strings.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace access {
+
+const char* DecisionName(Decision d) {
+  switch (d) {
+    case Decision::kPermit:
+      return "Permit";
+    case Decision::kDeny:
+      return "Deny";
+    case Decision::kNotApplicable:
+      return "NotApplicable";
+    case Decision::kIndeterminate:
+      return "Indeterminate";
+  }
+  return "Indeterminate";
+}
+
+namespace {
+
+bool ValueMatches(const std::string& pattern, const std::string& actual) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return StartsWith(actual, std::string_view(pattern).substr(
+                                  0, pattern.size() - 1));
+  }
+  return pattern == actual;
+}
+
+bool ListMatches(const std::vector<std::string>& patterns,
+                 const std::string& actual) {
+  if (patterns.empty()) return true;
+  for (const std::string& p : patterns) {
+    if (ValueMatches(p, actual)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Target::Matches(const RequestContext& request) const {
+  return ListMatches(subjects, request.subject) &&
+         ListMatches(resources, request.resource) &&
+         ListMatches(actions, request.action);
+}
+
+bool Condition::Holds(const RequestContext& request) const {
+  auto it = request.attributes.find(attribute);
+  if (it == request.attributes.end()) return false;
+  switch (op) {
+    case Op::kEquals:
+      return it->second == value;
+    case Op::kPrefix:
+      return StartsWith(it->second, value);
+  }
+  return false;
+}
+
+Decision Policy::Evaluate(const RequestContext& request) const {
+  if (!target.Matches(request)) return Decision::kNotApplicable;
+  bool any_permit = false;
+  bool any_deny = false;
+  for (const Rule& rule : rules) {
+    if (!rule.target.Matches(request)) continue;
+    bool holds = true;
+    for (const Condition& c : rule.conditions) {
+      if (!c.Holds(request)) {
+        holds = false;
+        break;
+      }
+    }
+    if (!holds) continue;
+    if (combining == CombiningAlg::kFirstApplicable) return rule.effect;
+    if (rule.effect == Decision::kPermit) any_permit = true;
+    if (rule.effect == Decision::kDeny) any_deny = true;
+  }
+  switch (combining) {
+    case CombiningAlg::kDenyOverrides:
+      if (any_deny) return Decision::kDeny;
+      if (any_permit) return Decision::kPermit;
+      break;
+    case CombiningAlg::kPermitOverrides:
+      if (any_permit) return Decision::kPermit;
+      if (any_deny) return Decision::kDeny;
+      break;
+    case CombiningAlg::kFirstApplicable:
+      break;
+  }
+  return Decision::kNotApplicable;
+}
+
+namespace {
+
+const char* CombiningName(CombiningAlg alg) {
+  switch (alg) {
+    case CombiningAlg::kDenyOverrides:
+      return "deny-overrides";
+    case CombiningAlg::kPermitOverrides:
+      return "permit-overrides";
+    case CombiningAlg::kFirstApplicable:
+      return "first-applicable";
+  }
+  return "deny-overrides";
+}
+
+Result<CombiningAlg> ParseCombining(const std::string& name) {
+  if (name == "deny-overrides") return CombiningAlg::kDenyOverrides;
+  if (name == "permit-overrides") return CombiningAlg::kPermitOverrides;
+  if (name == "first-applicable") return CombiningAlg::kFirstApplicable;
+  return Status::ParseError("unknown combining algorithm: " + name);
+}
+
+void AppendTarget(xml::Element* parent, const Target& target) {
+  xml::Element* t = parent->AppendElement("Target");
+  auto add_list = [&](const char* group, const char* item,
+                      const std::vector<std::string>& values) {
+    if (values.empty()) return;
+    xml::Element* g = t->AppendElement(group);
+    for (const std::string& v : values) {
+      g->AppendElement(item)->SetTextContent(v);
+    }
+  };
+  add_list("Subjects", "Subject", target.subjects);
+  add_list("Resources", "Resource", target.resources);
+  add_list("Actions", "Action", target.actions);
+}
+
+Target ParseTarget(const xml::Element* t) {
+  Target out;
+  if (t == nullptr) return out;
+  auto read_list = [&](const char* group, const char* item,
+                       std::vector<std::string>* into) {
+    const xml::Element* g = t->FirstChildElementByLocalName(group);
+    if (g == nullptr) return;
+    for (const xml::Element* e : g->ChildElements()) {
+      if (e->LocalName() == item) into->push_back(e->TextContent());
+    }
+  };
+  read_list("Subjects", "Subject", &out.subjects);
+  read_list("Resources", "Resource", &out.resources);
+  read_list("Actions", "Action", &out.actions);
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> Policy::ToXml() const {
+  auto p = std::make_unique<xml::Element>("Policy");
+  p->SetAttribute("PolicyId", id);
+  p->SetAttribute("RuleCombiningAlgId", CombiningName(combining));
+  AppendTarget(p.get(), target);
+  for (const Rule& rule : rules) {
+    xml::Element* r = p->AppendElement("Rule");
+    r->SetAttribute("RuleId", rule.id);
+    r->SetAttribute("Effect",
+                    rule.effect == Decision::kPermit ? "Permit" : "Deny");
+    AppendTarget(r, rule.target);
+    for (const Condition& c : rule.conditions) {
+      xml::Element* cond = r->AppendElement("Condition");
+      cond->SetAttribute("attribute", c.attribute);
+      cond->SetAttribute("op",
+                         c.op == Condition::Op::kEquals ? "equals" : "prefix");
+      cond->SetAttribute("value", c.value);
+    }
+  }
+  return p;
+}
+
+Result<Policy> Policy::FromXml(const xml::Element& element) {
+  if (element.LocalName() != "Policy") {
+    return Status::ParseError("expected <Policy>");
+  }
+  Policy out;
+  const std::string* id = element.GetAttribute("PolicyId");
+  out.id = id != nullptr ? *id : "";
+  const std::string* comb = element.GetAttribute("RuleCombiningAlgId");
+  if (comb != nullptr) {
+    DISCSEC_ASSIGN_OR_RETURN(out.combining, ParseCombining(*comb));
+  }
+  out.target = ParseTarget(element.FirstChildElementByLocalName("Target"));
+  for (const xml::Element* r : element.ChildElements()) {
+    if (r->LocalName() != "Rule") continue;
+    Rule rule;
+    const std::string* rid = r->GetAttribute("RuleId");
+    rule.id = rid != nullptr ? *rid : "";
+    const std::string* effect = r->GetAttribute("Effect");
+    if (effect == nullptr || (*effect != "Permit" && *effect != "Deny")) {
+      return Status::ParseError("Rule needs Effect Permit|Deny");
+    }
+    rule.effect =
+        *effect == "Permit" ? Decision::kPermit : Decision::kDeny;
+    rule.target = ParseTarget(r->FirstChildElementByLocalName("Target"));
+    for (const xml::Element* c : r->ChildElements()) {
+      if (c->LocalName() != "Condition") continue;
+      Condition cond;
+      const std::string* attr = c->GetAttribute("attribute");
+      const std::string* op = c->GetAttribute("op");
+      const std::string* value = c->GetAttribute("value");
+      if (attr == nullptr || value == nullptr) {
+        return Status::ParseError("Condition needs attribute and value");
+      }
+      cond.attribute = *attr;
+      cond.value = *value;
+      if (op != nullptr && *op == "prefix") {
+        cond.op = Condition::Op::kPrefix;
+      } else if (op != nullptr && *op != "equals") {
+        return Status::ParseError("Condition op must be equals|prefix");
+      }
+      rule.conditions.push_back(std::move(cond));
+    }
+    out.rules.push_back(std::move(rule));
+  }
+  return out;
+}
+
+Decision PolicyDecisionPoint::Evaluate(const RequestContext& request) const {
+  bool any_permit = false;
+  for (const Policy& policy : policies_) {
+    Decision d = policy.Evaluate(request);
+    if (d == Decision::kDeny) return Decision::kDeny;
+    if (d == Decision::kIndeterminate) return Decision::kIndeterminate;
+    if (d == Decision::kPermit) any_permit = true;
+  }
+  return any_permit ? Decision::kPermit : Decision::kNotApplicable;
+}
+
+Status PolicyDecisionPoint::LoadPolicySet(std::string_view xml_text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(xml_text));
+  if (doc.root()->LocalName() != "PolicySet") {
+    return Status::ParseError("expected <PolicySet>");
+  }
+  for (const xml::Element* p : doc.root()->ChildElements()) {
+    if (p->LocalName() != "Policy") continue;
+    DISCSEC_ASSIGN_OR_RETURN(Policy policy, Policy::FromXml(*p));
+    policies_.push_back(std::move(policy));
+  }
+  return Status::OK();
+}
+
+std::string PolicyDecisionPoint::ToXmlString() const {
+  auto root = std::make_unique<xml::Element>("PolicySet");
+  root->SetAttribute("PolicyCombiningAlgId", "deny-overrides");
+  for (const Policy& p : policies_) {
+    root->AppendChild(p.ToXml());
+  }
+  xml::Document doc = xml::Document::WithRoot(std::move(root));
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+}  // namespace access
+}  // namespace discsec

@@ -1,0 +1,107 @@
+#ifndef DISCSEC_ACCESS_POLICY_H_
+#define DISCSEC_ACCESS_POLICY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace access {
+
+/// Access decision, per XACML.
+enum class Decision {
+  kPermit,
+  kDeny,
+  kNotApplicable,
+  kIndeterminate,
+};
+
+const char* DecisionName(Decision d);
+
+/// An authorization request evaluated by the PDP: who (the verified signer
+/// subject / organisation), what resource, which action, plus free-form
+/// attributes (path, host, ...).
+struct RequestContext {
+  std::string subject;
+  std::string resource;
+  std::string action;
+  std::map<std::string, std::string> attributes;
+};
+
+/// A target constrains applicability. Empty lists match anything; values in
+/// one list are OR-ed; a trailing '*' in a value makes it a prefix match
+/// ("CN=Acme*" matches any Acme subject).
+struct Target {
+  std::vector<std::string> subjects;
+  std::vector<std::string> resources;
+  std::vector<std::string> actions;
+
+  bool Matches(const RequestContext& request) const;
+};
+
+/// One attribute condition on a rule; all conditions must hold.
+struct Condition {
+  std::string attribute;
+  enum class Op { kEquals, kPrefix } op = Op::kEquals;
+  std::string value;
+
+  bool Holds(const RequestContext& request) const;
+};
+
+/// A rule: if its target matches and conditions hold, it yields its effect.
+struct Rule {
+  std::string id;
+  Decision effect = Decision::kDeny;  ///< kPermit or kDeny
+  Target target;
+  std::vector<Condition> conditions;
+};
+
+/// XACML-lite rule combining algorithms.
+enum class CombiningAlg {
+  kDenyOverrides,
+  kPermitOverrides,
+  kFirstApplicable,
+};
+
+/// A policy: target + rules + combining algorithm.
+struct Policy {
+  std::string id;
+  CombiningAlg combining = CombiningAlg::kDenyOverrides;
+  Target target;
+  std::vector<Rule> rules;
+
+  Decision Evaluate(const RequestContext& request) const;
+
+  std::unique_ptr<xml::Element> ToXml() const;
+  static Result<Policy> FromXml(const xml::Element& element);
+};
+
+/// The Policy Decision Point: an ordered set of policies combined with a
+/// policy-level algorithm (deny-overrides). This is the OASIS XACML role
+/// the paper's §4 assigns to the player platform.
+class PolicyDecisionPoint {
+ public:
+  void AddPolicy(Policy policy) { policies_.push_back(std::move(policy)); }
+  size_t PolicyCount() const { return policies_.size(); }
+
+  /// deny-overrides across policies: any Deny wins; else any Permit; else
+  /// NotApplicable.
+  Decision Evaluate(const RequestContext& request) const;
+
+  /// Loads policies from a <PolicySet> document.
+  Status LoadPolicySet(std::string_view xml_text);
+
+  /// Serializes all policies as a <PolicySet>.
+  std::string ToXmlString() const;
+
+ private:
+  std::vector<Policy> policies_;
+};
+
+}  // namespace access
+}  // namespace discsec
+
+#endif  // DISCSEC_ACCESS_POLICY_H_

@@ -1,0 +1,218 @@
+#include "authoring/author.h"
+
+#include "crypto/algorithms.h"
+#include "xml/serializer.h"
+#include "xmldsig/transforms.h"
+
+namespace discsec {
+namespace authoring {
+
+const char* SignLevelName(SignLevel level) {
+  switch (level) {
+    case SignLevel::kCluster:
+      return "cluster";
+    case SignLevel::kTrack:
+      return "track";
+    case SignLevel::kManifest:
+      return "manifest";
+    case SignLevel::kMarkupPart:
+      return "markup-part";
+    case SignLevel::kCodePart:
+      return "code-part";
+    case SignLevel::kScript:
+      return "script";
+    case SignLevel::kSubMarkup:
+      return "submarkup";
+  }
+  return "?";
+}
+
+Result<std::string> ResolveSignTargetId(
+    const disc::InteractiveCluster& cluster, SignLevel level,
+    const std::string& track_id, const std::string& name) {
+  if (level == SignLevel::kCluster) {
+    return Status::InvalidArgument("cluster level has no target id");
+  }
+  const disc::Track* track = track_id.empty()
+                                 ? cluster.FirstApplicationTrack()
+                                 : cluster.FindTrack(track_id);
+  if (track == nullptr) {
+    return Status::NotFound("no application track" +
+                            (track_id.empty() ? "" : " '" + track_id + "'"));
+  }
+  switch (level) {
+    case SignLevel::kTrack:
+      return track->id;
+    case SignLevel::kManifest:
+      return track->manifest.id;
+    case SignLevel::kMarkupPart:
+      return track->manifest.id + "-markup";
+    case SignLevel::kCodePart:
+      return track->manifest.id + "-code";
+    case SignLevel::kScript: {
+      for (const disc::ScriptPart& s : track->manifest.scripts) {
+        if (s.name == name) return track->manifest.id + "-script-" + name;
+      }
+      return Status::NotFound("no script named '" + name + "'");
+    }
+    case SignLevel::kSubMarkup: {
+      for (const disc::SubMarkup& m : track->manifest.markups) {
+        if (m.name == name) return track->manifest.id + "-sub-" + name;
+      }
+      return Status::NotFound("no submarkup named '" + name + "'");
+    }
+    case SignLevel::kCluster:
+      break;
+  }
+  return Status::InvalidArgument("bad level");
+}
+
+Result<xml::Document> Author::BuildSigned(
+    const disc::InteractiveCluster& cluster, SignLevel level,
+    const std::string& track_id, const std::string& name) const {
+  DISCSEC_RETURN_IF_ERROR(cluster.Validate());
+  xml::Document doc = cluster.ToXml();
+  if (level == SignLevel::kCluster) {
+    DISCSEC_RETURN_IF_ERROR(
+        signer_.SignEnveloped(&doc, doc.root()).status());
+    return doc;
+  }
+  DISCSEC_ASSIGN_OR_RETURN(
+      std::string target_id,
+      ResolveSignTargetId(cluster, level, track_id, name));
+  xml::Element* target = doc.FindById(target_id);
+  if (target == nullptr) {
+    return Status::NotFound("target id '" + target_id +
+                            "' missing from cluster document");
+  }
+  DISCSEC_RETURN_IF_ERROR(
+      signer_.SignDetached(&doc, target, target_id, doc.root()).status());
+  return doc;
+}
+
+Result<xml::Document> Author::ProtectDocument(
+    const disc::InteractiveCluster& cluster, const ProtectOptions& options,
+    Rng* rng, const xmldsig::ExternalResolver& resolver,
+    const std::vector<xmldsig::ReferenceSpec>& extra_refs) const {
+  DISCSEC_RETURN_IF_ERROR(cluster.Validate());
+  xml::Document doc = cluster.ToXml();
+
+  if (options.sign) {
+    // Enveloped signature whose reference chain records the Decryption
+    // Transform: verify-time processing is "remove signature, decrypt,
+    // canonicalize, digest" — the Fig. 9 ordering. Extra references (e.g.
+    // over AV essence) ride in the same signature.
+    xml::Element* placeholder = doc.root()->AppendElement("ds:Signature");
+    xmldsig::ReferenceContext ctx;
+    ctx.document = &doc;
+    ctx.signature_path = xmldsig::ComputePath(placeholder);
+    ctx.resolver = resolver;
+    // Nothing is encrypted yet, so signing-time decryption is a no-op.
+    ctx.decrypt_hook = [](xml::Document*, xml::Element*,
+                          const std::vector<std::string>&) {
+      return Status::OK();
+    };
+    xmldsig::ReferenceSpec spec;
+    spec.uri = "";
+    spec.transforms = {crypto::kAlgEnvelopedSignature,
+                       crypto::kAlgDecryptionTransform, crypto::kAlgC14N};
+    std::vector<xmldsig::ReferenceSpec> refs = {spec};
+    refs.insert(refs.end(), extra_refs.begin(), extra_refs.end());
+    DISCSEC_ASSIGN_OR_RETURN(auto built, signer_.BuildUnsigned(refs, ctx));
+    size_t index = doc.root()->IndexOfChild(placeholder);
+    doc.root()->ReplaceChild(placeholder, std::move(built));
+    auto* signature = static_cast<xml::Element*>(doc.root()->ChildAt(index));
+    DISCSEC_RETURN_IF_ERROR(signer_.Finalize(signature));
+  }
+
+  if (!options.encrypt_ids.empty()) {
+    DISCSEC_ASSIGN_OR_RETURN(
+        xmlenc::Encryptor encryptor,
+        xmlenc::Encryptor::Create(options.encryption, rng));
+    for (const std::string& id : options.encrypt_ids) {
+      xml::Element* target = doc.FindById(id);
+      if (target == nullptr) {
+        return Status::NotFound("encrypt target id '" + id + "' not found");
+      }
+      DISCSEC_RETURN_IF_ERROR(
+          encryptor.EncryptElement(&doc, target, "enc-" + id).status());
+    }
+  }
+  return doc;
+}
+
+Result<xml::Document> Author::BuildProtected(
+    const disc::InteractiveCluster& cluster, const ProtectOptions& options,
+    Rng* rng) const {
+  if (options.sign_av_essence) {
+    return Status::InvalidArgument(
+        "sign_av_essence needs the essence bytes — use MasterProtected");
+  }
+  return ProtectDocument(cluster, options, rng, nullptr, {});
+}
+
+xmldsig::ExternalResolver MakeDiscResolver(const disc::DiscImage* image) {
+  return disc::MakeDiscResolver(image);
+}
+
+Result<disc::DiscImage> Author::MasterProtected(
+    const disc::InteractiveCluster& cluster, const ProtectOptions& options,
+    Rng* rng) const {
+  DISCSEC_RETURN_IF_ERROR(cluster.Validate());
+  // 1. Essence first: the signature references digest these exact bytes.
+  disc::DiscImage image;
+  uint32_t seed = 1;
+  for (const disc::ClipInfo& clip : cluster.clips) {
+    size_t packets = clip.duration_ms == 0 ? 64 : clip.duration_ms / 10;
+    if (packets == 0) packets = 1;
+    if (packets > 4096) packets = 4096;
+    image.Put(clip.ts_path, disc::GenerateTransportStream(seed++, packets));
+  }
+  // 2. Extra references over each clip's transport stream (§5.3).
+  std::vector<xmldsig::ReferenceSpec> essence_refs;
+  if (options.sign && options.sign_av_essence) {
+    for (const disc::ClipInfo& clip : cluster.clips) {
+      xmldsig::ReferenceSpec ref;
+      ref.uri = "disc://" + clip.ts_path;
+      essence_refs.push_back(std::move(ref));
+    }
+  }
+  DISCSEC_ASSIGN_OR_RETURN(
+      xml::Document doc,
+      ProtectDocument(cluster, options, rng, disc::MakeDiscResolver(&image),
+                      essence_refs));
+  xml::SerializeOptions serialize;
+  serialize.xml_declaration = true;
+  image.PutText(disc::kClusterPath, xml::Serialize(doc, serialize));
+  return image;
+}
+
+Result<disc::DiscImage> Author::Master(
+    const disc::InteractiveCluster& cluster,
+    const xml::Document& cluster_doc) const {
+  disc::DiscImage image;
+  xml::SerializeOptions options;
+  options.xml_declaration = true;
+  image.PutText(disc::kClusterPath, xml::Serialize(cluster_doc, options));
+  // Synthesize the AV essence for every clip.
+  uint32_t seed = 1;
+  for (const disc::ClipInfo& clip : cluster.clips) {
+    size_t packets = clip.duration_ms == 0 ? 64 : clip.duration_ms / 10;
+    if (packets == 0) packets = 1;
+    if (packets > 4096) packets = 4096;
+    image.Put(clip.ts_path, disc::GenerateTransportStream(seed++, packets));
+  }
+  return image;
+}
+
+Status Author::Publish(net::ContentServer* server, const std::string& path,
+                       const xml::Document& cluster_doc) const {
+  if (server == nullptr) return Status::InvalidArgument("null server");
+  xml::SerializeOptions options;
+  options.xml_declaration = true;
+  server->HostText(path, xml::Serialize(cluster_doc, options));
+  return Status::OK();
+}
+
+}  // namespace authoring
+}  // namespace discsec

@@ -1,0 +1,118 @@
+#ifndef DISCSEC_AUTHORING_AUTHOR_H_
+#define DISCSEC_AUTHORING_AUTHOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "disc/content.h"
+#include "disc/disc_image.h"
+#include "net/server.h"
+#include "xml/dom.h"
+#include "xmldsig/signer.h"
+#include "xmlenc/encryptor.h"
+
+namespace discsec {
+namespace authoring {
+
+/// The signing granularities of the paper's §5.2-§5.4: the whole
+/// Interactive Cluster, a Track, a Manifest, the Markup or Code part, or a
+/// single script / SubMarkup.
+enum class SignLevel {
+  kCluster,     ///< enveloped signature over the whole cluster document
+  kTrack,       ///< detached same-document signature over one track
+  kManifest,    ///< ... over the manifest
+  kMarkupPart,  ///< ... over the Markup part only
+  kCodePart,    ///< ... over the Code part only
+  kScript,      ///< ... over one script (by name)
+  kSubMarkup,   ///< ... over one SubMarkup (by name)
+};
+
+const char* SignLevelName(SignLevel level);
+
+/// Resolves the XML Id that a given level targets in the cluster document
+/// produced by InteractiveCluster::ToXml(). `track_id` selects the
+/// application track; `name` the script/SubMarkup for those levels.
+Result<std::string> ResolveSignTargetId(const disc::InteractiveCluster& cluster,
+                                        SignLevel level,
+                                        const std::string& track_id,
+                                        const std::string& name);
+
+/// The content author/producer of the paper's Fig. 3 and Fig. 9: signs
+/// interactive applications at any level, encrypts targets (with the
+/// sign-then-encrypt ordering recorded via the Decryption Transform),
+/// masters disc images, and publishes packages to content servers.
+class Author {
+ public:
+  Author(xmldsig::SigningKey key, xmldsig::KeyInfoSpec key_info)
+      : signer_(std::move(key), std::move(key_info)) {}
+
+  const xmldsig::Signer& signer() const { return signer_; }
+
+  /// Serializes `cluster` and signs it at `level`. For kCluster this is an
+  /// enveloped signature over the document; for the other levels a detached
+  /// same-document signature over the targeted element, appended to the
+  /// cluster root.
+  Result<xml::Document> BuildSigned(const disc::InteractiveCluster& cluster,
+                                    SignLevel level,
+                                    const std::string& track_id = {},
+                                    const std::string& name = {}) const;
+
+  /// The full Fig. 9 end-to-end protection: (1) sign the whole cluster
+  /// enveloped, with the Decryption Transform in the reference chain;
+  /// (2) encrypt the elements named by `encrypt_ids` in place. The player
+  /// verifies by decrypting the working copy first (the recorded order).
+  struct ProtectOptions {
+    bool sign = true;
+    /// Ids of cluster-document elements to encrypt after signing (e.g. the
+    /// manifest id, or the code part id).
+    std::vector<std::string> encrypt_ids;
+    xmlenc::EncryptionSpec encryption;
+    /// §5.3: also sign the non-markup audio/video essence — one external
+    /// Reference (URI "disc://<ts_path>") per clip, digesting the raw
+    /// transport stream. Only honored by MasterProtected, which owns the
+    /// essence bytes the references resolve to.
+    bool sign_av_essence = false;
+  };
+  Result<xml::Document> BuildProtected(const disc::InteractiveCluster& cluster,
+                                       const ProtectOptions& options,
+                                       Rng* rng) const;
+
+  /// One-shot protected mastering: generates the AV essence, signs the
+  /// cluster (including, when requested, external references over every
+  /// clip's transport stream), applies encryption, and returns the complete
+  /// disc image. The player resolves the "disc://" references against the
+  /// same image at verification time (MakeDiscResolver).
+  Result<disc::DiscImage> MasterProtected(
+      const disc::InteractiveCluster& cluster, const ProtectOptions& options,
+      Rng* rng) const;
+
+  /// Masters a disc image: the (already signed/protected) cluster document,
+  /// synthetic transport streams for every clip, and the certificate chain
+  /// directory.
+  Result<disc::DiscImage> Master(const disc::InteractiveCluster& cluster,
+                                 const xml::Document& cluster_doc) const;
+
+  /// Publishes a cluster document to a content server path.
+  Status Publish(net::ContentServer* server, const std::string& path,
+                 const xml::Document& cluster_doc) const;
+
+ private:
+  Result<xml::Document> ProtectDocument(
+      const disc::InteractiveCluster& cluster, const ProtectOptions& options,
+      Rng* rng, const xmldsig::ExternalResolver& resolver,
+      const std::vector<xmldsig::ReferenceSpec>& extra_refs) const;
+
+  xmldsig::Signer signer_;
+};
+
+/// Resolver mapping "disc://<path>" Reference URIs to files of `image`
+/// (which must outlive the resolver). Used by both the signing side in
+/// MasterProtected and the player's verification of essence references.
+xmldsig::ExternalResolver MakeDiscResolver(const disc::DiscImage* image);
+
+}  // namespace authoring
+}  // namespace discsec
+
+#endif  // DISCSEC_AUTHORING_AUTHOR_H_

@@ -1,0 +1,89 @@
+#include "common/base64.h"
+
+#include <array>
+
+namespace discsec {
+
+namespace {
+const char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<int8_t, 256> BuildDecodeTable() {
+  std::array<int8_t, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    table[static_cast<uint8_t>(kAlphabet[i])] = static_cast<int8_t>(i);
+  }
+  return table;
+}
+}  // namespace
+
+std::string Base64Encode(const Bytes& data) {
+  std::string out;
+  out.reserve(((data.size() + 2) / 3) * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8) | data[i + 2];
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back(kAlphabet[v & 63]);
+    i += 3;
+  }
+  size_t rem = data.size() - i;
+  if (rem == 1) {
+    uint32_t v = static_cast<uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    uint32_t v = (static_cast<uint32_t>(data[i]) << 16) |
+                 (static_cast<uint32_t>(data[i + 1]) << 8);
+    out.push_back(kAlphabet[(v >> 18) & 63]);
+    out.push_back(kAlphabet[(v >> 12) & 63]);
+    out.push_back(kAlphabet[(v >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+Result<Bytes> Base64Decode(std::string_view text) {
+  static const std::array<int8_t, 256> kDecode = BuildDecodeTable();
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) {
+      return Status::InvalidArgument("base64: data after padding");
+    }
+    int8_t v = kDecode[static_cast<uint8_t>(c)];
+    if (v < 0) {
+      return Status::InvalidArgument("base64: invalid character");
+    }
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<uint8_t>((acc >> bits) & 0xff));
+    }
+  }
+  if (pad > 2) {
+    return Status::InvalidArgument("base64: too much padding");
+  }
+  // Leftover bits must be zero-padding only.
+  if (bits > 0 && (acc & ((1u << bits) - 1)) != 0) {
+    return Status::InvalidArgument("base64: trailing bits set");
+  }
+  return out;
+}
+
+}  // namespace discsec

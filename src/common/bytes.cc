@@ -1,0 +1,92 @@
+#include "common/bytes.h"
+
+namespace discsec {
+
+Bytes ToBytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string ToString(const Bytes& b) {
+  return std::string(b.begin(), b.end());
+}
+
+std::string ToHex(const Bytes& b) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(b.size() * 2);
+  for (uint8_t byte : b) {
+    out.push_back(kDigits[byte >> 4]);
+    out.push_back(kDigits[byte & 0x0f]);
+  }
+  return out;
+}
+
+namespace {
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexNibble(hex[i]);
+    int lo = HexNibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("hex string has non-hex character");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b) {
+  // Lengths of MACs/digests are public; only the contents must not leak
+  // through early exit.
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+void Append(Bytes* dst, const Bytes& src) {
+  dst->insert(dst->end(), src.begin(), src.end());
+}
+
+void Append(Bytes* dst, std::string_view s) {
+  dst->insert(dst->end(), s.begin(), s.end());
+}
+
+void AppendUint32BE(Bytes* dst, uint32_t value) {
+  dst->push_back(static_cast<uint8_t>(value >> 24));
+  dst->push_back(static_cast<uint8_t>(value >> 16));
+  dst->push_back(static_cast<uint8_t>(value >> 8));
+  dst->push_back(static_cast<uint8_t>(value));
+}
+
+void AppendUint64BE(Bytes* dst, uint64_t value) {
+  AppendUint32BE(dst, static_cast<uint32_t>(value >> 32));
+  AppendUint32BE(dst, static_cast<uint32_t>(value));
+}
+
+uint32_t ReadUint32BE(const uint8_t* data) {
+  return (static_cast<uint32_t>(data[0]) << 24) |
+         (static_cast<uint32_t>(data[1]) << 16) |
+         (static_cast<uint32_t>(data[2]) << 8) | static_cast<uint32_t>(data[3]);
+}
+
+uint64_t ReadUint64BE(const uint8_t* data) {
+  return (static_cast<uint64_t>(ReadUint32BE(data)) << 32) |
+         ReadUint32BE(data + 4);
+}
+
+}  // namespace discsec

@@ -1,0 +1,50 @@
+#ifndef DISCSEC_COMMON_BYTES_H_
+#define DISCSEC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace discsec {
+
+/// The library-wide octet-buffer type.
+using Bytes = std::vector<uint8_t>;
+
+/// Converts a std::string (treated as raw octets) to Bytes.
+Bytes ToBytes(std::string_view s);
+
+/// Converts Bytes to a std::string holding the same octets.
+std::string ToString(const Bytes& b);
+
+/// Lower-case hex encoding, e.g. {0xde, 0xad} -> "dead".
+std::string ToHex(const Bytes& b);
+
+/// Parses a hex string (case-insensitive, even length) into Bytes.
+Result<Bytes> FromHex(std::string_view hex);
+
+/// Constant-time equality comparison. Always examines every byte of the
+/// longer input so timing does not leak the position of the first mismatch.
+/// Used for MAC and digest comparison.
+bool ConstantTimeEquals(const Bytes& a, const Bytes& b);
+
+/// Appends `src` to `dst`.
+void Append(Bytes* dst, const Bytes& src);
+
+/// Appends the octets of `s` to `dst`.
+void Append(Bytes* dst, std::string_view s);
+
+/// Appends `value` to `dst` in big-endian order.
+void AppendUint32BE(Bytes* dst, uint32_t value);
+void AppendUint64BE(Bytes* dst, uint64_t value);
+
+/// Reads a big-endian integer from `data + offset`. The caller must ensure
+/// the buffer is large enough.
+uint32_t ReadUint32BE(const uint8_t* data);
+uint64_t ReadUint64BE(const uint8_t* data);
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_BYTES_H_

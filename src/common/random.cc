@@ -1,0 +1,53 @@
+#include "common/random.h"
+
+#include <random>
+
+namespace discsec {
+
+Rng::Rng(uint64_t seed) : state_(seed) {}
+
+Rng::Rng() {
+  std::random_device rd;
+  state_ = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+}
+
+uint64_t Rng::NextUint64() {
+  // splitmix64: passes BigCrush, one 64-bit word of state.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+Bytes Rng::NextBytes(size_t n) {
+  Bytes out(n);
+  Fill(out.data(), n);
+  return out;
+}
+
+void Rng::Fill(uint8_t* out, size_t n) {
+  size_t i = 0;
+  while (i < n) {
+    uint64_t w = NextUint64();
+    for (int b = 0; b < 8 && i < n; ++b, ++i) {
+      out[i] = static_cast<uint8_t>(w >> (8 * b));
+    }
+  }
+}
+
+Rng& GlobalRng() {
+  static Rng rng;
+  return rng;
+}
+
+}  // namespace discsec

@@ -1,0 +1,81 @@
+#ifndef DISCSEC_COMMON_RESULT_H_
+#define DISCSEC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace discsec {
+
+/// Result<T> holds either a value of type T or a non-OK Status, following
+/// the Arrow/RocksDB idiom for fallible value-returning functions.
+///
+/// Usage:
+///   Result<Document> doc = Parser::Parse(text);
+///   if (!doc.ok()) return doc.status();
+///   Use(doc.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status. Passing an OK status
+  /// is a programming error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Accessors; must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when not ok().
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its status
+/// from the enclosing function when the Result is an error.
+#define DISCSEC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define DISCSEC_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define DISCSEC_ASSIGN_OR_RETURN_NAME(a, b) \
+  DISCSEC_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define DISCSEC_ASSIGN_OR_RETURN(lhs, expr)                               \
+  DISCSEC_ASSIGN_OR_RETURN_IMPL(                                          \
+      DISCSEC_ASSIGN_OR_RETURN_NAME(_result_tmp_, __COUNTER__), lhs, expr)
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_RESULT_H_

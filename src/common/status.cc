@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+namespace discsec {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kParseError:
+      return "ParseError";
+    case Status::Code::kCryptoError:
+      return "CryptoError";
+    case Status::Code::kVerificationFailed:
+      return "VerificationFailed";
+    case Status::Code::kPermissionDenied:
+      return "PermissionDenied";
+    case Status::Code::kUnsupported:
+      return "Unsupported";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  Status copy = *this;
+  copy.message_ = context + ": " + message_;
+  return copy;
+}
+
+}  // namespace discsec

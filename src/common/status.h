@@ -1,0 +1,109 @@
+#ifndef DISCSEC_COMMON_STATUS_H_
+#define DISCSEC_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace discsec {
+
+/// A Status encapsulates the result of an operation. It may indicate success,
+/// or it may indicate an error with an associated error message.
+///
+/// No exceptions cross the public API of this library; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+class Status {
+ public:
+  /// Error categories used throughout the library.
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,     ///< caller passed something malformed
+    kNotFound,            ///< a referenced entity does not exist
+    kCorruption,          ///< stored/transmitted data failed structural checks
+    kParseError,          ///< XML or script text could not be parsed
+    kCryptoError,         ///< a cryptographic primitive failed
+    kVerificationFailed,  ///< a signature / MAC / certificate check failed
+    kPermissionDenied,    ///< access-control policy denied the request
+    kUnsupported,         ///< algorithm or feature not implemented
+    kIOError,             ///< filesystem or channel failure
+    kResourceExhausted,   ///< embedded-profile budget exceeded
+  };
+
+  /// Creates an OK (success) status.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(Code::kParseError, std::move(msg));
+  }
+  static Status CryptoError(std::string msg) {
+    return Status(Code::kCryptoError, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg) {
+    return Status(Code::kVerificationFailed, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(Code::kPermissionDenied, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(Code::kUnsupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsParseError() const { return code_ == Code::kParseError; }
+  bool IsCryptoError() const { return code_ == Code::kCryptoError; }
+  bool IsVerificationFailed() const {
+    return code_ == Code::kVerificationFailed;
+  }
+  bool IsPermissionDenied() const { return code_ == Code::kPermissionDenied; }
+  bool IsUnsupported() const { return code_ == Code::kUnsupported; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  /// Human-readable rendering, e.g. "VerificationFailed: digest mismatch".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with extra context prepended to the
+  /// message. OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+/// Evaluates `expr` (a Status expression) and returns it from the enclosing
+/// function if it is not OK.
+#define DISCSEC_RETURN_IF_ERROR(expr)              \
+  do {                                             \
+    ::discsec::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_STATUS_H_

@@ -1,0 +1,30 @@
+#ifndef DISCSEC_COMMON_STRINGS_H_
+#define DISCSEC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discsec {
+
+/// Splits `s` at every occurrence of `sep`; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Removes ASCII whitespace (space, tab, CR, LF) from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// True when `s` begins with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StringFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_STRINGS_H_

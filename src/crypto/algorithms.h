@@ -1,0 +1,59 @@
+#ifndef DISCSEC_CRYPTO_ALGORITHMS_H_
+#define DISCSEC_CRYPTO_ALGORITHMS_H_
+
+namespace discsec {
+namespace crypto {
+
+/// W3C algorithm identifier URIs used by XML-DSig and XML-Enc, exactly as
+/// they appear in Algorithm attributes of the generated markup.
+
+// --- Digest algorithms (XML-DSig §6.2) ---
+inline constexpr char kAlgSha1[] = "http://www.w3.org/2000/09/xmldsig#sha1";
+inline constexpr char kAlgSha256[] = "http://www.w3.org/2001/04/xmlenc#sha256";
+
+// --- MAC / signature algorithms (XML-DSig §6.3/§6.4) ---
+inline constexpr char kAlgHmacSha1[] =
+    "http://www.w3.org/2000/09/xmldsig#hmac-sha1";
+inline constexpr char kAlgRsaSha1[] =
+    "http://www.w3.org/2000/09/xmldsig#rsa-sha1";
+inline constexpr char kAlgRsaSha256[] =
+    "http://www.w3.org/2001/04/xmldsig-more#rsa-sha256";
+
+// --- Canonicalization (XML-DSig §6.5) ---
+inline constexpr char kAlgC14N[] =
+    "http://www.w3.org/TR/2001/REC-xml-c14n-20010315";
+inline constexpr char kAlgC14NWithComments[] =
+    "http://www.w3.org/TR/2001/REC-xml-c14n-20010315#WithComments";
+inline constexpr char kAlgExcC14N[] =
+    "http://www.w3.org/2001/10/xml-exc-c14n#";
+inline constexpr char kAlgExcC14NWithComments[] =
+    "http://www.w3.org/2001/10/xml-exc-c14n#WithComments";
+
+// --- Transforms (XML-DSig §6.6) ---
+inline constexpr char kAlgEnvelopedSignature[] =
+    "http://www.w3.org/2000/09/xmldsig#enveloped-signature";
+inline constexpr char kAlgBase64Transform[] =
+    "http://www.w3.org/2000/09/xmldsig#base64";
+inline constexpr char kAlgDecryptionTransform[] =
+    "http://www.w3.org/2002/07/decrypt#XML";
+
+// --- Block encryption (XML-Enc §5.2) ---
+inline constexpr char kAlgAes128Cbc[] =
+    "http://www.w3.org/2001/04/xmlenc#aes128-cbc";
+inline constexpr char kAlgAes192Cbc[] =
+    "http://www.w3.org/2001/04/xmlenc#aes192-cbc";
+inline constexpr char kAlgAes256Cbc[] =
+    "http://www.w3.org/2001/04/xmlenc#aes256-cbc";
+
+// --- Key transport / key wrap (XML-Enc §5.4/§5.6) ---
+inline constexpr char kAlgRsa15[] =
+    "http://www.w3.org/2001/04/xmlenc#rsa-1_5";
+inline constexpr char kAlgKwAes128[] =
+    "http://www.w3.org/2001/04/xmlenc#kw-aes128";
+inline constexpr char kAlgKwAes256[] =
+    "http://www.w3.org/2001/04/xmlenc#kw-aes256";
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_ALGORITHMS_H_

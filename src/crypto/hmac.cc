@@ -1,0 +1,78 @@
+#include "crypto/hmac.h"
+
+#include "crypto/sha1.h"
+#include "crypto/sha256.h"
+
+namespace discsec {
+namespace crypto {
+
+Hmac::Hmac(std::unique_ptr<Digest> digest, const Bytes& key)
+    : digest_(std::move(digest)) {
+  size_t block = digest_->BlockSize();
+  Bytes k = key;
+  if (k.size() > block) {
+    digest_->Reset();
+    digest_->Update(k);
+    k = digest_->Finalize();
+  }
+  k.resize(block, 0);
+  ipad_.resize(block);
+  opad_.resize(block);
+  for (size_t i = 0; i < block; ++i) {
+    ipad_[i] = k[i] ^ 0x36;
+    opad_[i] = k[i] ^ 0x5c;
+  }
+  Restart();
+}
+
+void Hmac::Restart() {
+  digest_->Reset();
+  digest_->Update(ipad_);
+}
+
+void Hmac::Update(const uint8_t* data, size_t len) {
+  digest_->Update(data, len);
+}
+
+Bytes Hmac::Finalize() {
+  Bytes inner = digest_->Finalize();
+  digest_->Reset();
+  digest_->Update(opad_);
+  digest_->Update(inner);
+  Bytes out = digest_->Finalize();
+  Restart();
+  return out;
+}
+
+Bytes Hmac::Sha1Mac(const Bytes& key, const Bytes& data) {
+  Hmac mac(std::make_unique<Sha1>(), key);
+  mac.Update(data);
+  return mac.Finalize();
+}
+
+Bytes Hmac::Sha256Mac(const Bytes& key, const Bytes& data) {
+  Hmac mac(std::make_unique<Sha256>(), key);
+  mac.Update(data);
+  return mac.Finalize();
+}
+
+Bytes HkdfExpand(const Bytes& secret, const std::string& label,
+                 const Bytes& seed, size_t length) {
+  Bytes out;
+  uint32_t counter = 1;
+  while (out.size() < length) {
+    Hmac mac(std::make_unique<Sha256>(), secret);
+    mac.Update(label);
+    mac.Update(seed);
+    Bytes ctr;
+    AppendUint32BE(&ctr, counter++);
+    mac.Update(ctr);
+    Bytes block = mac.Finalize();
+    Append(&out, block);
+  }
+  out.resize(length);
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace discsec

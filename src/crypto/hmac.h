@@ -1,0 +1,56 @@
+#ifndef DISCSEC_CRYPTO_HMAC_H_
+#define DISCSEC_CRYPTO_HMAC_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/digest.h"
+
+namespace discsec {
+namespace crypto {
+
+/// HMAC (RFC 2104) over any Digest. Used for the hmac-sha1 SignatureMethod,
+/// the DCF baseline's integrity tag, and the secure-channel record MAC.
+class Hmac {
+ public:
+  /// Takes ownership of `digest`; `key` of any length (keys longer than the
+  /// digest block size are hashed first, per RFC 2104).
+  Hmac(std::unique_ptr<Digest> digest, const Bytes& key);
+
+  void Update(const uint8_t* data, size_t len);
+  void Update(const Bytes& data) { Update(data.data(), data.size()); }
+  void Update(std::string_view data) {
+    Update(reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  }
+
+  /// Finalizes and resets for reuse with the same key.
+  Bytes Finalize();
+
+  size_t MacSize() const { return digest_->DigestSize(); }
+
+  /// One-shot HMAC-SHA1.
+  static Bytes Sha1Mac(const Bytes& key, const Bytes& data);
+
+  /// One-shot HMAC-SHA256.
+  static Bytes Sha256Mac(const Bytes& key, const Bytes& data);
+
+ private:
+  void Restart();
+
+  std::unique_ptr<Digest> digest_;
+  Bytes ipad_;
+  Bytes opad_;
+};
+
+/// HMAC-SHA256-based key derivation: expands (secret, label, seed) into
+/// `length` bytes, counter-mode (used by the secure channel to derive
+/// session keys from the premaster secret).
+Bytes HkdfExpand(const Bytes& secret, const std::string& label,
+                 const Bytes& seed, size_t length);
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_HMAC_H_

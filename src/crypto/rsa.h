@@ -1,0 +1,79 @@
+#ifndef DISCSEC_CRYPTO_RSA_H_
+#define DISCSEC_CRYPTO_RSA_H_
+
+#include <string>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/bigint.h"
+
+namespace discsec {
+namespace crypto {
+
+/// RSA public key (n, e), as carried in XML-DSig <RSAKeyValue>.
+struct RsaPublicKey {
+  BigInt modulus;
+  BigInt exponent;
+
+  /// Modulus length in bytes — the size of signatures and encrypted blocks.
+  size_t ModulusBytes() const { return (modulus.BitLength() + 7) / 8; }
+
+  bool operator==(const RsaPublicKey& o) const {
+    return modulus == o.modulus && exponent == o.exponent;
+  }
+};
+
+/// RSA private key with CRT parameters for fast private operations.
+struct RsaPrivateKey {
+  BigInt modulus;
+  BigInt public_exponent;
+  BigInt private_exponent;
+  BigInt prime_p;
+  BigInt prime_q;
+  BigInt exponent_dp;   // d mod (p-1)
+  BigInt exponent_dq;   // d mod (q-1)
+  BigInt coefficient;   // q^-1 mod p
+
+  RsaPublicKey PublicKey() const { return {modulus, public_exponent}; }
+  size_t ModulusBytes() const { return (modulus.BitLength() + 7) / 8; }
+};
+
+/// A generated key pair.
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+/// Generates an RSA key pair with a modulus of `bits` bits (e = 65537).
+/// 1024 bits matches 2005-era deployment practice; tests use 512 for speed.
+Result<RsaKeyPair> RsaGenerateKeyPair(size_t bits, Rng* rng);
+
+/// RSASSA-PKCS1-v1_5 signature over `digest`, where `digest_algorithm_uri`
+/// selects the DigestInfo algorithm prefix (sha1 or sha256 URIs from
+/// crypto/algorithms.h). `digest` is the already-computed hash value.
+Result<Bytes> RsaSignDigest(const RsaPrivateKey& key,
+                            const std::string& digest_algorithm_uri,
+                            const Bytes& digest);
+
+/// Verifies an RSASSA-PKCS1-v1_5 signature over `digest`. Returns OK on a
+/// valid signature, VerificationFailed otherwise.
+Status RsaVerifyDigest(const RsaPublicKey& key,
+                       const std::string& digest_algorithm_uri,
+                       const Bytes& digest, const Bytes& signature);
+
+/// RSAES-PKCS1-v1_5 encryption (key transport, XML-Enc rsa-1_5). The message
+/// must be at most modulus_bytes - 11.
+Result<Bytes> RsaEncrypt(const RsaPublicKey& key, const Bytes& message,
+                         Rng* rng);
+
+/// RSAES-PKCS1-v1_5 decryption.
+Result<Bytes> RsaDecrypt(const RsaPrivateKey& key, const Bytes& ciphertext);
+
+/// Raw private-key operation m^d mod n using the CRT parameters.
+Result<BigInt> RsaPrivateOp(const RsaPrivateKey& key, const BigInt& m);
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_RSA_H_

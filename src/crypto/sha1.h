@@ -1,0 +1,41 @@
+#ifndef DISCSEC_CRYPTO_SHA1_H_
+#define DISCSEC_CRYPTO_SHA1_H_
+
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace discsec {
+namespace crypto {
+
+/// SHA-1 (FIPS 180-1). Mandatory digest for XML-DSig (2002) and the default
+/// the paper's 2005-era prototype would have used. SHA-1 is cryptographically
+/// broken today; it is provided for fidelity with the reproduced system, and
+/// SHA-256 is available everywhere SHA-1 is.
+class Sha1 final : public Digest {
+ public:
+  Sha1() { Reset(); }
+
+  void Update(const uint8_t* data, size_t len) override;
+  using Digest::Update;
+  Bytes Finalize() override;
+  void Reset() override;
+  size_t DigestSize() const override { return 20; }
+  size_t BlockSize() const override { return 64; }
+
+  /// One-shot helper.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_SHA1_H_

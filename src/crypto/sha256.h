@@ -1,0 +1,39 @@
+#ifndef DISCSEC_CRYPTO_SHA256_H_
+#define DISCSEC_CRYPTO_SHA256_H_
+
+#include <cstdint>
+
+#include "crypto/digest.h"
+
+namespace discsec {
+namespace crypto {
+
+/// SHA-256 (FIPS 180-2), used for certificate signatures and offered as the
+/// stronger digest choice for XML-DSig references.
+class Sha256 final : public Digest {
+ public:
+  Sha256() { Reset(); }
+
+  void Update(const uint8_t* data, size_t len) override;
+  using Digest::Update;
+  Bytes Finalize() override;
+  void Reset() override;
+  size_t DigestSize() const override { return 32; }
+  size_t BlockSize() const override { return 64; }
+
+  /// One-shot helper.
+  static Bytes Hash(const Bytes& data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+  uint64_t total_len_;
+};
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_SHA256_H_

@@ -1,0 +1,109 @@
+#include "dcf/dcf.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace discsec {
+namespace dcf {
+
+namespace {
+constexpr char kMagic[] = "DCF1";
+constexpr uint8_t kVersion = 1;
+constexpr size_t kMacLen = 20;
+}  // namespace
+
+Result<Bytes> DcfProtect(const Bytes& payload, const std::string& content_type,
+                         const std::string& key_id, const Bytes& cek,
+                         const Bytes& mac_key, Rng* rng) {
+  if (content_type.size() > 255 || key_id.size() > 255) {
+    return Status::InvalidArgument("content_type/key_id too long");
+  }
+  Bytes iv = rng->NextBytes(crypto::Aes::kBlockSize);
+  DISCSEC_ASSIGN_OR_RETURN(Bytes ciphertext,
+                           crypto::AesCbcEncrypt(cek, iv, payload));
+  Bytes out;
+  Append(&out, std::string_view(kMagic, 4));
+  out.push_back(kVersion);
+  out.push_back(static_cast<uint8_t>(content_type.size()));
+  Append(&out, content_type);
+  out.push_back(static_cast<uint8_t>(key_id.size()));
+  Append(&out, key_id);
+  AppendUint64BE(&out, payload.size());
+  AppendUint32BE(&out, static_cast<uint32_t>(ciphertext.size()));
+  Append(&out, ciphertext);
+  Bytes mac = crypto::Hmac::Sha1Mac(mac_key, out);
+  Append(&out, mac);
+  return out;
+}
+
+Result<DcfHeader> DcfParseHeader(const Bytes& container) {
+  size_t pos = 0;
+  auto need = [&](size_t n) { return pos + n <= container.size(); };
+  if (!need(6) || std::string(container.begin(), container.begin() + 4) !=
+                      std::string(kMagic, 4)) {
+    return Status::Corruption("DCF magic mismatch");
+  }
+  pos = 4;
+  if (container[pos] != kVersion) {
+    return Status::Corruption("DCF version mismatch");
+  }
+  ++pos;
+  DcfHeader header;
+  uint8_t ct_len = container[pos++];
+  if (!need(ct_len)) return Status::Corruption("DCF truncated content type");
+  header.content_type.assign(container.begin() + pos,
+                             container.begin() + pos + ct_len);
+  pos += ct_len;
+  if (!need(1)) return Status::Corruption("DCF truncated");
+  uint8_t kid_len = container[pos++];
+  if (!need(kid_len)) return Status::Corruption("DCF truncated key id");
+  header.key_id.assign(container.begin() + pos,
+                       container.begin() + pos + kid_len);
+  pos += kid_len;
+  if (!need(8)) return Status::Corruption("DCF truncated length");
+  header.plaintext_len = ReadUint64BE(container.data() + pos);
+  return header;
+}
+
+Result<Bytes> DcfUnprotect(const Bytes& container, const Bytes& cek,
+                           const Bytes& mac_key) {
+  if (container.size() < kMacLen + 18) {
+    return Status::Corruption("DCF container too short");
+  }
+  // MAC first (authenticate-then-decrypt).
+  size_t body_len = container.size() - kMacLen;
+  Bytes body(container.begin(), container.begin() + body_len);
+  Bytes mac(container.begin() + body_len, container.end());
+  Bytes expected = crypto::Hmac::Sha1Mac(mac_key, body);
+  if (!ConstantTimeEquals(mac, expected)) {
+    return Status::VerificationFailed("DCF integrity MAC mismatch");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(DcfHeader header, DcfParseHeader(container));
+  // Re-walk to the ciphertext.
+  size_t pos = 4 + 1;
+  pos += 1 + header.content_type.size();
+  pos += 1 + header.key_id.size();
+  pos += 8;
+  if (pos + 4 > body_len) return Status::Corruption("DCF truncated");
+  uint32_t ct_len = ReadUint32BE(container.data() + pos);
+  pos += 4;
+  if (pos + ct_len != body_len) {
+    return Status::Corruption("DCF ciphertext length mismatch");
+  }
+  Bytes ciphertext(container.begin() + pos, container.begin() + pos + ct_len);
+  DISCSEC_ASSIGN_OR_RETURN(Bytes plaintext,
+                           crypto::AesCbcDecrypt(cek, ciphertext));
+  if (plaintext.size() != header.plaintext_len) {
+    return Status::Corruption("DCF plaintext length mismatch");
+  }
+  return plaintext;
+}
+
+size_t DcfContainerSize(size_t payload_size, size_t content_type_len,
+                        size_t key_id_len) {
+  size_t ct = 16 /*IV*/ + ((payload_size / 16) + 1) * 16;
+  return 4 + 1 + 1 + content_type_len + 1 + key_id_len + 8 + 4 + ct + kMacLen;
+}
+
+}  // namespace dcf
+}  // namespace discsec

@@ -1,0 +1,327 @@
+#include "disc/content.h"
+
+#include "common/random.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace disc {
+
+const SubMarkup* ApplicationManifest::FindMarkupByRole(
+    std::string_view role) const {
+  for (const SubMarkup& m : markups) {
+    if (m.role == role) return &m;
+  }
+  return nullptr;
+}
+
+const Track* InteractiveCluster::FindTrack(std::string_view track_id) const {
+  for (const Track& t : tracks) {
+    if (t.id == track_id) return &t;
+  }
+  return nullptr;
+}
+
+Track* InteractiveCluster::FindTrack(std::string_view track_id) {
+  for (Track& t : tracks) {
+    if (t.id == track_id) return &t;
+  }
+  return nullptr;
+}
+
+const Playlist* InteractiveCluster::FindPlaylist(
+    std::string_view playlist_id) const {
+  for (const Playlist& p : playlists) {
+    if (p.id == playlist_id) return &p;
+  }
+  return nullptr;
+}
+
+const ClipInfo* InteractiveCluster::FindClip(std::string_view clip_id) const {
+  for (const ClipInfo& c : clips) {
+    if (c.id == clip_id) return &c;
+  }
+  return nullptr;
+}
+
+const Track* InteractiveCluster::FirstApplicationTrack() const {
+  for (const Track& t : tracks) {
+    if (t.kind == Track::Kind::kApplication) return &t;
+  }
+  return nullptr;
+}
+
+xml::Document InteractiveCluster::ToXml() const {
+  auto root = std::make_unique<xml::Element>("cluster");
+  root->SetAttribute("Id", id);
+  root->SetAttribute("title", title);
+
+  for (const Track& track : tracks) {
+    xml::Element* t = root->AppendElement("track");
+    t->SetAttribute("Id", track.id);
+    t->SetAttribute(
+        "kind", track.kind == Track::Kind::kAudioVideo ? "av" : "application");
+    if (track.kind == Track::Kind::kAudioVideo) {
+      t->SetAttribute("playlist", track.playlist_id);
+    } else {
+      const ApplicationManifest& manifest = track.manifest;
+      xml::Element* m = t->AppendElement("manifest");
+      m->SetAttribute("Id", manifest.id);
+      xml::Element* markup_part = m->AppendElement("markup");
+      markup_part->SetAttribute("Id", manifest.id + "-markup");
+      for (const SubMarkup& sub : manifest.markups) {
+        xml::Element* s = markup_part->AppendElement("submarkup");
+        s->SetAttribute("Id", manifest.id + "-sub-" + sub.name);
+        s->SetAttribute("name", sub.name);
+        s->SetAttribute("role", sub.role);
+        s->AppendText(sub.content);
+      }
+      xml::Element* code_part = m->AppendElement("code");
+      code_part->SetAttribute("Id", manifest.id + "-code");
+      for (const ScriptPart& script : manifest.scripts) {
+        xml::Element* s = code_part->AppendElement("script");
+        s->SetAttribute("Id", manifest.id + "-script-" + script.name);
+        s->SetAttribute("name", script.name);
+        s->AppendText(script.source);
+      }
+      if (!manifest.permission_request_xml.empty()) {
+        xml::Element* pr = m->AppendElement("permissions");
+        pr->SetAttribute("Id", manifest.id + "-permissions");
+        pr->AppendText(manifest.permission_request_xml);
+      }
+    }
+  }
+  for (const Playlist& playlist : playlists) {
+    xml::Element* p = root->AppendElement("playlist");
+    p->SetAttribute("Id", playlist.id);
+    for (const PlayItem& item : playlist.items) {
+      xml::Element* i = p->AppendElement("playitem");
+      i->SetAttribute("clip", item.clip_id);
+      i->SetAttribute("in", std::to_string(item.in_ms));
+      i->SetAttribute("out", std::to_string(item.out_ms));
+    }
+  }
+  for (const ClipInfo& clip : clips) {
+    xml::Element* c = root->AppendElement("clipinfo");
+    c->SetAttribute("Id", clip.id);
+    c->SetAttribute("ts", clip.ts_path);
+    c->SetAttribute("duration", std::to_string(clip.duration_ms));
+  }
+  return xml::Document::WithRoot(std::move(root));
+}
+
+std::string InteractiveCluster::ToXmlString() const {
+  xml::SerializeOptions options;
+  options.xml_declaration = true;
+  return xml::Serialize(ToXml(), options);
+}
+
+Result<InteractiveCluster> InteractiveCluster::FromXml(
+    const xml::Document& doc) {
+  const xml::Element* root = doc.root();
+  if (root == nullptr || root->LocalName() != "cluster") {
+    return Status::ParseError("not a cluster document");
+  }
+  InteractiveCluster out;
+  const std::string* id = root->GetAttribute("Id");
+  const std::string* title = root->GetAttribute("title");
+  out.id = id != nullptr ? *id : "";
+  out.title = title != nullptr ? *title : "";
+
+  for (const xml::Element* child : root->ChildElements()) {
+    std::string local(child->LocalName());
+    if (local == "track") {
+      Track track;
+      const std::string* track_id = child->GetAttribute("Id");
+      const std::string* kind = child->GetAttribute("kind");
+      if (track_id == nullptr || kind == nullptr) {
+        return Status::ParseError("track needs Id and kind");
+      }
+      track.id = *track_id;
+      if (*kind == "av") {
+        track.kind = Track::Kind::kAudioVideo;
+        const std::string* playlist = child->GetAttribute("playlist");
+        if (playlist == nullptr) {
+          return Status::ParseError("av track needs a playlist");
+        }
+        track.playlist_id = *playlist;
+      } else if (*kind == "application") {
+        track.kind = Track::Kind::kApplication;
+        const xml::Element* m = child->FirstChildElementByLocalName("manifest");
+        // A manifest may be absent when the track is encrypted in place
+        // (replaced by EncryptedData); the player decrypts before parsing.
+        if (m != nullptr) {
+          const std::string* manifest_id = m->GetAttribute("Id");
+          track.manifest.id = manifest_id != nullptr ? *manifest_id : "";
+          const xml::Element* markup_part =
+              m->FirstChildElementByLocalName("markup");
+          if (markup_part != nullptr) {
+            for (const xml::Element* s : markup_part->ChildElements()) {
+              if (s->LocalName() != "submarkup") continue;
+              SubMarkup sub;
+              const std::string* name = s->GetAttribute("name");
+              const std::string* role = s->GetAttribute("role");
+              sub.name = name != nullptr ? *name : "";
+              sub.role = role != nullptr ? *role : "";
+              sub.content = s->TextContent();
+              track.manifest.markups.push_back(std::move(sub));
+            }
+          }
+          const xml::Element* code_part =
+              m->FirstChildElementByLocalName("code");
+          if (code_part != nullptr) {
+            for (const xml::Element* s : code_part->ChildElements()) {
+              if (s->LocalName() != "script") continue;
+              ScriptPart script;
+              const std::string* name = s->GetAttribute("name");
+              script.name = name != nullptr ? *name : "";
+              script.source = s->TextContent();
+              track.manifest.scripts.push_back(std::move(script));
+            }
+          }
+          const xml::Element* pr =
+              m->FirstChildElementByLocalName("permissions");
+          if (pr != nullptr) {
+            track.manifest.permission_request_xml = pr->TextContent();
+          }
+        }
+      } else {
+        return Status::ParseError("unknown track kind: " + *kind);
+      }
+      out.tracks.push_back(std::move(track));
+    } else if (local == "playlist") {
+      Playlist playlist;
+      const std::string* playlist_id = child->GetAttribute("Id");
+      if (playlist_id == nullptr) {
+        return Status::ParseError("playlist needs Id");
+      }
+      playlist.id = *playlist_id;
+      for (const xml::Element* i : child->ChildElements()) {
+        if (i->LocalName() != "playitem") continue;
+        PlayItem item;
+        const std::string* clip = i->GetAttribute("clip");
+        if (clip == nullptr) return Status::ParseError("playitem needs clip");
+        item.clip_id = *clip;
+        const std::string* in = i->GetAttribute("in");
+        const std::string* out_attr = i->GetAttribute("out");
+        item.in_ms = in != nullptr
+                         ? static_cast<uint32_t>(std::strtoul(in->c_str(),
+                                                              nullptr, 10))
+                         : 0;
+        item.out_ms =
+            out_attr != nullptr
+                ? static_cast<uint32_t>(std::strtoul(out_attr->c_str(),
+                                                     nullptr, 10))
+                : 0;
+        playlist.items.push_back(item);
+      }
+      out.playlists.push_back(std::move(playlist));
+    } else if (local == "clipinfo") {
+      ClipInfo clip;
+      const std::string* clip_id = child->GetAttribute("Id");
+      const std::string* ts = child->GetAttribute("ts");
+      if (clip_id == nullptr || ts == nullptr) {
+        return Status::ParseError("clipinfo needs Id and ts");
+      }
+      clip.id = *clip_id;
+      clip.ts_path = *ts;
+      const std::string* duration = child->GetAttribute("duration");
+      clip.duration_ms =
+          duration != nullptr
+              ? static_cast<uint32_t>(std::strtoul(duration->c_str(), nullptr,
+                                                   10))
+              : 0;
+      out.clips.push_back(std::move(clip));
+    }
+    // Unknown elements (e.g. ds:Signature appended by the author) are
+    // intentionally skipped: they are processed by the security layer.
+  }
+  return out;
+}
+
+Result<InteractiveCluster> InteractiveCluster::FromXmlString(
+    std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return FromXml(doc);
+}
+
+Status InteractiveCluster::Validate() const {
+  std::vector<std::string> seen;
+  auto check_unique = [&seen](const std::string& value) {
+    for (const std::string& s : seen) {
+      if (s == value) return false;
+    }
+    seen.push_back(value);
+    return true;
+  };
+  for (const Track& t : tracks) {
+    if (t.id.empty()) return Status::InvalidArgument("track without id");
+    if (!check_unique(t.id)) {
+      return Status::InvalidArgument("duplicate track id '" + t.id + "'");
+    }
+    if (t.kind == Track::Kind::kAudioVideo &&
+        FindPlaylist(t.playlist_id) == nullptr) {
+      return Status::InvalidArgument("track '" + t.id +
+                                     "' references missing playlist '" +
+                                     t.playlist_id + "'");
+    }
+  }
+  for (const Playlist& p : playlists) {
+    if (!check_unique(p.id)) {
+      return Status::InvalidArgument("duplicate playlist id '" + p.id + "'");
+    }
+    for (const PlayItem& item : p.items) {
+      if (FindClip(item.clip_id) == nullptr) {
+        return Status::InvalidArgument("playlist '" + p.id +
+                                       "' references missing clip '" +
+                                       item.clip_id + "'");
+      }
+      if (item.out_ms < item.in_ms) {
+        return Status::InvalidArgument("playitem with out < in");
+      }
+    }
+  }
+  for (const ClipInfo& c : clips) {
+    if (!check_unique(c.id)) {
+      return Status::InvalidArgument("duplicate clip id '" + c.id + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Bytes GenerateTransportStream(uint32_t seed, size_t packets) {
+  Bytes out;
+  out.reserve(packets * 188);
+  Rng rng(seed);
+  uint16_t pid = static_cast<uint16_t>(0x100 + (seed % 0x1e00));
+  for (size_t i = 0; i < packets; ++i) {
+    out.push_back(0x47);  // sync byte
+    // Transport header: no error, payload start on first packet, PID.
+    uint8_t b1 = static_cast<uint8_t>((pid >> 8) & 0x1f);
+    if (i == 0) b1 |= 0x40;  // payload_unit_start_indicator
+    out.push_back(b1);
+    out.push_back(static_cast<uint8_t>(pid & 0xff));
+    // Scrambling off, payload only, continuity counter.
+    out.push_back(static_cast<uint8_t>(0x10 | (i & 0x0f)));
+    for (int b = 0; b < 184; ++b) {
+      out.push_back(static_cast<uint8_t>(rng.NextUint64()));
+    }
+  }
+  return out;
+}
+
+Status ValidateTransportStream(const Bytes& ts) {
+  if (ts.empty() || ts.size() % 188 != 0) {
+    return Status::Corruption("TS length is not a multiple of 188");
+  }
+  for (size_t off = 0; off < ts.size(); off += 188) {
+    if (ts[off] != 0x47) {
+      return Status::Corruption("TS sync byte missing at offset " +
+                                std::to_string(off));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace disc
+}  // namespace discsec

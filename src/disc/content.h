@@ -1,0 +1,121 @@
+#ifndef DISCSEC_DISC_CONTENT_H_
+#define DISCSEC_DISC_CONTENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace disc {
+
+/// The paper's Fig. 2 content hierarchy, top to bottom:
+/// InteractiveCluster -> Track -> (Playlist -> ClipInfo -> transport
+/// stream) | (ApplicationManifest -> Markup part + Code part).
+
+/// Clip information: the link from playlists to the MPEG-2 transport
+/// stream file on the disc.
+struct ClipInfo {
+  std::string id;
+  std::string ts_path;       ///< disc path of the .m2ts file
+  uint32_t duration_ms = 0;
+};
+
+/// One play item of a playlist (a chapter segment of a clip).
+struct PlayItem {
+  std::string clip_id;
+  uint32_t in_ms = 0;
+  uint32_t out_ms = 0;
+};
+
+/// An audio/video playlist (BD "Movie PlayList").
+struct Playlist {
+  std::string id;
+  std::vector<PlayItem> items;
+};
+
+/// A SubMarkup of the manifest's Markup part — the paper's separation of
+/// application characteristics ("the layout can be captured in one SubMarkup
+/// and the timing issues in another").
+struct SubMarkup {
+  std::string name;
+  std::string role;     ///< "layout", "timing", ... (author's choice)
+  std::string content;  ///< XML text (e.g. a SMIL document)
+};
+
+/// One script of the Code part (ECMAScript source).
+struct ScriptPart {
+  std::string name;
+  std::string source;
+};
+
+/// The Application Manifest: Markup part + Code part (+ the attached
+/// permission request file, per §7).
+struct ApplicationManifest {
+  std::string id;
+  std::vector<SubMarkup> markups;
+  std::vector<ScriptPart> scripts;
+  std::string permission_request_xml;  ///< empty = no permissions requested
+
+  /// The SubMarkup with the given role, or null.
+  const SubMarkup* FindMarkupByRole(std::string_view role) const;
+};
+
+/// A Track: either an AV chapter (playlist reference) or an interactive
+/// application (manifest).
+struct Track {
+  enum class Kind { kAudioVideo, kApplication };
+  std::string id;
+  Kind kind = Kind::kAudioVideo;
+  std::string playlist_id;          ///< kAudioVideo
+  ApplicationManifest manifest;     ///< kApplication
+};
+
+/// The Interactive Cluster: "the generic representation of packaged
+/// content, including Video, Audio and markup Application".
+struct InteractiveCluster {
+  std::string id;
+  std::string title;
+  std::vector<Track> tracks;
+  std::vector<Playlist> playlists;
+  std::vector<ClipInfo> clips;
+
+  const Track* FindTrack(std::string_view id) const;
+  Track* FindTrack(std::string_view id);
+  const Playlist* FindPlaylist(std::string_view id) const;
+  const ClipInfo* FindClip(std::string_view id) const;
+
+  /// First application track, or null — what the player launches.
+  const Track* FirstApplicationTrack() const;
+
+  /// Serializes the whole cluster as one XML document whose elements carry
+  /// Id attributes at every level (cluster, track, manifest, markup part,
+  /// code part, individual SubMarkups/scripts) so XML-DSig references can
+  /// target any granularity of §5.
+  xml::Document ToXml() const;
+  std::string ToXmlString() const;
+
+  static Result<InteractiveCluster> FromXml(const xml::Document& doc);
+  static Result<InteractiveCluster> FromXmlString(std::string_view text);
+
+  /// Structural invariants: unique ids, AV tracks reference existing
+  /// playlists, playlists reference existing clips.
+  Status Validate() const;
+};
+
+/// Generates a synthetic MPEG-2 transport stream: `packets` 188-byte
+/// packets with 0x47 sync bytes, a PID derived from `seed`, continuity
+/// counters and pseudo-random payload. Stands in for real AV essence —
+/// byte-identical behaviour for hashing/encryption purposes.
+Bytes GenerateTransportStream(uint32_t seed, size_t packets);
+
+/// Checks TS structure (length multiple of 188, sync bytes present).
+Status ValidateTransportStream(const Bytes& ts);
+
+}  // namespace disc
+}  // namespace discsec
+
+#endif  // DISCSEC_DISC_CONTENT_H_

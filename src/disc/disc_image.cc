@@ -1,0 +1,152 @@
+#include "disc/disc_image.h"
+
+#include <cstdio>
+
+#include "crypto/sha256.h"
+
+namespace discsec {
+namespace disc {
+
+namespace {
+constexpr char kMagic[] = "DSCIMG01";
+constexpr size_t kMagicLen = 8;
+constexpr size_t kTrailerLen = 32;
+}  // namespace
+
+void DiscImage::Put(const std::string& path, Bytes data) {
+  files_[path] = std::move(data);
+}
+
+void DiscImage::PutText(const std::string& path, std::string_view text) {
+  files_[path] = ToBytes(text);
+}
+
+Result<Bytes> DiscImage::Get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return Status::NotFound("no file '" + path + "' on disc image");
+  }
+  return it->second;
+}
+
+Result<std::string> DiscImage::GetText(const std::string& path) const {
+  DISCSEC_ASSIGN_OR_RETURN(Bytes data, Get(path));
+  return ToString(data);
+}
+
+bool DiscImage::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<std::string> DiscImage::List() const {
+  std::vector<std::string> out;
+  out.reserve(files_.size());
+  for (const auto& [path, data] : files_) out.push_back(path);
+  return out;
+}
+
+size_t DiscImage::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [path, data] : files_) total += data.size();
+  return total;
+}
+
+Bytes DiscImage::Pack() const {
+  Bytes out;
+  Append(&out, std::string_view(kMagic, kMagicLen));
+  AppendUint32BE(&out, static_cast<uint32_t>(files_.size()));
+  for (const auto& [path, data] : files_) {
+    AppendUint32BE(&out, static_cast<uint32_t>(path.size()));
+    Append(&out, path);
+    AppendUint64BE(&out, data.size());
+    Append(&out, data);
+  }
+  Bytes digest = crypto::Sha256::Hash(out);
+  Append(&out, digest);
+  return out;
+}
+
+Result<DiscImage> DiscImage::Unpack(const Bytes& packed) {
+  if (packed.size() < kMagicLen + 4 + kTrailerLen) {
+    return Status::Corruption("disc image too short");
+  }
+  if (ToString(Bytes(packed.begin(), packed.begin() + kMagicLen)) !=
+      std::string(kMagic, kMagicLen)) {
+    return Status::Corruption("disc image magic mismatch");
+  }
+  size_t body_len = packed.size() - kTrailerLen;
+  Bytes body(packed.begin(), packed.begin() + body_len);
+  Bytes trailer(packed.begin() + body_len, packed.end());
+  if (!ConstantTimeEquals(crypto::Sha256::Hash(body), trailer)) {
+    return Status::Corruption("disc image integrity digest mismatch");
+  }
+  DiscImage image;
+  size_t pos = kMagicLen;
+  uint32_t count = ReadUint32BE(packed.data() + pos);
+  pos += 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (pos + 4 > body_len) return Status::Corruption("truncated entry");
+    uint32_t path_len = ReadUint32BE(packed.data() + pos);
+    pos += 4;
+    if (pos + path_len + 8 > body_len) {
+      return Status::Corruption("truncated path");
+    }
+    std::string path(packed.begin() + pos, packed.begin() + pos + path_len);
+    pos += path_len;
+    uint64_t data_len = ReadUint64BE(packed.data() + pos);
+    pos += 8;
+    if (pos + data_len > body_len) {
+      return Status::Corruption("truncated data");
+    }
+    image.files_[path] =
+        Bytes(packed.begin() + pos, packed.begin() + pos + data_len);
+    pos += data_len;
+  }
+  if (pos != body_len) {
+    return Status::Corruption("trailing garbage in disc image");
+  }
+  return image;
+}
+
+Status DiscImage::SaveToFile(const std::string& fs_path) const {
+  Bytes packed = Pack();
+  std::FILE* f = std::fopen(fs_path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + fs_path);
+  size_t written = std::fwrite(packed.data(), 1, packed.size(), f);
+  std::fclose(f);
+  if (written != packed.size()) {
+    return Status::IOError("short write to " + fs_path);
+  }
+  return Status::OK();
+}
+
+Result<DiscImage> DiscImage::LoadFromFile(const std::string& fs_path) {
+  std::FILE* f = std::fopen(fs_path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + fs_path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + fs_path);
+  }
+  Bytes data(static_cast<size_t>(size));
+  size_t read = std::fread(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (read != data.size()) return Status::IOError("short read " + fs_path);
+  return Unpack(data);
+}
+
+std::function<Result<Bytes>(const std::string&)> MakeDiscResolver(
+    const DiscImage* image) {
+  return [image](const std::string& uri) -> Result<Bytes> {
+    constexpr char kScheme[] = "disc://";
+    if (uri.rfind(kScheme, 0) != 0) {
+      return Status::NotFound("not a disc URI: " + uri);
+    }
+    return image->Get(uri.substr(sizeof(kScheme) - 1));
+  };
+}
+
+}  // namespace disc
+}  // namespace discsec

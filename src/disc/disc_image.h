@@ -1,0 +1,66 @@
+#ifndef DISCSEC_DISC_DISC_IMAGE_H_
+#define DISCSEC_DISC_DISC_IMAGE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace discsec {
+namespace disc {
+
+/// Conventional paths inside a disc image (BDMV-inspired layout).
+inline constexpr char kClusterPath[] = "BDMV/cluster.xml";
+inline constexpr char kStreamDir[] = "BDMV/STREAM/";
+inline constexpr char kCertDir[] = "CERTIFICATE/";
+
+/// A virtual optical disc image: an immutable-once-mastered file tree with a
+/// binary pack format, standing in for the physical medium. Integrity of
+/// the container itself is protected with a SHA-256 trailer (detecting
+/// mastering/transport corruption; *security* comes from the XML-DSig layer
+/// above).
+class DiscImage {
+ public:
+  /// Adds or replaces a file (authoring side; a player treats images as
+  /// read-only by convention).
+  void Put(const std::string& path, Bytes data);
+  void PutText(const std::string& path, std::string_view text);
+
+  Result<Bytes> Get(const std::string& path) const;
+  Result<std::string> GetText(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  std::vector<std::string> List() const;
+  size_t FileCount() const { return files_.size(); }
+  /// Sum of payload sizes (the "mastered" size).
+  size_t TotalBytes() const;
+
+  /// Serializes to the binary image format:
+  ///   "DSCIMG01" | u32 count | count x (u32 path_len, path, u64 data_len,
+  ///   data) | 32-byte SHA-256 of everything before the trailer.
+  Bytes Pack() const;
+
+  /// Parses and integrity-checks a packed image.
+  static Result<DiscImage> Unpack(const Bytes& packed);
+
+  /// Filesystem round-trip for the pack format.
+  Status SaveToFile(const std::string& fs_path) const;
+  static Result<DiscImage> LoadFromFile(const std::string& fs_path);
+
+ private:
+  std::map<std::string, Bytes> files_;
+};
+
+/// Resolver mapping "disc://<path>" URIs to files of `image` (which must
+/// outlive the resolver). This is how XML-DSig external References address
+/// AV essence on the disc (§5.3); the signature layer and the player both
+/// use it.
+std::function<Result<Bytes>(const std::string&)> MakeDiscResolver(
+    const DiscImage* image);
+
+}  // namespace disc
+}  // namespace discsec
+
+#endif  // DISCSEC_DISC_DISC_IMAGE_H_

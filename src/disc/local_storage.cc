@@ -1,0 +1,94 @@
+#include "disc/local_storage.h"
+
+#include "common/strings.h"
+#include "disc/disc_image.h"
+
+namespace discsec {
+namespace disc {
+
+Status LocalStorage::Write(const std::string& path, Bytes data) {
+  if (path.empty()) return Status::InvalidArgument("empty storage path");
+  if (quota_ != 0) {
+    size_t current = UsedBytes();
+    auto it = entries_.find(path);
+    size_t existing = it != entries_.end() ? it->second.size() : 0;
+    if (current - existing + data.size() > quota_) {
+      return Status::ResourceExhausted("local storage quota exceeded");
+    }
+  }
+  entries_[path] = std::move(data);
+  return Status::OK();
+}
+
+Status LocalStorage::WriteText(const std::string& path,
+                               std::string_view text) {
+  return Write(path, ToBytes(text));
+}
+
+Result<Bytes> LocalStorage::Read(const std::string& path) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    return Status::NotFound("no entry '" + path + "' in local storage");
+  }
+  return it->second;
+}
+
+Result<std::string> LocalStorage::ReadText(const std::string& path) const {
+  DISCSEC_ASSIGN_OR_RETURN(Bytes data, Read(path));
+  return ToString(data);
+}
+
+bool LocalStorage::Exists(const std::string& path) const {
+  return entries_.count(path) > 0;
+}
+
+Status LocalStorage::Remove(const std::string& path) {
+  if (entries_.erase(path) == 0) {
+    return Status::NotFound("no entry '" + path + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> LocalStorage::ListPrefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, data] : entries_) {
+    if (StartsWith(path, prefix)) out.push_back(path);
+  }
+  return out;
+}
+
+size_t LocalStorage::UsedBytes() const {
+  size_t total = 0;
+  for (const auto& [path, data] : entries_) total += data.size();
+  return total;
+}
+
+Status LocalStorage::SaveToFile(const std::string& fs_path) const {
+  // Reuse the disc image's integrity-checked container as the on-disk
+  // format: same framing, same SHA-256 trailer.
+  DiscImage container;
+  for (const auto& [path, data] : entries_) {
+    container.Put(path, data);
+  }
+  return container.SaveToFile(fs_path);
+}
+
+Status LocalStorage::LoadFromFile(const std::string& fs_path) {
+  DISCSEC_ASSIGN_OR_RETURN(DiscImage container,
+                           DiscImage::LoadFromFile(fs_path));
+  size_t total = container.TotalBytes();
+  if (quota_ != 0 && total > quota_) {
+    return Status::ResourceExhausted(
+        "persisted storage exceeds this player's quota");
+  }
+  std::map<std::string, Bytes> loaded;
+  for (const std::string& path : container.List()) {
+    loaded[path] = container.Get(path).value();
+  }
+  entries_ = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace disc
+}  // namespace discsec

@@ -1,0 +1,59 @@
+#ifndef DISCSEC_DISC_LOCAL_STORAGE_H_
+#define DISCSEC_DISC_LOCAL_STORAGE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace discsec {
+namespace disc {
+
+/// The player's persistent local storage — the target of the paper's §1
+/// threat ("a malicious application ... could corrupt the local storage of
+/// the player") and of its §4 partial-encryption example (encrypted game
+/// high scores). Quota-bounded key/value octet store; access control is
+/// enforced above by the PEP, confidentiality by XML-Enc.
+class LocalStorage {
+ public:
+  /// `quota_bytes` bounds the sum of stored values (0 = unlimited).
+  explicit LocalStorage(size_t quota_bytes = 0) : quota_(quota_bytes) {}
+
+  /// Stores `data` under `path`; fails with ResourceExhausted when the
+  /// write would exceed the quota.
+  Status Write(const std::string& path, Bytes data);
+  Status WriteText(const std::string& path, std::string_view text);
+
+  Result<Bytes> Read(const std::string& path) const;
+  Result<std::string> ReadText(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  Status Remove(const std::string& path);
+
+  /// All paths with the given prefix.
+  std::vector<std::string> ListPrefix(const std::string& prefix) const;
+
+  size_t UsedBytes() const;
+  size_t quota() const { return quota_; }
+
+  /// Persists all entries to `fs_path` (binary format with a SHA-256
+  /// integrity trailer, shared with the disc image's framing) — the player
+  /// writes this at power-off so scores survive power cycles.
+  Status SaveToFile(const std::string& fs_path) const;
+
+  /// Replaces the current entries with those from `fs_path`. Entries that
+  /// exceed the quota are refused wholesale (the file is inconsistent with
+  /// this player's provisioning).
+  Status LoadFromFile(const std::string& fs_path);
+
+ private:
+  size_t quota_;
+  std::map<std::string, Bytes> entries_;
+};
+
+}  // namespace disc
+}  // namespace discsec
+
+#endif  // DISCSEC_DISC_LOCAL_STORAGE_H_

@@ -1,0 +1,103 @@
+#include "net/channel.h"
+
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+
+namespace discsec {
+namespace net {
+
+ChannelEndpoint::ChannelEndpoint(Bytes send_key, Bytes recv_key,
+                                 Bytes send_mac, Bytes recv_mac, Rng* rng)
+    : send_key_(std::move(send_key)),
+      recv_key_(std::move(recv_key)),
+      send_mac_(std::move(send_mac)),
+      recv_mac_(std::move(recv_mac)),
+      rng_(rng) {}
+
+Result<Bytes> ChannelEndpoint::Seal(const Bytes& plaintext) {
+  if (rng_ == nullptr) return Status::InvalidArgument("endpoint not connected");
+  Bytes iv = rng_->NextBytes(crypto::Aes::kBlockSize);
+  DISCSEC_ASSIGN_OR_RETURN(Bytes ciphertext,
+                           crypto::AesCbcEncrypt(send_key_, iv, plaintext));
+  Bytes record;
+  AppendUint64BE(&record, send_seq_++);
+  AppendUint32BE(&record, static_cast<uint32_t>(ciphertext.size()));
+  Append(&record, ciphertext);
+  Bytes mac = crypto::Hmac::Sha256Mac(send_mac_, record);
+  Append(&record, mac);
+  return record;
+}
+
+Result<Bytes> ChannelEndpoint::Open(const Bytes& record) {
+  if (rng_ == nullptr) return Status::InvalidArgument("endpoint not connected");
+  constexpr size_t kMacLen = 32;
+  if (record.size() < 12 + kMacLen) {
+    return Status::Corruption("record too short");
+  }
+  size_t body_len = record.size() - kMacLen;
+  Bytes body(record.begin(), record.begin() + body_len);
+  Bytes mac(record.begin() + body_len, record.end());
+  if (!ConstantTimeEquals(crypto::Hmac::Sha256Mac(recv_mac_, body), mac)) {
+    return Status::VerificationFailed("record MAC mismatch (tampered?)");
+  }
+  uint64_t seq = ReadUint64BE(record.data());
+  if (seq != recv_seq_) {
+    return Status::VerificationFailed("record sequence mismatch (replay?)");
+  }
+  ++recv_seq_;
+  uint32_t len = ReadUint32BE(record.data() + 8);
+  if (12 + len != body_len) {
+    return Status::Corruption("record length mismatch");
+  }
+  Bytes ciphertext(record.begin() + 12, record.begin() + body_len);
+  return crypto::AesCbcDecrypt(recv_key_, ciphertext);
+}
+
+Result<SecureChannel> EstablishSecureChannel(
+    const pki::CertStore& client_trust,
+    const std::vector<pki::Certificate>& server_chain,
+    const crypto::RsaPrivateKey& server_key, int64_t now, Rng* rng) {
+  // 1-2. Nonce exchange + server certificate presentation.
+  Bytes client_nonce = rng->NextBytes(32);
+  Bytes server_nonce = rng->NextBytes(32);
+  if (server_chain.empty()) {
+    return Status::InvalidArgument("server presented no certificates");
+  }
+  DISCSEC_RETURN_IF_ERROR(client_trust.ValidateChain(server_chain, now)
+                              .WithContext("secure channel handshake"));
+  const pki::Certificate& leaf = server_chain.front();
+
+  // 3. Premaster transport.
+  Bytes premaster = rng->NextBytes(48);
+  DISCSEC_ASSIGN_OR_RETURN(
+      Bytes encrypted_premaster,
+      crypto::RsaEncrypt(leaf.info().public_key, premaster, rng));
+  // The server decrypts with its private key — this fails (and so does the
+  // whole handshake) when the server does not actually own the key its
+  // certificate advertises.
+  DISCSEC_ASSIGN_OR_RETURN(Bytes server_premaster,
+                           crypto::RsaDecrypt(server_key,
+                                              encrypted_premaster));
+  if (!ConstantTimeEquals(premaster, server_premaster)) {
+    return Status::VerificationFailed("premaster mismatch");
+  }
+
+  // 4. Key derivation: client->server and server->client AES + MAC keys.
+  Bytes seed = client_nonce;
+  Append(&seed, server_nonce);
+  Bytes material = crypto::HkdfExpand(premaster, "disc-channel", seed,
+                                      2 * 16 + 2 * 32);
+  Bytes c2s_key(material.begin(), material.begin() + 16);
+  Bytes s2c_key(material.begin() + 16, material.begin() + 32);
+  Bytes c2s_mac(material.begin() + 32, material.begin() + 64);
+  Bytes s2c_mac(material.begin() + 64, material.begin() + 96);
+
+  SecureChannel channel;
+  channel.client = ChannelEndpoint(c2s_key, s2c_key, c2s_mac, s2c_mac, rng);
+  channel.server = ChannelEndpoint(s2c_key, c2s_key, s2c_mac, c2s_mac, rng);
+  channel.server_subject = leaf.info().subject;
+  return channel;
+}
+
+}  // namespace net
+}  // namespace discsec

@@ -1,0 +1,81 @@
+#include "net/server.h"
+
+namespace discsec {
+namespace net {
+
+void ContentServer::Host(const std::string& path, Bytes content) {
+  content_[path] = std::move(content);
+}
+
+void ContentServer::HostText(const std::string& path, std::string_view text) {
+  content_[path] = ToBytes(text);
+}
+
+Result<Bytes> ContentServer::HandleGet(const std::string& path) const {
+  auto it = content_.find(path);
+  if (it == content_.end()) {
+    return Status::NotFound("server does not host '" + path + "'");
+  }
+  return it->second;
+}
+
+bool ContentServer::Hosts(const std::string& path) const {
+  return content_.count(path) > 0;
+}
+
+Result<Bytes> Downloader::Roundtrip(const Bytes& request, bool is_xkms) {
+  auto tap = [this](const Bytes& wire) {
+    return options_.tap ? options_.tap(wire) : wire;
+  };
+
+  // Server-side dispatch once the request plaintext is in hand.
+  auto dispatch = [this, is_xkms](const Bytes& plain) -> Result<Bytes> {
+    if (is_xkms) {
+      DISCSEC_ASSIGN_OR_RETURN(std::string response,
+                               server_->xkms()->HandleRequest(
+                                   ToString(plain)));
+      return ToBytes(response);
+    }
+    return server_->HandleGet(ToString(plain));
+  };
+
+  if (!options_.use_secure_channel) {
+    // Plain HTTP-like exchange: the tap sees (and may alter) everything.
+    Bytes wire_request = tap(request);
+    DISCSEC_ASSIGN_OR_RETURN(Bytes response, dispatch(wire_request));
+    return tap(response);
+  }
+
+  if (options_.trust == nullptr) {
+    return Status::InvalidArgument("secure channel requires a trust store");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(
+      SecureChannel channel,
+      EstablishSecureChannel(*options_.trust, server_->chain(),
+                             server_->key(), options_.now, rng_));
+  // Client -> server.
+  DISCSEC_ASSIGN_OR_RETURN(Bytes sealed_request,
+                           channel.client.Seal(request));
+  Bytes wire_request = tap(sealed_request);
+  DISCSEC_ASSIGN_OR_RETURN(Bytes opened_request,
+                           channel.server.Open(wire_request));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes response, dispatch(opened_request));
+  // Server -> client.
+  DISCSEC_ASSIGN_OR_RETURN(Bytes sealed_response,
+                           channel.server.Seal(response));
+  Bytes wire_response = tap(sealed_response);
+  return channel.client.Open(wire_response);
+}
+
+Result<Bytes> Downloader::Fetch(const std::string& path) {
+  return Roundtrip(ToBytes(path), /*is_xkms=*/false);
+}
+
+Result<std::string> Downloader::XkmsExchange(const std::string& request_xml) {
+  DISCSEC_ASSIGN_OR_RETURN(Bytes response,
+                           Roundtrip(ToBytes(request_xml), /*is_xkms=*/true));
+  return ToString(response);
+}
+
+}  // namespace net
+}  // namespace discsec

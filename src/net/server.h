@@ -1,0 +1,89 @@
+#ifndef DISCSEC_NET_SERVER_H_
+#define DISCSEC_NET_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "net/channel.h"
+#include "xkms/service.h"
+
+namespace discsec {
+namespace net {
+
+/// The content server of the paper's Fig. 1/Fig. 3: hosts downloadable
+/// interactive applications (and bonus material) by path, and exposes the
+/// XKMS trust service endpoint. In-process; transport is either plain or
+/// the secure channel.
+class ContentServer {
+ public:
+  /// Publishes content at `path` (e.g. "/apps/bonus-game.xml").
+  void Host(const std::string& path, Bytes content);
+  void HostText(const std::string& path, std::string_view text);
+
+  Result<Bytes> HandleGet(const std::string& path) const;
+  bool Hosts(const std::string& path) const;
+  size_t HostedCount() const { return content_.size(); }
+
+  /// The trust service co-hosted at this server (paper §7).
+  xkms::XkmsService* xkms() { return &xkms_; }
+
+  /// Server identity for the secure channel.
+  void SetIdentity(std::vector<pki::Certificate> chain,
+                   crypto::RsaPrivateKey key) {
+    chain_ = std::move(chain);
+    key_ = std::move(key);
+  }
+  const std::vector<pki::Certificate>& chain() const { return chain_; }
+  const crypto::RsaPrivateKey& key() const { return key_; }
+
+ private:
+  std::map<std::string, Bytes> content_;
+  xkms::XkmsService xkms_;
+  std::vector<pki::Certificate> chain_;
+  crypto::RsaPrivateKey key_;
+};
+
+/// Observes/modifies wire bytes in flight — the man-in-the-van of §3.1.
+/// Return the (possibly altered) bytes; they then continue to the receiver.
+using WireTap = std::function<Bytes(const Bytes& wire_bytes)>;
+
+/// Client-side downloader: fetches server content over a plain or secure
+/// connection, with an optional WireTap for attack simulation.
+class Downloader {
+ public:
+  struct Options {
+    bool use_secure_channel = true;
+    /// Required for the secure channel: the player's trust anchors.
+    const pki::CertStore* trust = nullptr;
+    int64_t now = 0;
+    WireTap tap;  ///< applied to every wire payload in both directions
+  };
+
+  Downloader(ContentServer* server, Options options, Rng* rng)
+      : server_(server), options_(std::move(options)), rng_(rng) {}
+
+  /// Fetches `path`. Over the secure channel the request and response are
+  /// sealed records; a WireTap that alters them causes VerificationFailed.
+  /// Over a plain connection the tap alters content silently — the
+  /// XML-DSig layer above must catch it.
+  Result<Bytes> Fetch(const std::string& path);
+
+  /// Sends an XKMS request to the server's trust service over the same
+  /// transport, returning the response markup.
+  Result<std::string> XkmsExchange(const std::string& request_xml);
+
+ private:
+  Result<Bytes> Roundtrip(const Bytes& request, bool is_xkms);
+
+  ContentServer* server_;
+  Options options_;
+  Rng* rng_;
+};
+
+}  // namespace net
+}  // namespace discsec
+
+#endif  // DISCSEC_NET_SERVER_H_

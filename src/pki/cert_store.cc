@@ -1,0 +1,101 @@
+#include "pki/cert_store.h"
+
+#include "pki/key_codec.h"
+
+namespace discsec {
+namespace pki {
+
+Status CertStore::AddTrustedRoot(const Certificate& root) {
+  if (!root.IsSelfSigned()) {
+    return Status::InvalidArgument("trusted root must be self-signed");
+  }
+  if (!root.info().is_ca) {
+    return Status::InvalidArgument("trusted root must have the CA flag");
+  }
+  DISCSEC_RETURN_IF_ERROR(root.VerifySignature(root.info().public_key));
+  roots_.push_back(root);
+  return Status::OK();
+}
+
+void CertStore::Revoke(const std::string& issuer, uint64_t serial) {
+  revoked_.insert({issuer, serial});
+}
+
+void CertStore::Unrevoke(const std::string& issuer, uint64_t serial) {
+  revoked_.erase({issuer, serial});
+}
+
+bool CertStore::IsRevoked(const std::string& issuer, uint64_t serial) const {
+  return revoked_.count({issuer, serial}) > 0;
+}
+
+const Certificate* CertStore::FindRootBySubject(
+    const std::string& subject) const {
+  for (const auto& root : roots_) {
+    if (root.info().subject == subject) return &root;
+  }
+  return nullptr;
+}
+
+Status CertStore::ValidateChain(const std::vector<Certificate>& chain,
+                                int64_t now) const {
+  if (chain.empty()) {
+    return Status::VerificationFailed("empty certificate chain");
+  }
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const Certificate& cert = chain[i];
+    if (!cert.IsTimeValid(now)) {
+      return Status::VerificationFailed("certificate '" +
+                                        cert.info().subject +
+                                        "' outside validity window");
+    }
+    if (IsRevoked(cert.info().issuer, cert.info().serial)) {
+      return Status::VerificationFailed("certificate '" +
+                                        cert.info().subject + "' is revoked");
+    }
+    if (i > 0 && !cert.info().is_ca) {
+      return Status::VerificationFailed(
+          "intermediate '" + cert.info().subject + "' lacks the CA flag");
+    }
+    if (i + 1 < chain.size()) {
+      const Certificate& issuer = chain[i + 1];
+      if (issuer.info().subject != cert.info().issuer) {
+        return Status::VerificationFailed(
+            "chain broken: '" + cert.info().subject + "' names issuer '" +
+            cert.info().issuer + "' but next is '" + issuer.info().subject +
+            "'");
+      }
+      DISCSEC_RETURN_IF_ERROR(
+          cert.VerifySignature(issuer.info().public_key));
+    }
+  }
+  // Anchor the top of the chain in the trust store.
+  const Certificate& top = chain.back();
+  if (top.IsSelfSigned()) {
+    // The chain includes a root: it must be (match) one we trust.
+    const Certificate* root = FindRootBySubject(top.info().subject);
+    if (root == nullptr ||
+        !(root->info().public_key == top.info().public_key)) {
+      return Status::VerificationFailed("root '" + top.info().subject +
+                                        "' is not a trusted anchor");
+    }
+    DISCSEC_RETURN_IF_ERROR(top.VerifySignature(top.info().public_key));
+  } else {
+    // The chain stops below the root: look the issuer up in the store.
+    const Certificate* root = FindRootBySubject(top.info().issuer);
+    if (root == nullptr) {
+      return Status::VerificationFailed("issuer '" + top.info().issuer +
+                                        "' is not a trusted anchor");
+    }
+    if (!root->IsTimeValid(now)) {
+      return Status::VerificationFailed("trusted root '" +
+                                        root->info().subject +
+                                        "' outside validity window");
+    }
+    DISCSEC_RETURN_IF_ERROR(top.VerifySignature(root->info().public_key));
+  }
+  return Status::OK();
+}
+
+}  // namespace pki
+}  // namespace discsec

@@ -1,0 +1,54 @@
+#ifndef DISCSEC_PKI_CERT_STORE_H_
+#define DISCSEC_PKI_CERT_STORE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pki/certificate.h"
+
+namespace discsec {
+namespace pki {
+
+/// The player's trust anchor store plus revocation state — the "trusted root
+/// certificate within the player" of the paper's §5.5, with a CRL as the key
+/// management requirement of §3.1 ("registration, revocation and updates").
+class CertStore {
+ public:
+  /// Installs a trusted root. Must be self-signed with a valid signature and
+  /// the CA flag set.
+  Status AddTrustedRoot(const Certificate& root);
+
+  /// Marks (issuer, serial) revoked. Chain validation then fails for that
+  /// certificate.
+  void Revoke(const std::string& issuer, uint64_t serial);
+
+  /// Removes a revocation (e.g. a key re-registered via XKMS).
+  void Unrevoke(const std::string& issuer, uint64_t serial);
+
+  bool IsRevoked(const std::string& issuer, uint64_t serial) const;
+
+  size_t TrustedRootCount() const { return roots_.size(); }
+
+  /// Validates `chain`, leaf first, at time `now`:
+  ///  - every certificate's signature checks against its issuer's key;
+  ///  - every certificate is inside its validity window;
+  ///  - every non-leaf has the CA flag;
+  ///  - no certificate is revoked;
+  ///  - the last certificate chains to (or is) a trusted root.
+  /// Returns OK when the leaf is trustworthy.
+  Status ValidateChain(const std::vector<Certificate>& chain,
+                       int64_t now) const;
+
+ private:
+  const Certificate* FindRootBySubject(const std::string& subject) const;
+
+  std::vector<Certificate> roots_;
+  std::set<std::pair<std::string, uint64_t>> revoked_;
+};
+
+}  // namespace pki
+}  // namespace discsec
+
+#endif  // DISCSEC_PKI_CERT_STORE_H_

@@ -1,0 +1,116 @@
+#include "pki/certificate.h"
+
+#include "common/base64.h"
+#include "crypto/algorithms.h"
+#include "crypto/sha256.h"
+#include "pki/key_codec.h"
+#include "xml/c14n.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace pki {
+
+std::unique_ptr<xml::Element> Certificate::TbsXml() const {
+  auto tbs = std::make_unique<xml::Element>("TBSCertificate");
+  tbs->AppendElement("Subject")->SetTextContent(info_.subject);
+  tbs->AppendElement("Issuer")->SetTextContent(info_.issuer);
+  tbs->AppendElement("Serial")->SetTextContent(std::to_string(info_.serial));
+  tbs->AppendElement("NotBefore")
+      ->SetTextContent(std::to_string(info_.not_before));
+  tbs->AppendElement("NotAfter")
+      ->SetTextContent(std::to_string(info_.not_after));
+  tbs->AppendElement("IsCA")->SetTextContent(info_.is_ca ? "true" : "false");
+  tbs->AppendChild(RsaKeyToXml(info_.public_key, "RSAKeyValue"));
+  return tbs;
+}
+
+Bytes Certificate::TbsBytes() const {
+  return ToBytes(xml::CanonicalizeElement(*TbsXml()));
+}
+
+Status Certificate::VerifySignature(
+    const crypto::RsaPublicKey& issuer_key) const {
+  Bytes digest = crypto::Sha256::Hash(TbsBytes());
+  return crypto::RsaVerifyDigest(issuer_key, crypto::kAlgSha256, digest,
+                                 signature_)
+      .WithContext("certificate '" + info_.subject + "'");
+}
+
+std::unique_ptr<xml::Element> Certificate::ToXml() const {
+  auto cert = std::make_unique<xml::Element>("Certificate");
+  cert->AppendChild(TbsXml());
+  cert->AppendElement("SignatureAlgorithm")
+      ->SetTextContent(crypto::kAlgRsaSha256);
+  cert->AppendElement("SignatureValue")
+      ->SetTextContent(Base64Encode(signature_));
+  return cert;
+}
+
+Result<Certificate> Certificate::FromXml(const xml::Element& element) {
+  const xml::Element* tbs =
+      element.FirstChildElementByLocalName("TBSCertificate");
+  const xml::Element* sig_value =
+      element.FirstChildElementByLocalName("SignatureValue");
+  if (tbs == nullptr || sig_value == nullptr) {
+    return Status::ParseError("Certificate missing TBS or SignatureValue");
+  }
+  CertificateInfo info;
+  auto get_text = [&](const char* name) -> Result<std::string> {
+    const xml::Element* e = tbs->FirstChildElementByLocalName(name);
+    if (e == nullptr) {
+      return Status::ParseError(std::string("TBSCertificate missing ") + name);
+    }
+    return e->TextContent();
+  };
+  DISCSEC_ASSIGN_OR_RETURN(info.subject, get_text("Subject"));
+  DISCSEC_ASSIGN_OR_RETURN(info.issuer, get_text("Issuer"));
+  DISCSEC_ASSIGN_OR_RETURN(std::string serial, get_text("Serial"));
+  DISCSEC_ASSIGN_OR_RETURN(std::string not_before, get_text("NotBefore"));
+  DISCSEC_ASSIGN_OR_RETURN(std::string not_after, get_text("NotAfter"));
+  DISCSEC_ASSIGN_OR_RETURN(std::string is_ca, get_text("IsCA"));
+  char* end = nullptr;
+  info.serial = std::strtoull(serial.c_str(), &end, 10);
+  info.not_before = std::strtoll(not_before.c_str(), &end, 10);
+  info.not_after = std::strtoll(not_after.c_str(), &end, 10);
+  info.is_ca = (is_ca == "true");
+  const xml::Element* key = tbs->FirstChildElementByLocalName("RSAKeyValue");
+  if (key == nullptr) {
+    return Status::ParseError("TBSCertificate missing RSAKeyValue");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(info.public_key, RsaKeyFromXml(*key));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes signature,
+                           Base64Decode(sig_value->TextContent()));
+  return Certificate(std::move(info), std::move(signature));
+}
+
+std::string Certificate::ToXmlString() const {
+  xml::Document doc = xml::Document::WithRoot(ToXml());
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+Result<Certificate> Certificate::FromXmlString(std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return FromXml(*doc.root());
+}
+
+Result<Certificate> IssueCertificate(const CertificateInfo& info,
+                                     const crypto::RsaPrivateKey& issuer_key) {
+  if (info.subject.empty() || info.issuer.empty()) {
+    return Status::InvalidArgument("certificate needs subject and issuer");
+  }
+  if (info.not_after < info.not_before) {
+    return Status::InvalidArgument("certificate validity window is inverted");
+  }
+  Certificate unsigned_cert(info, {});
+  Bytes digest = crypto::Sha256::Hash(unsigned_cert.TbsBytes());
+  DISCSEC_ASSIGN_OR_RETURN(
+      Bytes signature,
+      crypto::RsaSignDigest(issuer_key, crypto::kAlgSha256, digest));
+  return Certificate(info, std::move(signature));
+}
+
+}  // namespace pki
+}  // namespace discsec

@@ -1,0 +1,82 @@
+#ifndef DISCSEC_PKI_CERTIFICATE_H_
+#define DISCSEC_PKI_CERTIFICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "crypto/rsa.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace pki {
+
+/// Certificate contents (the to-be-signed part).
+///
+/// The paper's §5.5 relies on "certificate based authentication" with chains
+/// leading to a trusted root burned into the player (the MHP model its
+/// ref. [8] describes). The original prototype would have carried X.509/DER;
+/// this library represents certificates as signed XML — the same trust
+/// semantics (issuer-signed bindings of subject name to public key, with
+/// validity window and CA flag) with the library's own canonical-XML byte
+/// representation, so no ASN.1 substrate is needed.
+struct CertificateInfo {
+  std::string subject;        ///< e.g. "CN=Acme Studios Content Signing"
+  std::string issuer;         ///< subject of the issuing certificate
+  uint64_t serial = 0;        ///< unique per issuer; used for revocation
+  int64_t not_before = 0;     ///< validity start, Unix seconds
+  int64_t not_after = 0;      ///< validity end, Unix seconds
+  bool is_ca = false;         ///< may sign other certificates
+  crypto::RsaPublicKey public_key;
+};
+
+/// An issued certificate: info plus the issuer's rsa-sha256 signature over
+/// the canonical XML of the TBS element.
+class Certificate {
+ public:
+  Certificate() = default;
+  Certificate(CertificateInfo info, Bytes signature)
+      : info_(std::move(info)), signature_(std::move(signature)) {}
+
+  const CertificateInfo& info() const { return info_; }
+  const Bytes& signature() const { return signature_; }
+
+  bool IsSelfSigned() const { return info_.subject == info_.issuer; }
+
+  /// The canonical octets the issuer signs.
+  Bytes TbsBytes() const;
+
+  /// Verifies this certificate's signature with `issuer_key`.
+  Status VerifySignature(const crypto::RsaPublicKey& issuer_key) const;
+
+  /// True when `now` lies within [not_before, not_after].
+  bool IsTimeValid(int64_t now) const {
+    return now >= info_.not_before && now <= info_.not_after;
+  }
+
+  /// Serializes to a <Certificate> element.
+  std::unique_ptr<xml::Element> ToXml() const;
+
+  /// Parses a <Certificate> element (any prefix).
+  static Result<Certificate> FromXml(const xml::Element& element);
+
+  /// Serialized XML text (one-document form, used for storage/transport).
+  std::string ToXmlString() const;
+  static Result<Certificate> FromXmlString(std::string_view text);
+
+ private:
+  std::unique_ptr<xml::Element> TbsXml() const;
+
+  CertificateInfo info_;
+  Bytes signature_;
+};
+
+/// Signs `info` with `issuer_key`, producing a certificate. For a root
+/// certificate, pass the subject's own key and set issuer == subject.
+Result<Certificate> IssueCertificate(const CertificateInfo& info,
+                                     const crypto::RsaPrivateKey& issuer_key);
+
+}  // namespace pki
+}  // namespace discsec
+
+#endif  // DISCSEC_PKI_CERTIFICATE_H_

@@ -1,0 +1,120 @@
+#include "pki/key_codec.h"
+
+#include "common/base64.h"
+#include "crypto/sha256.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace pki {
+
+std::unique_ptr<xml::Element> RsaKeyToXml(const crypto::RsaPublicKey& key,
+                                          const std::string& name) {
+  auto elem = std::make_unique<xml::Element>(name);
+  auto [prefix, local] = xml::SplitQName(name);
+  std::string p = prefix.empty() ? std::string() : std::string(prefix) + ":";
+  elem->AppendElement(p + "Modulus")
+      ->SetTextContent(Base64Encode(key.modulus.ToBytesBE()));
+  elem->AppendElement(p + "Exponent")
+      ->SetTextContent(Base64Encode(key.exponent.ToBytesBE()));
+  return elem;
+}
+
+Result<crypto::RsaPublicKey> RsaKeyFromXml(const xml::Element& element) {
+  const xml::Element* modulus = element.FirstChildElementByLocalName("Modulus");
+  const xml::Element* exponent =
+      element.FirstChildElementByLocalName("Exponent");
+  if (modulus == nullptr || exponent == nullptr) {
+    return Status::ParseError("RSAKeyValue missing Modulus or Exponent");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(Bytes mod_bytes,
+                           Base64Decode(modulus->TextContent()));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes exp_bytes,
+                           Base64Decode(exponent->TextContent()));
+  crypto::RsaPublicKey key;
+  key.modulus = crypto::BigInt::FromBytesBE(mod_bytes);
+  key.exponent = crypto::BigInt::FromBytesBE(exp_bytes);
+  if (key.modulus.IsZero() || key.exponent.IsZero()) {
+    return Status::ParseError("RSAKeyValue has zero modulus or exponent");
+  }
+  return key;
+}
+
+namespace {
+
+void AppendB64(xml::Element* parent, const char* name,
+               const crypto::BigInt& value) {
+  parent->AppendElement(name)->SetTextContent(
+      Base64Encode(value.ToBytesBE()));
+}
+
+Result<crypto::BigInt> ReadB64(const xml::Element& parent, const char* name) {
+  const xml::Element* e = parent.FirstChildElementByLocalName(name);
+  if (e == nullptr) {
+    return Status::ParseError(std::string("RSAPrivateKey missing ") + name);
+  }
+  DISCSEC_ASSIGN_OR_RETURN(Bytes bytes, Base64Decode(e->TextContent()));
+  return crypto::BigInt::FromBytesBE(bytes);
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Element> RsaPrivateKeyToXml(
+    const crypto::RsaPrivateKey& key) {
+  auto out = std::make_unique<xml::Element>("RSAPrivateKey");
+  AppendB64(out.get(), "Modulus", key.modulus);
+  AppendB64(out.get(), "PublicExponent", key.public_exponent);
+  AppendB64(out.get(), "PrivateExponent", key.private_exponent);
+  AppendB64(out.get(), "PrimeP", key.prime_p);
+  AppendB64(out.get(), "PrimeQ", key.prime_q);
+  AppendB64(out.get(), "ExponentDP", key.exponent_dp);
+  AppendB64(out.get(), "ExponentDQ", key.exponent_dq);
+  AppendB64(out.get(), "Coefficient", key.coefficient);
+  return out;
+}
+
+std::string RsaPrivateKeyToXmlString(const crypto::RsaPrivateKey& key) {
+  xml::Document doc = xml::Document::WithRoot(RsaPrivateKeyToXml(key));
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+Result<crypto::RsaPrivateKey> RsaPrivateKeyFromXml(
+    const xml::Element& element) {
+  if (element.LocalName() != "RSAPrivateKey") {
+    return Status::ParseError("expected <RSAPrivateKey>");
+  }
+  crypto::RsaPrivateKey key;
+  DISCSEC_ASSIGN_OR_RETURN(key.modulus, ReadB64(element, "Modulus"));
+  DISCSEC_ASSIGN_OR_RETURN(key.public_exponent,
+                           ReadB64(element, "PublicExponent"));
+  DISCSEC_ASSIGN_OR_RETURN(key.private_exponent,
+                           ReadB64(element, "PrivateExponent"));
+  DISCSEC_ASSIGN_OR_RETURN(key.prime_p, ReadB64(element, "PrimeP"));
+  DISCSEC_ASSIGN_OR_RETURN(key.prime_q, ReadB64(element, "PrimeQ"));
+  DISCSEC_ASSIGN_OR_RETURN(key.exponent_dp, ReadB64(element, "ExponentDP"));
+  DISCSEC_ASSIGN_OR_RETURN(key.exponent_dq, ReadB64(element, "ExponentDQ"));
+  DISCSEC_ASSIGN_OR_RETURN(key.coefficient, ReadB64(element, "Coefficient"));
+  if (!(key.prime_p * key.prime_q == key.modulus)) {
+    return Status::Corruption("RSAPrivateKey is internally inconsistent");
+  }
+  return key;
+}
+
+Result<crypto::RsaPrivateKey> RsaPrivateKeyFromXmlString(
+    std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return RsaPrivateKeyFromXml(*doc.root());
+}
+
+std::string KeyFingerprint(const crypto::RsaPublicKey& key) {
+  Bytes data = key.modulus.ToBytesBE();
+  Append(&data, key.exponent.ToBytesBE());
+  Bytes digest = crypto::Sha256::Hash(data);
+  digest.resize(16);  // 128-bit fingerprint is ample for identification
+  return ToHex(digest);
+}
+
+}  // namespace pki
+}  // namespace discsec

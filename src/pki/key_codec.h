@@ -1,0 +1,44 @@
+#ifndef DISCSEC_PKI_KEY_CODEC_H_
+#define DISCSEC_PKI_KEY_CODEC_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "crypto/rsa.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace pki {
+
+/// Encodes an RSA public key as an XML-DSig <RSAKeyValue> element
+/// (Modulus/Exponent as base64 CryptoBinary values). `name` lets callers
+/// emit a prefixed qualified name (e.g. "ds:RSAKeyValue").
+std::unique_ptr<xml::Element> RsaKeyToXml(const crypto::RsaPublicKey& key,
+                                          const std::string& name);
+
+/// Parses an <RSAKeyValue> element (any prefix).
+Result<crypto::RsaPublicKey> RsaKeyFromXml(const xml::Element& element);
+
+/// A stable fingerprint for key identification: SHA-256 over
+/// modulus-bytes || exponent-bytes, hex-encoded. Used as the XKMS key
+/// binding ID and as the KeyName hint in signatures.
+std::string KeyFingerprint(const crypto::RsaPublicKey& key);
+
+/// Serializes a full RSA private key (with CRT parameters) as an
+/// <RSAPrivateKey> element, for key storage by authoring tools.
+/// NOTE: the output contains secret material — store accordingly.
+std::unique_ptr<xml::Element> RsaPrivateKeyToXml(
+    const crypto::RsaPrivateKey& key);
+std::string RsaPrivateKeyToXmlString(const crypto::RsaPrivateKey& key);
+
+/// Parses an <RSAPrivateKey> element and validates its internal
+/// consistency (p*q == n).
+Result<crypto::RsaPrivateKey> RsaPrivateKeyFromXml(
+    const xml::Element& element);
+Result<crypto::RsaPrivateKey> RsaPrivateKeyFromXmlString(
+    std::string_view text);
+
+}  // namespace pki
+}  // namespace discsec
+
+#endif  // DISCSEC_PKI_KEY_CODEC_H_

@@ -1,0 +1,338 @@
+#include "player/engine.h"
+
+#include <chrono>
+
+#include "access/permission_request.h"
+#include "pki/key_codec.h"
+#include "player/host_api.h"
+#include "player/session.h"
+#include "svg/svg.h"
+#include "xml/parser.h"
+#include "xmldsig/verifier.h"
+
+namespace discsec {
+namespace player {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(int64_t* slot) : slot_(slot), start_(NowUs()) {}
+  ~PhaseTimer() { *slot_ += NowUs() - start_; }
+
+ private:
+  int64_t* slot_;
+  int64_t start_;
+};
+
+}  // namespace
+
+InteractiveApplicationEngine::InteractiveApplicationEngine(PlayerConfig config)
+    : config_(std::move(config)), storage_(config_.storage_quota) {}
+
+Status InteractiveApplicationEngine::VerifyPhase(
+    xml::Document* doc, Origin origin,
+    const xmldsig::ExternalResolver& resolver, LaunchReport* report) {
+  PhaseTimer timer(&report->timings.verify_us);
+  xmlenc::Decryptor decryptor(config_.keys);
+  auto signatures = xmldsig::Verifier::FindSignatures(doc->root());
+  report->signature_present = !signatures.empty();
+
+  if (signatures.empty()) {
+    if (origin == Origin::kNetwork && config_.require_signature_for_network) {
+      return Status::VerificationFailed(
+          "network application carries no signature");
+    }
+    if (origin == Origin::kDisc && config_.trust_disc_content) {
+      return Status::OK();  // §5.1: disc content is inherently trusted
+    }
+    return Status::VerificationFailed("unsigned application rejected");
+  }
+
+  xmldsig::VerifyOptions options;
+  options.cert_store = &config_.trust;
+  options.now = config_.now;
+  options.decrypt_hook = decryptor.MakeHook();
+  options.resolver = resolver;
+  for (xml::Element* signature : signatures) {
+    auto result = xmldsig::Verifier::Verify(doc, *signature, options);
+    if (!result.ok()) {
+      return result.status().WithContext("application signature");
+    }
+    report->signature_verified = true;
+    report->signer_subject = result->signer_subject;
+    for (const std::string& uri : result->reference_uris) {
+      report->verified_references.push_back(uri);
+    }
+
+    // Optional XKMS key-binding validation against the trust server (§7).
+    if (config_.xkms != nullptr && !result->key_name.empty()) {
+      auto binding = config_.xkms->Locate(result->key_name);
+      if (!binding.ok()) {
+        return Status::VerificationFailed("XKMS: signer key '" +
+                                          result->key_name +
+                                          "' is not registered");
+      }
+      auto status = config_.xkms->Validate(result->key_name, binding->key);
+      if (!status.ok() || status.value() != xkms::KeyStatus::kValid) {
+        return Status::VerificationFailed(
+            "XKMS: signer key binding is not Valid (revoked?)");
+      }
+      report->xkms_validated = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status InteractiveApplicationEngine::DecryptPhase(xml::Document* doc,
+                                                  LaunchReport* report) {
+  PhaseTimer timer(&report->timings.decrypt_us);
+  // Count EncryptedData before deciding whether decryption happened.
+  size_t encrypted = 0;
+  doc->root()->ForEachElement([&](xml::Element* e) {
+    if (xmlenc::IsEncryptedData(*e) && e->GetAttribute("Type") != nullptr) {
+      ++encrypted;
+    }
+  });
+  if (encrypted == 0) return Status::OK();
+  xmlenc::Decryptor decryptor(config_.keys);
+  DISCSEC_RETURN_IF_ERROR(
+      decryptor.DecryptAll(doc, nullptr, {}).WithContext("content decrypt"));
+  report->content_decrypted = true;
+  return Status::OK();
+}
+
+Status InteractiveApplicationEngine::PolicyPhase(
+    const disc::ApplicationManifest& manifest, LaunchReport* report,
+    std::unique_ptr<access::PolicyEnforcementPoint>* pep) {
+  PhaseTimer timer(&report->timings.policy_us);
+  access::PermissionRequest request;
+  if (!manifest.permission_request_xml.empty()) {
+    DISCSEC_ASSIGN_OR_RETURN(request,
+                             access::PermissionRequest::FromXmlString(
+                                 manifest.permission_request_xml));
+  }
+  // The PEP subject is the verified signer; unsigned disc content acts as
+  // the generic disc principal.
+  std::string subject = report->signer_subject.empty()
+                            ? "disc:" + request.org_id
+                            : report->signer_subject;
+  *pep = std::make_unique<access::PolicyEnforcementPoint>(
+      &config_.pdp, std::move(request), subject);
+  report->grants = (*pep)->EvaluateAll();
+  return Status::OK();
+}
+
+Status InteractiveApplicationEngine::MarkupPhase(
+    const disc::ApplicationManifest& manifest, LaunchReport* report) {
+  PhaseTimer timer(&report->timings.markup_us);
+  // Layout/timing SubMarkup (SMIL).
+  const disc::SubMarkup* layout = manifest.FindMarkupByRole("layout");
+  if (layout == nullptr && !manifest.markups.empty()) {
+    layout = &manifest.markups.front();
+  }
+  if (layout != nullptr) {
+    DISCSEC_ASSIGN_OR_RETURN(smil::Presentation presentation,
+                             smil::ParseSmil(layout->content));
+    DISCSEC_RETURN_IF_ERROR(
+        presentation.Validate().WithContext("SMIL markup '" + layout->name +
+                                            "'"));
+    report->timeline = presentation.ResolveTimeline();
+    report->presentation_duration = presentation.Duration();
+  }
+  // Graphics SubMarkups (SVG): rendered into the report's draw list.
+  for (const disc::SubMarkup& markup : manifest.markups) {
+    if (markup.role != "graphics") continue;
+    DISCSEC_ASSIGN_OR_RETURN(svg::Scene scene,
+                             svg::ParseSvg(markup.content));
+    DISCSEC_RETURN_IF_ERROR(scene.Validate().WithContext(
+        "SVG markup '" + markup.name + "'"));
+    for (const svg::Shape& shape : scene.shapes) {
+      RenderOp op;
+      op.region = "svg:" + markup.name;
+      op.kind = svg::ShapeKindName(shape.kind);
+      op.payload = shape.kind == svg::Shape::Kind::kText
+                       ? shape.text
+                       : shape.fill.empty() ? "unfilled" : shape.fill;
+      report->render_ops.push_back(std::move(op));
+    }
+  }
+  return Status::OK();
+}
+
+Status InteractiveApplicationEngine::ScriptPhase(
+    const disc::ApplicationManifest& manifest,
+    script::Interpreter* interpreter, LaunchReport* report) {
+  PhaseTimer timer(&report->timings.script_us);
+  if (manifest.scripts.empty()) return Status::OK();
+  for (const disc::ScriptPart& part : manifest.scripts) {
+    auto result = interpreter->Run(part.source);
+    if (!result.ok()) {
+      report->script_steps = interpreter->steps_used();
+      return result.status().WithContext("script '" + part.name + "'");
+    }
+  }
+  // Convention: a script may define onLoad() as its entry point.
+  if (!interpreter->GetGlobal("onLoad").IsUndefined()) {
+    auto result = interpreter->CallGlobal("onLoad", {});
+    if (!result.ok()) {
+      report->script_steps = interpreter->steps_used();
+      return result.status().WithContext("onLoad");
+    }
+  }
+  report->script_steps = interpreter->steps_used();
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ApplicationSession>>
+InteractiveApplicationEngine::BeginSession(const std::string& cluster_xml,
+                                           Origin origin,
+                                           xmldsig::ExternalResolver resolver) {
+  auto session = std::unique_ptr<ApplicationSession>(new ApplicationSession);
+  session->report_ = std::make_unique<LaunchReport>();
+  LaunchReport& report = *session->report_;
+  report.origin = origin;
+
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(cluster_xml));
+  // 1. Authenticate (signature + chain + optional XKMS), using the
+  //    Decryption Transform for parts encrypted after signing and the
+  //    resolver for external (AV essence) references.
+  DISCSEC_RETURN_IF_ERROR(VerifyPhase(&doc, origin, resolver, &report));
+  // 2. Decrypt the executable copy in place.
+  DISCSEC_RETURN_IF_ERROR(DecryptPhase(&doc, &report));
+  // 3. Parse the (now plaintext) content hierarchy.
+  DISCSEC_ASSIGN_OR_RETURN(disc::InteractiveCluster cluster,
+                           disc::InteractiveCluster::FromXml(doc));
+  DISCSEC_RETURN_IF_ERROR(cluster.Validate());
+  const disc::Track* app_track = cluster.FirstApplicationTrack();
+  if (app_track == nullptr) {
+    return Status::NotFound("cluster has no application track");
+  }
+  const disc::ApplicationManifest& manifest = app_track->manifest;
+  // 3a. Signature-wrapping defense: when a signature was mandatory, the
+  //     track being executed must be inside some verified reference scope.
+  //     Otherwise an attacker can prepend their own application while the
+  //     original, still-valid signature covers only the original element.
+  bool signature_was_required =
+      (origin == Origin::kNetwork && config_.require_signature_for_network) ||
+      (origin == Origin::kDisc && !config_.trust_disc_content);
+  if (config_.require_app_coverage && signature_was_required) {
+    bool covered = false;
+    for (const std::string& uri : report.verified_references) {
+      if (uri.empty()) {  // whole-document reference covers everything
+        covered = true;
+        break;
+      }
+      if (uri.size() < 2 || uri[0] != '#') continue;
+      std::string id = uri.substr(1);
+      // Covered when the reference names the track, the manifest, or any
+      // ancestor of the track element in the document.
+      xml::Element* target = doc.FindById(id);
+      if (target == nullptr) continue;
+      xml::Element* track_elem = doc.FindById(app_track->id);
+      for (xml::Element* e = track_elem; e != nullptr; e = e->parent()) {
+        if (e == target) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered && doc.FindById(manifest.id) != nullptr) {
+        xml::Element* manifest_elem = doc.FindById(manifest.id);
+        for (xml::Element* e = manifest_elem; e != nullptr; e = e->parent()) {
+          if (e == target) {
+            covered = true;
+            break;
+          }
+        }
+      }
+      if (covered) break;
+    }
+    if (!covered) {
+      return Status::VerificationFailed(
+          "application track '" + app_track->id +
+          "' is not covered by any verified signature reference "
+          "(signature-wrapping defense)");
+    }
+  }
+  // 3b. Digital rights (§9 extension): an "execute" grant is required and
+  //     consumed when a rights manager is configured.
+  if (config_.rights != nullptr) {
+    xrml::ExerciseContext context;
+    context.principal = config_.device_id;
+    context.now = config_.now;
+    context.territory = config_.territory;
+    DISCSEC_RETURN_IF_ERROR(
+        config_.rights->Exercise(xrml::Right::kExecute, manifest.id, context)
+            .WithContext("rights management"));
+    report.rights_exercised = true;
+  }
+  // 4. Access control: permission request x platform policy.
+  DISCSEC_RETURN_IF_ERROR(PolicyPhase(manifest, &report, &session->pep_));
+  // 5. Markup part: layout + timeline.
+  DISCSEC_RETURN_IF_ERROR(MarkupPhase(manifest, &report));
+  // 6. Code part: execute under the embedded limits with the gated host
+  //    API. The interpreter, host bindings and PEP live on in the session
+  //    so event handlers stay gated by the same policy and budget.
+  session->interpreter_ =
+      std::make_unique<script::Interpreter>(config_.script_limits);
+  BindHostApi(session->interpreter_.get(), session->pep_.get(), &storage_,
+              session->report_.get());
+  DISCSEC_RETURN_IF_ERROR(
+      ScriptPhase(manifest, session->interpreter_.get(), &report));
+  return session;
+}
+
+Result<LaunchReport> InteractiveApplicationEngine::LaunchClusterXml(
+    const std::string& cluster_xml, Origin origin,
+    xmldsig::ExternalResolver resolver) {
+  DISCSEC_ASSIGN_OR_RETURN(
+      std::unique_ptr<ApplicationSession> session,
+      BeginSession(cluster_xml, origin, std::move(resolver)));
+  return *session->report_;
+}
+
+Result<LaunchReport> InteractiveApplicationEngine::LaunchFromDisc(
+    const disc::DiscImage& image) {
+  int64_t start = NowUs();
+  DISCSEC_ASSIGN_OR_RETURN(std::string cluster_xml,
+                           image.GetText(disc::kClusterPath));
+  // Validate AV essence referenced by the cluster (cheap structural check).
+  auto cluster = disc::InteractiveCluster::FromXmlString(cluster_xml);
+  if (cluster.ok()) {
+    for (const disc::ClipInfo& clip : cluster->clips) {
+      DISCSEC_ASSIGN_OR_RETURN(Bytes ts, image.Get(clip.ts_path));
+      DISCSEC_RETURN_IF_ERROR(disc::ValidateTransportStream(ts).WithContext(
+          "clip '" + clip.id + "'"));
+    }
+  }
+  int64_t fetch_us = NowUs() - start;
+  DISCSEC_ASSIGN_OR_RETURN(
+      LaunchReport report,
+      LaunchClusterXml(cluster_xml, Origin::kDisc,
+                       disc::MakeDiscResolver(&image)));
+  report.timings.fetch_us = fetch_us;
+  return report;
+}
+
+Result<LaunchReport> InteractiveApplicationEngine::LaunchFromServer(
+    net::ContentServer* server, const std::string& path,
+    const net::Downloader::Options& download_options, Rng* rng) {
+  int64_t start = NowUs();
+  net::Downloader downloader(server, download_options, rng);
+  DISCSEC_ASSIGN_OR_RETURN(Bytes content, downloader.Fetch(path));
+  int64_t fetch_us = NowUs() - start;
+  DISCSEC_ASSIGN_OR_RETURN(
+      LaunchReport report,
+      LaunchClusterXml(ToString(content), Origin::kNetwork));
+  report.timings.fetch_us = fetch_us;
+  return report;
+}
+
+}  // namespace player
+}  // namespace discsec

@@ -1,0 +1,184 @@
+#ifndef DISCSEC_PLAYER_ENGINE_H_
+#define DISCSEC_PLAYER_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "access/pep.h"
+#include "access/policy.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "disc/content.h"
+#include "disc/disc_image.h"
+#include "disc/local_storage.h"
+#include "net/server.h"
+#include "pki/cert_store.h"
+#include "script/interpreter.h"
+#include "smil/smil.h"
+#include "xkms/client.h"
+#include "xmldsig/transforms.h"
+#include "xmlenc/decryptor.h"
+#include "xrml/rights_manager.h"
+
+namespace discsec {
+namespace player {
+
+class ApplicationSession;
+
+/// Where the application came from — the paper's trust distinction (§5.1):
+/// "Disc based applications are inherently trusted ... The real security
+/// issue lies with the interactive applications downloaded over the
+/// Internet."
+enum class Origin {
+  kDisc,
+  kNetwork,
+};
+
+/// Player provisioning and policy — the fixed configuration a CE device
+/// ships with.
+struct PlayerConfig {
+  /// Trusted root certificates (burned in at manufacture, §5.5).
+  pki::CertStore trust;
+  /// Platform access-control policy (§4, XACML/MHP).
+  access::PolicyDecisionPoint pdp;
+  /// Provisioned decryption keys (content keys, KEKs, device RSA key).
+  xmlenc::KeyRing keys;
+  /// Embedded execution limits for the Code part.
+  script::Limits script_limits;
+  /// Local storage quota in bytes.
+  size_t storage_quota = 256 * 1024;
+  /// Player clock (Unix seconds) for certificate validation.
+  int64_t now = 0;
+  /// Require a valid signature for network applications (always true in a
+  /// production profile; switchable for the ablation benchmarks).
+  bool require_signature_for_network = true;
+  /// Signature-wrapping defense: whenever a signature is *required*, the
+  /// application track that will be executed must itself be covered by a
+  /// verified reference (the whole document, or an Id reference naming the
+  /// track/manifest or an ancestor). Without this check an attacker can
+  /// leave a validly signed element in place while inserting their own
+  /// application earlier in the document.
+  bool require_app_coverage = true;
+  /// Treat disc applications as trusted without a signature (the paper's
+  /// §5.1 stance; AACS-style disc authentication is assumed upstream).
+  bool trust_disc_content = true;
+  /// When set, also validate the signer's key binding with this XKMS
+  /// client after signature verification (§7).
+  xkms::XkmsClient* xkms = nullptr;
+  /// When set, an XrML "execute" right over the application manifest id is
+  /// required (and counted) before the Code part runs — the §9 DRM
+  /// extension.
+  xrml::RightsManager* rights = nullptr;
+  /// This player's identity and region for rights evaluation.
+  std::string device_id = "player-device";
+  std::string territory = "EU";
+};
+
+/// One drawing operation the application performed (the graphics plane).
+struct RenderOp {
+  std::string region;
+  std::string kind;  ///< "text", "media", ...
+  std::string payload;
+};
+
+/// Per-phase wall-clock timings in microseconds — the feasibility numbers
+/// the paper's §8/§9 asks for ("a performance model with comprehensive
+/// performance study").
+struct PhaseTimings {
+  int64_t fetch_us = 0;
+  int64_t verify_us = 0;
+  int64_t decrypt_us = 0;
+  int64_t policy_us = 0;
+  int64_t markup_us = 0;
+  int64_t script_us = 0;
+  int64_t TotalUs() const {
+    return fetch_us + verify_us + decrypt_us + policy_us + markup_us +
+           script_us;
+  }
+};
+
+/// Everything the engine did and observed while launching an application.
+struct LaunchReport {
+  Origin origin = Origin::kDisc;
+  bool signature_present = false;
+  bool signature_verified = false;
+  /// URIs of every verified reference, across all signatures.
+  std::vector<std::string> verified_references;
+  std::string signer_subject;
+  bool xkms_validated = false;
+  bool rights_exercised = false;  ///< an XrML execute grant was consumed
+  bool content_decrypted = false;
+  std::map<std::string, bool> grants;  ///< resource -> granted
+  std::vector<RenderOp> render_ops;
+  std::vector<std::string> console;    ///< script print() output
+  std::vector<smil::ScheduledMedia> timeline;
+  smil::TimeMs presentation_duration = 0;
+  uint64_t script_steps = 0;
+  PhaseTimings timings;
+};
+
+/// The Interactive Application Engine of the paper's Fig. 11: "the main
+/// component, which has access to the Interactive Cluster and is
+/// responsible for getting the application contents decrypted, if
+/// encrypted, and verified, if signed" — then policy-checked and executed.
+class InteractiveApplicationEngine {
+ public:
+  explicit InteractiveApplicationEngine(PlayerConfig config);
+
+  disc::LocalStorage* storage() { return &storage_; }
+  const PlayerConfig& config() const { return config_; }
+
+  /// Inserts a disc: loads the cluster document from the image, runs the
+  /// security pipeline with Origin::kDisc, validates AV essence.
+  Result<LaunchReport> LaunchFromDisc(const disc::DiscImage& image);
+
+  /// Downloads a cluster document from a content server and launches it
+  /// with Origin::kNetwork.
+  Result<LaunchReport> LaunchFromServer(net::ContentServer* server,
+                                        const std::string& path,
+                                        const net::Downloader::Options&
+                                            download_options,
+                                        Rng* rng);
+
+  /// The core pipeline over raw cluster markup:
+  ///   parse -> verify signatures (certificate chain to trusted root,
+  ///   Decryption Transform for encrypted parts) -> decrypt in place ->
+  ///   evaluate permission request against platform policy -> load SMIL
+  ///   layout -> execute scripts with the policy-gated host API.
+  /// `resolver` (optional) dereferences external signature References —
+  /// e.g. disc::MakeDiscResolver for "disc://" AV-essence URIs (§5.3).
+  Result<LaunchReport> LaunchClusterXml(
+      const std::string& cluster_xml, Origin origin,
+      xmldsig::ExternalResolver resolver = nullptr);
+
+  /// Like LaunchClusterXml, but keeps the application alive afterwards so
+  /// events (remote-control keys, timers) can be dispatched to the script's
+  /// handlers. The session borrows this engine (storage, config); it must
+  /// not outlive it.
+  Result<std::unique_ptr<ApplicationSession>> BeginSession(
+      const std::string& cluster_xml, Origin origin,
+      xmldsig::ExternalResolver resolver = nullptr);
+
+ private:
+  Status VerifyPhase(xml::Document* doc, Origin origin,
+                     const xmldsig::ExternalResolver& resolver,
+                     LaunchReport* report);
+  Status DecryptPhase(xml::Document* doc, LaunchReport* report);
+  Status PolicyPhase(const disc::ApplicationManifest& manifest,
+                     LaunchReport* report,
+                     std::unique_ptr<access::PolicyEnforcementPoint>* pep);
+  Status MarkupPhase(const disc::ApplicationManifest& manifest,
+                     LaunchReport* report);
+  Status ScriptPhase(const disc::ApplicationManifest& manifest,
+                     script::Interpreter* interpreter, LaunchReport* report);
+
+  PlayerConfig config_;
+  disc::LocalStorage storage_;
+};
+
+}  // namespace player
+}  // namespace discsec
+
+#endif  // DISCSEC_PLAYER_ENGINE_H_

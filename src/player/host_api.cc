@@ -1,0 +1,113 @@
+#include "player/host_api.h"
+
+#include "common/strings.h"
+
+namespace discsec {
+namespace player {
+
+using script::Value;
+
+void BindHostApi(script::Interpreter* interpreter,
+                 const access::PolicyEnforcementPoint* pep,
+                 disc::LocalStorage* storage, LaunchReport* report) {
+  // print(...) — diagnostics console, ungated.
+  interpreter->DefineNative(
+      "print", [report](const std::vector<Value>& args) -> Result<Value> {
+        std::string line;
+        for (const Value& v : args) line += v.ToDisplayString();
+        report->console.push_back(line);
+        return Value();
+      });
+
+  // ui.drawText(region, text) — graphics plane access.
+  Value ui = Value::MakeObject();
+  ui.AsObject()["drawText"] = Value::Native(
+      [pep, report](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() < 2) {
+          return Status::InvalidArgument("drawText(region, text)");
+        }
+        DISCSEC_RETURN_IF_ERROR(pep->Check("graphics", "use"));
+        RenderOp op;
+        op.region = args[0].ToDisplayString();
+        op.kind = "text";
+        op.payload = args[1].ToDisplayString();
+        report->render_ops.push_back(std::move(op));
+        return Value::Boolean(true);
+      });
+  interpreter->DefineGlobal("ui", ui);
+
+  // storage.{read,write,exists} — local storage, path-scoped.
+  Value storage_api = Value::MakeObject();
+  storage_api.AsObject()["write"] = Value::Native(
+      [pep, storage](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() < 2) {
+          return Status::InvalidArgument("storage.write(path, text)");
+        }
+        std::string path = args[0].ToDisplayString();
+        DISCSEC_RETURN_IF_ERROR(
+            pep->Check("localstorage", "write", {{"path", path}}));
+        DISCSEC_RETURN_IF_ERROR(
+            storage->WriteText(path, args[1].ToDisplayString()));
+        return Value::Boolean(true);
+      });
+  storage_api.AsObject()["read"] = Value::Native(
+      [pep, storage](const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty()) {
+          return Status::InvalidArgument("storage.read(path)");
+        }
+        std::string path = args[0].ToDisplayString();
+        DISCSEC_RETURN_IF_ERROR(
+            pep->Check("localstorage", "read", {{"path", path}}));
+        auto text = storage->ReadText(path);
+        if (!text.ok()) return Value::Null();
+        return Value::String(std::move(text).value());
+      });
+  storage_api.AsObject()["exists"] = Value::Native(
+      [pep, storage](const std::vector<Value>& args) -> Result<Value> {
+        if (args.empty()) {
+          return Status::InvalidArgument("storage.exists(path)");
+        }
+        std::string path = args[0].ToDisplayString();
+        DISCSEC_RETURN_IF_ERROR(
+            pep->Check("localstorage", "read", {{"path", path}}));
+        return Value::Boolean(storage->Exists(path));
+      });
+  interpreter->DefineGlobal("storage", storage_api);
+
+  // scores.{submit,best} — the paper's game-high-score scenario.
+  Value scores = Value::MakeObject();
+  scores.AsObject()["submit"] = Value::Native(
+      [pep, storage](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() < 2) {
+          return Status::InvalidArgument("scores.submit(name, points)");
+        }
+        std::string path = "scores/" + args[0].ToDisplayString();
+        DISCSEC_RETURN_IF_ERROR(
+            pep->Check("localstorage", "write", {{"path", path}}));
+        DISCSEC_RETURN_IF_ERROR(
+            storage->WriteText(path, args[1].ToDisplayString()));
+        return Value::Boolean(true);
+      });
+  scores.AsObject()["best"] = Value::Native(
+      [pep, storage](const std::vector<Value>&) -> Result<Value> {
+        DISCSEC_RETURN_IF_ERROR(pep->Check("localstorage", "read",
+                                           {{"path", "scores/"}}));
+        double best = 0;
+        bool any = false;
+        for (const std::string& path : storage->ListPrefix("scores/")) {
+          auto text = storage->ReadText(path);
+          if (!text.ok()) continue;
+          char* end = nullptr;
+          double v = std::strtod(text->c_str(), &end);
+          if (end != text->c_str() && (!any || v > best)) {
+            best = v;
+            any = true;
+          }
+        }
+        return any ? Value::Number(best) : Value::Null();
+      });
+  interpreter->DefineGlobal("scores", scores);
+}
+
+}  // namespace player
+}  // namespace discsec

@@ -1,0 +1,34 @@
+#ifndef DISCSEC_PLAYER_HOST_API_H_
+#define DISCSEC_PLAYER_HOST_API_H_
+
+#include "access/pep.h"
+#include "disc/local_storage.h"
+#include "player/engine.h"
+#include "script/interpreter.h"
+
+namespace discsec {
+namespace player {
+
+/// Installs the player's scripting API into `interpreter`, every capability
+/// gated through the PEP (the §3.1 access-control mitigation enforced at
+/// the API boundary):
+///
+///   print(...)                      -> report->console (always allowed)
+///   ui.drawText(region, text)       -> render op; needs "graphics"
+///   storage.write(path, text)       -> local storage; needs "localstorage"
+///                                      write access and a permitted path
+///   storage.read(path)              -> ... read access
+///   storage.exists(path)
+///   scores.submit(name, points)     -> convenience over storage under
+///                                      "scores/"
+///   scores.best()                   -> highest submitted score
+///
+/// `pep`, `storage` and `report` must outlive the interpreter run.
+void BindHostApi(script::Interpreter* interpreter,
+                 const access::PolicyEnforcementPoint* pep,
+                 disc::LocalStorage* storage, LaunchReport* report);
+
+}  // namespace player
+}  // namespace discsec
+
+#endif  // DISCSEC_PLAYER_HOST_API_H_

@@ -1,0 +1,65 @@
+#include "player/playback.h"
+
+namespace discsec {
+namespace player {
+
+Result<PlaybackPlan> BuildPlaybackPlan(
+    const disc::InteractiveCluster& cluster, const disc::DiscImage& image,
+    const std::string& track_id, xrml::RightsManager* rights,
+    const xrml::ExerciseContext& rights_context) {
+  const disc::Track* track = cluster.FindTrack(track_id);
+  if (track == nullptr) {
+    return Status::NotFound("no track '" + track_id + "'");
+  }
+  if (track->kind != disc::Track::Kind::kAudioVideo) {
+    return Status::InvalidArgument("track '" + track_id +
+                                   "' is not an AV track");
+  }
+  if (rights != nullptr) {
+    DISCSEC_RETURN_IF_ERROR(
+        rights->Exercise(xrml::Right::kPlay, track_id, rights_context)
+            .WithContext("playback rights"));
+  }
+  const disc::Playlist* playlist = cluster.FindPlaylist(track->playlist_id);
+  if (playlist == nullptr) {
+    return Status::Corruption("track '" + track_id +
+                              "' references missing playlist '" +
+                              track->playlist_id + "'");
+  }
+  PlaybackPlan plan;
+  plan.track_id = track_id;
+  plan.playlist_id = playlist->id;
+  for (const disc::PlayItem& item : playlist->items) {
+    const disc::ClipInfo* clip = cluster.FindClip(item.clip_id);
+    if (clip == nullptr) {
+      return Status::Corruption("play item references missing clip '" +
+                                item.clip_id + "'");
+    }
+    if (item.out_ms < item.in_ms ||
+        (clip->duration_ms != 0 && item.out_ms > clip->duration_ms)) {
+      return Status::InvalidArgument(
+          "play item range [" + std::to_string(item.in_ms) + ", " +
+          std::to_string(item.out_ms) + ") exceeds clip '" + clip->id +
+          "' duration " + std::to_string(clip->duration_ms));
+    }
+    DISCSEC_ASSIGN_OR_RETURN(Bytes ts, image.Get(clip->ts_path));
+    DISCSEC_RETURN_IF_ERROR(disc::ValidateTransportStream(ts).WithContext(
+        "clip '" + clip->id + "'"));
+    PlaybackSegment segment;
+    segment.clip_id = clip->id;
+    segment.ts_path = clip->ts_path;
+    segment.in_ms = item.in_ms;
+    segment.out_ms = item.out_ms;
+    segment.ts_bytes = ts.size();
+    plan.total_ms += segment.DurationMs();
+    plan.segments.push_back(std::move(segment));
+  }
+  if (plan.segments.empty()) {
+    return Status::InvalidArgument("playlist '" + playlist->id +
+                                   "' has no play items");
+  }
+  return plan;
+}
+
+}  // namespace player
+}  // namespace discsec

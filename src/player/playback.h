@@ -1,0 +1,50 @@
+#ifndef DISCSEC_PLAYER_PLAYBACK_H_
+#define DISCSEC_PLAYER_PLAYBACK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "disc/content.h"
+#include "disc/disc_image.h"
+#include "xrml/rights_manager.h"
+
+namespace discsec {
+namespace player {
+
+/// One contiguous piece of AV essence to present: a clip segment resolved
+/// from a play item.
+struct PlaybackSegment {
+  std::string clip_id;
+  std::string ts_path;
+  uint32_t in_ms = 0;
+  uint32_t out_ms = 0;
+  size_t ts_bytes = 0;  ///< size of the backing transport stream
+
+  uint32_t DurationMs() const { return out_ms - in_ms; }
+};
+
+/// The resolved presentation order for one AV track.
+struct PlaybackPlan {
+  std::string track_id;
+  std::string playlist_id;
+  std::vector<PlaybackSegment> segments;
+  uint32_t total_ms = 0;
+};
+
+/// Resolves an AV track into a playback plan, validating the whole chain
+/// of the Fig. 2 hierarchy: track -> playlist -> play items -> clip info ->
+/// transport stream on the disc image (present, structurally valid, and
+/// long enough for the addressed range).
+///
+/// When `rights` is non-null, an XrML "play" grant over the track id is
+/// exercised first (the §9 DRM extension applied to AV content).
+Result<PlaybackPlan> BuildPlaybackPlan(
+    const disc::InteractiveCluster& cluster, const disc::DiscImage& image,
+    const std::string& track_id, xrml::RightsManager* rights = nullptr,
+    const xrml::ExerciseContext& rights_context = {});
+
+}  // namespace player
+}  // namespace discsec
+
+#endif  // DISCSEC_PLAYER_PLAYBACK_H_

@@ -1,0 +1,34 @@
+#include "player/session.h"
+
+#include <cctype>
+
+namespace discsec {
+namespace player {
+
+Result<ApplicationSession::EventOutcome> ApplicationSession::DispatchEvent(
+    const std::string& name, const script::Value& argument) {
+  if (name.empty()) return Status::InvalidArgument("event needs a name");
+  std::string handler = "on" + name;
+  handler[2] = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(handler[2])));
+  EventOutcome outcome;
+  if (interpreter_->GetGlobal(handler).IsUndefined()) {
+    return outcome;  // no handler registered — not an error
+  }
+  auto result = interpreter_->CallGlobal(handler, {argument});
+  if (!result.ok()) {
+    return result.status().WithContext("event handler " + handler);
+  }
+  outcome.handled = true;
+  outcome.result = result->ToDisplayString();
+  report_->script_steps = interpreter_->steps_used();
+  return outcome;
+}
+
+Result<ApplicationSession::EventOutcome> ApplicationSession::PressKey(
+    const std::string& key) {
+  return DispatchEvent("Key", script::Value::String(key));
+}
+
+}  // namespace player
+}  // namespace discsec

@@ -1,0 +1,67 @@
+#ifndef DISCSEC_PLAYER_SESSION_H_
+#define DISCSEC_PLAYER_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "player/engine.h"
+
+namespace discsec {
+namespace player {
+
+/// A running interactive application: the state that persists after launch
+/// so the user can *interact* — remote-control keys, timers — with the
+/// verified application. Created by InteractiveApplicationEngine::
+/// BeginSession after the full security pipeline has passed.
+///
+/// Scripts register handlers by defining global functions named
+/// `on<Event>` (onKey, onTimer, onStop, plus onLoad at launch); the player
+/// UI loop calls DispatchEvent to deliver them. Every host-API call made
+/// by a handler remains gated by the same PolicyEnforcementPoint that
+/// gated the launch, and the embedded step budget spans the whole session.
+class ApplicationSession {
+ public:
+  /// The launch-time report (security outcomes); its render_ops/console
+  /// keep growing as event handlers run.
+  const LaunchReport& report() const { return *report_; }
+
+  const std::vector<RenderOp>& render_ops() const {
+    return report_->render_ops;
+  }
+  const std::vector<std::string>& console() const {
+    return report_->console;
+  }
+
+  /// Outcome of one event delivery.
+  struct EventOutcome {
+    bool handled = false;     ///< a handler existed and ran
+    std::string result;       ///< the handler's return value, displayed
+  };
+
+  /// Delivers an event: calls the global handler `on<Name>` ("Key" ->
+  /// onKey) with `argument`, if the script defined one. Handler errors
+  /// (including permission denials and budget exhaustion) surface as this
+  /// function's status.
+  Result<EventOutcome> DispatchEvent(const std::string& name,
+                                     const script::Value& argument);
+
+  /// Convenience for remote-control input: DispatchEvent("Key", key).
+  Result<EventOutcome> PressKey(const std::string& key);
+
+  /// Total interpreter steps consumed across launch and all events.
+  uint64_t steps_used() const { return interpreter_->steps_used(); }
+
+ private:
+  friend class InteractiveApplicationEngine;
+  ApplicationSession() = default;
+
+  std::unique_ptr<LaunchReport> report_;
+  std::unique_ptr<script::Interpreter> interpreter_;
+  std::unique_ptr<access::PolicyEnforcementPoint> pep_;
+};
+
+}  // namespace player
+}  // namespace discsec
+
+#endif  // DISCSEC_PLAYER_SESSION_H_

@@ -1,0 +1,42 @@
+#ifndef DISCSEC_SCRIPT_LEXER_H_
+#define DISCSEC_SCRIPT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace discsec {
+namespace script {
+
+/// Token kinds for the ECMAScript subset.
+enum class TokenType {
+  kNumber,
+  kString,
+  kIdentifier,
+  kKeyword,
+  kPunctuator,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;       ///< identifier/keyword name, punctuator spelling
+  double number = 0.0;    ///< for kNumber
+  std::string string;     ///< decoded value for kString
+  int line = 1;
+};
+
+/// Tokenizes ECMAScript source. Handles // and /* */ comments, decimal and
+/// hex numbers, single/double-quoted strings with the common escapes, and
+/// multi-character punctuators (===, !==, &&, ||, +=, ++, ...).
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+/// True when `word` is a reserved keyword of the subset.
+bool IsKeyword(std::string_view word);
+
+}  // namespace script
+}  // namespace discsec
+
+#endif  // DISCSEC_SCRIPT_LEXER_H_

@@ -1,0 +1,29 @@
+#ifndef DISCSEC_SCRIPT_PARSER_H_
+#define DISCSEC_SCRIPT_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "script/ast.h"
+
+namespace discsec {
+namespace script {
+
+/// Parses an ECMAScript-subset source text into a Program.
+///
+/// Supported grammar: var declarations, function declarations and
+/// expressions, if/else, while, do-while, for(;;), return/break/continue,
+/// blocks; expressions with the usual precedence — assignment (incl. the
+/// compound forms), ?:, || &&, equality (== != === !==), relational,
+/// additive, multiplicative (% included), unary (- + ! typeof), postfix
+/// ++/--, calls, member access (.name and [expr]), array and object
+/// literals.
+///
+/// Deliberately out of scope (the player profile): prototypes, `new`,
+/// `this`, try/catch, regex literals, `with`, getters/setters.
+Result<Program> ParseProgram(std::string_view source);
+
+}  // namespace script
+}  // namespace discsec
+
+#endif  // DISCSEC_SCRIPT_PARSER_H_

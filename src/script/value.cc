@@ -1,0 +1,140 @@
+#include "script/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace discsec {
+namespace script {
+
+bool Value::Truthy() const {
+  switch (kind_) {
+    case Kind::kUndefined:
+    case Kind::kNull:
+      return false;
+    case Kind::kBoolean:
+      return boolean_;
+    case Kind::kNumber:
+      return number_ != 0.0 && !std::isnan(number_);
+    case Kind::kString:
+      return !string_->empty();
+    default:
+      return true;
+  }
+}
+
+std::string Value::ToDisplayString() const {
+  switch (kind_) {
+    case Kind::kUndefined:
+      return "undefined";
+    case Kind::kNull:
+      return "null";
+    case Kind::kBoolean:
+      return boolean_ ? "true" : "false";
+    case Kind::kNumber: {
+      if (std::isnan(number_)) return "NaN";
+      if (std::isinf(number_)) return number_ > 0 ? "Infinity" : "-Infinity";
+      // Integers print without a decimal point, like ECMAScript.
+      if (number_ == static_cast<double>(static_cast<long long>(number_)) &&
+          std::fabs(number_) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        return buf;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", number_);
+      return buf;
+    }
+    case Kind::kString:
+      return *string_;
+    case Kind::kObject:
+      return "[object Object]";
+    case Kind::kArray: {
+      std::string out;
+      for (size_t i = 0; i < array_->size(); ++i) {
+        if (i > 0) out += ",";
+        out += (*array_)[i].ToDisplayString();
+      }
+      return out;
+    }
+    case Kind::kFunction:
+    case Kind::kNative:
+      return "[function]";
+  }
+  return "";
+}
+
+double Value::ToNumber() const {
+  switch (kind_) {
+    case Kind::kUndefined:
+      return std::nan("");
+    case Kind::kNull:
+      return 0.0;
+    case Kind::kBoolean:
+      return boolean_ ? 1.0 : 0.0;
+    case Kind::kNumber:
+      return number_;
+    case Kind::kString: {
+      if (string_->empty()) return 0.0;
+      char* end = nullptr;
+      double v = std::strtod(string_->c_str(), &end);
+      // Trailing garbage makes the conversion NaN, per ToNumber.
+      while (end != nullptr && (*end == ' ' || *end == '\t')) ++end;
+      if (end == nullptr || *end != '\0') return std::nan("");
+      return v;
+    }
+    default:
+      return std::nan("");
+  }
+}
+
+bool Value::StrictEquals(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kUndefined:
+    case Kind::kNull:
+      return true;
+    case Kind::kBoolean:
+      return boolean_ == other.boolean_;
+    case Kind::kNumber:
+      return number_ == other.number_;
+    case Kind::kString:
+      return *string_ == *other.string_;
+    case Kind::kObject:
+      return object_ == other.object_;
+    case Kind::kArray:
+      return array_ == other.array_;
+    case Kind::kFunction:
+      return closure_ == other.closure_;
+    case Kind::kNative:
+      return native_ == other.native_;
+  }
+  return false;
+}
+
+const char* Value::KindName() const {
+  switch (kind_) {
+    case Kind::kUndefined:
+      return "undefined";
+    case Kind::kNull:
+      return "null";
+    case Kind::kBoolean:
+      return "boolean";
+    case Kind::kNumber:
+      return "number";
+    case Kind::kString:
+      return "string";
+    case Kind::kObject:
+      return "object";
+    case Kind::kArray:
+      return "array";
+    case Kind::kFunction:
+    case Kind::kNative:
+      return "function";
+  }
+  return "?";
+}
+
+}  // namespace script
+}  // namespace discsec

@@ -1,0 +1,289 @@
+#include "smil/smil.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace smil {
+
+Result<TimeMs> ParseClockValue(std::string_view text) {
+  std::string_view trimmed = TrimWhitespace(text);
+  if (trimmed.empty()) return Status::ParseError("empty clock value");
+  if (trimmed == "indefinite") return kIndefinite;
+
+  // mm:ss or hh:mm:ss form.
+  if (trimmed.find(':') != std::string_view::npos) {
+    auto parts = SplitString(trimmed, ':');
+    if (parts.size() < 2 || parts.size() > 3) {
+      return Status::ParseError("bad clock value: " + std::string(trimmed));
+    }
+    TimeMs total = 0;
+    for (const std::string& part : parts) {
+      char* end = nullptr;
+      double v = std::strtod(part.c_str(), &end);
+      if (end == part.c_str() || *end != '\0' || v < 0) {
+        return Status::ParseError("bad clock value: " + std::string(trimmed));
+      }
+      total = total * 60 + static_cast<TimeMs>(v * 1000);
+    }
+    return total;
+  }
+
+  double scale = 1000.0;  // default unit: seconds
+  std::string_view digits = trimmed;
+  if (EndsWith(trimmed, "ms")) {
+    scale = 1.0;
+    digits = trimmed.substr(0, trimmed.size() - 2);
+  } else if (EndsWith(trimmed, "s")) {
+    digits = trimmed.substr(0, trimmed.size() - 1);
+  } else if (EndsWith(trimmed, "min")) {
+    scale = 60000.0;
+    digits = trimmed.substr(0, trimmed.size() - 3);
+  } else if (EndsWith(trimmed, "h")) {
+    scale = 3600000.0;
+    digits = trimmed.substr(0, trimmed.size() - 1);
+  }
+  std::string buffer(digits);
+  char* end = nullptr;
+  double v = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str() || *end != '\0' || v < 0) {
+    return Status::ParseError("bad clock value: " + std::string(trimmed));
+  }
+  return static_cast<TimeMs>(v * scale);
+}
+
+TimeMs TimeNode::ResolvedDuration() const {
+  if (dur != kUnset) return dur;
+  switch (kind) {
+    case Kind::kMedia:
+      return 0;
+    case Kind::kSeq: {
+      TimeMs total = 0;
+      for (const auto& child : children) {
+        TimeMs d = child->ResolvedDuration();
+        if (d == kIndefinite) return kIndefinite;
+        total += child->begin + d;
+      }
+      return total;
+    }
+    case Kind::kPar: {
+      TimeMs max = 0;
+      for (const auto& child : children) {
+        TimeMs d = child->ResolvedDuration();
+        if (d == kIndefinite) return kIndefinite;
+        if (child->begin + d > max) max = child->begin + d;
+      }
+      return max;
+    }
+  }
+  return 0;
+}
+
+const Region* Presentation::FindRegion(std::string_view id) const {
+  for (const Region& r : regions) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void Schedule(const TimeNode& node, TimeMs start,
+              std::vector<ScheduledMedia>* out) {
+  TimeMs self_start = start + node.begin;
+  switch (node.kind) {
+    case TimeNode::Kind::kMedia: {
+      ScheduledMedia media;
+      media.tag = node.tag;
+      media.src = node.src;
+      media.region = node.region;
+      media.start = self_start;
+      TimeMs d = node.ResolvedDuration();
+      media.end = d == kIndefinite ? kIndefinite : self_start + d;
+      out->push_back(std::move(media));
+      return;
+    }
+    case TimeNode::Kind::kSeq: {
+      TimeMs cursor = self_start;
+      for (const auto& child : node.children) {
+        Schedule(*child, cursor, out);
+        TimeMs d = child->ResolvedDuration();
+        if (d == kIndefinite) return;  // open-ended child blocks the rest
+        cursor += child->begin + d;
+      }
+      return;
+    }
+    case TimeNode::Kind::kPar: {
+      for (const auto& child : node.children) {
+        Schedule(*child, self_start, out);
+      }
+      return;
+    }
+  }
+}
+
+bool IsMediaTag(std::string_view local) {
+  return local == "video" || local == "audio" || local == "img" ||
+         local == "text" || local == "ref" || local == "animation";
+}
+
+Result<std::unique_ptr<TimeNode>> ParseTimeNode(const xml::Element& e) {
+  auto node = std::make_unique<TimeNode>();
+  std::string local(e.LocalName());
+  if (local == "seq") {
+    node->kind = TimeNode::Kind::kSeq;
+  } else if (local == "par") {
+    node->kind = TimeNode::Kind::kPar;
+  } else if (IsMediaTag(local)) {
+    node->kind = TimeNode::Kind::kMedia;
+    node->tag = local;
+    const std::string* src = e.GetAttribute("src");
+    if (src != nullptr) node->src = *src;
+    const std::string* region = e.GetAttribute("region");
+    if (region != nullptr) node->region = *region;
+  } else {
+    return Status::ParseError("unsupported SMIL element <" + local + ">");
+  }
+  if (const std::string* begin = e.GetAttribute("begin")) {
+    DISCSEC_ASSIGN_OR_RETURN(node->begin, ParseClockValue(*begin));
+    if (node->begin == kIndefinite) {
+      return Status::ParseError("begin=\"indefinite\" is not supported");
+    }
+  }
+  if (const std::string* dur = e.GetAttribute("dur")) {
+    DISCSEC_ASSIGN_OR_RETURN(node->dur, ParseClockValue(*dur));
+  }
+  if (node->kind != TimeNode::Kind::kMedia) {
+    for (const xml::Element* child : e.ChildElements()) {
+      DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<TimeNode> child_node,
+                               ParseTimeNode(*child));
+      node->children.push_back(std::move(child_node));
+    }
+  }
+  return node;
+}
+
+Result<int> ParseIntAttr(const xml::Element& e, const char* name,
+                         int fallback) {
+  const std::string* v = e.GetAttribute(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  long value = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str() || (*end != '\0' && std::string(end) != "px")) {
+    return Status::ParseError(std::string("bad integer attribute ") + name);
+  }
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::vector<ScheduledMedia> Presentation::ResolveTimeline() const {
+  std::vector<ScheduledMedia> out;
+  if (body != nullptr) Schedule(*body, 0, &out);
+  return out;
+}
+
+TimeMs Presentation::Duration() const {
+  return body != nullptr ? body->ResolvedDuration() : 0;
+}
+
+Status Presentation::Validate() const {
+  std::set<std::string> ids;
+  for (const Region& r : regions) {
+    if (r.id.empty()) {
+      return Status::InvalidArgument("region without id");
+    }
+    if (!ids.insert(r.id).second) {
+      return Status::InvalidArgument("duplicate region id '" + r.id + "'");
+    }
+    if (r.width <= 0 || r.height <= 0) {
+      return Status::InvalidArgument("region '" + r.id +
+                                     "' has non-positive size");
+    }
+    if (root_width > 0 &&
+        (r.left < 0 || r.top < 0 || r.left + r.width > root_width ||
+         r.top + r.height > root_height)) {
+      return Status::InvalidArgument("region '" + r.id +
+                                     "' exceeds root layout bounds");
+    }
+  }
+  // Every referenced region must exist.
+  Status status = Status::OK();
+  for (const ScheduledMedia& media : ResolveTimeline()) {
+    if (!media.region.empty() && FindRegion(media.region) == nullptr) {
+      return Status::InvalidArgument("media '" + media.src +
+                                     "' references unknown region '" +
+                                     media.region + "'");
+    }
+  }
+  return status;
+}
+
+Result<Presentation> ParseSmil(const xml::Document& doc) {
+  const xml::Element* root = doc.root();
+  if (root == nullptr || root->LocalName() != "smil") {
+    return Status::ParseError("not a SMIL document");
+  }
+  Presentation out;
+  const xml::Element* head = root->FirstChildElementByLocalName("head");
+  if (head != nullptr) {
+    const xml::Element* layout = head->FirstChildElementByLocalName("layout");
+    if (layout != nullptr) {
+      const xml::Element* root_layout =
+          layout->FirstChildElementByLocalName("root-layout");
+      if (root_layout != nullptr) {
+        DISCSEC_ASSIGN_OR_RETURN(out.root_width,
+                                 ParseIntAttr(*root_layout, "width", 0));
+        DISCSEC_ASSIGN_OR_RETURN(out.root_height,
+                                 ParseIntAttr(*root_layout, "height", 0));
+        const std::string* bg = root_layout->GetAttribute("background-color");
+        if (bg != nullptr) out.root_background = *bg;
+      }
+      for (const xml::Element* region_elem : layout->ChildElements()) {
+        if (region_elem->LocalName() != "region") continue;
+        Region region;
+        const std::string* id = region_elem->GetAttribute("id");
+        if (id == nullptr) {
+          return Status::ParseError("region without id attribute");
+        }
+        region.id = *id;
+        DISCSEC_ASSIGN_OR_RETURN(region.left,
+                                 ParseIntAttr(*region_elem, "left", 0));
+        DISCSEC_ASSIGN_OR_RETURN(region.top,
+                                 ParseIntAttr(*region_elem, "top", 0));
+        DISCSEC_ASSIGN_OR_RETURN(region.width,
+                                 ParseIntAttr(*region_elem, "width", 0));
+        DISCSEC_ASSIGN_OR_RETURN(region.height,
+                                 ParseIntAttr(*region_elem, "height", 0));
+        DISCSEC_ASSIGN_OR_RETURN(region.z_index,
+                                 ParseIntAttr(*region_elem, "z-index", 0));
+        const std::string* bg = region_elem->GetAttribute("background-color");
+        if (bg != nullptr) region.background_color = *bg;
+        out.regions.push_back(std::move(region));
+      }
+    }
+  }
+  const xml::Element* body = root->FirstChildElementByLocalName("body");
+  auto implicit_seq = std::make_unique<TimeNode>();
+  implicit_seq->kind = TimeNode::Kind::kSeq;
+  if (body != nullptr) {
+    for (const xml::Element* child : body->ChildElements()) {
+      DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<TimeNode> node,
+                               ParseTimeNode(*child));
+      implicit_seq->children.push_back(std::move(node));
+    }
+  }
+  out.body = std::move(implicit_seq);
+  return out;
+}
+
+Result<Presentation> ParseSmil(std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return ParseSmil(doc);
+}
+
+}  // namespace smil
+}  // namespace discsec

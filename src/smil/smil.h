@@ -1,0 +1,99 @@
+#ifndef DISCSEC_SMIL_SMIL_H_
+#define DISCSEC_SMIL_SMIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace smil {
+
+/// The SMIL 2.0 Language namespace the paper's prototype markup used.
+inline constexpr char kSmilNamespace[] =
+    "http://www.w3.org/2001/SMIL20/Language";
+
+/// A layout region from <head><layout>.
+struct Region {
+  std::string id;
+  int left = 0;
+  int top = 0;
+  int width = 0;
+  int height = 0;
+  int z_index = 0;
+  std::string background_color;
+};
+
+/// Time in milliseconds; kIndefinite for unresolved/"indefinite".
+using TimeMs = int64_t;
+inline constexpr TimeMs kIndefinite = -1;
+/// Internal sentinel: the attribute was not given (distinct from an
+/// explicit "indefinite").
+inline constexpr TimeMs kUnset = -2;
+
+/// Parses a SMIL clock value: "5s", "1.5s", "500ms", "02:10" (min:sec),
+/// bare seconds, or "indefinite".
+Result<TimeMs> ParseClockValue(std::string_view text);
+
+/// A node of the timing tree: a container (<seq>/<par>) or a media object
+/// (<video>/<audio>/<img>/<text>/<ref>).
+struct TimeNode {
+  enum class Kind { kSeq, kPar, kMedia };
+  Kind kind = Kind::kMedia;
+  // media fields
+  std::string tag;     ///< element name (video, img, ...)
+  std::string src;
+  std::string region;
+  // timing
+  TimeMs begin = 0;          ///< offset from parent-determined start
+  TimeMs dur = kUnset;       ///< explicit duration (kIndefinite allowed)
+  std::vector<std::unique_ptr<TimeNode>> children;
+
+  /// Implicit duration: media defaults to 0 unless dur set; seq sums its
+  /// children; par takes the max. kIndefinite propagates.
+  TimeMs ResolvedDuration() const;
+};
+
+/// One media object placed on the resolved timeline.
+struct ScheduledMedia {
+  std::string tag;
+  std::string src;
+  std::string region;
+  TimeMs start = 0;
+  TimeMs end = kIndefinite;  ///< kIndefinite = plays to the end
+};
+
+/// A parsed SMIL presentation: layout plus timing tree.
+struct Presentation {
+  int root_width = 0;
+  int root_height = 0;
+  std::string root_background;
+  std::vector<Region> regions;
+  std::unique_ptr<TimeNode> body;  ///< an implicit <seq> over body children
+
+  const Region* FindRegion(std::string_view id) const;
+
+  /// Flattens the timing tree into absolutely scheduled media objects.
+  std::vector<ScheduledMedia> ResolveTimeline() const;
+
+  /// Total presentation duration (kIndefinite when open-ended).
+  TimeMs Duration() const;
+
+  /// Structural checks: every media region reference must name a declared
+  /// region; regions must have positive size and fit the root layout.
+  Status Validate() const;
+};
+
+/// Parses a SMIL document (subset: head/layout/root-layout/region,
+/// body/seq/par and the media object elements with begin/dur/src/region).
+Result<Presentation> ParseSmil(const xml::Document& doc);
+
+/// Convenience: parse from text.
+Result<Presentation> ParseSmil(std::string_view text);
+
+}  // namespace smil
+}  // namespace discsec
+
+#endif  // DISCSEC_SMIL_SMIL_H_

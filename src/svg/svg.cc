@@ -1,0 +1,208 @@
+#include "svg/svg.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace svg {
+
+const char* ShapeKindName(Shape::Kind kind) {
+  switch (kind) {
+    case Shape::Kind::kRect:
+      return "rect";
+    case Shape::Kind::kCircle:
+      return "circle";
+    case Shape::Kind::kLine:
+      return "line";
+    case Shape::Kind::kText:
+      return "text";
+  }
+  return "?";
+}
+
+namespace {
+
+Result<double> NumberAttr(const xml::Element& e, const char* name,
+                          double fallback) {
+  const std::string* v = e.GetAttribute(name);
+  if (v == nullptr) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || (*end != '\0' && std::string(end) != "px")) {
+    return Status::ParseError(std::string("bad numeric attribute ") + name +
+                              "=\"" + *v + "\"");
+  }
+  return value;
+}
+
+struct Inherited {
+  double dx = 0;
+  double dy = 0;
+  std::string fill;
+  std::string stroke;
+};
+
+/// Parses "translate(x[,y])"; other transform functions are unsupported by
+/// design (the player profile keeps layout static).
+Result<std::pair<double, double>> ParseTranslate(const std::string& text) {
+  std::string_view t = TrimWhitespace(text);
+  if (!StartsWith(t, "translate(") || !EndsWith(t, ")")) {
+    return Status::ParseError("unsupported transform: " + text);
+  }
+  std::string inner(t.substr(10, t.size() - 11));
+  for (char& c : inner) {
+    if (c == ',') c = ' ';
+  }
+  char* end = nullptr;
+  double dx = std::strtod(inner.c_str(), &end);
+  if (end == inner.c_str()) {
+    return Status::ParseError("bad translate: " + text);
+  }
+  double dy = std::strtod(end, nullptr);
+  return std::make_pair(dx, dy);
+}
+
+Status ParseChildren(const xml::Element& parent, const Inherited& inherited,
+                     Scene* scene);
+
+Status ParseShapeElement(const xml::Element& e, const Inherited& inherited,
+                         Scene* scene) {
+  std::string local(e.LocalName());
+  Inherited style = inherited;
+  if (const std::string* fill = e.GetAttribute("fill")) style.fill = *fill;
+  if (const std::string* stroke = e.GetAttribute("stroke")) {
+    style.stroke = *stroke;
+  }
+
+  if (local == "g") {
+    Inherited next = style;
+    if (const std::string* transform = e.GetAttribute("transform")) {
+      DISCSEC_ASSIGN_OR_RETURN(auto offset, ParseTranslate(*transform));
+      next.dx += offset.first;
+      next.dy += offset.second;
+    }
+    return ParseChildren(e, next, scene);
+  }
+
+  Shape shape;
+  shape.fill = style.fill;
+  shape.stroke = style.stroke;
+  if (local == "rect") {
+    shape.kind = Shape::Kind::kRect;
+    DISCSEC_ASSIGN_OR_RETURN(shape.x, NumberAttr(e, "x", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.y, NumberAttr(e, "y", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.width, NumberAttr(e, "width", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.height, NumberAttr(e, "height", 0));
+    shape.x += style.dx;
+    shape.y += style.dy;
+  } else if (local == "circle") {
+    shape.kind = Shape::Kind::kCircle;
+    DISCSEC_ASSIGN_OR_RETURN(shape.cx, NumberAttr(e, "cx", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.cy, NumberAttr(e, "cy", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.r, NumberAttr(e, "r", 0));
+    shape.cx += style.dx;
+    shape.cy += style.dy;
+  } else if (local == "line") {
+    shape.kind = Shape::Kind::kLine;
+    DISCSEC_ASSIGN_OR_RETURN(shape.x, NumberAttr(e, "x1", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.y, NumberAttr(e, "y1", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.x2, NumberAttr(e, "x2", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.y2, NumberAttr(e, "y2", 0));
+    shape.x += style.dx;
+    shape.y += style.dy;
+    shape.x2 += style.dx;
+    shape.y2 += style.dy;
+  } else if (local == "text") {
+    shape.kind = Shape::Kind::kText;
+    DISCSEC_ASSIGN_OR_RETURN(shape.x, NumberAttr(e, "x", 0));
+    DISCSEC_ASSIGN_OR_RETURN(shape.y, NumberAttr(e, "y", 0));
+    shape.x += style.dx;
+    shape.y += style.dy;
+    shape.text = e.TextContent();
+  } else if (local == "title" || local == "desc" || local == "defs") {
+    return Status::OK();  // metadata containers: skipped
+  } else {
+    return Status::ParseError("unsupported SVG element <" + local + ">");
+  }
+  scene->shapes.push_back(std::move(shape));
+  return Status::OK();
+}
+
+Status ParseChildren(const xml::Element& parent, const Inherited& inherited,
+                     Scene* scene) {
+  for (const xml::Element* child : parent.ChildElements()) {
+    DISCSEC_RETURN_IF_ERROR(ParseShapeElement(*child, inherited, scene));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Scene::Validate() const {
+  if (width <= 0 || height <= 0) {
+    return Status::InvalidArgument("SVG viewport must be positive");
+  }
+  for (const Shape& shape : shapes) {
+    double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+    switch (shape.kind) {
+      case Shape::Kind::kRect:
+        if (shape.width < 0 || shape.height < 0) {
+          return Status::InvalidArgument("rect with negative size");
+        }
+        min_x = shape.x;
+        min_y = shape.y;
+        max_x = shape.x + shape.width;
+        max_y = shape.y + shape.height;
+        break;
+      case Shape::Kind::kCircle:
+        if (shape.r <= 0) {
+          return Status::InvalidArgument("circle needs r > 0");
+        }
+        min_x = shape.cx - shape.r;
+        min_y = shape.cy - shape.r;
+        max_x = shape.cx + shape.r;
+        max_y = shape.cy + shape.r;
+        break;
+      case Shape::Kind::kLine:
+        min_x = std::min(shape.x, shape.x2);
+        min_y = std::min(shape.y, shape.y2);
+        max_x = std::max(shape.x, shape.x2);
+        max_y = std::max(shape.y, shape.y2);
+        break;
+      case Shape::Kind::kText:
+        // Text extent is renderer-dependent; only the anchor is checked.
+        min_x = max_x = shape.x;
+        min_y = max_y = shape.y;
+        break;
+    }
+    if (min_x < 0 || min_y < 0 || max_x > width || max_y > height) {
+      return Status::InvalidArgument(
+          std::string(ShapeKindName(shape.kind)) +
+          " extends outside the viewport");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Scene> ParseSvg(const xml::Document& doc) {
+  const xml::Element* root = doc.root();
+  if (root == nullptr || root->LocalName() != "svg") {
+    return Status::ParseError("not an SVG document");
+  }
+  Scene scene;
+  DISCSEC_ASSIGN_OR_RETURN(scene.width, NumberAttr(*root, "width", 0));
+  DISCSEC_ASSIGN_OR_RETURN(scene.height, NumberAttr(*root, "height", 0));
+  DISCSEC_RETURN_IF_ERROR(ParseChildren(*root, Inherited(), &scene));
+  return scene;
+}
+
+Result<Scene> ParseSvg(std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return ParseSvg(doc);
+}
+
+}  // namespace svg
+}  // namespace discsec

@@ -1,0 +1,63 @@
+#ifndef DISCSEC_SVG_SVG_H_
+#define DISCSEC_SVG_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace svg {
+
+/// The SVG 1.1 namespace.
+inline constexpr char kSvgNamespace[] = "http://www.w3.org/2000/svg";
+
+/// A subset of SVG 1.1 — the second markup language of the paper's §2
+/// candidate list ("SMIL, SVG, XHTML and XSL"). Enough for disc-menu
+/// graphics: rect / circle / line / text, nested <g> groups with
+/// translate() transforms and inheritable fill/stroke.
+
+/// One resolved shape with absolute (transform-applied) coordinates.
+struct Shape {
+  enum class Kind { kRect, kCircle, kLine, kText };
+  Kind kind = Kind::kRect;
+  // kRect: x, y, width, height. kCircle: cx, cy, r.
+  // kLine: x1=x, y1=y, x2, y2. kText: anchor x, y + text.
+  double x = 0;
+  double y = 0;
+  double width = 0;
+  double height = 0;
+  double cx = 0;
+  double cy = 0;
+  double r = 0;
+  double x2 = 0;
+  double y2 = 0;
+  std::string text;
+  std::string fill;
+  std::string stroke;
+};
+
+const char* ShapeKindName(Shape::Kind kind);
+
+/// A parsed SVG document: viewport plus flattened shape list in paint
+/// order.
+struct Scene {
+  double width = 0;
+  double height = 0;
+  std::vector<Shape> shapes;
+
+  /// Structural checks: positive viewport, circles with r > 0, rects with
+  /// non-negative sizes, every shape's bounding box inside the viewport.
+  Status Validate() const;
+};
+
+/// Parses an <svg> document. Unknown elements are rejected (the player
+/// profile is strict, like the SMIL engine).
+Result<Scene> ParseSvg(const xml::Document& doc);
+Result<Scene> ParseSvg(std::string_view text);
+
+}  // namespace svg
+}  // namespace discsec
+
+#endif  // DISCSEC_SVG_SVG_H_

@@ -1,0 +1,90 @@
+#include "xkms/client.h"
+
+#include "pki/key_codec.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace xkms {
+
+XkmsClient XkmsClient::Direct(XkmsService* service) {
+  return XkmsClient([service](const std::string& request) {
+    return service->HandleRequest(request);
+  });
+}
+
+Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildLocateRequest(name)));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  const xml::Element* root = doc.root();
+  const std::string* minor = root->GetAttribute("ResultMinor");
+  if (minor != nullptr && *minor == "NoMatch") {
+    return Status::NotFound("XKMS locate: no binding for '" + name + "'");
+  }
+  const xml::Element* kb = root->FirstChildElementByLocalName("KeyBinding");
+  if (kb == nullptr) {
+    return Status::ParseError("LocateResult missing KeyBinding");
+  }
+  KeyBinding binding;
+  const xml::Element* key_name = kb->FirstChildElementByLocalName("KeyName");
+  const xml::Element* key = kb->FirstChildElementByLocalName("RSAKeyValue");
+  if (key_name == nullptr || key == nullptr) {
+    return Status::ParseError("KeyBinding missing fields");
+  }
+  binding.name = key_name->TextContent();
+  DISCSEC_ASSIGN_OR_RETURN(binding.key, pki::RsaKeyFromXml(*key));
+  for (const auto& child : kb->children()) {
+    if (!child->IsElement()) continue;
+    const auto* e = static_cast<const xml::Element*>(child.get());
+    if (e->LocalName() == "KeyUsage") {
+      binding.key_usage.push_back(e->TextContent());
+    } else if (e->LocalName() == "Status") {
+      std::string s = e->TextContent();
+      binding.status = s == "Valid"     ? KeyStatus::kValid
+                       : s == "Invalid" ? KeyStatus::kInvalid
+                                        : KeyStatus::kIndeterminate;
+    }
+  }
+  return binding;
+}
+
+Result<KeyStatus> XkmsClient::Validate(const std::string& name,
+                                       const crypto::RsaPublicKey& key) {
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildValidateRequest(name, key)));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  const xml::Element* status =
+      doc.root()->FirstChildElementByLocalName("Status");
+  if (status == nullptr) {
+    return Status::ParseError("ValidateResult missing Status");
+  }
+  std::string s = status->TextContent();
+  if (s == "Valid") return KeyStatus::kValid;
+  if (s == "Invalid") return KeyStatus::kInvalid;
+  return KeyStatus::kIndeterminate;
+}
+
+Status XkmsClient::Register(const KeyBinding& binding) {
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildRegisterRequest(binding)));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  const std::string* major = doc.root()->GetAttribute("ResultMajor");
+  if (major == nullptr || *major != "Success") {
+    return Status::VerificationFailed("XKMS register rejected");
+  }
+  return Status::OK();
+}
+
+Status XkmsClient::Revoke(const std::string& name) {
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildRevokeRequest(name)));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  const std::string* major = doc.root()->GetAttribute("ResultMajor");
+  if (major == nullptr || *major != "Success") {
+    return Status::NotFound("XKMS revoke failed for '" + name + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace xkms
+}  // namespace discsec

@@ -1,0 +1,49 @@
+#ifndef DISCSEC_XKMS_CLIENT_H_
+#define DISCSEC_XKMS_CLIENT_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "xkms/service.h"
+
+namespace discsec {
+namespace xkms {
+
+/// Transport used by the client: ships a serialized request, returns the
+/// serialized response. The net module provides one over the secure channel;
+/// tests bind it straight to an XkmsService.
+using Transport =
+    std::function<Result<std::string>(const std::string& request_xml)>;
+
+/// Player/author-side XKMS client: builds request markup, sends it through
+/// the transport, parses the response.
+class XkmsClient {
+ public:
+  explicit XkmsClient(Transport transport)
+      : transport_(std::move(transport)) {}
+
+  /// Locates a registered key binding by name.
+  Result<KeyBinding> Locate(const std::string& name);
+
+  /// Asks the trust service whether (name, key) is currently valid.
+  Result<KeyStatus> Validate(const std::string& name,
+                             const crypto::RsaPublicKey& key);
+
+  /// Registers a binding with the trust service.
+  Status Register(const KeyBinding& binding);
+
+  /// Revokes a binding.
+  Status Revoke(const std::string& name);
+
+  /// Binds a client directly to an in-process service (no wire).
+  static XkmsClient Direct(XkmsService* service);
+
+ private:
+  Transport transport_;
+};
+
+}  // namespace xkms
+}  // namespace discsec
+
+#endif  // DISCSEC_XKMS_CLIENT_H_

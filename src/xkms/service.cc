@@ -1,0 +1,215 @@
+#include "xkms/service.h"
+
+#include "pki/key_codec.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace xkms {
+
+namespace {
+
+std::string SerializeRequest(std::unique_ptr<xml::Element> root) {
+  xml::Document doc = xml::Document::WithRoot(std::move(root));
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+std::unique_ptr<xml::Element> MakeRoot(const std::string& name) {
+  auto root = std::make_unique<xml::Element>("xkms:" + name);
+  root->SetAttribute("xmlns:xkms", kXkmsNamespace);
+  return root;
+}
+
+void AppendBinding(xml::Element* parent, const KeyBinding& binding) {
+  xml::Element* kb = parent->AppendElement("xkms:KeyBinding");
+  kb->AppendElement("xkms:KeyName")->SetTextContent(binding.name);
+  kb->AppendChild(pki::RsaKeyToXml(binding.key, "xkms:RSAKeyValue"));
+  for (const std::string& usage : binding.key_usage) {
+    kb->AppendElement("xkms:KeyUsage")->SetTextContent(usage);
+  }
+  kb->AppendElement("xkms:Status")
+      ->SetTextContent(KeyStatusName(binding.status));
+}
+
+Result<KeyBinding> ParseBinding(const xml::Element& kb) {
+  KeyBinding binding;
+  const xml::Element* name = kb.FirstChildElementByLocalName("KeyName");
+  const xml::Element* key = kb.FirstChildElementByLocalName("RSAKeyValue");
+  if (name == nullptr || key == nullptr) {
+    return Status::ParseError("KeyBinding missing KeyName or RSAKeyValue");
+  }
+  binding.name = name->TextContent();
+  DISCSEC_ASSIGN_OR_RETURN(binding.key, pki::RsaKeyFromXml(*key));
+  for (const auto& child : kb.children()) {
+    if (!child->IsElement()) continue;
+    const auto* e = static_cast<const xml::Element*>(child.get());
+    if (e->LocalName() == "KeyUsage") {
+      binding.key_usage.push_back(e->TextContent());
+    } else if (e->LocalName() == "Status") {
+      std::string s = e->TextContent();
+      binding.status = s == "Valid"     ? KeyStatus::kValid
+                       : s == "Invalid" ? KeyStatus::kInvalid
+                                        : KeyStatus::kIndeterminate;
+    }
+  }
+  return binding;
+}
+
+}  // namespace
+
+const char* KeyStatusName(KeyStatus status) {
+  switch (status) {
+    case KeyStatus::kValid:
+      return "Valid";
+    case KeyStatus::kInvalid:
+      return "Invalid";
+    case KeyStatus::kIndeterminate:
+      return "Indeterminate";
+  }
+  return "Indeterminate";
+}
+
+Status XkmsService::Register(const KeyBinding& binding) {
+  if (binding.name.empty()) {
+    return Status::InvalidArgument("key binding needs a name");
+  }
+  if (binding.key.modulus.IsZero()) {
+    return Status::InvalidArgument("key binding needs a key");
+  }
+  KeyBinding stored = binding;
+  stored.status = KeyStatus::kValid;
+  bindings_[binding.name] = stored;
+  return Status::OK();
+}
+
+Status XkmsService::Revoke(const std::string& name) {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    return Status::NotFound("no binding named '" + name + "'");
+  }
+  it->second.status = KeyStatus::kInvalid;
+  return Status::OK();
+}
+
+Result<KeyBinding> XkmsService::Locate(const std::string& name) const {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) {
+    return Status::NotFound("no binding named '" + name + "'");
+  }
+  return it->second;
+}
+
+KeyStatus XkmsService::Validate(const std::string& name,
+                                const crypto::RsaPublicKey& key) const {
+  auto it = bindings_.find(name);
+  if (it == bindings_.end()) return KeyStatus::kIndeterminate;
+  if (!(it->second.key == key)) return KeyStatus::kInvalid;
+  return it->second.status;
+}
+
+Result<std::string> XkmsService::HandleRequest(
+    const std::string& request_xml) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(request_xml));
+  const xml::Element* root = doc.root();
+  std::string op(root->LocalName());
+
+  if (op == "LocateRequest") {
+    const xml::Element* name = root->FirstChildElementByLocalName("KeyName");
+    if (name == nullptr) {
+      return Status::ParseError("LocateRequest missing KeyName");
+    }
+    auto response = MakeRoot("LocateResult");
+    auto found = Locate(name->TextContent());
+    if (found.ok()) {
+      response->SetAttribute("ResultMajor", "Success");
+      AppendBinding(response.get(), found.value());
+    } else {
+      response->SetAttribute("ResultMajor", "Success");
+      response->SetAttribute("ResultMinor", "NoMatch");
+    }
+    return SerializeRequest(std::move(response));
+  }
+
+  if (op == "ValidateRequest") {
+    const xml::Element* kb =
+        root->FirstChildElementByLocalName("KeyBinding");
+    if (kb == nullptr) {
+      return Status::ParseError("ValidateRequest missing KeyBinding");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseBinding(*kb));
+    KeyStatus status = Validate(binding.name, binding.key);
+    auto response = MakeRoot("ValidateResult");
+    response->SetAttribute("ResultMajor", "Success");
+    response->AppendElement("xkms:Status")
+        ->SetTextContent(KeyStatusName(status));
+    return SerializeRequest(std::move(response));
+  }
+
+  if (op == "RegisterRequest") {
+    const xml::Element* kb = root->FirstChildElementByLocalName("KeyBinding");
+    if (kb == nullptr) {
+      return Status::ParseError("RegisterRequest missing KeyBinding");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseBinding(*kb));
+    auto response = MakeRoot("RegisterResult");
+    Status status = Register(binding);
+    response->SetAttribute("ResultMajor",
+                           status.ok() ? "Success" : "Receiver");
+    if (!status.ok()) {
+      response->AppendElement("xkms:Reason")
+          ->SetTextContent(status.ToString());
+    }
+    return SerializeRequest(std::move(response));
+  }
+
+  if (op == "RevokeRequest") {
+    const xml::Element* name = root->FirstChildElementByLocalName("KeyName");
+    if (name == nullptr) {
+      return Status::ParseError("RevokeRequest missing KeyName");
+    }
+    Status status = Revoke(name->TextContent());
+    auto response = MakeRoot("RevokeResult");
+    response->SetAttribute("ResultMajor",
+                           status.ok() ? "Success" : "Receiver");
+    if (!status.ok()) {
+      response->AppendElement("xkms:Reason")
+          ->SetTextContent(status.ToString());
+    }
+    return SerializeRequest(std::move(response));
+  }
+
+  return Status::Unsupported("XKMS operation: " + op);
+}
+
+std::string BuildLocateRequest(const std::string& name) {
+  auto root = MakeRoot("LocateRequest");
+  root->AppendElement("xkms:KeyName")->SetTextContent(name);
+  return SerializeRequest(std::move(root));
+}
+
+std::string BuildValidateRequest(const std::string& name,
+                                 const crypto::RsaPublicKey& key) {
+  auto root = MakeRoot("ValidateRequest");
+  KeyBinding binding;
+  binding.name = name;
+  binding.key = key;
+  AppendBinding(root.get(), binding);
+  return SerializeRequest(std::move(root));
+}
+
+std::string BuildRegisterRequest(const KeyBinding& binding) {
+  auto root = MakeRoot("RegisterRequest");
+  AppendBinding(root.get(), binding);
+  return SerializeRequest(std::move(root));
+}
+
+std::string BuildRevokeRequest(const std::string& name) {
+  auto root = MakeRoot("RevokeRequest");
+  root->AppendElement("xkms:KeyName")->SetTextContent(name);
+  return SerializeRequest(std::move(root));
+}
+
+}  // namespace xkms
+}  // namespace discsec

@@ -1,0 +1,85 @@
+#ifndef DISCSEC_XKMS_SERVICE_H_
+#define DISCSEC_XKMS_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/rsa.h"
+#include "pki/cert_store.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xkms {
+
+/// The XKMS namespace used in request/response markup.
+inline constexpr char kXkmsNamespace[] = "http://www.w3.org/2002/03/xkms#";
+
+/// Key binding status, per XKMS 2.0 (Valid / Invalid / Indeterminate).
+enum class KeyStatus {
+  kValid,
+  kInvalid,
+  kIndeterminate,
+};
+
+const char* KeyStatusName(KeyStatus status);
+
+/// One registered key binding: a name (application identifier such as a
+/// signer subject or key fingerprint) bound to a public key, with use hints
+/// and revocation state.
+struct KeyBinding {
+  std::string name;
+  crypto::RsaPublicKey key;
+  std::vector<std::string> key_usage;  ///< e.g. "Signature", "Encryption"
+  KeyStatus status = KeyStatus::kValid;
+};
+
+/// An in-process XKMS trust service — the "trusted source (trust server)" of
+/// the paper's §7, handling the §3.1 Key Management requirement
+/// (registration, revocation, update, location, validation) over XML
+/// messages. The message layer is exercised by the client in client.h; this
+/// class is the service logic plus its XML codec.
+class XkmsService {
+ public:
+  /// Handles a serialized XKMS request document and returns the serialized
+  /// response document. This is the wire entry point the content server
+  /// exposes (see net/server.h).
+  Result<std::string> HandleRequest(const std::string& request_xml);
+
+  // --- direct (in-process) operations, used by the codec and tests ---
+
+  /// Registers (or re-registers) a key binding. Re-registration updates the
+  /// key and resets status to Valid.
+  Status Register(const KeyBinding& binding);
+
+  /// Marks the binding revoked; Locate still finds it, Validate reports
+  /// Invalid.
+  Status Revoke(const std::string& name);
+
+  /// Returns the binding for `name` (whatever its status).
+  Result<KeyBinding> Locate(const std::string& name) const;
+
+  /// Full validation: binding must exist, be unrevoked, and (when a
+  /// certificate store is attached) its key must match a currently valid
+  /// certificate subject.
+  KeyStatus Validate(const std::string& name,
+                     const crypto::RsaPublicKey& key) const;
+
+  size_t BindingCount() const { return bindings_.size(); }
+
+ private:
+  std::map<std::string, KeyBinding> bindings_;
+};
+
+/// Builds XKMS request documents (client side).
+std::string BuildLocateRequest(const std::string& name);
+std::string BuildValidateRequest(const std::string& name,
+                                 const crypto::RsaPublicKey& key);
+std::string BuildRegisterRequest(const KeyBinding& binding);
+std::string BuildRevokeRequest(const std::string& name);
+
+}  // namespace xkms
+}  // namespace discsec
+
+#endif  // DISCSEC_XKMS_SERVICE_H_

@@ -1,0 +1,257 @@
+#include "xml/c14n.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace xml {
+
+namespace {
+
+/// Map of prefix -> namespace URI rendered so far on the ancestor chain.
+using NsMap = std::map<std::string, std::string>;
+
+struct C14NWriter {
+  const C14NOptions& options;
+  std::string out;
+
+  void WriteText(const Text& text) { out += EscapeText(text.data()); }
+
+  void WriteComment(const Comment& comment) {
+    out += "<!--";
+    out += comment.data();
+    out += "-->";
+  }
+
+  void WritePi(const Pi& pi) {
+    out += "<?";
+    out += pi.target();
+    if (!pi.data().empty()) {
+      out += ' ';
+      out += pi.data();
+    }
+    out += "?>";
+  }
+
+  /// The prefixes element `e` visibly utilizes: its own plus those of its
+  /// non-namespace attributes (the exclusive-C14N criterion).
+  static std::set<std::string> VisiblyUtilizedPrefixes(const Element& e) {
+    std::set<std::string> out;
+    out.insert(std::string(e.Prefix()));
+    for (const auto& attr : e.attributes()) {
+      if (attr.IsNamespaceDecl()) continue;
+      auto [prefix, local] = SplitQName(attr.name);
+      // Unprefixed attributes have no namespace — they never utilize the
+      // default namespace.
+      if (!prefix.empty() && prefix != "xml") {
+        out.insert(std::string(prefix));
+      }
+    }
+    return out;
+  }
+
+  /// `extra_ns` / `extra_attrs` carry the inherited declarations for a
+  /// document-subset apex; both are empty for non-apex elements.
+  void WriteElement(const Element& e, const NsMap& rendered,
+                    const NsMap& extra_ns,
+                    const std::vector<Attribute>& extra_attrs) {
+    out += '<';
+    out += e.name();
+
+    NsMap next_rendered = rendered;
+    std::vector<std::pair<std::string, std::string>> to_render;
+    if (options.exclusive) {
+      // Exclusive: render a declaration for each visibly utilized prefix
+      // (plus the InclusiveNamespaces list) whose in-scope value differs
+      // from the nearest output ancestor's rendering.
+      std::set<std::string> wanted = VisiblyUtilizedPrefixes(e);
+      for (const std::string& prefix : options.inclusive_prefixes) {
+        wanted.insert(prefix == "#default" ? std::string() : prefix);
+      }
+      for (const std::string& prefix : wanted) {
+        std::string uri = e.LookupNamespaceUri(prefix);
+        auto it = rendered.find(prefix);
+        std::string current =
+            it == rendered.end() ? std::string() : it->second;
+        if (current == uri) continue;
+        if (prefix.empty() && uri.empty() && it == rendered.end()) continue;
+        if (uri.empty() && !prefix.empty()) continue;  // unbound prefix
+        to_render.emplace_back(prefix, uri);
+        next_rendered[prefix] = uri;
+      }
+    } else {
+      // Inclusive: gather this element's namespace declarations (own xmlns
+      // attrs override inherited extras with the same prefix) and render
+      // those whose value differs from the nearest rendered ancestor. The
+      // default namespace "" with value "" is only rendered when undoing a
+      // non-empty default.
+      NsMap declared = extra_ns;
+      for (const auto& attr : e.attributes()) {
+        if (attr.IsNamespaceDecl()) {
+          declared[attr.DeclaredPrefix()] = attr.value;
+        }
+      }
+      for (const auto& [prefix, uri] : declared) {
+        auto it = rendered.find(prefix);
+        std::string current =
+            it == rendered.end() ? std::string() : it->second;
+        if (current == uri) continue;
+        if (prefix.empty() && uri.empty() && it == rendered.end()) continue;
+        to_render.emplace_back(prefix, uri);
+        next_rendered[prefix] = uri;
+      }
+    }
+    // Namespace nodes sort by prefix (default namespace, "", sorts first).
+    std::sort(to_render.begin(), to_render.end());
+    for (const auto& [prefix, uri] : to_render) {
+      out += ' ';
+      out += prefix.empty() ? "xmlns" : "xmlns:" + prefix;
+      out += "=\"";
+      out += EscapeAttribute(uri);
+      out += '"';
+    }
+
+    // Regular attributes sorted by (namespace URI of prefix, local name);
+    // unprefixed attributes have no namespace, so their URI key is "".
+    std::vector<const Attribute*> attrs;
+    for (const auto& attr : extra_attrs) attrs.push_back(&attr);
+    for (const auto& attr : e.attributes()) {
+      if (!attr.IsNamespaceDecl()) {
+        // Own xml:* attributes override inherited ones with the same name.
+        attrs.erase(std::remove_if(attrs.begin(), attrs.end(),
+                                   [&](const Attribute* a) {
+                                     return a->name == attr.name;
+                                   }),
+                    attrs.end());
+        attrs.push_back(&attr);
+      }
+    }
+    auto sort_key = [&](const Attribute* a) {
+      auto [prefix, local] = SplitQName(a->name);
+      std::string uri;
+      if (!prefix.empty()) uri = e.LookupNamespaceUri(prefix);
+      return std::make_pair(uri, std::string(local));
+    };
+    std::sort(attrs.begin(), attrs.end(),
+              [&](const Attribute* a, const Attribute* b) {
+                return sort_key(a) < sort_key(b);
+              });
+    for (const Attribute* attr : attrs) {
+      out += ' ';
+      out += attr->name;
+      out += "=\"";
+      out += EscapeAttribute(attr->value);
+      out += '"';
+    }
+    out += '>';
+
+    for (const auto& child : e.children()) {
+      WriteNode(*child, next_rendered);
+    }
+
+    out += "</";
+    out += e.name();
+    out += '>';
+  }
+
+  void WriteNode(const Node& node, const NsMap& rendered) {
+    switch (node.kind()) {
+      case NodeKind::kElement:
+        WriteElement(static_cast<const Element&>(node), rendered, {}, {});
+        break;
+      case NodeKind::kText:
+        WriteText(static_cast<const Text&>(node));
+        break;
+      case NodeKind::kComment:
+        if (options.with_comments) {
+          WriteComment(static_cast<const Comment&>(node));
+        }
+        break;
+      case NodeKind::kProcessingInstruction:
+        WritePi(static_cast<const Pi&>(node));
+        break;
+    }
+  }
+};
+
+}  // namespace
+
+std::string Canonicalize(const Document& doc, const C14NOptions& options) {
+  C14NWriter writer{options, {}};
+  // Document-level children: PIs (and comments in WithComments mode) that
+  // precede the root are followed by #xA; those after are preceded by #xA.
+  bool seen_root = false;
+  for (const auto& child : doc.children()) {
+    if (child->IsElement()) {
+      writer.WriteNode(*child, NsMap());
+      seen_root = true;
+      continue;
+    }
+    if (child->IsComment() && !options.with_comments) continue;
+    if (seen_root) writer.out += '\n';
+    writer.WriteNode(*child, NsMap());
+    if (!seen_root) writer.out += '\n';
+  }
+  return std::move(writer.out);
+}
+
+std::string Canonicalize(const Document& doc) {
+  C14NOptions options;
+  return Canonicalize(doc, options);
+}
+
+std::string CanonicalizeElement(const Element& apex,
+                                const C14NOptions& options) {
+  if (options.exclusive) {
+    // Exclusive C14N does not inherit ancestor xml:* attributes, and
+    // namespace context comes from LookupNamespaceUri on demand.
+    C14NWriter writer{options, {}};
+    writer.WriteElement(apex, NsMap(), {}, {});
+    return std::move(writer.out);
+  }
+  // Collect in-scope namespace declarations from ancestors (nearest wins)
+  // and inheritable xml:* attributes, per C14N's document-subset rules.
+  NsMap inherited_ns;
+  std::vector<Attribute> inherited_xml_attrs;
+  std::vector<const Element*> ancestors;
+  for (const Element* a = apex.parent(); a != nullptr; a = a->parent()) {
+    ancestors.push_back(a);
+  }
+  // Walk outermost-first so nearer declarations overwrite farther ones.
+  for (auto it = ancestors.rbegin(); it != ancestors.rend(); ++it) {
+    for (const auto& attr : (*it)->attributes()) {
+      if (attr.IsNamespaceDecl()) {
+        inherited_ns[attr.DeclaredPrefix()] = attr.value;
+      } else if (attr.name.rfind("xml:", 0) == 0) {
+        // Nearer ancestor overrides: replace any previous with same name.
+        auto found = std::find_if(
+            inherited_xml_attrs.begin(), inherited_xml_attrs.end(),
+            [&](const Attribute& a) { return a.name == attr.name; });
+        if (found != inherited_xml_attrs.end()) {
+          found->value = attr.value;
+        } else {
+          inherited_xml_attrs.push_back(attr);
+        }
+      }
+    }
+  }
+  // An inherited empty default namespace is the initial state; drop it.
+  auto def = inherited_ns.find("");
+  if (def != inherited_ns.end() && def->second.empty()) {
+    inherited_ns.erase(def);
+  }
+  C14NWriter writer{options, {}};
+  writer.WriteElement(apex, NsMap(), inherited_ns, inherited_xml_attrs);
+  return std::move(writer.out);
+}
+
+std::string CanonicalizeElement(const Element& apex) {
+  C14NOptions options;
+  return CanonicalizeElement(apex, options);
+}
+
+}  // namespace xml
+}  // namespace discsec

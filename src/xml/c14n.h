@@ -1,0 +1,50 @@
+#ifndef DISCSEC_XML_C14N_H_
+#define DISCSEC_XML_C14N_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xml {
+
+/// Canonical XML 1.0 (W3C REC-xml-c14n-20010315).
+///
+/// The paper (§5.4, Fig. 6) motivates canonicalization directly: XML allows
+/// syntactic variation between semantically equivalent documents, while hash
+/// functions are sensitive to every byte, so signatures must be computed over
+/// the canonical form. This implements the inclusive algorithm, with and
+/// without comments, for full documents and for document subsets rooted at an
+/// element (the form XML-DSig same-document references use).
+struct C14NOptions {
+  /// Include comment nodes (the ...#WithComments variant).
+  bool with_comments = false;
+  /// Exclusive XML Canonicalization (W3C xml-exc-c14n): render only the
+  /// namespace declarations an element *visibly utilizes* (its own prefix
+  /// and its attributes' prefixes), instead of every in-scope declaration.
+  /// This makes a canonicalized fragment independent of its enclosing
+  /// document's namespace context, so a signed fragment can be moved
+  /// between documents without breaking its signature.
+  bool exclusive = false;
+  /// Exclusive mode only: prefixes to treat inclusively anyway (the
+  /// ec:InclusiveNamespaces PrefixList; "#default" names the default
+  /// namespace).
+  std::vector<std::string> inclusive_prefixes;
+};
+
+/// Canonicalizes the entire document.
+std::string Canonicalize(const Document& doc, const C14NOptions& options);
+std::string Canonicalize(const Document& doc);
+
+/// Canonicalizes the subtree rooted at `apex` as a document subset: the apex
+/// element inherits its ancestors' in-scope namespace declarations and xml:*
+/// attributes, per the C14N rules for document subsets.
+std::string CanonicalizeElement(const Element& apex,
+                                const C14NOptions& options);
+std::string CanonicalizeElement(const Element& apex);
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_C14N_H_

@@ -1,0 +1,211 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+
+namespace discsec {
+namespace xml {
+
+std::pair<std::string_view, std::string_view> SplitQName(std::string_view q) {
+  size_t colon = q.find(':');
+  if (colon == std::string_view::npos) {
+    return {std::string_view(), q};
+  }
+  return {q.substr(0, colon), q.substr(colon + 1)};
+}
+
+const std::string* Element::GetAttribute(std::string_view name) const {
+  for (const auto& attr : attributes_) {
+    if (attr.name == name) return &attr.value;
+  }
+  return nullptr;
+}
+
+void Element::SetAttribute(std::string_view name, std::string_view value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::string(name), std::string(value)});
+}
+
+bool Element::RemoveAttribute(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->name == name) {
+      attributes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+Node* Element::AppendChild(std::unique_ptr<Node> child) {
+  child->parent_ = this;
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+Element* Element::AppendElement(std::string name) {
+  return static_cast<Element*>(
+      AppendChild(std::make_unique<Element>(std::move(name))));
+}
+
+Text* Element::AppendText(std::string data) {
+  return static_cast<Text*>(
+      AppendChild(std::make_unique<Text>(std::move(data))));
+}
+
+Node* Element::InsertChild(size_t index, std::unique_ptr<Node> child) {
+  if (index > children_.size()) index = children_.size();
+  child->parent_ = this;
+  auto it = children_.insert(children_.begin() + index, std::move(child));
+  return it->get();
+}
+
+std::unique_ptr<Node> Element::RemoveChildAt(size_t index) {
+  if (index >= children_.size()) return nullptr;
+  std::unique_ptr<Node> out = std::move(children_[index]);
+  children_.erase(children_.begin() + index);
+  out->parent_ = nullptr;
+  return out;
+}
+
+std::unique_ptr<Node> Element::RemoveChild(Node* child) {
+  size_t idx = IndexOfChild(child);
+  if (idx == static_cast<size_t>(-1)) return nullptr;
+  return RemoveChildAt(idx);
+}
+
+std::unique_ptr<Node> Element::ReplaceChild(Node* child,
+                                            std::unique_ptr<Node> replacement) {
+  size_t idx = IndexOfChild(child);
+  if (idx == static_cast<size_t>(-1)) return nullptr;
+  replacement->parent_ = this;
+  std::unique_ptr<Node> old = std::move(children_[idx]);
+  children_[idx] = std::move(replacement);
+  old->parent_ = nullptr;
+  return old;
+}
+
+void Element::ClearChildren() { children_.clear(); }
+
+size_t Element::IndexOfChild(const Node* child) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i].get() == child) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+Element* Element::FirstChildElement(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (!child->IsElement()) continue;
+    auto* elem = static_cast<Element*>(child.get());
+    if (name.empty() || elem->name() == name) return elem;
+  }
+  return nullptr;
+}
+
+std::vector<Element*> Element::ChildElements(std::string_view name) const {
+  std::vector<Element*> out;
+  for (const auto& child : children_) {
+    if (!child->IsElement()) continue;
+    auto* elem = static_cast<Element*>(child.get());
+    if (name.empty() || elem->name() == name) out.push_back(elem);
+  }
+  return out;
+}
+
+Element* Element::FirstChildElementByLocalName(std::string_view local) const {
+  for (const auto& child : children_) {
+    if (!child->IsElement()) continue;
+    auto* elem = static_cast<Element*>(child.get());
+    if (elem->LocalName() == local) return elem;
+  }
+  return nullptr;
+}
+
+std::string Element::TextContent() const {
+  std::string out;
+  for (const auto& child : children_) {
+    if (child->IsText()) {
+      out += static_cast<Text*>(child.get())->data();
+    } else if (child->IsElement()) {
+      out += static_cast<Element*>(child.get())->TextContent();
+    }
+  }
+  return out;
+}
+
+void Element::SetTextContent(std::string text) {
+  ClearChildren();
+  AppendText(std::move(text));
+}
+
+std::string Element::LookupNamespaceUri(std::string_view prefix) const {
+  if (prefix == "xml") return kXmlNamespace;
+  std::string decl_name =
+      prefix.empty() ? std::string("xmlns") : "xmlns:" + std::string(prefix);
+  for (const Element* e = this; e != nullptr; e = e->parent()) {
+    if (const std::string* v = e->GetAttribute(decl_name)) return *v;
+  }
+  return std::string();
+}
+
+Element* Element::FindById(std::string_view id) {
+  Element* found = nullptr;
+  ForEachElement([&](Element* e) {
+    if (found) return;
+    const std::string* v = e->GetAttribute("Id");
+    if (v == nullptr) v = e->GetAttribute("id");
+    if (v != nullptr && *v == id) found = e;
+  });
+  return found;
+}
+
+std::unique_ptr<Node> Element::Clone() const { return CloneElement(); }
+
+std::unique_ptr<Element> Element::CloneElement() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->attributes_ = attributes_;
+  for (const auto& child : children_) {
+    copy->AppendChild(child->Clone());
+  }
+  return copy;
+}
+
+Document Document::WithRoot(std::unique_ptr<Element> root) {
+  Document doc;
+  doc.root_ = root.get();
+  doc.children_.push_back(std::move(root));
+  return doc;
+}
+
+Status Document::AppendChild(std::unique_ptr<Node> child) {
+  if (child->IsText()) {
+    return Status::InvalidArgument("text not allowed at document level");
+  }
+  if (child->IsElement()) {
+    if (root_ != nullptr) {
+      return Status::InvalidArgument("document already has a root element");
+    }
+    root_ = static_cast<Element*>(child.get());
+  }
+  children_.push_back(std::move(child));
+  return Status::OK();
+}
+
+Document Document::Clone() const {
+  Document copy;
+  for (const auto& child : children_) {
+    auto cloned = child->Clone();
+    if (cloned->IsElement()) {
+      copy.root_ = static_cast<Element*>(cloned.get());
+    }
+    copy.children_.push_back(std::move(cloned));
+  }
+  return copy;
+}
+
+}  // namespace xml
+}  // namespace discsec

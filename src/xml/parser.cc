@@ -1,0 +1,383 @@
+#include "xml/parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace discsec {
+namespace xml {
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+         c == '-' || c == '.';
+}
+
+/// Encodes a Unicode code point as UTF-8.
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+class ParserImpl {
+ public:
+  ParserImpl(std::string_view input, const ParseOptions& options)
+      : input_(input), options_(options) {}
+
+  Result<Document> Run() {
+    Document doc;
+    SkipBom();
+    // Prolog: XML declaration, misc (comments/PIs/whitespace), DOCTYPE.
+    DISCSEC_RETURN_IF_ERROR(ParseProlog(&doc));
+    if (AtEnd() || Peek() != '<') {
+      return Error("expected document element");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Element> root, ParseElement(0));
+    DISCSEC_RETURN_IF_ERROR(doc.AppendChild(std::move(root)));
+    // Trailing misc.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) break;
+      if (Lookahead("<!--")) {
+        DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> c, ParseComment());
+        DISCSEC_RETURN_IF_ERROR(doc.AppendChild(std::move(c)));
+      } else if (Lookahead("<?")) {
+        DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> pi, ParsePi());
+        DISCSEC_RETURN_IF_ERROR(doc.AppendChild(std::move(pi)));
+      } else {
+        return Error("unexpected content after document element");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+  }
+  void Advance() { ++pos_; }
+
+  bool Lookahead(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+
+  bool Consume(std::string_view s) {
+    if (Lookahead(s)) {
+      pos_ += s.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(const std::string& what) const {
+    size_t line = 1;
+    size_t col = 1;
+    for (size_t i = 0; i < pos_ && i < input_.size(); ++i) {
+      if (input_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(what + " at line " + std::to_string(line) +
+                              ", column " + std::to_string(col));
+  }
+
+  void SkipBom() {
+    if (input_.size() >= 3 && static_cast<uint8_t>(input_[0]) == 0xef &&
+        static_cast<uint8_t>(input_[1]) == 0xbb &&
+        static_cast<uint8_t>(input_[2]) == 0xbf) {
+      pos_ = 3;
+    }
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\r' ||
+                        Peek() == '\n')) {
+      Advance();
+    }
+  }
+
+  Status ParseProlog(Document* doc) {
+    SkipWhitespace();
+    if (Consume("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      if (end == std::string_view::npos) return Error("unterminated XML decl");
+      pos_ = end + 2;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (Lookahead("<!--")) {
+        DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> c, ParseComment());
+        DISCSEC_RETURN_IF_ERROR(doc->AppendChild(std::move(c)));
+      } else if (Lookahead("<!DOCTYPE")) {
+        if (!options_.allow_doctype) {
+          return Error("DOCTYPE is not allowed (player security profile)");
+        }
+        DISCSEC_RETURN_IF_ERROR(SkipDoctype());
+      } else if (Lookahead("<?")) {
+        DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> pi, ParsePi());
+        DISCSEC_RETURN_IF_ERROR(doc->AppendChild(std::move(pi)));
+      } else {
+        return Status::OK();
+      }
+    }
+  }
+
+  Status SkipDoctype() {
+    // Skip to the matching '>' at bracket depth 0 (internal subsets nest
+    // with [...]).
+    pos_ += 9;  // "<!DOCTYPE"
+    int bracket = 0;
+    while (!AtEnd()) {
+      char c = Peek();
+      Advance();
+      if (c == '[') ++bracket;
+      if (c == ']') --bracket;
+      if (c == '>' && bracket == 0) return Status::OK();
+    }
+    return Error("unterminated DOCTYPE");
+  }
+
+  Result<std::unique_ptr<Node>> ParseComment() {
+    pos_ += 4;  // "<!--"
+    size_t end = input_.find("--", pos_);
+    if (end == std::string_view::npos) return Error("unterminated comment");
+    std::string data(input_.substr(pos_, end - pos_));
+    pos_ = end;
+    if (!Consume("-->")) return Error("'--' not allowed inside comment");
+    return std::unique_ptr<Node>(new Comment(std::move(data)));
+  }
+
+  Result<std::unique_ptr<Node>> ParsePi() {
+    pos_ += 2;  // "<?"
+    DISCSEC_ASSIGN_OR_RETURN(std::string target, ParseName());
+    if (target == "xml") return Error("XML declaration not allowed here");
+    SkipWhitespace();
+    size_t end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) return Error("unterminated PI");
+    std::string data(input_.substr(pos_, end - pos_));
+    pos_ = end + 2;
+    return std::unique_ptr<Node>(new Pi(std::move(target), std::move(data)));
+  }
+
+  Result<std::string> ParseName() {
+    if (AtEnd() || !IsNameStartChar(Peek())) return Error("expected name");
+    size_t start = pos_;
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Resolves an entity or character reference starting after '&'.
+  Status AppendReference(std::string* out) {
+    size_t semi = input_.find(';', pos_);
+    if (semi == std::string_view::npos || semi - pos_ > 10) {
+      return Error("unterminated entity reference");
+    }
+    std::string_view name = input_.substr(pos_, semi - pos_);
+    pos_ = semi + 1;
+    if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t cp = 0;
+      bool ok = false;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (size_t i = 2; i < name.size(); ++i) {
+          char c = name[i];
+          int v = (c >= '0' && c <= '9')   ? c - '0'
+                  : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                  : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                           : -1;
+          if (v < 0) return Error("bad hex character reference");
+          cp = cp * 16 + static_cast<uint32_t>(v);
+          ok = true;
+        }
+      } else {
+        for (size_t i = 1; i < name.size(); ++i) {
+          if (name[i] < '0' || name[i] > '9') {
+            return Error("bad character reference");
+          }
+          cp = cp * 10 + static_cast<uint32_t>(name[i] - '0');
+          ok = true;
+        }
+      }
+      if (!ok || cp == 0 || cp > 0x10ffff) {
+        return Error("character reference out of range");
+      }
+      AppendUtf8(out, cp);
+    } else {
+      return Error("unknown entity '" + std::string(name) +
+                   "' (custom entities are not supported)");
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseAttributeValue() {
+    if (AtEnd() || (Peek() != '"' && Peek() != '\'')) {
+      return Error("expected quoted attribute value");
+    }
+    char quote = Peek();
+    Advance();
+    std::string out;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Peek();
+      if (c == '<') return Error("'<' in attribute value");
+      if (c == '&') {
+        Advance();
+        DISCSEC_RETURN_IF_ERROR(AppendReference(&out));
+      } else {
+        // Attribute-value normalization: whitespace chars become spaces.
+        if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+        out.push_back(c);
+        Advance();
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return out;
+  }
+
+  Result<std::unique_ptr<Element>> ParseElement(size_t depth) {
+    if (depth > options_.max_depth) {
+      return Status::ResourceExhausted("XML nesting exceeds max_depth");
+    }
+    Advance();  // '<'
+    DISCSEC_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto elem = std::make_unique<Element>(name);
+    // Attributes.
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Lookahead("/>")) break;
+      DISCSEC_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWhitespace();
+      DISCSEC_ASSIGN_OR_RETURN(std::string value, ParseAttributeValue());
+      if (elem->GetAttribute(attr_name) != nullptr) {
+        return Error("duplicate attribute '" + attr_name + "'");
+      }
+      elem->SetAttribute(attr_name, value);
+    }
+    if (Consume("/>")) return elem;
+    Advance();  // '>'
+
+    // Content.
+    std::string text;
+    auto flush_text = [&]() {
+      if (!text.empty()) {
+        elem->AppendText(std::move(text));
+        text.clear();
+      }
+    };
+    for (;;) {
+      if (AtEnd()) return Error("unterminated element <" + name + ">");
+      char c = Peek();
+      if (c == '<') {
+        if (Lookahead("</")) {
+          flush_text();
+          pos_ += 2;
+          DISCSEC_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+          if (end_name != name) {
+            return Error("mismatched end tag </" + end_name + "> for <" +
+                         name + ">");
+          }
+          SkipWhitespace();
+          if (!Consume(">")) return Error("expected '>' in end tag");
+          return elem;
+        }
+        if (Lookahead("<!--")) {
+          flush_text();
+          DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> comment,
+                                   ParseComment());
+          elem->AppendChild(std::move(comment));
+        } else if (Lookahead("<![CDATA[")) {
+          pos_ += 9;
+          size_t end = input_.find("]]>", pos_);
+          if (end == std::string_view::npos) {
+            return Error("unterminated CDATA section");
+          }
+          text.append(input_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+        } else if (Lookahead("<?")) {
+          flush_text();
+          DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Node> pi, ParsePi());
+          elem->AppendChild(std::move(pi));
+        } else {
+          flush_text();
+          DISCSEC_ASSIGN_OR_RETURN(std::unique_ptr<Element> child,
+                                   ParseElement(depth + 1));
+          elem->AppendChild(std::move(child));
+        }
+      } else if (c == '&') {
+        Advance();
+        DISCSEC_RETURN_IF_ERROR(AppendReference(&text));
+      } else {
+        if (c == ']' && Lookahead("]]>")) {
+          return Error("']]>' not allowed in content");
+        }
+        // Line-end normalization.
+        if (c == '\r') {
+          text.push_back('\n');
+          Advance();
+          if (!AtEnd() && Peek() == '\n') Advance();
+        } else {
+          text.push_back(c);
+          Advance();
+        }
+      }
+    }
+  }
+
+  std::string_view input_;
+  const ParseOptions& options_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  if (input.size() > options.max_input) {
+    return Status::ResourceExhausted("XML input exceeds max_input");
+  }
+  ParserImpl parser(input, options);
+  return parser.Run();
+}
+
+Result<Document> Parse(std::string_view input) {
+  ParseOptions options;
+  return Parse(input, options);
+}
+
+}  // namespace xml
+}  // namespace discsec

@@ -1,0 +1,38 @@
+#ifndef DISCSEC_XML_PARSER_H_
+#define DISCSEC_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xml {
+
+/// Options controlling the parser's security posture.
+struct ParseOptions {
+  /// Maximum element nesting depth — a CE player must bound recursion.
+  size_t max_depth = 256;
+  /// Maximum total input size accepted (16 MiB default).
+  size_t max_input = 16u << 20;
+  /// DOCTYPE handling: the player profile rejects DTDs outright (they are a
+  /// well-known XML attack surface and C14N discards them anyway).
+  bool allow_doctype = false;
+};
+
+/// Parses an XML 1.0 document (UTF-8) into a Document.
+///
+/// Supported: prolog/XML declaration, comments, processing instructions,
+/// namespaces-as-attributes, CDATA sections (folded into text), the five
+/// predefined entities and decimal/hex character references.
+/// Not supported by design: DTD internal subsets and custom entities
+/// (rejected — see ParseOptions::allow_doctype, which only *skips* them).
+Result<Document> Parse(std::string_view input, const ParseOptions& options);
+
+/// Parses with default options.
+Result<Document> Parse(std::string_view input);
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_PARSER_H_

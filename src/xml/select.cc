@@ -1,0 +1,75 @@
+#include "xml/select.h"
+
+#include "common/strings.h"
+
+namespace discsec {
+namespace xml {
+
+namespace {
+
+bool StepMatches(const Element* e, std::string_view step) {
+  if (step == "*") return true;
+  if (step.find(':') != std::string_view::npos) return e->name() == step;
+  return e->LocalName() == step;
+}
+
+void CollectDescendants(Element* e, std::string_view step,
+                        std::vector<Element*>* out) {
+  e->ForEachElement([&](Element* d) {
+    if (StepMatches(d, step)) out->push_back(d);
+  });
+}
+
+}  // namespace
+
+std::vector<Element*> SelectAll(Element* context, std::string_view path) {
+  if (context == nullptr || path.empty()) return {};
+  bool descendant = false;
+  if (StartsWith(path, "//")) {
+    descendant = true;
+    path.remove_prefix(2);
+  } else if (StartsWith(path, "/")) {
+    path.remove_prefix(1);
+  }
+  std::vector<std::string> steps = SplitString(path, '/');
+  if (steps.empty()) return {};
+
+  std::vector<Element*> frontier;
+  if (descendant) {
+    CollectDescendants(context, steps[0], &frontier);
+  } else if (StepMatches(context, steps[0])) {
+    // The first step names the context element itself for root-anchored
+    // paths ("/cluster/..." applied with context = root <cluster>).
+    frontier.push_back(context);
+  } else {
+    // Relative path: first step names children of the context.
+    for (const auto& child : context->children()) {
+      if (child->IsElement() &&
+          StepMatches(static_cast<Element*>(child.get()), steps[0])) {
+        frontier.push_back(static_cast<Element*>(child.get()));
+      }
+    }
+  }
+
+  for (size_t s = 1; s < steps.size(); ++s) {
+    std::vector<Element*> next;
+    for (Element* e : frontier) {
+      for (const auto& child : e->children()) {
+        if (child->IsElement() &&
+            StepMatches(static_cast<Element*>(child.get()), steps[s])) {
+          next.push_back(static_cast<Element*>(child.get()));
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+Element* SelectFirst(Element* context, std::string_view path) {
+  auto all = SelectAll(context, path);
+  return all.empty() ? nullptr : all.front();
+}
+
+}  // namespace xml
+}  // namespace discsec

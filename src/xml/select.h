@@ -1,0 +1,31 @@
+#ifndef DISCSEC_XML_SELECT_H_
+#define DISCSEC_XML_SELECT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xml {
+
+/// A deliberately small path language for locating elements — enough for the
+/// library's internal needs (manifest part lookup, policy targets) without a
+/// full XPath engine:
+///
+///   "/cluster/track"        root-anchored child steps (by qualified name)
+///   "track/manifest"        relative child steps from the context element
+///   "//script"              any descendant with the given name
+///   "*"                     wildcard step matching any element
+///
+/// Names match the *local* name when the step has no prefix, and the full
+/// qualified name when it does.
+std::vector<Element*> SelectAll(Element* context, std::string_view path);
+
+/// First match or nullptr.
+Element* SelectFirst(Element* context, std::string_view path);
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_SELECT_H_

@@ -1,0 +1,174 @@
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace xml {
+
+std::string EscapeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '\r':
+        out += "&#xD;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\t':
+        out += "&#x9;";
+        break;
+      case '\n':
+        out += "&#xA;";
+        break;
+      case '\r':
+        out += "&#xD;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void SerializeNode(const Node& node, const SerializeOptions& options,
+                   int depth, std::string* out);
+
+void Indent(const SerializeOptions& options, int depth, std::string* out) {
+  if (options.indent > 0) {
+    out->push_back('\n');
+    out->append(static_cast<size_t>(options.indent * depth), ' ');
+  }
+}
+
+bool HasElementChildrenOnly(const Element& e) {
+  bool any = false;
+  for (const auto& child : e.children()) {
+    if (child->IsText()) return false;
+    any = true;
+  }
+  return any;
+}
+
+void SerializeElementImpl(const Element& e, const SerializeOptions& options,
+                          int depth, std::string* out) {
+  out->push_back('<');
+  out->append(e.name());
+  for (const auto& attr : e.attributes()) {
+    out->push_back(' ');
+    out->append(attr.name);
+    out->append("=\"");
+    out->append(EscapeAttribute(attr.value));
+    out->push_back('"');
+  }
+  if (e.children().empty()) {
+    out->append("/>");
+    return;
+  }
+  out->push_back('>');
+  // Only pretty-print inside elements with no text children, otherwise the
+  // added whitespace would change the text content.
+  bool pretty_inside = options.indent > 0 && HasElementChildrenOnly(e);
+  for (const auto& child : e.children()) {
+    if (pretty_inside) Indent(options, depth + 1, out);
+    SerializeNode(*child, options, depth + 1, out);
+  }
+  if (pretty_inside) Indent(options, depth, out);
+  out->append("</");
+  out->append(e.name());
+  out->push_back('>');
+}
+
+void SerializeNode(const Node& node, const SerializeOptions& options,
+                   int depth, std::string* out) {
+  switch (node.kind()) {
+    case NodeKind::kElement:
+      SerializeElementImpl(static_cast<const Element&>(node), options, depth,
+                           out);
+      break;
+    case NodeKind::kText:
+      out->append(EscapeText(static_cast<const Text&>(node).data()));
+      break;
+    case NodeKind::kComment:
+      out->append("<!--");
+      out->append(static_cast<const Comment&>(node).data());
+      out->append("-->");
+      break;
+    case NodeKind::kProcessingInstruction: {
+      const auto& pi = static_cast<const Pi&>(node);
+      out->append("<?");
+      out->append(pi.target());
+      if (!pi.data().empty()) {
+        out->push_back(' ');
+        out->append(pi.data());
+      }
+      out->append("?>");
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  if (options.xml_declaration) {
+    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.indent > 0) out.push_back('\n');
+  }
+  bool first = true;
+  for (const auto& child : doc.children()) {
+    if (!first && options.indent > 0) out.push_back('\n');
+    SerializeNode(*child, options, 0, &out);
+    first = false;
+  }
+  return out;
+}
+
+std::string Serialize(const Document& doc) {
+  SerializeOptions options;
+  return Serialize(doc, options);
+}
+
+std::string SerializeElement(const Element& element,
+                             const SerializeOptions& options) {
+  std::string out;
+  SerializeElementImpl(element, options, 0, &out);
+  return out;
+}
+
+std::string SerializeElement(const Element& element) {
+  SerializeOptions options;
+  return SerializeElement(element, options);
+}
+
+}  // namespace xml
+}  // namespace discsec

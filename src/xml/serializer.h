@@ -1,0 +1,40 @@
+#ifndef DISCSEC_XML_SERIALIZER_H_
+#define DISCSEC_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xml {
+
+/// Serialization style.
+struct SerializeOptions {
+  /// When true, emit the <?xml version="1.0" encoding="UTF-8"?> declaration.
+  bool xml_declaration = true;
+  /// When > 0, pretty-print: each child element on its own line indented by
+  /// `indent` spaces per depth. 0 produces compact output that round-trips
+  /// exactly (no whitespace is added anywhere).
+  int indent = 0;
+};
+
+/// Serializes a document to UTF-8 text. Compact mode output re-parses to an
+/// equal tree.
+std::string Serialize(const Document& doc, const SerializeOptions& options);
+std::string Serialize(const Document& doc);
+
+/// Serializes a single element subtree (no XML declaration).
+std::string SerializeElement(const Element& element,
+                             const SerializeOptions& options);
+std::string SerializeElement(const Element& element);
+
+/// Escapes `s` for use as element character data (&, <, > and CR).
+std::string EscapeText(std::string_view s);
+
+/// Escapes `s` for use inside a double-quoted attribute value.
+std::string EscapeAttribute(std::string_view s);
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_SERIALIZER_H_

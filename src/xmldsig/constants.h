@@ -1,0 +1,17 @@
+#ifndef DISCSEC_XMLDSIG_CONSTANTS_H_
+#define DISCSEC_XMLDSIG_CONSTANTS_H_
+
+namespace discsec {
+namespace xmldsig {
+
+/// The XML-DSig namespace and the conventional prefix this library emits.
+inline constexpr char kDsNamespace[] = "http://www.w3.org/2000/09/xmldsig#";
+inline constexpr char kDsPrefix[] = "ds";
+
+/// The Decryption Transform namespace (W3C xmlenc-decrypt).
+inline constexpr char kDcrptNamespace[] = "http://www.w3.org/2002/07/decrypt#";
+
+}  // namespace xmldsig
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLDSIG_CONSTANTS_H_

@@ -1,0 +1,248 @@
+#include "xmldsig/signer.h"
+
+#include "common/base64.h"
+#include "crypto/digest.h"
+#include "crypto/hmac.h"
+#include "crypto/sha1.h"
+#include "pki/key_codec.h"
+#include "xml/c14n.h"
+#include "xmldsig/constants.h"
+
+namespace discsec {
+namespace xmldsig {
+
+namespace {
+
+std::string Ds(const std::string& local) {
+  return std::string(kDsPrefix) + ":" + local;
+}
+
+/// Builds the ds:Reference element (without DigestValue yet).
+std::unique_ptr<xml::Element> BuildReferenceElement(const ReferenceSpec& spec) {
+  auto ref = std::make_unique<xml::Element>(Ds("Reference"));
+  ref->SetAttribute("URI", spec.uri);
+  if (!spec.transforms.empty()) {
+    xml::Element* transforms = ref->AppendElement(Ds("Transforms"));
+    for (const std::string& alg : spec.transforms) {
+      xml::Element* t = transforms->AppendElement(Ds("Transform"));
+      t->SetAttribute("Algorithm", alg);
+      if (alg == crypto::kAlgDecryptionTransform) {
+        for (const std::string& id : spec.decrypt_except_ids) {
+          xml::Element* except = t->AppendElement("dcrpt:Except");
+          except->SetAttribute("xmlns:dcrpt", kDcrptNamespace);
+          except->SetAttribute("URI", "#" + id);
+        }
+      }
+    }
+  }
+  ref->AppendElement(Ds("DigestMethod"))
+      ->SetAttribute("Algorithm", spec.digest_algorithm);
+  ref->AppendElement(Ds("DigestValue"));
+  return ref;
+}
+
+}  // namespace
+
+Result<Bytes> Signer::ComputeSignatureValue(
+    const Bytes& canonical_signed_info) const {
+  if (key_.kind == SigningKey::Kind::kHmac) {
+    if (key_.signature_algorithm != crypto::kAlgHmacSha1) {
+      return Status::Unsupported("HMAC signature algorithm: " +
+                                 key_.signature_algorithm);
+    }
+    return crypto::Hmac::Sha1Mac(key_.hmac_secret, canonical_signed_info);
+  }
+  std::string digest_uri;
+  if (key_.signature_algorithm == crypto::kAlgRsaSha1) {
+    digest_uri = crypto::kAlgSha1;
+  } else if (key_.signature_algorithm == crypto::kAlgRsaSha256) {
+    digest_uri = crypto::kAlgSha256;
+  } else {
+    return Status::Unsupported("signature algorithm: " +
+                               key_.signature_algorithm);
+  }
+  DISCSEC_ASSIGN_OR_RETURN(auto digest, crypto::MakeDigest(digest_uri));
+  digest->Update(canonical_signed_info);
+  return crypto::RsaSignDigest(key_.rsa, digest_uri, digest->Finalize());
+}
+
+Result<std::unique_ptr<xml::Element>> Signer::BuildUnsigned(
+    const std::vector<ReferenceSpec>& refs, const ReferenceContext& ctx,
+    const std::string& signature_id) const {
+  if (refs.empty()) {
+    return Status::InvalidArgument("signature needs at least one reference");
+  }
+  auto signature = std::make_unique<xml::Element>(Ds("Signature"));
+  signature->SetAttribute("xmlns:" + std::string(kDsPrefix), kDsNamespace);
+  if (!signature_id.empty()) signature->SetAttribute("Id", signature_id);
+
+  xml::Element* signed_info = signature->AppendElement(Ds("SignedInfo"));
+  signed_info->AppendElement(Ds("CanonicalizationMethod"))
+      ->SetAttribute("Algorithm", c14n_method_);
+  signed_info->AppendElement(Ds("SignatureMethod"))
+      ->SetAttribute("Algorithm", key_.signature_algorithm);
+
+  for (const ReferenceSpec& spec : refs) {
+    xml::Element* ref = static_cast<xml::Element*>(
+        signed_info->AppendChild(BuildReferenceElement(spec)));
+    DISCSEC_ASSIGN_OR_RETURN(Bytes data, ProcessReference(*ref, ctx));
+    DISCSEC_ASSIGN_OR_RETURN(auto digest,
+                             crypto::MakeDigest(spec.digest_algorithm));
+    digest->Update(data);
+    ref->FirstChildElementByLocalName("DigestValue")
+        ->SetTextContent(Base64Encode(digest->Finalize()));
+  }
+
+  signature->AppendElement(Ds("SignatureValue"));
+
+  // KeyInfo.
+  bool want_key_info = key_info_.include_key_value ||
+                       !key_info_.key_name.empty() ||
+                       !key_info_.certificate_chain.empty();
+  if (want_key_info) {
+    xml::Element* key_info = signature->AppendElement(Ds("KeyInfo"));
+    if (!key_info_.key_name.empty()) {
+      key_info->AppendElement(Ds("KeyName"))
+          ->SetTextContent(key_info_.key_name);
+    }
+    if (key_info_.include_key_value && key_.kind == SigningKey::Kind::kRsa) {
+      xml::Element* key_value = key_info->AppendElement(Ds("KeyValue"));
+      key_value->AppendChild(
+          pki::RsaKeyToXml(key_.rsa.PublicKey(), Ds("RSAKeyValue")));
+    }
+    if (!key_info_.certificate_chain.empty()) {
+      xml::Element* x509 = key_info->AppendElement(Ds("X509Data"));
+      for (const pki::Certificate& cert : key_info_.certificate_chain) {
+        x509->AppendElement(Ds("X509Certificate"))
+            ->SetTextContent(Base64Encode(ToBytes(cert.ToXmlString())));
+      }
+    }
+  }
+  return signature;
+}
+
+Status Signer::Finalize(xml::Element* signature) const {
+  xml::Element* signed_info =
+      signature->FirstChildElementByLocalName("SignedInfo");
+  xml::Element* sig_value =
+      signature->FirstChildElementByLocalName("SignatureValue");
+  if (signed_info == nullptr || sig_value == nullptr) {
+    return Status::InvalidArgument("Finalize: not an unsigned ds:Signature");
+  }
+  // SignedInfo is canonicalized exactly where it sits — attached signatures
+  // inherit their ancestors' namespace context, which the verifier will see
+  // identically (and which exclusive C14N makes context-free). The method
+  // is read back from the element so Finalize agrees with what BuildUnsigned
+  // recorded.
+  xml::C14NOptions options;
+  const xml::Element* method =
+      signed_info->FirstChildElementByLocalName("CanonicalizationMethod");
+  if (method != nullptr && method->GetAttribute("Algorithm") != nullptr) {
+    const std::string& alg = *method->GetAttribute("Algorithm");
+    options.exclusive =
+        alg == crypto::kAlgExcC14N || alg == crypto::kAlgExcC14NWithComments;
+    options.with_comments = alg == crypto::kAlgC14NWithComments ||
+                            alg == crypto::kAlgExcC14NWithComments;
+  }
+  Bytes canonical =
+      ToBytes(xml::CanonicalizeElement(*signed_info, options));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes value, ComputeSignatureValue(canonical));
+  sig_value->SetTextContent(Base64Encode(value));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<xml::Element>> Signer::CreateSignature(
+    const std::vector<ReferenceSpec>& refs, const ReferenceContext& ctx,
+    const std::string& signature_id) const {
+  DISCSEC_ASSIGN_OR_RETURN(auto signature,
+                           BuildUnsigned(refs, ctx, signature_id));
+  DISCSEC_RETURN_IF_ERROR(Finalize(signature.get()));
+  return signature;
+}
+
+Result<xml::Element*> Signer::SignEnveloped(
+    xml::Document* doc, xml::Element* parent,
+    const std::string& digest_algorithm) const {
+  if (doc == nullptr || parent == nullptr) {
+    return Status::InvalidArgument(
+        "SignEnveloped needs a document and parent");
+  }
+  // Attach a placeholder first so the enveloped-signature transform knows
+  // which element to remove while digesting; the real signature replaces it
+  // at the same path.
+  xml::Element* placeholder = parent->AppendElement(Ds("Signature"));
+  size_t index = parent->IndexOfChild(placeholder);
+  ReferenceContext ctx;
+  ctx.document = doc;
+  ctx.signature_path = ComputePath(placeholder);
+  ctx.resolver = nullptr;
+
+  ReferenceSpec spec;
+  spec.uri = "";
+  spec.transforms = {crypto::kAlgEnvelopedSignature, crypto::kAlgC14N};
+  spec.digest_algorithm = digest_algorithm;
+
+  auto built = BuildUnsigned({spec}, ctx);
+  if (!built.ok()) {
+    parent->RemoveChild(placeholder);
+    return built.status();
+  }
+  parent->ReplaceChild(placeholder, std::move(built).value());
+  auto* signature = static_cast<xml::Element*>(parent->ChildAt(index));
+  DISCSEC_RETURN_IF_ERROR(Finalize(signature));
+  return signature;
+}
+
+Result<xml::Element*> Signer::SignDetached(xml::Document* doc,
+                                           xml::Element* target,
+                                           const std::string& target_id,
+                                           xml::Element* parent) const {
+  if (doc == nullptr || target == nullptr || parent == nullptr) {
+    return Status::InvalidArgument("SignDetached needs doc, target, parent");
+  }
+  if (target_id.empty()) {
+    return Status::InvalidArgument("SignDetached needs a target id");
+  }
+  const std::string* existing = target->GetAttribute("Id");
+  if (existing != nullptr && *existing != target_id) {
+    return Status::InvalidArgument("target already has a different Id");
+  }
+  target->SetAttribute("Id", target_id);
+
+  ReferenceContext ctx;
+  ctx.document = doc;
+  ReferenceSpec spec;
+  spec.uri = "#" + target_id;
+  spec.transforms = {crypto::kAlgC14N};
+  DISCSEC_ASSIGN_OR_RETURN(auto built, BuildUnsigned({spec}, ctx));
+  auto* signature =
+      static_cast<xml::Element*>(parent->AppendChild(std::move(built)));
+  DISCSEC_RETURN_IF_ERROR(Finalize(signature));
+  return signature;
+}
+
+Result<std::unique_ptr<xml::Element>> Signer::SignEnveloping(
+    const xml::Element& content) const {
+  // The Object carrying the content is part of the Signature itself; build
+  // the full element first, digest "#object" against a scratch document that
+  // mirrors the final layout, then finalize standalone.
+  auto signature = std::make_unique<xml::Element>(Ds("Signature"));
+  signature->SetAttribute("xmlns:" + std::string(kDsPrefix), kDsNamespace);
+  xml::Element* object = signature->AppendElement(Ds("Object"));
+  object->SetAttribute("Id", "object");
+  object->AppendChild(content.Clone());
+
+  xml::Document scratch = xml::Document::WithRoot(signature->CloneElement());
+  ReferenceContext ctx;
+  ctx.document = &scratch;
+  ReferenceSpec spec;
+  spec.uri = "#object";
+  spec.transforms = {crypto::kAlgC14N};
+  DISCSEC_ASSIGN_OR_RETURN(auto built, BuildUnsigned({spec}, ctx));
+  built->AppendChild(signature->RemoveChild(object));
+  DISCSEC_RETURN_IF_ERROR(Finalize(built.get()));
+  return built;
+}
+
+}  // namespace xmldsig
+}  // namespace discsec

@@ -1,0 +1,137 @@
+#ifndef DISCSEC_XMLDSIG_SIGNER_H_
+#define DISCSEC_XMLDSIG_SIGNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "crypto/algorithms.h"
+#include "crypto/rsa.h"
+#include "pki/certificate.h"
+#include "xml/dom.h"
+#include "xmldsig/transforms.h"
+
+namespace discsec {
+namespace xmldsig {
+
+/// What to digest: one <ds:Reference> in the signature.
+struct ReferenceSpec {
+  /// "" = whole enclosing document (enveloped), "#id" = same-document
+  /// element, anything else = external resource resolved by the context.
+  std::string uri;
+  /// Transform algorithm URIs applied in order (crypto/algorithms.h).
+  /// SignEnveloped automatically prepends the enveloped-signature transform
+  /// to the "" reference.
+  std::vector<std::string> transforms;
+  std::string digest_algorithm = crypto::kAlgSha1;
+  /// Extra parameter children for a transform (currently: dcrpt:Except ids
+  /// for the Decryption Transform, keyed by transform URI).
+  std::vector<std::string> decrypt_except_ids;
+};
+
+/// The signing key: RSA private key or HMAC shared secret.
+struct SigningKey {
+  enum class Kind { kRsa, kHmac };
+  Kind kind = Kind::kRsa;
+  crypto::RsaPrivateKey rsa;
+  Bytes hmac_secret;
+  /// kAlgRsaSha1 (default), kAlgRsaSha256 or kAlgHmacSha1.
+  std::string signature_algorithm = crypto::kAlgRsaSha1;
+
+  static SigningKey Rsa(crypto::RsaPrivateKey key,
+                        std::string algorithm = crypto::kAlgRsaSha1) {
+    SigningKey out;
+    out.kind = Kind::kRsa;
+    out.rsa = std::move(key);
+    out.signature_algorithm = std::move(algorithm);
+    return out;
+  }
+  static SigningKey HmacSecret(Bytes secret) {
+    SigningKey out;
+    out.kind = Kind::kHmac;
+    out.hmac_secret = std::move(secret);
+    out.signature_algorithm = crypto::kAlgHmacSha1;
+    return out;
+  }
+};
+
+/// What goes into <ds:KeyInfo>.
+struct KeyInfoSpec {
+  /// Emit <ds:KeyValue> with the raw public key.
+  bool include_key_value = false;
+  /// Emit <ds:KeyName> with this value (e.g. a key fingerprint for XKMS
+  /// lookup).
+  std::string key_name;
+  /// Emit <ds:X509Data> carrying this chain, leaf first (certificates are
+  /// base64-wrapped XML, this library's certificate encoding).
+  std::vector<pki::Certificate> certificate_chain;
+};
+
+/// Creates XML Digital Signatures in the three forms the paper's Fig. 6
+/// distinguishes: enveloped (Signature is a child of the signed markup),
+/// enveloping (content lives inside ds:Object), and detached (the target is
+/// a sibling element or an external resource).
+class Signer {
+ public:
+  Signer(SigningKey key, KeyInfoSpec key_info)
+      : key_(std::move(key)), key_info_(std::move(key_info)) {}
+
+  /// Selects the CanonicalizationMethod for SignedInfo (default: inclusive
+  /// Canonical XML 1.0). Use kAlgExcC14N when the signature may be moved
+  /// between namespace contexts (e.g. a detached signature shipped inside
+  /// different packaging documents).
+  void set_canonicalization_method(std::string uri) {
+    c14n_method_ = std::move(uri);
+  }
+
+  /// Builds a detached/standalone <ds:Signature> over `refs` and returns it
+  /// (not attached to any document). `ctx.document` must be set when any
+  /// reference is same-document.
+  Result<std::unique_ptr<xml::Element>> CreateSignature(
+      const std::vector<ReferenceSpec>& refs, const ReferenceContext& ctx,
+      const std::string& signature_id = {}) const;
+
+  /// Signs the whole document with an enveloped signature appended as the
+  /// last child of `parent` (usually the root). Returns the inserted
+  /// <ds:Signature>.
+  Result<xml::Element*> SignEnveloped(xml::Document* doc, xml::Element* parent,
+                                      const std::string& digest_algorithm =
+                                          crypto::kAlgSha1) const;
+
+  /// Signs the subtree `target` (which must carry — or will be given — the
+  /// Id `target_id`) with a detached same-document signature appended to
+  /// `parent`.
+  Result<xml::Element*> SignDetached(xml::Document* doc, xml::Element* target,
+                                     const std::string& target_id,
+                                     xml::Element* parent) const;
+
+  /// Builds an enveloping signature: `content` is cloned into
+  /// <ds:Object Id="object">, referenced by "#object".
+  Result<std::unique_ptr<xml::Element>> SignEnveloping(
+      const xml::Element& content) const;
+
+  /// Two-phase API used by the helpers above (and available to advanced
+  /// callers): BuildUnsigned computes the reference digests and the full
+  /// element structure but leaves <ds:SignatureValue> empty; Finalize
+  /// canonicalizes SignedInfo *where the signature is attached* — so its
+  /// inherited namespace context matches what the verifier will see — and
+  /// fills in the value.
+  Result<std::unique_ptr<xml::Element>> BuildUnsigned(
+      const std::vector<ReferenceSpec>& refs, const ReferenceContext& ctx,
+      const std::string& signature_id = {}) const;
+  Status Finalize(xml::Element* signature) const;
+
+ private:
+  Result<Bytes> ComputeSignatureValue(const Bytes& canonical_signed_info)
+      const;
+
+  SigningKey key_;
+  KeyInfoSpec key_info_;
+  std::string c14n_method_ = crypto::kAlgC14N;
+};
+
+}  // namespace xmldsig
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLDSIG_SIGNER_H_

@@ -1,0 +1,230 @@
+#include "xmldsig/transforms.h"
+
+#include <optional>
+
+#include "common/base64.h"
+#include "common/strings.h"
+#include "crypto/algorithms.h"
+#include "xml/c14n.h"
+#include "xml/parser.h"
+#include "xmldsig/constants.h"
+
+namespace discsec {
+namespace xmldsig {
+
+std::vector<size_t> ComputePath(const xml::Element* e) {
+  std::vector<size_t> path;
+  const xml::Element* cur = e;
+  while (cur->parent() != nullptr) {
+    path.push_back(cur->parent()->IndexOfChild(cur));
+    cur = cur->parent();
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+xml::Element* ResolvePath(const xml::Document& doc,
+                          const std::vector<size_t>& path) {
+  xml::Element* cur = doc.root();
+  for (size_t idx : path) {
+    if (cur == nullptr || idx >= cur->ChildCount()) return nullptr;
+    xml::Node* child = cur->ChildAt(idx);
+    if (!child->IsElement()) return nullptr;
+    cur = static_cast<xml::Element*>(child);
+  }
+  return cur;
+}
+
+namespace {
+
+/// The transform pipeline state: either a node-set (a working clone of the
+/// source document, optionally narrowed to a subtree apex) or raw octets.
+struct PipelineState {
+  std::optional<xml::Document> working;
+  xml::Element* apex = nullptr;  // inside *working; null = whole document
+  Bytes octets;
+  bool is_octets = false;
+};
+
+Status ToOctets(PipelineState* state, const xml::C14NOptions& options) {
+  if (state->is_octets) return Status::OK();
+  std::string canonical =
+      state->apex != nullptr
+          ? xml::CanonicalizeElement(*state->apex, options)
+          : xml::Canonicalize(*state->working, options);
+  state->octets = ToBytes(canonical);
+  state->is_octets = true;
+  state->working.reset();
+  state->apex = nullptr;
+  return Status::OK();
+}
+
+Status ToOctets(PipelineState* state, bool with_comments) {
+  xml::C14NOptions options;
+  options.with_comments = with_comments;
+  return ToOctets(state, options);
+}
+
+/// Reads the ec:InclusiveNamespaces PrefixList parameter of an exclusive
+/// canonicalization transform (space-separated prefixes; "#default" names
+/// the default namespace).
+std::vector<std::string> ReadInclusivePrefixes(const xml::Element& transform) {
+  std::vector<std::string> out;
+  const xml::Element* inclusive =
+      transform.FirstChildElementByLocalName("InclusiveNamespaces");
+  if (inclusive == nullptr) return out;
+  const std::string* list = inclusive->GetAttribute("PrefixList");
+  if (list == nullptr) return out;
+  for (const std::string& prefix : SplitString(*list, ' ')) {
+    if (!prefix.empty()) out.push_back(prefix);
+  }
+  return out;
+}
+
+Status ToNodeSet(PipelineState* state) {
+  if (!state->is_octets) return Status::OK();
+  // Per XML-DSig, a transform requiring a node-set parses the octet stream.
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::Parse(ToString(state->octets)));
+  state->working = std::move(doc);
+  state->apex = nullptr;
+  state->is_octets = false;
+  state->octets.clear();
+  return Status::OK();
+}
+
+Status ApplyEnvelopedSignature(PipelineState* state,
+                               const ReferenceContext& ctx) {
+  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state));
+  if (ctx.signature_path.empty()) {
+    return Status::InvalidArgument(
+        "enveloped-signature transform without an in-document signature");
+  }
+  xml::Element* sig = ResolvePath(*state->working, ctx.signature_path);
+  if (sig == nullptr) {
+    return Status::Corruption(
+        "enveloped-signature: signature element not found in working copy");
+  }
+  if (sig->parent() == nullptr) {
+    return Status::InvalidArgument(
+        "enveloped-signature: signature is the document root");
+  }
+  sig->parent()->RemoveChild(sig);
+  return Status::OK();
+}
+
+Status ApplyBase64(PipelineState* state) {
+  std::string text;
+  if (state->is_octets) {
+    text = ToString(state->octets);
+  } else if (state->apex != nullptr) {
+    text = state->apex->TextContent();
+  } else if (state->working->root() != nullptr) {
+    text = state->working->root()->TextContent();
+  }
+  DISCSEC_ASSIGN_OR_RETURN(Bytes decoded, Base64Decode(text));
+  state->octets = std::move(decoded);
+  state->is_octets = true;
+  state->working.reset();
+  state->apex = nullptr;
+  return Status::OK();
+}
+
+Status ApplyDecryption(const xml::Element& transform, PipelineState* state,
+                       const ReferenceContext& ctx) {
+  if (!ctx.decrypt_hook) {
+    return Status::Unsupported(
+        "decryption transform requires a decrypt hook (player decryptor)");
+  }
+  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state));
+  // Collect dcrpt:Except URIs ("#id" references naming EncryptedData
+  // elements that must stay encrypted for digesting).
+  std::vector<std::string> except_ids;
+  for (const auto& child : transform.children()) {
+    if (!child->IsElement()) continue;
+    auto* e = static_cast<xml::Element*>(child.get());
+    if (e->LocalName() != "Except") continue;
+    const std::string* uri = e->GetAttribute("URI");
+    if (uri == nullptr || uri->empty() || (*uri)[0] != '#') {
+      return Status::ParseError("dcrpt:Except requires a #id URI");
+    }
+    except_ids.push_back(uri->substr(1));
+  }
+  return ctx.decrypt_hook(&*state->working, state->apex, except_ids);
+}
+
+}  // namespace
+
+Result<Bytes> ProcessReference(const xml::Element& reference,
+                               const ReferenceContext& ctx) {
+  const std::string* uri_attr = reference.GetAttribute("URI");
+  std::string uri = uri_attr != nullptr ? *uri_attr : std::string();
+
+  PipelineState state;
+  if (uri.empty()) {
+    if (ctx.document == nullptr) {
+      return Status::InvalidArgument(
+          "same-document reference without a document");
+    }
+    state.working = ctx.document->Clone();
+  } else if (uri[0] == '#') {
+    if (ctx.document == nullptr) {
+      return Status::InvalidArgument(
+          "same-document reference without a document");
+    }
+    state.working = ctx.document->Clone();
+    state.apex = state.working->FindById(uri.substr(1));
+    if (state.apex == nullptr) {
+      return Status::NotFound("reference target '" + uri + "' not found");
+    }
+  } else {
+    if (!ctx.resolver) {
+      return Status::NotFound("no resolver for external reference '" + uri +
+                              "'");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(state.octets, ctx.resolver(uri));
+    state.is_octets = true;
+  }
+
+  // Apply the ds:Transforms chain in document order.
+  const xml::Element* transforms =
+      reference.FirstChildElementByLocalName("Transforms");
+  if (transforms != nullptr) {
+    for (const auto& child : transforms->children()) {
+      if (!child->IsElement()) continue;
+      const auto* t = static_cast<const xml::Element*>(child.get());
+      if (t->LocalName() != "Transform") continue;
+      const std::string* alg = t->GetAttribute("Algorithm");
+      if (alg == nullptr) {
+        return Status::ParseError("Transform missing Algorithm attribute");
+      }
+      if (*alg == crypto::kAlgC14N) {
+        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/false));
+      } else if (*alg == crypto::kAlgC14NWithComments) {
+        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/true));
+      } else if (*alg == crypto::kAlgExcC14N ||
+                 *alg == crypto::kAlgExcC14NWithComments) {
+        xml::C14NOptions options;
+        options.exclusive = true;
+        options.with_comments = (*alg == crypto::kAlgExcC14NWithComments);
+        options.inclusive_prefixes = ReadInclusivePrefixes(*t);
+        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, options));
+      } else if (*alg == crypto::kAlgEnvelopedSignature) {
+        DISCSEC_RETURN_IF_ERROR(ApplyEnvelopedSignature(&state, ctx));
+      } else if (*alg == crypto::kAlgBase64Transform) {
+        DISCSEC_RETURN_IF_ERROR(ApplyBase64(&state));
+      } else if (*alg == crypto::kAlgDecryptionTransform) {
+        DISCSEC_RETURN_IF_ERROR(ApplyDecryption(*t, &state, ctx));
+      } else {
+        return Status::Unsupported("transform algorithm: " + *alg);
+      }
+    }
+  }
+
+  // Implicit final canonicalization when still in node-set form.
+  DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/false));
+  return state.octets;
+}
+
+}  // namespace xmldsig
+}  // namespace discsec

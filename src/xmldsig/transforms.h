@@ -1,0 +1,65 @@
+#ifndef DISCSEC_XMLDSIG_TRANSFORMS_H_
+#define DISCSEC_XMLDSIG_TRANSFORMS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xmldsig {
+
+/// Resolver for external (non-same-document) Reference URIs — e.g. a disc
+/// resource path or a server URL. Returns the raw octets of the resource.
+using ExternalResolver = std::function<Result<Bytes>(const std::string& uri)>;
+
+/// Hook invoked by the Decryption Transform (W3C xmlenc-decrypt): must
+/// decrypt every EncryptedData element in `working` (within the subtree at
+/// `apex`, or the whole document when apex is null) whose Id is NOT in
+/// `except_ids`, replacing ciphertext with plaintext in place. The xmlenc
+/// module provides the standard implementation (MakeDecryptHook).
+using DecryptHook = std::function<Status(
+    xml::Document* working, xml::Element* apex,
+    const std::vector<std::string>& except_ids)>;
+
+/// Everything reference processing needs besides the Reference element.
+struct ReferenceContext {
+  /// The document containing same-document targets; null when every
+  /// Reference is external.
+  const xml::Document* document = nullptr;
+  /// Child-index path from the document root to the ds:Signature element
+  /// being created/validated (for the enveloped-signature transform).
+  /// Empty when the signature is not inside the document.
+  std::vector<size_t> signature_path;
+  ExternalResolver resolver;
+  DecryptHook decrypt_hook;
+};
+
+/// Computes the child-index path of `e` from its document root. The element
+/// at ResolvePath(clone, ComputePath(e)) is the corresponding element in any
+/// structural clone of the original document.
+std::vector<size_t> ComputePath(const xml::Element* e);
+
+/// Resolves a child-index path inside `doc`. Returns null when out of range
+/// or when an index lands on a non-element node.
+xml::Element* ResolvePath(const xml::Document& doc,
+                          const std::vector<size_t>& path);
+
+/// Dereferences a ds:Reference URI, applies its ds:Transform chain in
+/// order, and returns the octets to digest (applying the implicit final
+/// canonicalization when the chain ends in node-set form).
+///
+/// Supported URIs: "" (whole document), "#id" (same-document element), and
+/// anything else via ctx.resolver. Supported transforms: Canonical XML
+/// (with/without comments), enveloped-signature, base64, and the Decryption
+/// Transform (via ctx.decrypt_hook).
+Result<Bytes> ProcessReference(const xml::Element& reference,
+                               const ReferenceContext& ctx);
+
+}  // namespace xmldsig
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLDSIG_TRANSFORMS_H_

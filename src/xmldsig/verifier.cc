@@ -1,0 +1,267 @@
+#include "xmldsig/verifier.h"
+
+#include "common/base64.h"
+#include "crypto/algorithms.h"
+#include "crypto/digest.h"
+#include "crypto/hmac.h"
+#include "pki/key_codec.h"
+#include "xml/c14n.h"
+#include "xmldsig/constants.h"
+
+namespace discsec {
+namespace xmldsig {
+
+namespace {
+
+bool IsDsElement(const xml::Element& e, std::string_view local) {
+  return e.LocalName() == local && e.NamespaceUri() == kDsNamespace;
+}
+
+Result<std::vector<pki::Certificate>> ParseCertificateChain(
+    const xml::Element& key_info) {
+  std::vector<pki::Certificate> chain;
+  const xml::Element* x509 = key_info.FirstChildElementByLocalName("X509Data");
+  if (x509 == nullptr) return chain;
+  for (const auto& child : x509->children()) {
+    if (!child->IsElement()) continue;
+    const auto* e = static_cast<const xml::Element*>(child.get());
+    if (e->LocalName() != "X509Certificate") continue;
+    DISCSEC_ASSIGN_OR_RETURN(Bytes der, Base64Decode(e->TextContent()));
+    DISCSEC_ASSIGN_OR_RETURN(pki::Certificate cert,
+                             pki::Certificate::FromXmlString(ToString(der)));
+    chain.push_back(std::move(cert));
+  }
+  return chain;
+}
+
+/// Establishes the verification key per the options' trust policy.
+struct ResolvedKey {
+  bool is_hmac = false;
+  Bytes hmac_secret;
+  crypto::RsaPublicKey rsa;
+  std::string signer_subject;
+};
+
+Result<ResolvedKey> ResolveKey(const xml::Element* key_info,
+                               const std::string& signature_algorithm,
+                               const VerifyOptions& options) {
+  ResolvedKey out;
+  if (signature_algorithm == crypto::kAlgHmacSha1) {
+    if (!options.hmac_secret.has_value()) {
+      return Status::VerificationFailed(
+          "hmac-sha1 signature but no shared secret configured");
+    }
+    out.is_hmac = true;
+    out.hmac_secret = *options.hmac_secret;
+    return out;
+  }
+  if (options.trusted_key.has_value()) {
+    out.rsa = *options.trusted_key;
+    return out;
+  }
+  if (options.cert_store != nullptr) {
+    if (key_info == nullptr) {
+      return Status::VerificationFailed(
+          "certificate chain required but KeyInfo missing");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(std::vector<pki::Certificate> chain,
+                             ParseCertificateChain(*key_info));
+    if (chain.empty()) {
+      return Status::VerificationFailed(
+          "certificate chain required but X509Data missing/empty");
+    }
+    DISCSEC_RETURN_IF_ERROR(
+        options.cert_store->ValidateChain(chain, options.now));
+    out.rsa = chain.front().info().public_key;
+    out.signer_subject = chain.front().info().subject;
+    // Cross-check: when a KeyValue is also present it must match the leaf
+    // certificate (prevents mix-and-match confusion).
+    if (key_info->FirstChildElementByLocalName("KeyValue") != nullptr) {
+      const xml::Element* kv =
+          key_info->FirstChildElementByLocalName("KeyValue")
+              ->FirstChildElementByLocalName("RSAKeyValue");
+      if (kv != nullptr) {
+        DISCSEC_ASSIGN_OR_RETURN(crypto::RsaPublicKey declared,
+                                 pki::RsaKeyFromXml(*kv));
+        if (!(declared == out.rsa)) {
+          return Status::VerificationFailed(
+              "KeyValue does not match leaf certificate key");
+        }
+      }
+    }
+    return out;
+  }
+  if (options.allow_bare_key_value) {
+    if (key_info == nullptr) {
+      return Status::VerificationFailed("no KeyInfo to take KeyValue from");
+    }
+    const xml::Element* key_value =
+        key_info->FirstChildElementByLocalName("KeyValue");
+    if (key_value == nullptr) {
+      return Status::VerificationFailed("KeyInfo has no KeyValue");
+    }
+    const xml::Element* rsa =
+        key_value->FirstChildElementByLocalName("RSAKeyValue");
+    if (rsa == nullptr) {
+      return Status::VerificationFailed("KeyValue has no RSAKeyValue");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(out.rsa, pki::RsaKeyFromXml(*rsa));
+    return out;
+  }
+  return Status::VerificationFailed(
+      "no trust source configured (cert store, trusted key, or bare "
+      "KeyValue opt-in)");
+}
+
+}  // namespace
+
+std::vector<xml::Element*> Verifier::FindSignatures(xml::Element* root) {
+  std::vector<xml::Element*> out;
+  if (root == nullptr) return out;
+  root->ForEachElement([&](xml::Element* e) {
+    if (IsDsElement(*e, "Signature")) out.push_back(e);
+  });
+  return out;
+}
+
+Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
+                                    const xml::Element& signature,
+                                    const VerifyOptions& options) {
+  if (!IsDsElement(signature, "Signature")) {
+    return Status::InvalidArgument("element is not a ds:Signature");
+  }
+  const xml::Element* signed_info =
+      signature.FirstChildElementByLocalName("SignedInfo");
+  const xml::Element* sig_value_elem =
+      signature.FirstChildElementByLocalName("SignatureValue");
+  if (signed_info == nullptr || sig_value_elem == nullptr) {
+    return Status::ParseError("Signature missing SignedInfo/SignatureValue");
+  }
+
+  // Canonicalization method: only Canonical XML 1.0 variants are accepted.
+  const xml::Element* c14n_method =
+      signed_info->FirstChildElementByLocalName("CanonicalizationMethod");
+  if (c14n_method == nullptr || c14n_method->GetAttribute("Algorithm") ==
+                                    nullptr) {
+    return Status::ParseError("missing CanonicalizationMethod");
+  }
+  const std::string& c14n_alg = *c14n_method->GetAttribute("Algorithm");
+  xml::C14NOptions signed_info_c14n;
+  if (c14n_alg == crypto::kAlgC14N) {
+    signed_info_c14n.with_comments = false;
+  } else if (c14n_alg == crypto::kAlgC14NWithComments) {
+    signed_info_c14n.with_comments = true;
+  } else if (c14n_alg == crypto::kAlgExcC14N) {
+    signed_info_c14n.exclusive = true;
+  } else if (c14n_alg == crypto::kAlgExcC14NWithComments) {
+    signed_info_c14n.exclusive = true;
+    signed_info_c14n.with_comments = true;
+  } else {
+    return Status::Unsupported("canonicalization algorithm: " + c14n_alg);
+  }
+
+  const xml::Element* sig_method =
+      signed_info->FirstChildElementByLocalName("SignatureMethod");
+  if (sig_method == nullptr ||
+      sig_method->GetAttribute("Algorithm") == nullptr) {
+    return Status::ParseError("missing SignatureMethod");
+  }
+  std::string signature_algorithm = *sig_method->GetAttribute("Algorithm");
+
+  // Reference validation.
+  ReferenceContext ctx;
+  ctx.document = doc;
+  ctx.resolver = options.resolver;
+  ctx.decrypt_hook = options.decrypt_hook;
+  if (doc != nullptr && signature.parent() != nullptr) {
+    ctx.signature_path = ComputePath(&signature);
+  }
+
+  VerifyInfo info;
+  info.signature_algorithm = signature_algorithm;
+  size_t reference_count = 0;
+  for (const auto& child : signed_info->children()) {
+    if (!child->IsElement()) continue;
+    const auto* ref = static_cast<const xml::Element*>(child.get());
+    if (ref->LocalName() != "Reference") continue;
+    ++reference_count;
+    const std::string* uri = ref->GetAttribute("URI");
+    std::string uri_str = uri != nullptr ? *uri : std::string();
+
+    const xml::Element* digest_method =
+        ref->FirstChildElementByLocalName("DigestMethod");
+    const xml::Element* digest_value =
+        ref->FirstChildElementByLocalName("DigestValue");
+    if (digest_method == nullptr || digest_value == nullptr ||
+        digest_method->GetAttribute("Algorithm") == nullptr) {
+      return Status::ParseError("Reference missing digest method/value");
+    }
+    DISCSEC_ASSIGN_OR_RETURN(Bytes data, ProcessReference(*ref, ctx));
+    DISCSEC_ASSIGN_OR_RETURN(
+        auto digest,
+        crypto::MakeDigest(*digest_method->GetAttribute("Algorithm")));
+    digest->Update(data);
+    Bytes actual = digest->Finalize();
+    DISCSEC_ASSIGN_OR_RETURN(Bytes expected,
+                             Base64Decode(digest_value->TextContent()));
+    if (!ConstantTimeEquals(actual, expected)) {
+      return Status::VerificationFailed("digest mismatch for reference '" +
+                                        uri_str + "'");
+    }
+    info.reference_uris.push_back(uri_str);
+  }
+  if (reference_count == 0) {
+    return Status::VerificationFailed("signature has no references");
+  }
+
+  // Signature value over canonical SignedInfo.
+  Bytes canonical =
+      ToBytes(xml::CanonicalizeElement(*signed_info, signed_info_c14n));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes sig_value,
+                           Base64Decode(sig_value_elem->TextContent()));
+
+  const xml::Element* key_info =
+      signature.FirstChildElementByLocalName("KeyInfo");
+  if (key_info != nullptr) {
+    const xml::Element* key_name =
+        key_info->FirstChildElementByLocalName("KeyName");
+    if (key_name != nullptr) info.key_name = key_name->TextContent();
+  }
+  DISCSEC_ASSIGN_OR_RETURN(
+      ResolvedKey key, ResolveKey(key_info, signature_algorithm, options));
+  info.signer_subject = key.signer_subject;
+
+  if (key.is_hmac) {
+    Bytes expected = crypto::Hmac::Sha1Mac(key.hmac_secret, canonical);
+    if (!ConstantTimeEquals(expected, sig_value)) {
+      return Status::VerificationFailed("HMAC signature mismatch");
+    }
+  } else {
+    std::string digest_uri;
+    if (signature_algorithm == crypto::kAlgRsaSha1) {
+      digest_uri = crypto::kAlgSha1;
+    } else if (signature_algorithm == crypto::kAlgRsaSha256) {
+      digest_uri = crypto::kAlgSha256;
+    } else {
+      return Status::Unsupported("signature algorithm: " +
+                                 signature_algorithm);
+    }
+    DISCSEC_ASSIGN_OR_RETURN(auto digest, crypto::MakeDigest(digest_uri));
+    digest->Update(canonical);
+    DISCSEC_RETURN_IF_ERROR(crypto::RsaVerifyDigest(
+        key.rsa, digest_uri, digest->Finalize(), sig_value));
+  }
+  return info;
+}
+
+Result<VerifyInfo> Verifier::VerifyFirstSignature(
+    const xml::Document& doc, const VerifyOptions& options) {
+  auto signatures = FindSignatures(doc.root());
+  if (signatures.empty()) {
+    return Status::NotFound("document contains no ds:Signature");
+  }
+  return Verify(&doc, *signatures.front(), options);
+}
+
+}  // namespace xmldsig
+}  // namespace discsec

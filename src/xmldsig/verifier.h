@@ -1,0 +1,81 @@
+#ifndef DISCSEC_XMLDSIG_VERIFIER_H_
+#define DISCSEC_XMLDSIG_VERIFIER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "crypto/rsa.h"
+#include "pki/cert_store.h"
+#include "xml/dom.h"
+#include "xmldsig/transforms.h"
+
+namespace discsec {
+namespace xmldsig {
+
+/// How the verifier establishes trust in the signing key — the player-side
+/// policy from the paper's Fig. 3 (Verifier component) and §5.5 (certificate
+/// chains to a trusted root).
+struct VerifyOptions {
+  /// When set, a certificate chain in <ds:X509Data> is REQUIRED and must
+  /// validate against this store at time `now`; the verification key is the
+  /// leaf certificate's key.
+  const pki::CertStore* cert_store = nullptr;
+  int64_t now = 0;
+
+  /// Trust this key directly (pre-provisioned), ignoring KeyInfo.
+  std::optional<crypto::RsaPublicKey> trusted_key;
+
+  /// Shared secret for hmac-sha1 signatures.
+  std::optional<Bytes> hmac_secret;
+
+  /// Accept a bare <ds:KeyValue> as the verification key when no store and
+  /// no trusted key are set. This proves integrity but NOT authenticity
+  /// (anyone can re-sign); off by default, used in tests and for
+  /// inner-layer integrity checks.
+  bool allow_bare_key_value = false;
+
+  /// For external Reference URIs.
+  ExternalResolver resolver;
+
+  /// For the Decryption Transform.
+  DecryptHook decrypt_hook;
+};
+
+/// Outcome details for a successful verification.
+struct VerifyInfo {
+  /// Subject of the leaf certificate (empty when verified by raw key/HMAC).
+  std::string signer_subject;
+  /// The URIs of all verified references.
+  std::vector<std::string> reference_uris;
+  /// The signature algorithm that was checked.
+  std::string signature_algorithm;
+  /// KeyName content, when present (XKMS lookup hint).
+  std::string key_name;
+};
+
+/// Verifies XML Digital Signatures.
+class Verifier {
+ public:
+  /// Verifies `signature` (a ds:Signature element inside `doc`, or
+  /// standalone when doc is null for external-only references).
+  /// Returns VerifyInfo on success; VerificationFailed (or a more specific
+  /// status) otherwise. All references must validate.
+  static Result<VerifyInfo> Verify(const xml::Document* doc,
+                                   const xml::Element& signature,
+                                   const VerifyOptions& options);
+
+  /// Convenience: finds the first ds:Signature descendant of the root and
+  /// verifies it.
+  static Result<VerifyInfo> VerifyFirstSignature(const xml::Document& doc,
+                                                 const VerifyOptions& options);
+
+  /// Finds every ds:Signature element under `root` (including nested ones).
+  static std::vector<xml::Element*> FindSignatures(xml::Element* root);
+};
+
+}  // namespace xmldsig
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLDSIG_VERIFIER_H_

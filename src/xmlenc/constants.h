@@ -1,0 +1,20 @@
+#ifndef DISCSEC_XMLENC_CONSTANTS_H_
+#define DISCSEC_XMLENC_CONSTANTS_H_
+
+namespace discsec {
+namespace xmlenc {
+
+/// The XML-Enc namespace and conventional prefix.
+inline constexpr char kXencNamespace[] = "http://www.w3.org/2001/04/xmlenc#";
+inline constexpr char kXencPrefix[] = "xenc";
+
+/// EncryptedData Type URIs: what the ciphertext replaces.
+inline constexpr char kTypeElement[] =
+    "http://www.w3.org/2001/04/xmlenc#Element";
+inline constexpr char kTypeContent[] =
+    "http://www.w3.org/2001/04/xmlenc#Content";
+
+}  // namespace xmlenc
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLENC_CONSTANTS_H_

@@ -1,0 +1,221 @@
+#include "xmlenc/decryptor.h"
+
+#include <algorithm>
+
+#include "common/base64.h"
+#include "crypto/aes.h"
+#include "crypto/algorithms.h"
+#include "xml/parser.h"
+#include "xmlenc/constants.h"
+
+namespace discsec {
+namespace xmlenc {
+
+namespace {
+
+Result<size_t> KeySizeForAlgorithm(const std::string& algorithm) {
+  if (algorithm == crypto::kAlgAes128Cbc) return size_t{16};
+  if (algorithm == crypto::kAlgAes192Cbc) return size_t{24};
+  if (algorithm == crypto::kAlgAes256Cbc) return size_t{32};
+  return Status::Unsupported("content encryption algorithm: " + algorithm);
+}
+
+Result<Bytes> CipherValueOf(const xml::Element& container) {
+  const xml::Element* cipher_data =
+      container.FirstChildElementByLocalName("CipherData");
+  if (cipher_data == nullptr) {
+    return Status::ParseError("missing CipherData");
+  }
+  const xml::Element* cipher_value =
+      cipher_data->FirstChildElementByLocalName("CipherValue");
+  if (cipher_value == nullptr) {
+    return Status::ParseError("missing CipherValue");
+  }
+  return Base64Decode(cipher_value->TextContent());
+}
+
+}  // namespace
+
+bool IsEncryptedData(const xml::Element& e) {
+  return e.LocalName() == "EncryptedData" &&
+         e.NamespaceUri() == kXencNamespace;
+}
+
+Result<Bytes> KeyRing::FindKey(const std::string& name) const {
+  auto it = keys_.find(name);
+  if (it == keys_.end()) {
+    return Status::NotFound("key '" + name + "' not provisioned");
+  }
+  return it->second;
+}
+
+Result<Bytes> Decryptor::ResolveContentKey(const xml::Element& encrypted_data,
+                                           size_t key_size) const {
+  const xml::Element* key_info =
+      encrypted_data.FirstChildElementByLocalName("KeyInfo");
+  if (key_info == nullptr) {
+    return Status::CryptoError("EncryptedData has no KeyInfo");
+  }
+  // EncryptedKey takes precedence: unwrap the CEK.
+  const xml::Element* enc_key =
+      key_info->FirstChildElementByLocalName("EncryptedKey");
+  if (enc_key != nullptr) {
+    const xml::Element* method =
+        enc_key->FirstChildElementByLocalName("EncryptionMethod");
+    if (method == nullptr || method->GetAttribute("Algorithm") == nullptr) {
+      return Status::ParseError("EncryptedKey missing EncryptionMethod");
+    }
+    const std::string& alg = *method->GetAttribute("Algorithm");
+    DISCSEC_ASSIGN_OR_RETURN(Bytes wrapped, CipherValueOf(*enc_key));
+    if (alg == crypto::kAlgRsa15) {
+      if (!key_ring_.rsa_key().has_value()) {
+        return Status::CryptoError("no device RSA key for rsa-1_5");
+      }
+      DISCSEC_ASSIGN_OR_RETURN(
+          Bytes cek, crypto::RsaDecrypt(*key_ring_.rsa_key(), wrapped));
+      if (cek.size() != key_size) {
+        return Status::CryptoError("unwrapped CEK has wrong size");
+      }
+      return cek;
+    }
+    if (alg == crypto::kAlgKwAes128 || alg == crypto::kAlgKwAes256) {
+      const xml::Element* inner =
+          enc_key->FirstChildElementByLocalName("KeyInfo");
+      if (inner == nullptr) {
+        return Status::CryptoError("EncryptedKey has no KeyInfo naming a KEK");
+      }
+      const xml::Element* name_elem =
+          inner->FirstChildElementByLocalName("KeyName");
+      if (name_elem == nullptr) {
+        return Status::CryptoError("EncryptedKey KeyInfo has no KeyName");
+      }
+      DISCSEC_ASSIGN_OR_RETURN(Bytes kek,
+                               key_ring_.FindKey(name_elem->TextContent()));
+      DISCSEC_ASSIGN_OR_RETURN(Bytes cek, crypto::AesKeyUnwrap(kek, wrapped));
+      if (cek.size() != key_size) {
+        return Status::CryptoError("unwrapped CEK has wrong size");
+      }
+      return cek;
+    }
+    return Status::Unsupported("EncryptedKey algorithm: " + alg);
+  }
+  // Direct reference by KeyName.
+  const xml::Element* name_elem =
+      key_info->FirstChildElementByLocalName("KeyName");
+  if (name_elem == nullptr) {
+    return Status::CryptoError("KeyInfo carries neither EncryptedKey nor "
+                               "KeyName");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(Bytes cek,
+                           key_ring_.FindKey(name_elem->TextContent()));
+  if (cek.size() != key_size) {
+    return Status::CryptoError("provisioned key has wrong size for algorithm");
+  }
+  return cek;
+}
+
+Result<Bytes> Decryptor::DecryptData(
+    const xml::Element& encrypted_data) const {
+  if (!IsEncryptedData(encrypted_data)) {
+    return Status::InvalidArgument("element is not xenc:EncryptedData");
+  }
+  const xml::Element* method =
+      encrypted_data.FirstChildElementByLocalName("EncryptionMethod");
+  if (method == nullptr || method->GetAttribute("Algorithm") == nullptr) {
+    return Status::ParseError("EncryptedData missing EncryptionMethod");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(size_t key_size,
+                           KeySizeForAlgorithm(*method->GetAttribute(
+                               "Algorithm")));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes cek,
+                           ResolveContentKey(encrypted_data, key_size));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes ciphertext, CipherValueOf(encrypted_data));
+  return crypto::AesCbcDecrypt(cek, ciphertext);
+}
+
+Status Decryptor::DecryptInPlace(xml::Document* doc,
+                                 xml::Element* encrypted_data) const {
+  if (doc == nullptr || encrypted_data == nullptr) {
+    return Status::InvalidArgument("DecryptInPlace needs doc and element");
+  }
+  const std::string* type = encrypted_data->GetAttribute("Type");
+  if (type == nullptr) {
+    return Status::InvalidArgument(
+        "EncryptedData without Type cannot be restored in place");
+  }
+  DISCSEC_ASSIGN_OR_RETURN(Bytes plaintext, DecryptData(*encrypted_data));
+  xml::Element* parent = encrypted_data->parent();
+  if (parent == nullptr) {
+    return Status::InvalidArgument("EncryptedData is the document root");
+  }
+  // Parse the fragment inside a wrapper so content (multiple nodes, bare
+  // text) parses as well as a single element.
+  std::string wrapped = "<w>" + ToString(plaintext) + "</w>";
+  auto fragment = xml::Parse(wrapped);
+  if (!fragment.ok()) {
+    return Status::Corruption("decrypted plaintext is not well-formed XML: " +
+                              fragment.status().message());
+  }
+  xml::Element* w = fragment->root();
+  size_t position = parent->IndexOfChild(encrypted_data);
+  if (*type == kTypeElement) {
+    xml::Element* decrypted = w->FirstChildElement();
+    if (decrypted == nullptr || w->ChildCount() != 1) {
+      return Status::Corruption("Type=Element plaintext is not one element");
+    }
+    parent->ReplaceChild(encrypted_data, w->RemoveChild(decrypted));
+    return Status::OK();
+  }
+  if (*type == kTypeContent) {
+    parent->RemoveChildAt(position);
+    size_t insert_at = position;
+    while (w->ChildCount() > 0) {
+      parent->InsertChild(insert_at++, w->RemoveChildAt(0));
+    }
+    return Status::OK();
+  }
+  return Status::Unsupported("EncryptedData Type: " + *type);
+}
+
+Status Decryptor::DecryptAll(xml::Document* doc, xml::Element* apex,
+                             const std::vector<std::string>& except_ids)
+    const {
+  if (doc == nullptr) return Status::InvalidArgument("DecryptAll needs a doc");
+  xml::Element* scope = apex != nullptr ? apex : doc->root();
+  if (scope == nullptr) return Status::OK();
+  // Iterate until fixpoint (decryption can reveal nested EncryptedData).
+  // The bound caps total decryptions, defending the player against
+  // decompression-bomb-style nesting.
+  const int kMaxDecryptions = 4096;
+  for (int round = 0; round < kMaxDecryptions; ++round) {
+    std::vector<xml::Element*> targets;
+    scope->ForEachElement([&](xml::Element* e) {
+      if (!IsEncryptedData(*e)) return;
+      // Only in-place types participate; standalone EncryptedData (no Type)
+      // is data, not document structure.
+      if (e->GetAttribute("Type") == nullptr) return;
+      const std::string* id = e->GetAttribute("Id");
+      if (id != nullptr &&
+          std::find(except_ids.begin(), except_ids.end(), *id) !=
+              except_ids.end()) {
+        return;
+      }
+      targets.push_back(e);
+    });
+    if (targets.empty()) return Status::OK();
+    // Process one target per round: replacing nodes invalidates the other
+    // collected pointers when nested.
+    DISCSEC_RETURN_IF_ERROR(DecryptInPlace(doc, targets.front()));
+  }
+  return Status::ResourceExhausted("too many nested EncryptedData layers");
+}
+
+xmldsig::DecryptHook Decryptor::MakeHook() const {
+  return [this](xml::Document* working, xml::Element* apex,
+                const std::vector<std::string>& except_ids) {
+    return DecryptAll(working, apex, except_ids);
+  };
+}
+
+}  // namespace xmlenc
+}  // namespace discsec

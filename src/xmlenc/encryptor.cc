@@ -1,0 +1,174 @@
+#include "xmlenc/encryptor.h"
+
+#include "common/base64.h"
+#include "crypto/aes.h"
+#include "xml/c14n.h"
+#include "xml/serializer.h"
+#include "xmldsig/constants.h"
+#include "xmlenc/constants.h"
+
+namespace discsec {
+namespace xmlenc {
+
+namespace {
+
+std::string Xenc(const std::string& local) {
+  return std::string(kXencPrefix) + ":" + local;
+}
+
+Result<size_t> KeySizeForAlgorithm(const std::string& algorithm) {
+  if (algorithm == crypto::kAlgAes128Cbc) return size_t{16};
+  if (algorithm == crypto::kAlgAes192Cbc) return size_t{24};
+  if (algorithm == crypto::kAlgAes256Cbc) return size_t{32};
+  return Status::Unsupported("content encryption algorithm: " + algorithm);
+}
+
+}  // namespace
+
+Result<Encryptor> Encryptor::Create(EncryptionSpec spec, Rng* rng) {
+  DISCSEC_ASSIGN_OR_RETURN(size_t key_size,
+                           KeySizeForAlgorithm(spec.content_algorithm));
+  if (spec.content_key.empty()) {
+    spec.content_key = rng->NextBytes(key_size);
+  } else if (spec.content_key.size() != key_size) {
+    return Status::InvalidArgument("content key size does not match algorithm");
+  }
+  if (spec.key_mode == KeyMode::kAesKeyWrap) {
+    if (spec.kek.size() != 16 && spec.kek.size() != 32) {
+      return Status::InvalidArgument("KEK must be 16 or 32 bytes");
+    }
+    if (spec.wrap_algorithm != crypto::kAlgKwAes128 &&
+        spec.wrap_algorithm != crypto::kAlgKwAes256) {
+      return Status::Unsupported("key wrap algorithm: " + spec.wrap_algorithm);
+    }
+  }
+  if (spec.key_mode == KeyMode::kRsaTransport &&
+      spec.recipient_key.modulus.IsZero()) {
+    return Status::InvalidArgument("RSA transport needs a recipient key");
+  }
+  return Encryptor(std::move(spec), rng);
+}
+
+Result<std::unique_ptr<xml::Element>> Encryptor::BuildEncryptedData(
+    const Bytes& plaintext, const std::string& type,
+    const std::string& mime_type, const std::string& id) {
+  auto enc = std::make_unique<xml::Element>(Xenc("EncryptedData"));
+  enc->SetAttribute("xmlns:" + std::string(kXencPrefix), kXencNamespace);
+  if (!id.empty()) enc->SetAttribute("Id", id);
+  if (!type.empty()) enc->SetAttribute("Type", type);
+  if (!mime_type.empty()) enc->SetAttribute("MimeType", mime_type);
+  enc->AppendElement(Xenc("EncryptionMethod"))
+      ->SetAttribute("Algorithm", spec_.content_algorithm);
+
+  // KeyInfo: KeyName and/or EncryptedKey.
+  xml::Element* key_info = enc->AppendElement("ds:KeyInfo");
+  key_info->SetAttribute("xmlns:ds", xmldsig::kDsNamespace);
+  switch (spec_.key_mode) {
+    case KeyMode::kDirectReference: {
+      if (spec_.key_name.empty()) {
+        return Status::InvalidArgument(
+            "direct key reference requires a key name");
+      }
+      key_info->AppendElement("ds:KeyName")->SetTextContent(spec_.key_name);
+      break;
+    }
+    case KeyMode::kRsaTransport:
+    case KeyMode::kAesKeyWrap: {
+      xml::Element* enc_key = key_info->AppendElement(Xenc("EncryptedKey"));
+      std::string wrap_alg = spec_.key_mode == KeyMode::kRsaTransport
+                                 ? crypto::kAlgRsa15
+                                 : spec_.wrap_algorithm;
+      enc_key->AppendElement(Xenc("EncryptionMethod"))
+          ->SetAttribute("Algorithm", wrap_alg);
+      if (!spec_.key_name.empty()) {
+        xml::Element* inner = enc_key->AppendElement("ds:KeyInfo");
+        inner->AppendElement("ds:KeyName")->SetTextContent(spec_.key_name);
+      }
+      Bytes wrapped;
+      if (spec_.key_mode == KeyMode::kRsaTransport) {
+        DISCSEC_ASSIGN_OR_RETURN(
+            wrapped, crypto::RsaEncrypt(spec_.recipient_key,
+                                        spec_.content_key, rng_));
+      } else {
+        DISCSEC_ASSIGN_OR_RETURN(
+            wrapped, crypto::AesKeyWrap(spec_.kek, spec_.content_key));
+      }
+      xml::Element* cipher_data = enc_key->AppendElement(Xenc("CipherData"));
+      cipher_data->AppendElement(Xenc("CipherValue"))
+          ->SetTextContent(Base64Encode(wrapped));
+      break;
+    }
+  }
+
+  Bytes iv = rng_->NextBytes(crypto::Aes::kBlockSize);
+  DISCSEC_ASSIGN_OR_RETURN(
+      Bytes ciphertext,
+      crypto::AesCbcEncrypt(spec_.content_key, iv, plaintext));
+  xml::Element* cipher_data = enc->AppendElement(Xenc("CipherData"));
+  cipher_data->AppendElement(Xenc("CipherValue"))
+      ->SetTextContent(Base64Encode(ciphertext));
+  return enc;
+}
+
+Result<std::unique_ptr<xml::Element>> Encryptor::EncryptData(
+    const Bytes& data, const std::string& mime_type, const std::string& id) {
+  return BuildEncryptedData(data, /*type=*/"", mime_type, id);
+}
+
+Result<xml::Element*> Encryptor::EncryptElement(xml::Document* doc,
+                                                xml::Element* target,
+                                                const std::string& id) {
+  if (doc == nullptr || target == nullptr || target->parent() == nullptr) {
+    return Status::InvalidArgument(
+        "EncryptElement needs a non-root target inside a document");
+  }
+  // Canonical serialization carries inherited namespace declarations into
+  // the ciphertext, so the decrypted fragment parses standalone.
+  Bytes plaintext = ToBytes(xml::CanonicalizeElement(*target));
+  DISCSEC_ASSIGN_OR_RETURN(
+      auto enc, BuildEncryptedData(plaintext, kTypeElement, "", id));
+  xml::Element* parent = target->parent();
+  xml::Element* raw = enc.get();
+  parent->ReplaceChild(target, std::move(enc));
+  return raw;
+}
+
+Result<xml::Element*> Encryptor::EncryptContent(xml::Document* doc,
+                                                xml::Element* target,
+                                                const std::string& id) {
+  if (doc == nullptr || target == nullptr) {
+    return Status::InvalidArgument("EncryptContent needs a target");
+  }
+  std::string serialized;
+  for (const auto& child : target->children()) {
+    switch (child->kind()) {
+      case xml::NodeKind::kElement:
+        serialized += xml::CanonicalizeElement(
+            *static_cast<const xml::Element*>(child.get()));
+        break;
+      case xml::NodeKind::kText:
+        serialized +=
+            xml::EscapeText(static_cast<const xml::Text*>(child.get())->data());
+        break;
+      case xml::NodeKind::kComment:
+        serialized += "<!--" +
+                      static_cast<const xml::Comment*>(child.get())->data() +
+                      "-->";
+        break;
+      case xml::NodeKind::kProcessingInstruction: {
+        const auto* pi = static_cast<const xml::Pi*>(child.get());
+        serialized += "<?" + pi->target() +
+                      (pi->data().empty() ? "" : " " + pi->data()) + "?>";
+        break;
+      }
+    }
+  }
+  DISCSEC_ASSIGN_OR_RETURN(
+      auto enc,
+      BuildEncryptedData(ToBytes(serialized), kTypeContent, "", id));
+  target->ClearChildren();
+  return static_cast<xml::Element*>(target->AppendChild(std::move(enc)));
+}
+
+}  // namespace xmlenc
+}  // namespace discsec

@@ -1,0 +1,92 @@
+#ifndef DISCSEC_XMLENC_ENCRYPTOR_H_
+#define DISCSEC_XMLENC_ENCRYPTOR_H_
+
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "crypto/algorithms.h"
+#include "crypto/rsa.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xmlenc {
+
+/// How the content-encryption key (CEK) travels to the recipient.
+enum class KeyMode {
+  /// No EncryptedKey: the recipient already holds the CEK and finds it by
+  /// <ds:KeyName> (the disc-player model: a provisioned content key).
+  kDirectReference,
+  /// CEK wrapped with the recipient's RSA public key (xmlenc rsa-1_5).
+  kRsaTransport,
+  /// CEK wrapped with a shared key-encryption key (kw-aes128/kw-aes256).
+  kAesKeyWrap,
+};
+
+/// Key material and algorithm choices for an Encryptor.
+struct EncryptionSpec {
+  /// Content-encryption algorithm (aes128-cbc default, per 2005 practice).
+  std::string content_algorithm = crypto::kAlgAes128Cbc;
+  /// Explicit CEK; generated fresh per Encryptor when empty.
+  Bytes content_key;
+  KeyMode key_mode = KeyMode::kDirectReference;
+  /// KeyName emitted so the recipient can locate the CEK (direct mode) or
+  /// the KEK / private key (wrap/transport modes).
+  std::string key_name;
+  /// Recipient public key for kRsaTransport.
+  crypto::RsaPublicKey recipient_key;
+  /// Shared KEK for kAesKeyWrap.
+  Bytes kek;
+  std::string wrap_algorithm = crypto::kAlgKwAes128;
+};
+
+/// Produces XML-Enc <xenc:EncryptedData> structures — the paper's §6
+/// scenarios: encrypting a non-markup Track target (arbitrary octets,
+/// embedded or detached) and encrypting a Manifest target (an XML element
+/// replaced in place by its EncryptedData).
+class Encryptor {
+ public:
+  /// Creates an Encryptor; generates a CEK when the spec has none.
+  static Result<Encryptor> Create(EncryptionSpec spec, Rng* rng);
+
+  /// The CEK in use (tests and key-provisioning flows read this).
+  const Bytes& content_key() const { return spec_.content_key; }
+
+  /// Encrypts arbitrary octets into a standalone <xenc:EncryptedData>
+  /// (Type absent, optional MimeType) — the Track-target scenario (Fig. 7).
+  Result<std::unique_ptr<xml::Element>> EncryptData(
+      const Bytes& data, const std::string& mime_type = {},
+      const std::string& id = {});
+
+  /// Replaces `target` (inside `doc`) with an EncryptedData of
+  /// Type=Element — the Manifest-target scenario (Fig. 8). Returns the new
+  /// EncryptedData element.
+  Result<xml::Element*> EncryptElement(xml::Document* doc,
+                                       xml::Element* target,
+                                       const std::string& id = {});
+
+  /// Encrypts only the children of `target` (Type=Content), keeping the
+  /// element shell visible — the paper's partial-encryption performance
+  /// pattern (e.g. scores inside a visible wrapper).
+  Result<xml::Element*> EncryptContent(xml::Document* doc,
+                                       xml::Element* target,
+                                       const std::string& id = {});
+
+ private:
+  Encryptor(EncryptionSpec spec, Rng* rng) : spec_(std::move(spec)),
+                                             rng_(rng) {}
+
+  Result<std::unique_ptr<xml::Element>> BuildEncryptedData(
+      const Bytes& plaintext, const std::string& type,
+      const std::string& mime_type, const std::string& id);
+
+  EncryptionSpec spec_;
+  Rng* rng_;
+};
+
+}  // namespace xmlenc
+}  // namespace discsec
+
+#endif  // DISCSEC_XMLENC_ENCRYPTOR_H_

@@ -1,0 +1,137 @@
+#include "xrml/license.h"
+
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace xrml {
+
+const char* RightName(Right right) {
+  switch (right) {
+    case Right::kPlay:
+      return "play";
+    case Right::kExecute:
+      return "execute";
+    case Right::kCopy:
+      return "copy";
+    case Right::kExtract:
+      return "extract";
+  }
+  return "?";
+}
+
+Result<Right> ParseRight(std::string_view name) {
+  if (name == "play") return Right::kPlay;
+  if (name == "execute") return Right::kExecute;
+  if (name == "copy") return Right::kCopy;
+  if (name == "extract") return Right::kExtract;
+  return Status::ParseError("unknown right: " + std::string(name));
+}
+
+std::unique_ptr<xml::Element> License::ToXml() const {
+  auto root = std::make_unique<xml::Element>("license");
+  root->SetAttribute("licenseId", license_id);
+  root->AppendElement("issuer")->SetTextContent(issuer);
+  for (const Grant& grant : grants) {
+    xml::Element* g = root->AppendElement("grant");
+    g->AppendElement("keyHolder")->SetTextContent(grant.key_holder);
+    g->AppendElement("right")->SetTextContent(RightName(grant.right));
+    g->AppendElement("resource")->SetTextContent(grant.resource);
+    const Conditions& c = grant.conditions;
+    if (c.not_before || c.not_after || c.exercise_limit ||
+        !c.territories.empty()) {
+      xml::Element* conditions = g->AppendElement("conditions");
+      if (c.not_before || c.not_after) {
+        xml::Element* window = conditions->AppendElement("validityInterval");
+        if (c.not_before) {
+          window->SetAttribute("notBefore", std::to_string(*c.not_before));
+        }
+        if (c.not_after) {
+          window->SetAttribute("notAfter", std::to_string(*c.not_after));
+        }
+      }
+      if (c.exercise_limit) {
+        conditions->AppendElement("exerciseLimit")
+            ->SetAttribute("count", std::to_string(*c.exercise_limit));
+      }
+      for (const std::string& territory : c.territories) {
+        conditions->AppendElement("territory")
+            ->SetAttribute("code", territory);
+      }
+    }
+  }
+  return root;
+}
+
+std::string License::ToXmlString() const {
+  xml::Document doc = xml::Document::WithRoot(ToXml());
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(doc, options);
+}
+
+Result<License> License::FromXml(const xml::Element& element) {
+  if (element.LocalName() != "license") {
+    return Status::ParseError("expected <license>");
+  }
+  License out;
+  const std::string* id = element.GetAttribute("licenseId");
+  if (id == nullptr) return Status::ParseError("license needs licenseId");
+  out.license_id = *id;
+  const xml::Element* issuer = element.FirstChildElementByLocalName("issuer");
+  if (issuer == nullptr) return Status::ParseError("license needs issuer");
+  out.issuer = issuer->TextContent();
+  for (const xml::Element* g : element.ChildElements("grant")) {
+    Grant grant;
+    const xml::Element* key_holder =
+        g->FirstChildElementByLocalName("keyHolder");
+    const xml::Element* right = g->FirstChildElementByLocalName("right");
+    const xml::Element* resource =
+        g->FirstChildElementByLocalName("resource");
+    if (key_holder == nullptr || right == nullptr || resource == nullptr) {
+      return Status::ParseError("grant needs keyHolder, right, resource");
+    }
+    grant.key_holder = key_holder->TextContent();
+    DISCSEC_ASSIGN_OR_RETURN(grant.right, ParseRight(right->TextContent()));
+    grant.resource = resource->TextContent();
+    const xml::Element* conditions =
+        g->FirstChildElementByLocalName("conditions");
+    if (conditions != nullptr) {
+      const xml::Element* window =
+          conditions->FirstChildElementByLocalName("validityInterval");
+      if (window != nullptr) {
+        if (const std::string* nb = window->GetAttribute("notBefore")) {
+          grant.conditions.not_before = std::strtoll(nb->c_str(), nullptr, 10);
+        }
+        if (const std::string* na = window->GetAttribute("notAfter")) {
+          grant.conditions.not_after = std::strtoll(na->c_str(), nullptr, 10);
+        }
+      }
+      const xml::Element* limit =
+          conditions->FirstChildElementByLocalName("exerciseLimit");
+      if (limit != nullptr) {
+        const std::string* count = limit->GetAttribute("count");
+        if (count == nullptr) {
+          return Status::ParseError("exerciseLimit needs count");
+        }
+        grant.conditions.exercise_limit =
+            static_cast<uint32_t>(std::strtoul(count->c_str(), nullptr, 10));
+      }
+      for (const xml::Element* territory :
+           conditions->ChildElements("territory")) {
+        const std::string* code = territory->GetAttribute("code");
+        if (code != nullptr) grant.conditions.territories.push_back(*code);
+      }
+    }
+    out.grants.push_back(std::move(grant));
+  }
+  return out;
+}
+
+Result<License> License::FromXmlString(std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return FromXml(*doc.root());
+}
+
+}  // namespace xrml
+}  // namespace discsec

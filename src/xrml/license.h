@@ -1,0 +1,72 @@
+#ifndef DISCSEC_XRML_LICENSE_H_
+#define DISCSEC_XRML_LICENSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xrml {
+
+/// The paper's §9 future work, implemented: "XRML, an XML based rights
+/// management language proposed by OASIS, to express digital rights for the
+/// usage of markup-based applications and resources". This module provides
+/// an XrML-flavoured rights-expression subset: licenses made of grants
+/// (key holder x right x resource x conditions), serialized as XML and
+/// signed by the issuer with XML-DSig.
+
+/// Rights a license can grant over disc content and applications.
+enum class Right {
+  kPlay,      ///< play back AV content
+  kExecute,   ///< run an interactive application
+  kCopy,      ///< make a local copy
+  kExtract,   ///< extract a portion (clips, images)
+};
+
+const char* RightName(Right right);
+Result<Right> ParseRight(std::string_view name);
+
+/// Conditions constraining a grant; absent fields do not constrain.
+struct Conditions {
+  std::optional<int64_t> not_before;   ///< validity start (Unix seconds)
+  std::optional<int64_t> not_after;    ///< validity end
+  std::optional<uint32_t> exercise_limit;  ///< max uses (stateful)
+  std::vector<std::string> territories;    ///< allowed territory codes
+};
+
+/// One grant: the key holder (principal, e.g. a device id or a player
+/// model class) may exercise `right` over `resource`.
+struct Grant {
+  std::string key_holder;   ///< "*" grants to any principal
+  Right right = Right::kPlay;
+  std::string resource;     ///< cluster/track/manifest id; "*" = any
+  Conditions conditions;
+};
+
+/// A license: grants plus issuer identity.
+struct License {
+  std::string license_id;
+  std::string issuer;
+  std::vector<Grant> grants;
+
+  std::unique_ptr<xml::Element> ToXml() const;
+  std::string ToXmlString() const;
+  static Result<License> FromXml(const xml::Element& element);
+  static Result<License> FromXmlString(std::string_view text);
+};
+
+/// The context a rights decision is made in.
+struct ExerciseContext {
+  std::string principal;    ///< the player/device identity
+  int64_t now = 0;
+  std::string territory;    ///< the player's region code
+};
+
+}  // namespace xrml
+}  // namespace discsec
+
+#endif  // DISCSEC_XRML_LICENSE_H_

@@ -1,0 +1,68 @@
+#ifndef DISCSEC_XRML_RIGHTS_MANAGER_H_
+#define DISCSEC_XRML_RIGHTS_MANAGER_H_
+
+#include <map>
+
+#include "crypto/rsa.h"
+#include "pki/cert_store.h"
+#include "xrml/license.h"
+
+namespace discsec {
+namespace xrml {
+
+/// Signs licenses on the issuer side (an XML-DSig enveloped signature over
+/// the license document, carrying the issuer's certificate chain).
+Result<std::string> IssueSignedLicense(
+    const License& license, const crypto::RsaPrivateKey& issuer_key,
+    const std::vector<pki::Certificate>& issuer_chain);
+
+/// The player-side rights store and decision point. Licenses are only
+/// admitted after their signature validates against the trust store; the
+/// evaluator then answers "may `principal` exercise `right` on `resource`
+/// now?", enforcing validity windows, territories and (stateful) exercise
+/// limits.
+class RightsManager {
+ public:
+  RightsManager(const pki::CertStore* trust, int64_t now)
+      : trust_(trust), now_(now) {}
+
+  /// Parses, signature-checks and installs a signed license. Rejects
+  /// licenses whose signature does not anchor in the trust store.
+  Status InstallLicense(const std::string& signed_license_xml);
+
+  /// Installs without signature checking (e.g. a license mastered onto an
+  /// authenticated disc).
+  Status InstallUnsigned(const License& license);
+
+  size_t LicenseCount() const { return licenses_.size(); }
+
+  /// Whether any installed grant permits the exercise. On success the
+  /// exercise is *counted* against any exercise-limited grant used.
+  Status Exercise(Right right, const std::string& resource,
+                  const ExerciseContext& context);
+
+  /// Pure query (no counting).
+  bool IsPermitted(Right right, const std::string& resource,
+                   const ExerciseContext& context) const;
+
+  /// Uses recorded against an exercise-limited grant, keyed by
+  /// (license, grant index).
+  uint32_t UsesRecorded(const std::string& license_id,
+                        size_t grant_index) const;
+
+ private:
+  const Grant* FindGrant(Right right, const std::string& resource,
+                         const ExerciseContext& context,
+                         const License** license_out,
+                         size_t* index_out) const;
+
+  const pki::CertStore* trust_;
+  int64_t now_;
+  std::vector<License> licenses_;
+  std::map<std::pair<std::string, size_t>, uint32_t> uses_;
+};
+
+}  // namespace xrml
+}  // namespace discsec
+
+#endif  // DISCSEC_XRML_RIGHTS_MANAGER_H_

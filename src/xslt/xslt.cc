@@ -1,0 +1,278 @@
+#include "xslt/xslt.h"
+
+#include "common/strings.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace xslt {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+bool IsXslElement(const xml::Element& e, std::string_view local) {
+  return e.LocalName() == local && e.NamespaceUri() == kXslNamespace;
+}
+
+/// Evaluates a select expression against a context element, returning its
+/// string value ("" when the path selects nothing).
+std::string EvaluateString(const xml::Element& context,
+                           std::string_view expr) {
+  std::string_view trimmed = TrimWhitespace(expr);
+  if (trimmed == ".") return context.TextContent();
+  auto steps = SplitString(trimmed, '/');
+  const xml::Element* current = &context;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    std::string_view step = TrimWhitespace(steps[i]);
+    if (step.empty()) continue;
+    if (step[0] == '@') {
+      const std::string* value =
+          current->GetAttribute(std::string(step.substr(1)));
+      // Attributes are terminal.
+      return value != nullptr ? *value : std::string();
+    }
+    const xml::Element* child =
+        current->FirstChildElementByLocalName(step);
+    if (child == nullptr) return std::string();
+    current = child;
+  }
+  return current->TextContent();
+}
+
+/// Selects child elements for apply-templates/for-each: "name" or "*"
+/// (direct children), or a path whose final step selects elements.
+std::vector<const xml::Element*> EvaluateNodeSet(const xml::Element& context,
+                                                 std::string_view expr) {
+  std::vector<const xml::Element*> out;
+  std::string_view trimmed = TrimWhitespace(expr);
+  auto steps = SplitString(trimmed, '/');
+  std::vector<const xml::Element*> frontier = {&context};
+  for (const std::string& raw_step : steps) {
+    std::string_view step = TrimWhitespace(raw_step);
+    if (step.empty() || step[0] == '@') return {};
+    std::vector<const xml::Element*> next;
+    for (const xml::Element* e : frontier) {
+      for (const xml::Element* child : e->ChildElements()) {
+        if (step == "*" || child->LocalName() == step) {
+          next.push_back(child);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+/// Evaluates an xsl:if test: "EXPR" (truthy = non-empty string or a
+/// non-empty node-set) or "EXPR = 'literal'" / "EXPR='literal'".
+bool EvaluateTest(const xml::Element& context, std::string_view test) {
+  size_t eq = test.find('=');
+  if (eq != std::string_view::npos) {
+    std::string_view lhs = TrimWhitespace(test.substr(0, eq));
+    std::string_view rhs = TrimWhitespace(test.substr(eq + 1));
+    if (rhs.size() >= 2 && (rhs.front() == '\'' || rhs.front() == '"') &&
+        rhs.back() == rhs.front()) {
+      rhs = rhs.substr(1, rhs.size() - 2);
+    }
+    return EvaluateString(context, lhs) == rhs;
+  }
+  std::string_view trimmed = TrimWhitespace(test);
+  if (!trimmed.empty() && trimmed[0] != '@' && trimmed != "." &&
+      trimmed.find('/') == std::string_view::npos) {
+    // Bare element name: existence check.
+    return !EvaluateNodeSet(context, trimmed).empty();
+  }
+  return !EvaluateString(context, trimmed).empty();
+}
+
+/// Expands {EXPR} attribute value templates.
+std::string ExpandAttributeValue(const xml::Element& context,
+                                 const std::string& value) {
+  std::string out;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t open = value.find('{', pos);
+    if (open == std::string::npos) {
+      out.append(value, pos, std::string::npos);
+      break;
+    }
+    out.append(value, pos, open - pos);
+    size_t close = value.find('}', open);
+    if (close == std::string::npos) {
+      out.append(value, open, std::string::npos);
+      break;
+    }
+    out += EvaluateString(context, value.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Stylesheet> Stylesheet::Parse(const xml::Document& doc) {
+  const xml::Element* root = doc.root();
+  if (root == nullptr || root->LocalName() != "stylesheet" ||
+      root->NamespaceUri() != kXslNamespace) {
+    return Status::ParseError("not an xsl:stylesheet document");
+  }
+  Stylesheet sheet;
+  sheet.sheet_ = std::make_unique<xml::Document>(doc.Clone());
+  for (const xml::Element* child : sheet.sheet_->root()->ChildElements()) {
+    if (!IsXslElement(*child, "template")) {
+      return Status::ParseError("unsupported top-level element <" +
+                                child->name() + ">");
+    }
+    const std::string* match = child->GetAttribute("match");
+    if (match == nullptr || match->empty()) {
+      return Status::ParseError("xsl:template needs a match attribute");
+    }
+    sheet.templates_.push_back({*match, child});
+  }
+  if (sheet.templates_.empty()) {
+    return Status::ParseError("stylesheet has no templates");
+  }
+  return sheet;
+}
+
+Result<Stylesheet> Stylesheet::Parse(std::string_view text) {
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return Parse(doc);
+}
+
+const Stylesheet::Template* Stylesheet::FindTemplate(
+    const xml::Element& context) const {
+  // Priority: exact name > "*". "/" is handled by Transform directly.
+  const Template* wildcard = nullptr;
+  for (const Template& t : templates_) {
+    if (t.match == context.LocalName()) return &t;
+    if (t.match == "*") wildcard = &t;
+  }
+  return wildcard;
+}
+
+Status Stylesheet::ApplyTemplates(const xml::Element& context, int depth,
+                                  xml::Element* out) const {
+  if (depth > kMaxDepth) {
+    return Status::ResourceExhausted("XSLT recursion too deep");
+  }
+  const Template* t = FindTemplate(context);
+  if (t != nullptr) {
+    return InstantiateBody(*t->body, context, depth, out);
+  }
+  // Built-in rule: recurse into children; copy text through.
+  for (const auto& child : context.children()) {
+    if (child->IsText()) {
+      out->AppendText(static_cast<const xml::Text*>(child.get())->data());
+    } else if (child->IsElement()) {
+      DISCSEC_RETURN_IF_ERROR(ApplyTemplates(
+          *static_cast<const xml::Element*>(child.get()), depth + 1, out));
+    }
+  }
+  return Status::OK();
+}
+
+Status Stylesheet::InstantiateBody(const xml::Element& body,
+                                   const xml::Element& context, int depth,
+                                   xml::Element* out) const {
+  if (depth > kMaxDepth) {
+    return Status::ResourceExhausted("XSLT recursion too deep");
+  }
+  for (const auto& node : body.children()) {
+    if (node->IsText()) {
+      out->AppendText(static_cast<const xml::Text*>(node.get())->data());
+      continue;
+    }
+    if (!node->IsElement()) continue;
+    const auto& e = *static_cast<const xml::Element*>(node.get());
+
+    if (IsXslElement(e, "value-of")) {
+      const std::string* select = e.GetAttribute("select");
+      if (select == nullptr) {
+        return Status::ParseError("xsl:value-of needs select");
+      }
+      out->AppendText(EvaluateString(context, *select));
+    } else if (IsXslElement(e, "text")) {
+      out->AppendText(e.TextContent());
+    } else if (IsXslElement(e, "apply-templates")) {
+      const std::string* select = e.GetAttribute("select");
+      if (select != nullptr) {
+        for (const xml::Element* selected :
+             EvaluateNodeSet(context, *select)) {
+          DISCSEC_RETURN_IF_ERROR(
+              ApplyTemplates(*selected, depth + 1, out));
+        }
+      } else {
+        for (const xml::Element* child : context.ChildElements()) {
+          DISCSEC_RETURN_IF_ERROR(ApplyTemplates(*child, depth + 1, out));
+        }
+      }
+    } else if (IsXslElement(e, "for-each")) {
+      const std::string* select = e.GetAttribute("select");
+      if (select == nullptr) {
+        return Status::ParseError("xsl:for-each needs select");
+      }
+      for (const xml::Element* item : EvaluateNodeSet(context, *select)) {
+        DISCSEC_RETURN_IF_ERROR(InstantiateBody(e, *item, depth + 1, out));
+      }
+    } else if (IsXslElement(e, "if")) {
+      const std::string* test = e.GetAttribute("test");
+      if (test == nullptr) return Status::ParseError("xsl:if needs test");
+      if (EvaluateTest(context, *test)) {
+        DISCSEC_RETURN_IF_ERROR(
+            InstantiateBody(e, context, depth + 1, out));
+      }
+    } else if (e.NamespaceUri() == kXslNamespace) {
+      return Status::Unsupported("XSLT instruction xsl:" +
+                                 std::string(e.LocalName()));
+    } else {
+      // Literal result element: copy with attribute value templates.
+      xml::Element* copy = out->AppendElement(e.name());
+      for (const xml::Attribute& attr : e.attributes()) {
+        copy->SetAttribute(attr.name,
+                           ExpandAttributeValue(context, attr.value));
+      }
+      DISCSEC_RETURN_IF_ERROR(InstantiateBody(e, context, depth + 1, copy));
+    }
+  }
+  return Status::OK();
+}
+
+Result<xml::Document> Stylesheet::Transform(
+    const xml::Document& input) const {
+  if (input.root() == nullptr) {
+    return Status::InvalidArgument("input document has no root");
+  }
+  // A scratch root collects output; exactly one element child must remain.
+  xml::Element scratch("xslt-output");
+  const Template* root_template = nullptr;
+  for (const Template& t : templates_) {
+    if (t.match == "/") {
+      root_template = &t;
+      break;
+    }
+  }
+  if (root_template != nullptr) {
+    DISCSEC_RETURN_IF_ERROR(
+        InstantiateBody(*root_template->body, *input.root(), 0, &scratch));
+  } else {
+    DISCSEC_RETURN_IF_ERROR(ApplyTemplates(*input.root(), 0, &scratch));
+  }
+  xml::Element* result_root = nullptr;
+  size_t element_children = 0;
+  for (const auto& child : scratch.children()) {
+    if (child->IsElement()) {
+      ++element_children;
+      result_root = static_cast<xml::Element*>(child.get());
+    }
+  }
+  if (element_children != 1) {
+    return Status::InvalidArgument(
+        "transform produced " + std::to_string(element_children) +
+        " root elements (exactly one required)");
+  }
+  return xml::Document::WithRoot(result_root->CloneElement());
+}
+
+}  // namespace xslt
+}  // namespace discsec

@@ -1,0 +1,75 @@
+#ifndef DISCSEC_XSLT_XSLT_H_
+#define DISCSEC_XSLT_XSLT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xslt {
+
+/// The XSLT namespace.
+inline constexpr char kXslNamespace[] =
+    "http://www.w3.org/1999/XSL/Transform";
+
+/// An XSLT 1.0 subset — the last of the paper's §2 markup candidates
+/// ("XSL"), used on the *authoring* side to generate presentation markup
+/// (SMIL/SVG) from data documents. Deliberately NOT registered as an
+/// XML-DSig transform: executable transforms inside signatures are a
+/// well-known attack vector, and the player profile rejects them
+/// (see xmldsig_test UnsupportedTransformRejected).
+///
+/// Supported constructs:
+///   <xsl:template match="name | / | *">     match by element local name
+///   <xsl:apply-templates [select="name"]/>  recurse into (selected) children
+///   <xsl:value-of select="EXPR"/>           emit a string value
+///   <xsl:for-each select="name">...</xsl:for-each>
+///   <xsl:if test="EXPR [= 'literal']">...</xsl:if>
+///   <xsl:text>literal</xsl:text>
+///   literal result elements, with {EXPR} attribute value templates
+///
+/// Select/test expressions: "." (context text), "@attr", "name" (first /
+/// all matching child elements), and two-step paths "name/@attr",
+/// "name/name".
+class Stylesheet {
+ public:
+  Stylesheet(Stylesheet&&) = default;
+  Stylesheet& operator=(Stylesheet&&) = default;
+
+  /// Parses an <xsl:stylesheet> document.
+  static Result<Stylesheet> Parse(const xml::Document& doc);
+  static Result<Stylesheet> Parse(std::string_view text);
+
+  /// Applies the stylesheet to `input`, producing the result document.
+  /// Built-in rules apply where no template matches: elements recurse into
+  /// children, text nodes copy through.
+  Result<xml::Document> Transform(const xml::Document& input) const;
+
+  size_t TemplateCount() const { return templates_.size(); }
+
+ private:
+  Stylesheet() = default;
+
+  struct Template {
+    std::string match;
+    const xml::Element* body;  ///< into *sheet_
+  };
+
+  const Template* FindTemplate(const xml::Element& context) const;
+  Status ApplyTemplates(const xml::Element& context, int depth,
+                        xml::Element* out) const;
+  Status InstantiateBody(const xml::Element& body,
+                         const xml::Element& context, int depth,
+                         xml::Element* out) const;
+
+  std::unique_ptr<xml::Document> sheet_;  ///< owns the template bodies
+  std::vector<Template> templates_;
+};
+
+}  // namespace xslt
+}  // namespace discsec
+
+#endif  // DISCSEC_XSLT_XSLT_H_

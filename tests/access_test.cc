@@ -1,0 +1,290 @@
+#include <gtest/gtest.h>
+
+#include "access/pep.h"
+#include "access/permission_request.h"
+#include "access/policy.h"
+
+namespace discsec {
+namespace access {
+namespace {
+
+PermissionRequest GameRequest() {
+  PermissionRequest request;
+  request.app_id = "0x4501";
+  request.org_id = "acme.example";
+  Permission storage;
+  storage.resource = "localstorage";
+  storage.attributes = {{"path", "scores/"}, {"access", "readwrite"},
+                        {"quota", "65536"}};
+  Permission network;
+  network.resource = "network";
+  network.attributes = {{"host", "cdn.acme.example"}};
+  request.permissions = {storage, network};
+  return request;
+}
+
+// ----------------------------------------------- permission request file
+
+TEST(PermissionRequestTest, XmlRoundTrip) {
+  PermissionRequest request = GameRequest();
+  auto parsed = PermissionRequest::FromXmlString(request.ToXmlString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->app_id, "0x4501");
+  EXPECT_EQ(parsed->org_id, "acme.example");
+  ASSERT_EQ(parsed->permissions.size(), 2u);
+  EXPECT_EQ(parsed->permissions[0].resource, "localstorage");
+  EXPECT_EQ(*parsed->permissions[0].Attr("quota"), "65536");
+  EXPECT_TRUE(parsed->Requests("network"));
+  EXPECT_FALSE(parsed->Requests("graphics"));
+}
+
+TEST(PermissionRequestTest, RejectsMalformed) {
+  EXPECT_FALSE(PermissionRequest::FromXmlString("<wrong/>").ok());
+  EXPECT_FALSE(
+      PermissionRequest::FromXmlString("<permissionrequestfile/>").ok());
+}
+
+// ----------------------------------------------- policy engine
+
+TEST(PolicyTest, TargetMatching) {
+  Target target;
+  target.subjects = {"CN=Acme*"};
+  target.resources = {"localstorage"};
+  RequestContext request;
+  request.subject = "CN=Acme Content Signing";
+  request.resource = "localstorage";
+  request.action = "write";
+  EXPECT_TRUE(target.Matches(request));
+  request.subject = "CN=Evil Corp";
+  EXPECT_FALSE(target.Matches(request));
+  request.subject = "CN=Acme Content Signing";
+  request.resource = "network";
+  EXPECT_FALSE(target.Matches(request));
+}
+
+TEST(PolicyTest, EmptyTargetMatchesAnything) {
+  Target target;
+  RequestContext request;
+  request.subject = "anyone";
+  request.resource = "anything";
+  EXPECT_TRUE(target.Matches(request));
+}
+
+TEST(PolicyTest, ConditionOps) {
+  RequestContext request;
+  request.attributes = {{"path", "scores/quiz.xml"}};
+  Condition eq{.attribute = "path",
+               .op = Condition::Op::kEquals,
+               .value = "scores/quiz.xml"};
+  Condition prefix{.attribute = "path",
+                   .op = Condition::Op::kPrefix,
+                   .value = "scores/"};
+  Condition miss{.attribute = "host",
+                 .op = Condition::Op::kEquals,
+                 .value = "x"};
+  EXPECT_TRUE(eq.Holds(request));
+  EXPECT_TRUE(prefix.Holds(request));
+  EXPECT_FALSE(miss.Holds(request));
+}
+
+Policy MakeStoragePolicy(CombiningAlg alg) {
+  Policy policy;
+  policy.id = "storage-policy";
+  policy.combining = alg;
+  policy.target.resources = {"localstorage"};
+  Rule permit;
+  permit.id = "permit-scores";
+  permit.effect = Decision::kPermit;
+  permit.conditions.push_back({"path", Condition::Op::kPrefix, "scores/"});
+  Rule deny;
+  deny.id = "deny-system";
+  deny.effect = Decision::kDeny;
+  deny.conditions.push_back({"path", Condition::Op::kPrefix, "system/"});
+  policy.rules = {permit, deny};
+  return policy;
+}
+
+TEST(PolicyTest, RuleEvaluationPermit) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kDenyOverrides);
+  RequestContext request;
+  request.resource = "localstorage";
+  request.action = "write";
+  request.attributes = {{"path", "scores/high.xml"}};
+  EXPECT_EQ(policy.Evaluate(request), Decision::kPermit);
+}
+
+TEST(PolicyTest, RuleEvaluationDeny) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kDenyOverrides);
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "system/keys.bin"}};
+  EXPECT_EQ(policy.Evaluate(request), Decision::kDeny);
+}
+
+TEST(PolicyTest, NotApplicableOutsideTarget) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kDenyOverrides);
+  RequestContext request;
+  request.resource = "network";
+  EXPECT_EQ(policy.Evaluate(request), Decision::kNotApplicable);
+}
+
+TEST(PolicyTest, DenyOverridesBeatsPermit) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kDenyOverrides);
+  // A path matching both rules: scores/ prefix rule permits AND a deny rule
+  // hits via a second condition set.
+  policy.rules[1].conditions[0] = {"path", Condition::Op::kPrefix, "scores/"};
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(policy.Evaluate(request), Decision::kDeny);
+}
+
+TEST(PolicyTest, PermitOverrides) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kPermitOverrides);
+  policy.rules[1].conditions[0] = {"path", Condition::Op::kPrefix, "scores/"};
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(policy.Evaluate(request), Decision::kPermit);
+}
+
+TEST(PolicyTest, FirstApplicable) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kFirstApplicable);
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(policy.Evaluate(request), Decision::kPermit);
+}
+
+TEST(PolicyTest, XmlRoundTrip) {
+  Policy policy = MakeStoragePolicy(CombiningAlg::kPermitOverrides);
+  policy.target.subjects = {"CN=Acme*"};
+  xml::Document doc = xml::Document::WithRoot(policy.ToXml());
+  auto parsed = Policy::FromXml(*doc.root());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, "storage-policy");
+  EXPECT_EQ(parsed->combining, CombiningAlg::kPermitOverrides);
+  ASSERT_EQ(parsed->rules.size(), 2u);
+  EXPECT_EQ(parsed->rules[0].effect, Decision::kPermit);
+  EXPECT_EQ(parsed->rules[1].conditions[0].value, "system/");
+  // Parsed policy evaluates identically.
+  RequestContext request;
+  request.subject = "CN=Acme Studios";
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(parsed->Evaluate(request), policy.Evaluate(request));
+}
+
+TEST(PdpTest, PolicySetLoadAndEvaluate) {
+  PolicyDecisionPoint pdp;
+  pdp.AddPolicy(MakeStoragePolicy(CombiningAlg::kDenyOverrides));
+  std::string xml_text = pdp.ToXmlString();
+
+  PolicyDecisionPoint reloaded;
+  ASSERT_TRUE(reloaded.LoadPolicySet(xml_text).ok());
+  EXPECT_EQ(reloaded.PolicyCount(), 1u);
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(reloaded.Evaluate(request), Decision::kPermit);
+}
+
+TEST(PdpTest, DenyOverridesAcrossPolicies) {
+  PolicyDecisionPoint pdp;
+  pdp.AddPolicy(MakeStoragePolicy(CombiningAlg::kDenyOverrides));
+  Policy lockdown;
+  lockdown.id = "lockdown";
+  Rule deny_all;
+  deny_all.effect = Decision::kDeny;
+  lockdown.rules = {deny_all};
+  pdp.AddPolicy(lockdown);
+  RequestContext request;
+  request.resource = "localstorage";
+  request.attributes = {{"path", "scores/x"}};
+  EXPECT_EQ(pdp.Evaluate(request), Decision::kDeny);
+}
+
+TEST(PdpTest, NoPoliciesIsNotApplicable) {
+  PolicyDecisionPoint pdp;
+  RequestContext request;
+  EXPECT_EQ(pdp.Evaluate(request), Decision::kNotApplicable);
+}
+
+// ----------------------------------------------- PEP
+
+class PepFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Policy policy;
+    policy.id = "player-policy";
+    policy.target.subjects = {"CN=Acme*"};
+    Rule permit_storage;
+    permit_storage.effect = Decision::kPermit;
+    permit_storage.target.resources = {"localstorage"};
+    permit_storage.conditions.push_back(
+        {"path", Condition::Op::kPrefix, "scores/"});
+    Rule permit_network;
+    permit_network.effect = Decision::kPermit;
+    permit_network.target.resources = {"network"};
+    permit_network.target.actions = {"use"};
+    policy.rules = {permit_storage, permit_network};
+    pdp_.AddPolicy(std::move(policy));
+  }
+
+  PolicyDecisionPoint pdp_;
+};
+
+TEST_F(PepFixture, GrantRequiresRequestAndPolicy) {
+  PolicyEnforcementPoint pep(&pdp_, GameRequest(), "CN=Acme Studios");
+  // Requested and permitted.
+  EXPECT_TRUE(pep.Check("localstorage", "write",
+                        {{"path", "scores/high.xml"}})
+                  .ok());
+  // Requested but policy denies the path.
+  EXPECT_TRUE(pep.Check("localstorage", "write", {{"path", "system/x"}})
+                  .IsPermissionDenied());
+  // Never requested: denied outright even though no policy forbids it.
+  EXPECT_TRUE(pep.Check("graphics", "use").IsPermissionDenied());
+}
+
+TEST_F(PepFixture, SubjectOutsidePolicyDenied) {
+  PolicyEnforcementPoint pep(&pdp_, GameRequest(), "CN=Evil Corp");
+  EXPECT_TRUE(pep.Check("localstorage", "write",
+                        {{"path", "scores/high.xml"}})
+                  .IsPermissionDenied());
+}
+
+TEST_F(PepFixture, AccessAttributeNarrowsActions) {
+  PermissionRequest request = GameRequest();
+  request.permissions[0].attributes["access"] = "read";
+  PolicyEnforcementPoint pep(&pdp_, request, "CN=Acme Studios");
+  EXPECT_TRUE(pep.Check("localstorage", "read",
+                        {{"path", "scores/high.xml"}})
+                  .ok());
+  EXPECT_TRUE(pep.Check("localstorage", "write",
+                        {{"path", "scores/high.xml"}})
+                  .IsPermissionDenied());
+}
+
+TEST_F(PepFixture, RequestAttributesProvideDefaults) {
+  // The declared path in the request file is used when the call site gives
+  // no explicit path.
+  PolicyEnforcementPoint pep(&pdp_, GameRequest(), "CN=Acme Studios");
+  EXPECT_TRUE(pep.Check("localstorage", "read").ok());
+}
+
+TEST_F(PepFixture, EvaluateAllProducesGrantTable) {
+  PolicyEnforcementPoint pep(&pdp_, GameRequest(), "CN=Acme Studios");
+  auto grants = pep.EvaluateAll();
+  EXPECT_TRUE(grants.at("localstorage"));
+  EXPECT_TRUE(grants.at("network"));
+
+  PolicyEnforcementPoint evil(&pdp_, GameRequest(), "CN=Evil Corp");
+  auto evil_grants = evil.EvaluateAll();
+  EXPECT_FALSE(evil_grants.at("localstorage"));
+  EXPECT_FALSE(evil_grants.at("network"));
+}
+
+}  // namespace
+}  // namespace access
+}  // namespace discsec

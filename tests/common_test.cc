@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "common/base64.h"
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace discsec {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::VerificationFailed("digest mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsVerificationFailed());
+  EXPECT_EQ(s.ToString(), "VerificationFailed: digest mismatch");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::NotFound("key k1").WithContext("XKMS locate");
+  EXPECT_EQ(s.ToString(), "NotFound: XKMS locate: key k1");
+  EXPECT_TRUE(Status::OK().WithContext("x").ok());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.ValueOr(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes b = {0x00, 0x7f, 0x80, 0xff};
+  EXPECT_EQ(ToHex(b), "007f80ff");
+  auto parsed = FromHex("007F80Ff");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), b);
+}
+
+TEST(BytesTest, HexRejectsBadInput) {
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // non-hex
+}
+
+TEST(BytesTest, ConstantTimeEquals) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(ConstantTimeEquals(a, b));
+  EXPECT_FALSE(ConstantTimeEquals(a, c));
+  EXPECT_FALSE(ConstantTimeEquals(a, d));
+  EXPECT_TRUE(ConstantTimeEquals({}, {}));
+}
+
+TEST(BytesTest, BigEndianHelpers) {
+  Bytes b;
+  AppendUint32BE(&b, 0x01020304u);
+  AppendUint64BE(&b, 0x0102030405060708ULL);
+  ASSERT_EQ(b.size(), 12u);
+  EXPECT_EQ(ReadUint32BE(b.data()), 0x01020304u);
+  EXPECT_EQ(ReadUint64BE(b.data() + 4), 0x0102030405060708ULL);
+}
+
+// RFC 4648 §10 test vectors.
+struct B64Case {
+  const char* plain;
+  const char* encoded;
+};
+
+class Base64Rfc4648Test : public ::testing::TestWithParam<B64Case> {};
+
+TEST_P(Base64Rfc4648Test, EncodeMatchesRfc) {
+  const auto& c = GetParam();
+  EXPECT_EQ(Base64Encode(ToBytes(c.plain)), c.encoded);
+}
+
+TEST_P(Base64Rfc4648Test, DecodeMatchesRfc) {
+  const auto& c = GetParam();
+  auto decoded = Base64Decode(c.encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(ToString(decoded.value()), c.plain);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc4648, Base64Rfc4648Test,
+    ::testing::Values(B64Case{"", ""}, B64Case{"f", "Zg=="},
+                      B64Case{"fo", "Zm8="}, B64Case{"foo", "Zm9v"},
+                      B64Case{"foob", "Zm9vYg=="},
+                      B64Case{"fooba", "Zm9vYmE="},
+                      B64Case{"foobar", "Zm9vYmFy"}));
+
+TEST(Base64Test, IgnoresWhitespace) {
+  auto decoded = Base64Decode("Zm9v\nYmFy  \t");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(ToString(decoded.value()), "foobar");
+}
+
+TEST(Base64Test, RejectsGarbage) {
+  EXPECT_FALSE(Base64Decode("Zm9v!").ok());
+  EXPECT_FALSE(Base64Decode("Zg==Zg").ok());  // data after padding
+}
+
+TEST(Base64Test, RandomRoundTrip) {
+  Rng rng(1234);
+  for (size_t len = 0; len < 100; ++len) {
+    Bytes data = rng.NextBytes(len);
+    auto decoded = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded.value(), data) << "len=" << len;
+  }
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(StringsTest, Split) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  x \n"), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("manifest.xml", "manifest"));
+  EXPECT_TRUE(EndsWith("manifest.xml", ".xml"));
+  EXPECT_FALSE(StartsWith("a", "ab"));
+}
+
+TEST(StringsTest, JoinAndFormat) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, "/"), "a/b/c");
+  EXPECT_EQ(StringFormat("track-%02d", 7), "track-07");
+}
+
+}  // namespace
+}  // namespace discsec

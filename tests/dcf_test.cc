@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "dcf/dcf.h"
+
+namespace discsec {
+namespace dcf {
+namespace {
+
+class DcfFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rng_ = std::make_unique<Rng>(4040);
+    cek_ = rng_->NextBytes(16);
+    mac_key_ = rng_->NextBytes(20);
+  }
+  std::unique_ptr<Rng> rng_;
+  Bytes cek_;
+  Bytes mac_key_;
+};
+
+TEST_F(DcfFixture, ProtectUnprotectRoundTrip) {
+  Bytes payload = ToBytes("<manifest>interactive app</manifest>");
+  auto container = DcfProtect(payload, "application/xml", "disc-key-1", cek_,
+                              mac_key_, rng_.get());
+  ASSERT_TRUE(container.ok());
+  auto restored = DcfUnprotect(container.value(), cek_, mac_key_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value(), payload);
+}
+
+TEST_F(DcfFixture, RoundTripAcrossSizes) {
+  for (size_t len : {0u, 1u, 15u, 16u, 17u, 1000u, 65536u}) {
+    Bytes payload = rng_->NextBytes(len);
+    auto container =
+        DcfProtect(payload, "video/mp2t", "k", cek_, mac_key_, rng_.get());
+    ASSERT_TRUE(container.ok()) << len;
+    auto restored = DcfUnprotect(container.value(), cek_, mac_key_);
+    ASSERT_TRUE(restored.ok()) << len;
+    EXPECT_EQ(restored.value(), payload) << len;
+  }
+}
+
+TEST_F(DcfFixture, HeaderParsesWithoutKeys) {
+  Bytes payload(100, 0xaa);
+  auto container = DcfProtect(payload, "application/xml", "studio-kek", cek_,
+                              mac_key_, rng_.get());
+  ASSERT_TRUE(container.ok());
+  auto header = DcfParseHeader(container.value());
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->content_type, "application/xml");
+  EXPECT_EQ(header->key_id, "studio-kek");
+  EXPECT_EQ(header->plaintext_len, 100u);
+}
+
+TEST_F(DcfFixture, TamperAnywhereDetected) {
+  Bytes payload = ToBytes("payload to protect");
+  auto container =
+      DcfProtect(payload, "t", "k", cek_, mac_key_, rng_.get()).value();
+  // Flip one byte at several positions: header, ciphertext, MAC.
+  for (size_t pos : {size_t{0}, size_t{6}, container.size() / 2,
+                     container.size() - 1}) {
+    Bytes tampered = container;
+    tampered[pos] ^= 0x01;
+    auto result = DcfUnprotect(tampered, cek_, mac_key_);
+    EXPECT_FALSE(result.ok()) << "position " << pos;
+  }
+}
+
+TEST_F(DcfFixture, WrongMacKeyRejected) {
+  auto container =
+      DcfProtect(ToBytes("x"), "t", "k", cek_, mac_key_, rng_.get()).value();
+  Bytes wrong = rng_->NextBytes(20);
+  EXPECT_TRUE(
+      DcfUnprotect(container, cek_, wrong).status().IsVerificationFailed());
+}
+
+TEST_F(DcfFixture, WrongCekFailsAfterMacPasses) {
+  auto container =
+      DcfProtect(ToBytes("exact payload"), "t", "k", cek_, mac_key_,
+                 rng_.get())
+          .value();
+  Bytes wrong_cek = rng_->NextBytes(16);
+  auto result = DcfUnprotect(container, wrong_cek, mac_key_);
+  // Either padding fails or the plaintext length check trips.
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(DcfFixture, GarbageRejected) {
+  EXPECT_TRUE(DcfUnprotect(Bytes{1, 2, 3}, cek_, mac_key_)
+                  .status()
+                  .IsCorruption());
+  Bytes not_dcf(100, 0x42);
+  EXPECT_FALSE(DcfUnprotect(not_dcf, cek_, mac_key_).ok());
+}
+
+TEST_F(DcfFixture, OverlongMetadataRejected) {
+  std::string long_type(300, 'x');
+  EXPECT_TRUE(DcfProtect(ToBytes("x"), long_type, "k", cek_, mac_key_,
+                         rng_.get())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(DcfFixture, ContainerSizeFormulaIsExact) {
+  for (size_t len : {0u, 5u, 16u, 100u, 4096u}) {
+    Bytes payload = rng_->NextBytes(len);
+    auto container =
+        DcfProtect(payload, "application/xml", "key-1", cek_, mac_key_,
+                   rng_.get());
+    ASSERT_TRUE(container.ok());
+    EXPECT_EQ(container.value().size(),
+              DcfContainerSize(len, /*content_type_len=*/15,
+                               /*key_id_len=*/5))
+        << len;
+  }
+}
+
+TEST_F(DcfFixture, OverheadIsSmallAndFixed) {
+  // The property the paper's comparison rests on: the binary container adds
+  // a small, near-constant number of bytes regardless of payload size.
+  size_t payload = 10000;
+  size_t container = DcfContainerSize(payload, 15, 5);
+  EXPECT_LT(container - payload, 100u);
+}
+
+}  // namespace
+}  // namespace dcf
+}  // namespace discsec

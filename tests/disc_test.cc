@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "disc/content.h"
+#include "disc/disc_image.h"
+#include "disc/local_storage.h"
+
+namespace discsec {
+namespace disc {
+namespace {
+
+InteractiveCluster DemoCluster() {
+  InteractiveCluster cluster;
+  cluster.id = "cluster-1";
+  cluster.title = "Feature Film + Bonus Game";
+
+  ClipInfo clip;
+  clip.id = "clip-1";
+  clip.ts_path = std::string(kStreamDir) + "00001.m2ts";
+  clip.duration_ms = 5000;
+  cluster.clips.push_back(clip);
+
+  Playlist playlist;
+  playlist.id = "pl-1";
+  playlist.items.push_back({"clip-1", 0, 5000});
+  cluster.playlists.push_back(playlist);
+
+  Track movie;
+  movie.id = "track-movie";
+  movie.kind = Track::Kind::kAudioVideo;
+  movie.playlist_id = "pl-1";
+  cluster.tracks.push_back(movie);
+
+  Track app;
+  app.id = "track-app";
+  app.kind = Track::Kind::kApplication;
+  app.manifest.id = "app-1";
+  app.manifest.markups.push_back(
+      {"menu", "layout",
+       "<smil><body><img src=\"bg.png\" dur=\"5s\"/></body></smil>"});
+  app.manifest.markups.push_back(
+      {"anim", "timing", "<smil><body><seq/></body></smil>"});
+  app.manifest.scripts.push_back({"main", "var launched = true;"});
+  app.manifest.permission_request_xml =
+      "<permissionrequestfile appid=\"0x1\" orgid=\"acme\">"
+      "<localstorage path=\"scores/\" access=\"readwrite\"/>"
+      "</permissionrequestfile>";
+  cluster.tracks.push_back(app);
+  return cluster;
+}
+
+// --------------------------------------------------------- content model
+
+TEST(ContentTest, LookupHelpers) {
+  InteractiveCluster cluster = DemoCluster();
+  EXPECT_NE(cluster.FindTrack("track-movie"), nullptr);
+  EXPECT_EQ(cluster.FindTrack("nope"), nullptr);
+  EXPECT_NE(cluster.FindPlaylist("pl-1"), nullptr);
+  EXPECT_NE(cluster.FindClip("clip-1"), nullptr);
+  const Track* app = cluster.FirstApplicationTrack();
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->id, "track-app");
+  EXPECT_NE(app->manifest.FindMarkupByRole("layout"), nullptr);
+  EXPECT_EQ(app->manifest.FindMarkupByRole("nope"), nullptr);
+}
+
+TEST(ContentTest, XmlRoundTrip) {
+  InteractiveCluster cluster = DemoCluster();
+  std::string text = cluster.ToXmlString();
+  auto parsed = InteractiveCluster::FromXmlString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->id, cluster.id);
+  EXPECT_EQ(parsed->title, cluster.title);
+  ASSERT_EQ(parsed->tracks.size(), 2u);
+  const Track* app = parsed->FirstApplicationTrack();
+  ASSERT_NE(app, nullptr);
+  ASSERT_EQ(app->manifest.markups.size(), 2u);
+  EXPECT_EQ(app->manifest.markups[0].role, "layout");
+  EXPECT_EQ(app->manifest.markups[0].content,
+            cluster.tracks[1].manifest.markups[0].content);
+  ASSERT_EQ(app->manifest.scripts.size(), 1u);
+  EXPECT_EQ(app->manifest.scripts[0].source, "var launched = true;");
+  EXPECT_EQ(app->manifest.permission_request_xml,
+            cluster.tracks[1].manifest.permission_request_xml);
+  EXPECT_EQ(parsed->playlists[0].items[0].out_ms, 5000u);
+  EXPECT_EQ(parsed->clips[0].duration_ms, 5000u);
+}
+
+TEST(ContentTest, IdsAssignedAtEveryLevel) {
+  // The §5 signing levels need addressable Ids everywhere.
+  InteractiveCluster cluster = DemoCluster();
+  xml::Document doc = cluster.ToXml();
+  EXPECT_NE(doc.FindById("track-app"), nullptr);
+  EXPECT_NE(doc.FindById("app-1"), nullptr);
+  EXPECT_NE(doc.FindById("app-1-markup"), nullptr);
+  EXPECT_NE(doc.FindById("app-1-code"), nullptr);
+  EXPECT_NE(doc.FindById("app-1-script-main"), nullptr);
+  EXPECT_NE(doc.FindById("app-1-sub-menu"), nullptr);
+  EXPECT_NE(doc.FindById("app-1-permissions"), nullptr);
+}
+
+TEST(ContentTest, ValidateCatchesBrokenReferences) {
+  InteractiveCluster cluster = DemoCluster();
+  EXPECT_TRUE(cluster.Validate().ok());
+
+  InteractiveCluster missing_playlist = DemoCluster();
+  missing_playlist.tracks[0].playlist_id = "ghost";
+  EXPECT_FALSE(missing_playlist.Validate().ok());
+
+  InteractiveCluster missing_clip = DemoCluster();
+  missing_clip.playlists[0].items[0].clip_id = "ghost";
+  EXPECT_FALSE(missing_clip.Validate().ok());
+
+  InteractiveCluster dup_track = DemoCluster();
+  dup_track.tracks[1].id = "track-movie";
+  EXPECT_FALSE(dup_track.Validate().ok());
+
+  InteractiveCluster inverted = DemoCluster();
+  inverted.playlists[0].items[0].in_ms = 9000;
+  EXPECT_FALSE(inverted.Validate().ok());
+}
+
+TEST(ContentTest, FromXmlRejectsBrokenDocuments) {
+  EXPECT_FALSE(InteractiveCluster::FromXmlString("<other/>").ok());
+  EXPECT_FALSE(InteractiveCluster::FromXmlString(
+                   "<cluster><track/></cluster>")
+                   .ok());
+  EXPECT_FALSE(InteractiveCluster::FromXmlString(
+                   "<cluster><track Id=\"t\" kind=\"bogus\"/></cluster>")
+                   .ok());
+}
+
+// --------------------------------------------------------- transport stream
+
+TEST(TransportStreamTest, GeneratedStreamIsValid) {
+  Bytes ts = GenerateTransportStream(42, 100);
+  EXPECT_EQ(ts.size(), 100u * 188u);
+  EXPECT_TRUE(ValidateTransportStream(ts).ok());
+}
+
+TEST(TransportStreamTest, DeterministicPerSeed) {
+  EXPECT_EQ(GenerateTransportStream(7, 10), GenerateTransportStream(7, 10));
+  EXPECT_NE(GenerateTransportStream(7, 10), GenerateTransportStream(8, 10));
+}
+
+TEST(TransportStreamTest, CorruptionDetected) {
+  Bytes ts = GenerateTransportStream(42, 10);
+  ts[188] = 0x00;  // clobber the second sync byte
+  EXPECT_TRUE(ValidateTransportStream(ts).IsCorruption());
+  EXPECT_TRUE(ValidateTransportStream(Bytes(100)).IsCorruption());
+  EXPECT_TRUE(ValidateTransportStream({}).IsCorruption());
+}
+
+// --------------------------------------------------------- disc image
+
+TEST(DiscImageTest, PutGetList) {
+  DiscImage image;
+  image.PutText("BDMV/cluster.xml", "<cluster/>");
+  image.Put("BDMV/STREAM/1.m2ts", Bytes{1, 2, 3});
+  EXPECT_TRUE(image.Exists("BDMV/cluster.xml"));
+  EXPECT_FALSE(image.Exists("nope"));
+  EXPECT_EQ(image.FileCount(), 2u);
+  EXPECT_EQ(image.TotalBytes(), 10u + 3u);
+  EXPECT_EQ(image.GetText("BDMV/cluster.xml").value(), "<cluster/>");
+  EXPECT_TRUE(image.Get("ghost").status().IsNotFound());
+  EXPECT_EQ(image.List().size(), 2u);
+}
+
+TEST(DiscImageTest, PackUnpackRoundTrip) {
+  DiscImage image;
+  image.PutText("a.xml", "<a/>");
+  image.Put("dir/binary.bin", Bytes{0, 255, 127, 0, 1});
+  image.PutText("empty.txt", "");
+  Bytes packed = image.Pack();
+  auto unpacked = DiscImage::Unpack(packed);
+  ASSERT_TRUE(unpacked.ok()) << unpacked.status().ToString();
+  EXPECT_EQ(unpacked->FileCount(), 3u);
+  EXPECT_EQ(unpacked->GetText("a.xml").value(), "<a/>");
+  EXPECT_EQ(unpacked->Get("dir/binary.bin").value(),
+            Bytes({0, 255, 127, 0, 1}));
+  EXPECT_EQ(unpacked->Get("empty.txt").value(), Bytes{});
+}
+
+TEST(DiscImageTest, CorruptionDetected) {
+  DiscImage image;
+  image.PutText("a.xml", "<a/>");
+  Bytes packed = image.Pack();
+  packed[packed.size() / 2] ^= 0xff;
+  EXPECT_TRUE(DiscImage::Unpack(packed).status().IsCorruption());
+  EXPECT_TRUE(DiscImage::Unpack(Bytes{1, 2, 3}).status().IsCorruption());
+}
+
+TEST(DiscImageTest, FileRoundTrip) {
+  DiscImage image;
+  image.PutText("BDMV/cluster.xml", "<cluster Id=\"c\"/>");
+  std::string path = "/tmp/discsec_test_image.bin";
+  ASSERT_TRUE(image.SaveToFile(path).ok());
+  auto loaded = DiscImage::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->GetText("BDMV/cluster.xml").value(),
+            "<cluster Id=\"c\"/>");
+  std::remove(path.c_str());
+  EXPECT_TRUE(DiscImage::LoadFromFile("/nonexistent/x").status().IsIOError());
+}
+
+// --------------------------------------------------------- local storage
+
+TEST(LocalStorageTest, ReadWriteRemove) {
+  LocalStorage storage;
+  EXPECT_TRUE(storage.WriteText("scores/alice", "9000").ok());
+  EXPECT_EQ(storage.ReadText("scores/alice").value(), "9000");
+  EXPECT_TRUE(storage.Exists("scores/alice"));
+  EXPECT_TRUE(storage.Read("ghost").status().IsNotFound());
+  EXPECT_TRUE(storage.Remove("scores/alice").ok());
+  EXPECT_FALSE(storage.Exists("scores/alice"));
+  EXPECT_TRUE(storage.Remove("scores/alice").IsNotFound());
+}
+
+TEST(LocalStorageTest, ListPrefix) {
+  LocalStorage storage;
+  ASSERT_TRUE(storage.WriteText("scores/a", "1").ok());
+  ASSERT_TRUE(storage.WriteText("scores/b", "2").ok());
+  ASSERT_TRUE(storage.WriteText("config/x", "3").ok());
+  EXPECT_EQ(storage.ListPrefix("scores/").size(), 2u);
+  EXPECT_EQ(storage.ListPrefix("").size(), 3u);
+  EXPECT_TRUE(storage.ListPrefix("ghost/").empty());
+}
+
+TEST(LocalStorageTest, QuotaEnforced) {
+  LocalStorage storage(10);
+  EXPECT_TRUE(storage.Write("a", Bytes(6)).ok());
+  EXPECT_TRUE(storage.Write("b", Bytes(4)).ok());
+  EXPECT_TRUE(storage.Write("c", Bytes(1)).IsResourceExhausted());
+  // Overwriting within quota is allowed (replaces, not adds).
+  EXPECT_TRUE(storage.Write("a", Bytes(5)).ok());
+  EXPECT_TRUE(storage.Write("c", Bytes(1)).ok());
+  EXPECT_EQ(storage.UsedBytes(), 10u);
+}
+
+TEST(LocalStorageTest, PersistenceRoundTrip) {
+  std::string path = "/tmp/discsec_test_storage.bin";
+  {
+    LocalStorage storage(1024);
+    ASSERT_TRUE(storage.WriteText("scores/alice", "4200").ok());
+    ASSERT_TRUE(storage.WriteText("config/lang", "nl").ok());
+    ASSERT_TRUE(storage.SaveToFile(path).ok());
+  }
+  {
+    LocalStorage storage(1024);
+    ASSERT_TRUE(storage.LoadFromFile(path).ok());
+    EXPECT_EQ(storage.ReadText("scores/alice").value(), "4200");
+    EXPECT_EQ(storage.ReadText("config/lang").value(), "nl");
+    EXPECT_EQ(storage.UsedBytes(), 6u);
+  }
+  // A player with a smaller quota refuses the persisted file wholesale.
+  {
+    LocalStorage tiny(4);
+    EXPECT_TRUE(tiny.LoadFromFile(path).IsResourceExhausted());
+    EXPECT_EQ(tiny.UsedBytes(), 0u);  // untouched on failure
+  }
+  // Corruption (the SHA-256 trailer) is detected.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 12, SEEK_SET);
+    std::fputc(0xFF, f);
+    std::fclose(f);
+    LocalStorage storage(1024);
+    EXPECT_TRUE(storage.LoadFromFile(path).IsCorruption());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(LocalStorageTest, EmptyPathRejected) {
+  LocalStorage storage;
+  EXPECT_TRUE(storage.Write("", Bytes(1)).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace disc
+}  // namespace discsec

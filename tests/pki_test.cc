@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "crypto/algorithms.h"
+#include "crypto/sha256.h"
+#include "pki/cert_store.h"
+#include "pki/certificate.h"
+#include "pki/key_codec.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace pki {
+namespace {
+
+constexpr int64_t kNow = 1120000000;  // mid-2005, in keeping with the paper
+constexpr int64_t kYear = 365LL * 24 * 3600;
+
+/// A 3-level hierarchy shared by the tests: Root CA -> Studio CA -> leaf.
+class PkiFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new Rng(7001);
+    root_key_ = new crypto::RsaKeyPair(
+        crypto::RsaGenerateKeyPair(512, rng_).value());
+    studio_key_ = new crypto::RsaKeyPair(
+        crypto::RsaGenerateKeyPair(512, rng_).value());
+    leaf_key_ = new crypto::RsaKeyPair(
+        crypto::RsaGenerateKeyPair(512, rng_).value());
+
+    CertificateInfo root_info;
+    root_info.subject = "CN=Disc Trust Root";
+    root_info.issuer = root_info.subject;
+    root_info.serial = 1;
+    root_info.not_before = kNow - kYear;
+    root_info.not_after = kNow + 10 * kYear;
+    root_info.is_ca = true;
+    root_info.public_key = root_key_->public_key;
+    root_ = new Certificate(
+        IssueCertificate(root_info, root_key_->private_key).value());
+
+    CertificateInfo studio_info;
+    studio_info.subject = "CN=Acme Studios CA";
+    studio_info.issuer = root_info.subject;
+    studio_info.serial = 2;
+    studio_info.not_before = kNow - kYear;
+    studio_info.not_after = kNow + 5 * kYear;
+    studio_info.is_ca = true;
+    studio_info.public_key = studio_key_->public_key;
+    studio_ = new Certificate(
+        IssueCertificate(studio_info, root_key_->private_key).value());
+
+    CertificateInfo leaf_info;
+    leaf_info.subject = "CN=Acme Content Signing";
+    leaf_info.issuer = studio_info.subject;
+    leaf_info.serial = 3;
+    leaf_info.not_before = kNow - kYear / 2;
+    leaf_info.not_after = kNow + kYear;
+    leaf_info.is_ca = false;
+    leaf_info.public_key = leaf_key_->public_key;
+    leaf_ = new Certificate(
+        IssueCertificate(leaf_info, studio_key_->private_key).value());
+  }
+
+  CertStore TrustingStore() {
+    CertStore store;
+    EXPECT_TRUE(store.AddTrustedRoot(*root_).ok());
+    return store;
+  }
+
+  static Rng* rng_;
+  static crypto::RsaKeyPair* root_key_;
+  static crypto::RsaKeyPair* studio_key_;
+  static crypto::RsaKeyPair* leaf_key_;
+  static Certificate* root_;
+  static Certificate* studio_;
+  static Certificate* leaf_;
+};
+
+Rng* PkiFixture::rng_ = nullptr;
+crypto::RsaKeyPair* PkiFixture::root_key_ = nullptr;
+crypto::RsaKeyPair* PkiFixture::studio_key_ = nullptr;
+crypto::RsaKeyPair* PkiFixture::leaf_key_ = nullptr;
+Certificate* PkiFixture::root_ = nullptr;
+Certificate* PkiFixture::studio_ = nullptr;
+Certificate* PkiFixture::leaf_ = nullptr;
+
+TEST_F(PkiFixture, KeyCodecRoundTrip) {
+  auto elem = RsaKeyToXml(leaf_key_->public_key, "RSAKeyValue");
+  auto parsed = RsaKeyFromXml(*elem);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value() == leaf_key_->public_key);
+}
+
+TEST_F(PkiFixture, KeyCodecWithPrefix) {
+  auto elem = RsaKeyToXml(leaf_key_->public_key, "ds:RSAKeyValue");
+  EXPECT_NE(elem->FirstChildElement("ds:Modulus"), nullptr);
+  auto parsed = RsaKeyFromXml(*elem);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value() == leaf_key_->public_key);
+}
+
+TEST_F(PkiFixture, KeyCodecRejectsIncomplete) {
+  xml::Element empty("RSAKeyValue");
+  EXPECT_FALSE(RsaKeyFromXml(empty).ok());
+}
+
+TEST_F(PkiFixture, PrivateKeyCodecRoundTrip) {
+  std::string text = RsaPrivateKeyToXmlString(leaf_key_->private_key);
+  auto parsed = RsaPrivateKeyFromXmlString(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->modulus, leaf_key_->private_key.modulus);
+  EXPECT_EQ(parsed->private_exponent,
+            leaf_key_->private_key.private_exponent);
+  EXPECT_EQ(parsed->coefficient, leaf_key_->private_key.coefficient);
+  // The round-tripped key still signs correctly.
+  Bytes digest = crypto::Sha256::Hash(ToBytes("check"));
+  auto sig =
+      crypto::RsaSignDigest(parsed.value(), crypto::kAlgSha256, digest);
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(crypto::RsaVerifyDigest(leaf_key_->public_key,
+                                      crypto::kAlgSha256, digest, sig.value())
+                  .ok());
+}
+
+TEST_F(PkiFixture, PrivateKeyCodecDetectsInconsistency) {
+  std::string text = RsaPrivateKeyToXmlString(leaf_key_->private_key);
+  // Swap in a different modulus: p*q check must fire.
+  std::string other = RsaPrivateKeyToXmlString(root_key_->private_key);
+  auto grab = [](const std::string& s) {
+    size_t b = s.find("<Modulus>") + 9;
+    size_t e = s.find("</Modulus>");
+    return s.substr(b, e - b);
+  };
+  std::string frankenstein = text;
+  size_t b = frankenstein.find("<Modulus>") + 9;
+  size_t e = frankenstein.find("</Modulus>");
+  frankenstein.replace(b, e - b, grab(other));
+  EXPECT_TRUE(RsaPrivateKeyFromXmlString(frankenstein)
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(PkiFixture, PrivateKeyCodecRejectsIncomplete) {
+  EXPECT_FALSE(RsaPrivateKeyFromXmlString("<RSAPrivateKey/>").ok());
+  EXPECT_FALSE(RsaPrivateKeyFromXmlString("<Other/>").ok());
+}
+
+TEST_F(PkiFixture, FingerprintStableAndDistinct) {
+  EXPECT_EQ(KeyFingerprint(leaf_key_->public_key),
+            KeyFingerprint(leaf_key_->public_key));
+  EXPECT_NE(KeyFingerprint(leaf_key_->public_key),
+            KeyFingerprint(root_key_->public_key));
+  EXPECT_EQ(KeyFingerprint(leaf_key_->public_key).size(), 32u);
+}
+
+TEST_F(PkiFixture, CertificateXmlRoundTrip) {
+  auto parsed = Certificate::FromXmlString(leaf_->ToXmlString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->info().subject, leaf_->info().subject);
+  EXPECT_EQ(parsed->info().serial, leaf_->info().serial);
+  EXPECT_EQ(parsed->signature(), leaf_->signature());
+  EXPECT_TRUE(parsed->info().public_key == leaf_->info().public_key);
+  // The round-tripped certificate still verifies.
+  EXPECT_TRUE(parsed->VerifySignature(studio_key_->public_key).ok());
+}
+
+TEST_F(PkiFixture, SignatureBindsAllTbsFields) {
+  // Altering any TBS field must break the signature.
+  auto tampered = Certificate::FromXmlString(leaf_->ToXmlString()).value();
+  std::string xml_text = leaf_->ToXmlString();
+  size_t pos = xml_text.find("Acme Content Signing");
+  xml_text.replace(pos, 4, "Evil");
+  auto evil = Certificate::FromXmlString(xml_text);
+  ASSERT_TRUE(evil.ok());
+  EXPECT_FALSE(evil->VerifySignature(studio_key_->public_key).ok());
+}
+
+TEST_F(PkiFixture, SelfSignedDetection) {
+  EXPECT_TRUE(root_->IsSelfSigned());
+  EXPECT_FALSE(leaf_->IsSelfSigned());
+}
+
+TEST_F(PkiFixture, TimeValidity) {
+  EXPECT_TRUE(leaf_->IsTimeValid(kNow));
+  EXPECT_FALSE(leaf_->IsTimeValid(kNow + 2 * kYear));
+  EXPECT_FALSE(leaf_->IsTimeValid(kNow - kYear));
+}
+
+TEST_F(PkiFixture, IssueRejectsInvalidInfo) {
+  CertificateInfo bad;
+  bad.subject = "";
+  bad.issuer = "x";
+  EXPECT_FALSE(IssueCertificate(bad, root_key_->private_key).ok());
+  CertificateInfo inverted;
+  inverted.subject = "a";
+  inverted.issuer = "b";
+  inverted.not_before = 10;
+  inverted.not_after = 5;
+  EXPECT_FALSE(IssueCertificate(inverted, root_key_->private_key).ok());
+}
+
+TEST_F(PkiFixture, StoreRejectsNonRootAnchors) {
+  CertStore store;
+  EXPECT_FALSE(store.AddTrustedRoot(*leaf_).ok());     // not self-signed
+  EXPECT_FALSE(store.AddTrustedRoot(*studio_).ok());   // not self-signed
+}
+
+TEST_F(PkiFixture, FullChainValidates) {
+  CertStore store = TrustingStore();
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_, *root_}, kNow).ok());
+}
+
+TEST_F(PkiFixture, ChainWithoutExplicitRootValidates) {
+  CertStore store = TrustingStore();
+  // Chain stops at the intermediate; the root is looked up in the store.
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_}, kNow).ok());
+}
+
+TEST_F(PkiFixture, EmptyChainFails) {
+  CertStore store = TrustingStore();
+  EXPECT_TRUE(store.ValidateChain({}, kNow).IsVerificationFailed());
+}
+
+TEST_F(PkiFixture, UntrustedRootFails) {
+  CertStore store;  // no anchors
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_, *root_}, kNow)
+                  .IsVerificationFailed());
+}
+
+TEST_F(PkiFixture, BrokenOrderFails) {
+  CertStore store = TrustingStore();
+  EXPECT_FALSE(store.ValidateChain({*studio_, *leaf_, *root_}, kNow).ok());
+}
+
+TEST_F(PkiFixture, ExpiredLeafFails) {
+  CertStore store = TrustingStore();
+  auto status = store.ValidateChain({*leaf_, *studio_}, kNow + 2 * kYear);
+  EXPECT_TRUE(status.IsVerificationFailed());
+}
+
+TEST_F(PkiFixture, RevokedLeafFails) {
+  CertStore store = TrustingStore();
+  store.Revoke(leaf_->info().issuer, leaf_->info().serial);
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_}, kNow)
+                  .IsVerificationFailed());
+  store.Unrevoke(leaf_->info().issuer, leaf_->info().serial);
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_}, kNow).ok());
+}
+
+TEST_F(PkiFixture, RevokedIntermediateFails) {
+  CertStore store = TrustingStore();
+  store.Revoke(studio_->info().issuer, studio_->info().serial);
+  EXPECT_TRUE(store.ValidateChain({*leaf_, *studio_}, kNow)
+                  .IsVerificationFailed());
+}
+
+TEST_F(PkiFixture, NonCaIntermediateFails) {
+  // A leaf certificate cannot act as an issuer even with valid signatures.
+  Rng rng(999);
+  auto rogue_key = crypto::RsaGenerateKeyPair(512, &rng).value();
+  CertificateInfo rogue;
+  rogue.subject = "CN=Rogue";
+  rogue.issuer = leaf_->info().subject;  // issued by the non-CA leaf
+  rogue.serial = 66;
+  rogue.not_before = kNow - 1000;
+  rogue.not_after = kNow + 1000;
+  rogue.public_key = rogue_key.public_key;
+  auto rogue_cert = IssueCertificate(rogue, leaf_key_->private_key).value();
+  CertStore store = TrustingStore();
+  EXPECT_TRUE(store.ValidateChain({rogue_cert, *leaf_, *studio_}, kNow)
+                  .IsVerificationFailed());
+}
+
+TEST_F(PkiFixture, ForgedSignatureFails) {
+  // A certificate claiming the studio as issuer but signed by another key.
+  Rng rng(1000);
+  auto fake_key = crypto::RsaGenerateKeyPair(512, &rng).value();
+  CertificateInfo forged;
+  forged.subject = "CN=Forged Signing";
+  forged.issuer = studio_->info().subject;
+  forged.serial = 99;
+  forged.not_before = kNow - 1000;
+  forged.not_after = kNow + 1000;
+  forged.public_key = fake_key.public_key;
+  auto forged_cert = IssueCertificate(forged, fake_key.private_key).value();
+  CertStore store = TrustingStore();
+  EXPECT_FALSE(store.ValidateChain({forged_cert, *studio_}, kNow).ok());
+}
+
+TEST_F(PkiFixture, RootImpersonationFails) {
+  // A self-signed certificate with the trusted root's subject but a
+  // different key must not anchor a chain.
+  Rng rng(1001);
+  auto fake_key = crypto::RsaGenerateKeyPair(512, &rng).value();
+  CertificateInfo fake_root;
+  fake_root.subject = root_->info().subject;
+  fake_root.issuer = root_->info().subject;
+  fake_root.serial = 1;
+  fake_root.not_before = kNow - kYear;
+  fake_root.not_after = kNow + kYear;
+  fake_root.is_ca = true;
+  fake_root.public_key = fake_key.public_key;
+  auto fake_cert = IssueCertificate(fake_root, fake_key.private_key).value();
+
+  CertificateInfo victim;
+  victim.subject = "CN=Victim";
+  victim.issuer = fake_root.subject;
+  victim.serial = 7;
+  victim.not_before = kNow - 1000;
+  victim.not_after = kNow + 1000;
+  victim.public_key = fake_key.public_key;
+  auto victim_cert = IssueCertificate(victim, fake_key.private_key).value();
+
+  CertStore store = TrustingStore();
+  EXPECT_TRUE(store.ValidateChain({victim_cert, fake_cert}, kNow)
+                  .IsVerificationFailed());
+}
+
+}  // namespace
+}  // namespace pki
+}  // namespace discsec

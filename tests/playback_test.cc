@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "player/playback.h"
+#include "tests/test_world.h"
+
+namespace discsec {
+namespace player {
+namespace {
+
+using testing_world::kNow;
+using testing_world::World;
+
+class PlaybackFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World();
+    cluster_ = new disc::InteractiveCluster(world_->DemoCluster());
+    authoring::Author author = world_->MakeAuthor();
+    image_ = new disc::DiscImage(
+        author.Master(*cluster_, cluster_->ToXml()).value());
+  }
+
+  static World* world_;
+  static disc::InteractiveCluster* cluster_;
+  static disc::DiscImage* image_;
+};
+
+World* PlaybackFixture::world_ = nullptr;
+disc::InteractiveCluster* PlaybackFixture::cluster_ = nullptr;
+disc::DiscImage* PlaybackFixture::image_ = nullptr;
+
+TEST_F(PlaybackFixture, ResolvesFullChain) {
+  auto plan = BuildPlaybackPlan(*cluster_, *image_, "track-movie");
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->track_id, "track-movie");
+  EXPECT_EQ(plan->playlist_id, "pl-main");
+  ASSERT_EQ(plan->segments.size(), 1u);
+  EXPECT_EQ(plan->segments[0].clip_id, "clip-main");
+  EXPECT_EQ(plan->segments[0].DurationMs(), 2000u);
+  EXPECT_EQ(plan->total_ms, 2000u);
+  EXPECT_GT(plan->segments[0].ts_bytes, 0u);
+  EXPECT_EQ(plan->segments[0].ts_bytes % 188, 0u);
+}
+
+TEST_F(PlaybackFixture, MultiSegmentPlaylist) {
+  disc::InteractiveCluster cluster = *cluster_;
+  cluster.playlists[0].items.push_back({"clip-main", 500, 1500});
+  auto plan = BuildPlaybackPlan(cluster, *image_, "track-movie");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->segments.size(), 2u);
+  EXPECT_EQ(plan->total_ms, 3000u);  // 2000 + 1000
+}
+
+TEST_F(PlaybackFixture, RejectsUnknownAndNonAvTracks) {
+  EXPECT_TRUE(BuildPlaybackPlan(*cluster_, *image_, "ghost")
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(BuildPlaybackPlan(*cluster_, *image_, "track-app")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PlaybackFixture, RejectsRangeBeyondClip) {
+  disc::InteractiveCluster cluster = *cluster_;
+  cluster.playlists[0].items[0].out_ms = 99999;
+  EXPECT_TRUE(BuildPlaybackPlan(cluster, *image_, "track-movie")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PlaybackFixture, RejectsMissingOrCorruptEssence) {
+  disc::DiscImage empty;
+  EXPECT_TRUE(BuildPlaybackPlan(*cluster_, empty, "track-movie")
+                  .status()
+                  .IsNotFound());
+
+  disc::DiscImage corrupted = *image_;
+  Bytes ts = corrupted.Get(cluster_->clips[0].ts_path).value();
+  ts[0] = 0;
+  corrupted.Put(cluster_->clips[0].ts_path, ts);
+  EXPECT_TRUE(BuildPlaybackPlan(*cluster_, corrupted, "track-movie")
+                  .status()
+                  .IsCorruption());
+}
+
+TEST_F(PlaybackFixture, RejectsEmptyPlaylist) {
+  disc::InteractiveCluster cluster = *cluster_;
+  cluster.playlists[0].items.clear();
+  EXPECT_TRUE(BuildPlaybackPlan(cluster, *image_, "track-movie")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(PlaybackFixture, PlayRightEnforcedAndCounted) {
+  pki::CertStore trust;
+  ASSERT_TRUE(trust.AddTrustedRoot(world_->root_cert).ok());
+  xrml::RightsManager rights(&trust, kNow);
+  xrml::License license;
+  license.license_id = "lic-av";
+  license.issuer = "studio";
+  xrml::Grant grant;
+  grant.key_holder = "*";
+  grant.right = xrml::Right::kPlay;
+  grant.resource = "track-movie";
+  grant.conditions.exercise_limit = 1;
+  license.grants = {grant};
+  ASSERT_TRUE(rights.InstallUnsigned(license).ok());
+
+  xrml::ExerciseContext context;
+  context.principal = "player";
+  context.now = kNow;
+  EXPECT_TRUE(
+      BuildPlaybackPlan(*cluster_, *image_, "track-movie", &rights, context)
+          .ok());
+  // Second play exceeds the one-time grant.
+  EXPECT_TRUE(
+      BuildPlaybackPlan(*cluster_, *image_, "track-movie", &rights, context)
+          .status()
+          .IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace player
+}  // namespace discsec

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "player/session.h"
+#include "tests/test_world.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace player {
+namespace {
+
+using testing_world::World;
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new World(); }
+
+  /// A signed application whose script registers event handlers.
+  std::string InteractiveApp(const std::string& script) {
+    disc::InteractiveCluster cluster = world_->DemoCluster();
+    cluster.tracks[1].manifest.scripts[0].source = script;
+    authoring::Author author = world_->MakeAuthor();
+    auto doc = author.BuildSigned(cluster, authoring::SignLevel::kCluster);
+    return xml::Serialize(doc.value());
+  }
+
+  static World* world_;
+};
+
+World* SessionFixture::world_ = nullptr;
+
+TEST_F(SessionFixture, EventsReachHandlersAndKeepState) {
+  std::string wire = InteractiveApp(
+      "var presses = 0;\n"
+      "function onLoad() { ui.drawText('title', 'ready'); }\n"
+      "function onKey(key) {\n"
+      "  presses = presses + 1;\n"
+      "  ui.drawText('board', 'key ' + key + ' #' + presses);\n"
+      "  return presses;\n"
+      "}\n");
+  InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+  auto session = engine.BeginSession(wire, Origin::kDisc);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE(session.value()->report().signature_verified);
+  ASSERT_EQ(session.value()->render_ops().size(), 1u);
+
+  auto first = session.value()->PressKey("Enter");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(first->handled);
+  EXPECT_EQ(first->result, "1");
+
+  auto second = session.value()->PressKey("Down");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->result, "2");  // state persisted across events
+
+  ASSERT_EQ(session.value()->render_ops().size(), 3u);
+  EXPECT_EQ(session.value()->render_ops()[2].payload, "key Down #2");
+}
+
+TEST_F(SessionFixture, MissingHandlerIsNotAnError) {
+  std::string wire = InteractiveApp("var x = 1;");
+  InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+  auto session = engine.BeginSession(wire, Origin::kDisc);
+  ASSERT_TRUE(session.ok());
+  auto outcome = session.value()->DispatchEvent("Timer",
+                                                script::Value::Number(16));
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->handled);
+}
+
+TEST_F(SessionFixture, EventHandlersStayPolicyGated) {
+  // The handler tries to escalate at event time, long after launch checks.
+  std::string wire = InteractiveApp(
+      "function onKey(k) { storage.write('system/evil', k); }");
+  InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+  auto session = engine.BeginSession(wire, Origin::kDisc);
+  ASSERT_TRUE(session.ok());
+  auto outcome = session.value()->PressKey("X");
+  EXPECT_TRUE(outcome.status().IsPermissionDenied());
+  EXPECT_FALSE(engine.storage()->Exists("system/evil"));
+}
+
+TEST_F(SessionFixture, StepBudgetSpansWholeSession) {
+  std::string wire = InteractiveApp(
+      "function onKey(k) { for (var i = 0; i < 10000; i++) {} }");
+  PlayerConfig config = world_->MakePlayerConfig();
+  config.script_limits.max_steps = 100000;
+  InteractiveApplicationEngine engine(std::move(config));
+  auto session = engine.BeginSession(wire, Origin::kDisc);
+  ASSERT_TRUE(session.ok());
+  // Each key press burns ~70k steps; the second one exhausts the budget.
+  ASSERT_TRUE(session.value()->PressKey("A").ok());
+  auto second = session.value()->PressKey("B");
+  EXPECT_TRUE(second.status().IsResourceExhausted());
+}
+
+TEST_F(SessionFixture, StoragePersistsAcrossEventsAndSessions) {
+  std::string wire = InteractiveApp(
+      "function onKey(k) { scores.submit('p' + k, k); "
+      "return scores.best(); }");
+  InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+  {
+    auto session = engine.BeginSession(wire, Origin::kDisc);
+    ASSERT_TRUE(session.ok());
+    auto outcome = session.value()->PressKey("500");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->result, "500");
+  }
+  // A later session on the same player sees the stored score.
+  {
+    auto session = engine.BeginSession(wire, Origin::kDisc);
+    ASSERT_TRUE(session.ok());
+    auto outcome = session.value()->PressKey("100");
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome->result, "500");  // best of {500, 100}
+  }
+}
+
+TEST_F(SessionFixture, SecurityFailureYieldsNoSession) {
+  std::string wire = InteractiveApp("var x = 1;");
+  size_t pos = wire.find("title=\"Feature");
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, 14, "title=\"Tampere");
+  InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+  auto session = engine.BeginSession(wire, Origin::kNetwork);
+  EXPECT_TRUE(session.status().IsVerificationFailed());
+}
+
+}  // namespace
+}  // namespace player
+}  // namespace discsec

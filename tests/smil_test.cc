@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "smil/smil.h"
+
+namespace discsec {
+namespace smil {
+namespace {
+
+const char* kMenuSmil = R"(
+<smil xmlns="http://www.w3.org/2001/SMIL20/Language">
+  <head>
+    <layout>
+      <root-layout width="1920" height="1080" background-color="#000000"/>
+      <region id="title" left="100" top="50" width="800" height="100"
+              z-index="2"/>
+      <region id="main" left="0" top="200" width="1920" height="880"/>
+    </layout>
+  </head>
+  <body>
+    <seq>
+      <par dur="5s">
+        <img region="title" src="logo.png"/>
+        <text region="main" src="welcome.txt" begin="1s" dur="3s"/>
+      </par>
+      <video region="main" src="trailer.m2ts" dur="30s"/>
+    </seq>
+  </body>
+</smil>
+)";
+
+// --------------------------------------------------------- clock values
+
+struct ClockCase {
+  const char* name;
+  const char* text;
+  TimeMs expected;
+};
+
+class ClockValueTest : public ::testing::TestWithParam<ClockCase> {};
+
+TEST_P(ClockValueTest, Parses) {
+  auto result = ParseClockValue(GetParam().text);
+  ASSERT_TRUE(result.ok()) << GetParam().text;
+  EXPECT_EQ(result.value(), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ClockValueTest,
+    ::testing::Values(ClockCase{"seconds", "5s", 5000},
+                      ClockCase{"fractional", "1.5s", 1500},
+                      ClockCase{"millis", "500ms", 500},
+                      ClockCase{"bare_number", "2", 2000},
+                      ClockCase{"minutes", "2min", 120000},
+                      ClockCase{"hours", "1h", 3600000},
+                      ClockCase{"colon_mm_ss", "02:10", 130000},
+                      ClockCase{"colon_hh_mm_ss", "01:00:05", 3605000},
+                      ClockCase{"indefinite", "indefinite", kIndefinite},
+                      ClockCase{"whitespace", "  3s  ", 3000}),
+    [](const ::testing::TestParamInfo<ClockCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ClockValueTest, Rejections) {
+  EXPECT_FALSE(ParseClockValue("").ok());
+  EXPECT_FALSE(ParseClockValue("abc").ok());
+  EXPECT_FALSE(ParseClockValue("-3s").ok());
+  EXPECT_FALSE(ParseClockValue("1:2:3:4").ok());
+}
+
+// --------------------------------------------------------- parsing
+
+TEST(SmilParseTest, LayoutParsed) {
+  auto p = ParseSmil(kMenuSmil);
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->root_width, 1920);
+  EXPECT_EQ(p->root_height, 1080);
+  EXPECT_EQ(p->root_background, "#000000");
+  ASSERT_EQ(p->regions.size(), 2u);
+  const Region* title = p->FindRegion("title");
+  ASSERT_NE(title, nullptr);
+  EXPECT_EQ(title->left, 100);
+  EXPECT_EQ(title->z_index, 2);
+  EXPECT_EQ(p->FindRegion("nope"), nullptr);
+}
+
+TEST(SmilParseTest, NotSmilRejected) {
+  EXPECT_FALSE(ParseSmil("<html/>").ok());
+  EXPECT_FALSE(ParseSmil("not xml").ok());
+}
+
+TEST(SmilParseTest, UnknownBodyElementRejected) {
+  EXPECT_FALSE(
+      ParseSmil("<smil><body><blink src=\"x\"/></body></smil>").ok());
+}
+
+TEST(SmilParseTest, RegionWithoutIdRejected) {
+  EXPECT_FALSE(ParseSmil("<smil><head><layout><region width=\"1\" "
+                         "height=\"1\"/></layout></head><body/></smil>")
+                   .ok());
+}
+
+// --------------------------------------------------------- timing
+
+TEST(SmilTimingTest, TimelineResolution) {
+  auto p = ParseSmil(kMenuSmil);
+  ASSERT_TRUE(p.ok());
+  auto timeline = p->ResolveTimeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  // Inside the par: img at 0, text at 1s.
+  EXPECT_EQ(timeline[0].src, "logo.png");
+  EXPECT_EQ(timeline[0].start, 0);
+  EXPECT_EQ(timeline[1].src, "welcome.txt");
+  EXPECT_EQ(timeline[1].start, 1000);
+  EXPECT_EQ(timeline[1].end, 4000);
+  // The video starts when the 5s par ends.
+  EXPECT_EQ(timeline[2].src, "trailer.m2ts");
+  EXPECT_EQ(timeline[2].start, 5000);
+  EXPECT_EQ(timeline[2].end, 35000);
+  EXPECT_EQ(p->Duration(), 35000);
+}
+
+TEST(SmilTimingTest, SeqSumsAndParMaxes) {
+  auto p = ParseSmil(
+      "<smil><body>"
+      "<par><video src=\"a\" dur=\"10s\"/><video src=\"b\" dur=\"4s\"/></par>"
+      "<seq><img src=\"c\" dur=\"1s\"/><img src=\"d\" dur=\"2s\"/></seq>"
+      "</body></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Duration(), 13000);  // max(10,4) + (1+2)
+  auto timeline = p->ResolveTimeline();
+  ASSERT_EQ(timeline.size(), 4u);
+  EXPECT_EQ(timeline[2].start, 10000);  // "c" after the par
+  EXPECT_EQ(timeline[3].start, 11000);  // "d" after "c"
+}
+
+TEST(SmilTimingTest, ExplicitContainerDurOverrides) {
+  auto p = ParseSmil(
+      "<smil><body><seq dur=\"3s\"><video src=\"a\" dur=\"10s\"/></seq>"
+      "</body></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Duration(), 3000);
+}
+
+TEST(SmilTimingTest, IndefiniteMediaPropagates) {
+  auto p = ParseSmil(
+      "<smil><body><video src=\"menu\" dur=\"indefinite\"/></body></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Duration(), kIndefinite);
+  auto timeline = p->ResolveTimeline();
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].end, kIndefinite);
+}
+
+TEST(SmilTimingTest, MediaWithoutDurHasZeroDuration) {
+  auto p = ParseSmil("<smil><body><img src=\"x\"/></body></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Duration(), 0);
+}
+
+// --------------------------------------------------------- validation
+
+TEST(SmilValidateTest, ValidPresentationPasses) {
+  auto p = ParseSmil(kMenuSmil);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST(SmilValidateTest, UnknownRegionReferenceFails) {
+  auto p = ParseSmil(
+      "<smil><head><layout>"
+      "<region id=\"a\" width=\"10\" height=\"10\"/></layout></head>"
+      "<body><img src=\"x\" region=\"ghost\"/></body></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->Validate().IsInvalidArgument());
+}
+
+TEST(SmilValidateTest, DuplicateRegionIdFails) {
+  auto p = ParseSmil(
+      "<smil><head><layout>"
+      "<region id=\"a\" width=\"10\" height=\"10\"/>"
+      "<region id=\"a\" width=\"10\" height=\"10\"/>"
+      "</layout></head><body/></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate().ok());
+}
+
+TEST(SmilValidateTest, RegionOutsideRootLayoutFails) {
+  auto p = ParseSmil(
+      "<smil><head><layout><root-layout width=\"100\" height=\"100\"/>"
+      "<region id=\"a\" left=\"90\" top=\"0\" width=\"20\" height=\"10\"/>"
+      "</layout></head><body/></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate().ok());
+}
+
+TEST(SmilValidateTest, NonPositiveRegionFails) {
+  auto p = ParseSmil(
+      "<smil><head><layout>"
+      "<region id=\"a\" width=\"0\" height=\"10\"/>"
+      "</layout></head><body/></smil>");
+  ASSERT_TRUE(p.ok());
+  EXPECT_FALSE(p->Validate().ok());
+}
+
+}  // namespace
+}  // namespace smil
+}  // namespace discsec

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "svg/svg.h"
+#include "tests/test_world.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace svg {
+namespace {
+
+const char* kMenuSvg = R"svg(
+<svg xmlns="http://www.w3.org/2000/svg" width="1920" height="1080">
+  <rect x="0" y="0" width="1920" height="1080" fill="#101020"/>
+  <g transform="translate(100, 200)" fill="#ffffff">
+    <text x="0" y="0">Main Menu</text>
+    <rect x="0" y="40" width="400" height="60" fill="#3050a0"/>
+    <circle cx="450" cy="70" r="20"/>
+  </g>
+  <line x1="100" y1="180" x2="1820" y2="180" stroke="#808080"/>
+</svg>
+)svg";
+
+TEST(SvgParseTest, ShapesAndViewport) {
+  auto scene = ParseSvg(kMenuSvg);
+  ASSERT_TRUE(scene.ok()) << scene.status().ToString();
+  EXPECT_EQ(scene->width, 1920);
+  EXPECT_EQ(scene->height, 1080);
+  ASSERT_EQ(scene->shapes.size(), 5u);
+  EXPECT_EQ(scene->shapes[0].kind, Shape::Kind::kRect);
+  EXPECT_EQ(scene->shapes[0].fill, "#101020");
+  EXPECT_EQ(scene->shapes[1].kind, Shape::Kind::kText);
+  EXPECT_EQ(scene->shapes[1].text, "Main Menu");
+  EXPECT_EQ(scene->shapes[4].kind, Shape::Kind::kLine);
+  EXPECT_EQ(scene->shapes[4].stroke, "#808080");
+}
+
+TEST(SvgParseTest, TranslateAccumulates) {
+  auto scene = ParseSvg(
+      "<svg width=\"100\" height=\"100\">"
+      "<g transform=\"translate(10, 20)\">"
+      "<g transform=\"translate(5,5)\"><rect x=\"1\" y=\"2\" width=\"3\" "
+      "height=\"4\"/></g></g></svg>");
+  ASSERT_TRUE(scene.ok());
+  ASSERT_EQ(scene->shapes.size(), 1u);
+  EXPECT_EQ(scene->shapes[0].x, 16);  // 1 + 10 + 5
+  EXPECT_EQ(scene->shapes[0].y, 27);  // 2 + 20 + 5
+}
+
+TEST(SvgParseTest, FillInheritsAndOverrides) {
+  auto scene = ParseSvg(
+      "<svg width=\"10\" height=\"10\"><g fill=\"red\">"
+      "<rect width=\"1\" height=\"1\"/>"
+      "<rect width=\"1\" height=\"1\" fill=\"blue\"/></g></svg>");
+  ASSERT_TRUE(scene.ok());
+  EXPECT_EQ(scene->shapes[0].fill, "red");
+  EXPECT_EQ(scene->shapes[1].fill, "blue");
+}
+
+TEST(SvgParseTest, MetadataContainersSkipped) {
+  auto scene = ParseSvg(
+      "<svg width=\"10\" height=\"10\"><title>t</title><desc>d</desc>"
+      "<defs><rect/></defs><rect width=\"1\" height=\"1\"/></svg>");
+  ASSERT_TRUE(scene.ok());
+  EXPECT_EQ(scene->shapes.size(), 1u);
+}
+
+TEST(SvgParseTest, Rejections) {
+  EXPECT_FALSE(ParseSvg("<html/>").ok());
+  EXPECT_FALSE(ParseSvg("<svg width=\"10\" height=\"10\">"
+                        "<path d=\"M0 0\"/></svg>")
+                   .ok());  // unsupported element
+  EXPECT_FALSE(ParseSvg("<svg width=\"10\" height=\"10\">"
+                        "<g transform=\"rotate(45)\"><rect/></g></svg>")
+                   .ok());  // unsupported transform
+  EXPECT_FALSE(ParseSvg("<svg width=\"x\" height=\"10\"/>").ok());
+}
+
+TEST(SvgValidateTest, ViewportAndBounds) {
+  auto ok_scene = ParseSvg(kMenuSvg).value();
+  EXPECT_TRUE(ok_scene.Validate().ok());
+
+  auto no_viewport = ParseSvg("<svg><rect width=\"1\" height=\"1\"/></svg>");
+  ASSERT_TRUE(no_viewport.ok());
+  EXPECT_FALSE(no_viewport->Validate().ok());
+
+  auto out_of_bounds = ParseSvg(
+      "<svg width=\"10\" height=\"10\">"
+      "<rect x=\"8\" y=\"0\" width=\"5\" height=\"1\"/></svg>");
+  ASSERT_TRUE(out_of_bounds.ok());
+  EXPECT_FALSE(out_of_bounds->Validate().ok());
+
+  auto zero_circle = ParseSvg(
+      "<svg width=\"10\" height=\"10\"><circle cx=\"5\" cy=\"5\"/></svg>");
+  ASSERT_TRUE(zero_circle.ok());
+  EXPECT_FALSE(zero_circle->Validate().ok());
+}
+
+// --------------------------------------------------------- engine wiring
+
+TEST(SvgEngineTest, GraphicsSubMarkupRendersIntoReport) {
+  testing_world::World world;
+  disc::InteractiveCluster cluster = world.DemoCluster();
+  cluster.tracks[1].manifest.markups.push_back(
+      {"hud", "graphics",
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"1920\" "
+       "height=\"1080\">"
+       "<rect x=\"10\" y=\"10\" width=\"100\" height=\"50\" fill=\"#222\"/>"
+       "<text x=\"20\" y=\"40\">Lives: 3</text></svg>"});
+  authoring::Author author = world.MakeAuthor();
+  auto doc = author.BuildSigned(cluster, authoring::SignLevel::kCluster);
+  ASSERT_TRUE(doc.ok());
+  player::InteractiveApplicationEngine engine(world.MakePlayerConfig());
+  auto report = engine.LaunchClusterXml(xml::Serialize(doc.value()),
+                                        player::Origin::kNetwork);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  // 2 SVG shapes + 1 drawText from the quiz script.
+  size_t svg_ops = 0;
+  bool saw_lives = false;
+  for (const auto& op : report->render_ops) {
+    if (op.region == "svg:hud") {
+      ++svg_ops;
+      if (op.payload == "Lives: 3") saw_lives = true;
+    }
+  }
+  EXPECT_EQ(svg_ops, 2u);
+  EXPECT_TRUE(saw_lives);
+}
+
+TEST(SvgEngineTest, MalformedGraphicsMarkupFailsLaunch) {
+  testing_world::World world;
+  disc::InteractiveCluster cluster = world.DemoCluster();
+  cluster.tracks[1].manifest.markups.push_back(
+      {"hud", "graphics",
+       "<svg width=\"100\" height=\"100\">"
+       "<rect x=\"90\" width=\"50\" height=\"5\"/></svg>"});  // out of bounds
+  authoring::Author author = world.MakeAuthor();
+  auto doc = author.BuildSigned(cluster, authoring::SignLevel::kCluster);
+  ASSERT_TRUE(doc.ok());
+  player::InteractiveApplicationEngine engine(world.MakePlayerConfig());
+  auto report = engine.LaunchClusterXml(xml::Serialize(doc.value()),
+                                        player::Origin::kNetwork);
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace svg
+}  // namespace discsec

@@ -1,0 +1,186 @@
+#ifndef DISCSEC_TESTS_TEST_WORLD_H_
+#define DISCSEC_TESTS_TEST_WORLD_H_
+
+#include <memory>
+#include <string>
+
+#include "access/policy.h"
+#include "authoring/author.h"
+#include "disc/content.h"
+#include "pki/cert_store.h"
+#include "pki/certificate.h"
+#include "pki/key_codec.h"
+#include "player/engine.h"
+#include "xmldsig/signer.h"
+
+namespace discsec {
+namespace testing_world {
+
+inline constexpr int64_t kNow = 1120000000;  // mid-2005
+inline constexpr int64_t kYear = 365LL * 24 * 3600;
+
+/// A complete end-to-end fixture: root CA, studio signing cert, server
+/// cert, a demo Interactive Cluster (movie + bonus game app), a configured
+/// player, and an Author. Deterministic (fixed seed).
+struct World {
+  Rng rng{20050915};
+  crypto::RsaKeyPair root_key;
+  crypto::RsaKeyPair studio_key;
+  crypto::RsaKeyPair server_key;
+  pki::Certificate root_cert;
+  pki::Certificate studio_cert;
+  pki::Certificate server_cert;
+  Bytes disc_content_key;  ///< provisioned AES-128 content key
+
+  World()
+      : root_key(crypto::RsaGenerateKeyPair(512, &rng).value()),
+        studio_key(crypto::RsaGenerateKeyPair(512, &rng).value()),
+        server_key(crypto::RsaGenerateKeyPair(512, &rng).value()),
+        root_cert(MakeRoot()),
+        studio_cert(MakeLeaf("CN=Acme Studios Signing", 2, studio_key)),
+        server_cert(MakeLeaf("CN=cdn.acme.example", 3, server_key)),
+        disc_content_key(rng.NextBytes(16)) {}
+
+  pki::Certificate MakeRoot() {
+    pki::CertificateInfo info;
+    info.subject = "CN=Disc Player Root CA";
+    info.issuer = info.subject;
+    info.serial = 1;
+    info.not_before = kNow - kYear;
+    info.not_after = kNow + 20 * kYear;
+    info.is_ca = true;
+    info.public_key = root_key.public_key;
+    return pki::IssueCertificate(info, root_key.private_key).value();
+  }
+
+  pki::Certificate MakeLeaf(const std::string& subject, uint64_t serial,
+                            const crypto::RsaKeyPair& key) {
+    pki::CertificateInfo info;
+    info.subject = subject;
+    info.issuer = root_cert.info().subject;
+    info.serial = serial;
+    info.not_before = kNow - kYear;
+    info.not_after = kNow + 2 * kYear;
+    info.public_key = key.public_key;
+    return pki::IssueCertificate(info, root_key.private_key).value();
+  }
+
+  /// The demo disc content: one AV track (movie) and one application track
+  /// (quiz game with layout markup, scripts and a permission request).
+  disc::InteractiveCluster DemoCluster() const {
+    disc::InteractiveCluster cluster;
+    cluster.id = "feature-disc";
+    cluster.title = "Feature Film + Quiz Game";
+
+    disc::ClipInfo clip;
+    clip.id = "clip-main";
+    clip.ts_path = std::string(disc::kStreamDir) + "00001.m2ts";
+    clip.duration_ms = 2000;
+    cluster.clips.push_back(clip);
+
+    disc::Playlist playlist;
+    playlist.id = "pl-main";
+    playlist.items.push_back({"clip-main", 0, 2000});
+    cluster.playlists.push_back(playlist);
+
+    disc::Track movie;
+    movie.id = "track-movie";
+    movie.kind = disc::Track::Kind::kAudioVideo;
+    movie.playlist_id = "pl-main";
+    cluster.tracks.push_back(movie);
+
+    disc::Track app;
+    app.id = "track-app";
+    app.kind = disc::Track::Kind::kApplication;
+    app.manifest.id = "quiz";
+    app.manifest.markups.push_back(
+        {"menu", "layout",
+         "<smil><head><layout>"
+         "<root-layout width=\"1920\" height=\"1080\"/>"
+         "<region id=\"title\" left=\"60\" top=\"40\" width=\"800\" "
+         "height=\"120\"/>"
+         "<region id=\"board\" left=\"60\" top=\"200\" width=\"1800\" "
+         "height=\"800\"/>"
+         "</layout></head>"
+         "<body><par dur=\"indefinite\">"
+         "<img region=\"title\" src=\"title.png\"/>"
+         "<text region=\"board\" src=\"questions.txt\"/>"
+         "</par></body></smil>"});
+    app.manifest.scripts.push_back(
+        {"main",
+         "var round = 0;\n"
+         "function onLoad() {\n"
+         "  ui.drawText('title', 'Quiz Night!');\n"
+         "  scores.submit('alice', 4200);\n"
+         "  scores.submit('bob', 3100);\n"
+         "  print('best score: ' + scores.best());\n"
+         "  return scores.best();\n"
+         "}\n"});
+    app.manifest.permission_request_xml =
+        "<permissionrequestfile appid=\"0x4501\" orgid=\"acme.example\">"
+        "<localstorage path=\"scores/\" access=\"readwrite\"/>"
+        "<graphics plane=\"true\"/>"
+        "</permissionrequestfile>";
+    cluster.tracks.push_back(app);
+    return cluster;
+  }
+
+  /// Platform policy: Acme-signed and disc-resident apps may use graphics
+  /// and the scores/ storage area.
+  access::PolicyDecisionPoint MakePdp() const {
+    access::PolicyDecisionPoint pdp;
+    access::Policy policy;
+    policy.id = "platform-policy";
+    policy.target.subjects = {"CN=Acme*", "disc:*"};
+    access::Rule storage;
+    storage.id = "storage-scores";
+    storage.effect = access::Decision::kPermit;
+    storage.target.resources = {"localstorage"};
+    storage.conditions.push_back(
+        {"path", access::Condition::Op::kPrefix, "scores/"});
+    access::Rule graphics;
+    graphics.id = "graphics";
+    graphics.effect = access::Decision::kPermit;
+    graphics.target.resources = {"graphics"};
+    access::Rule network;
+    network.id = "network";
+    network.effect = access::Decision::kPermit;
+    network.target.resources = {"network"};
+    policy.rules = {storage, graphics, network};
+    pdp.AddPolicy(std::move(policy));
+    return pdp;
+  }
+
+  /// A player provisioned with the root anchor, the platform policy and
+  /// the disc content key.
+  player::PlayerConfig MakePlayerConfig() const {
+    player::PlayerConfig config;
+    (void)config.trust.AddTrustedRoot(root_cert);
+    config.pdp = MakePdp();
+    config.keys.AddKey("disc-content-key", disc_content_key);
+    config.now = kNow;
+    return config;
+  }
+
+  /// An author holding the studio key and presenting its chain.
+  authoring::Author MakeAuthor() const {
+    xmldsig::KeyInfoSpec key_info;
+    key_info.certificate_chain = {studio_cert, root_cert};
+    key_info.key_name = pki::KeyFingerprint(studio_key.public_key);
+    return authoring::Author(
+        xmldsig::SigningKey::Rsa(studio_key.private_key), key_info);
+  }
+
+  xmlenc::EncryptionSpec MakeEncryptionSpec() const {
+    xmlenc::EncryptionSpec spec;
+    spec.content_key = disc_content_key;
+    spec.key_mode = xmlenc::KeyMode::kDirectReference;
+    spec.key_name = "disc-content-key";
+    return spec;
+  }
+};
+
+}  // namespace testing_world
+}  // namespace discsec
+
+#endif  // DISCSEC_TESTS_TEST_WORLD_H_

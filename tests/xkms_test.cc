@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "pki/key_codec.h"
+#include "xkms/client.h"
+#include "xkms/service.h"
+
+namespace discsec {
+namespace xkms {
+namespace {
+
+class XkmsFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(606);
+    static crypto::RsaKeyPair a = crypto::RsaGenerateKeyPair(512, &rng).value();
+    static crypto::RsaKeyPair b = crypto::RsaGenerateKeyPair(512, &rng).value();
+    key_a_ = &a;
+    key_b_ = &b;
+  }
+
+  KeyBinding MakeBinding(const std::string& name,
+                         const crypto::RsaPublicKey& key) {
+    KeyBinding binding;
+    binding.name = name;
+    binding.key = key;
+    binding.key_usage = {"Signature"};
+    return binding;
+  }
+
+  static crypto::RsaKeyPair* key_a_;
+  static crypto::RsaKeyPair* key_b_;
+};
+
+crypto::RsaKeyPair* XkmsFixture::key_a_ = nullptr;
+crypto::RsaKeyPair* XkmsFixture::key_b_ = nullptr;
+
+// --------------------------------------------------------- service core
+
+TEST_F(XkmsFixture, RegisterAndLocate) {
+  XkmsService service;
+  ASSERT_TRUE(
+      service.Register(MakeBinding("studio-1", key_a_->public_key)).ok());
+  auto found = service.Locate("studio-1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->key == key_a_->public_key);
+  EXPECT_EQ(found->status, KeyStatus::kValid);
+  EXPECT_EQ(found->key_usage, std::vector<std::string>{"Signature"});
+}
+
+TEST_F(XkmsFixture, LocateUnknownIsNotFound) {
+  XkmsService service;
+  EXPECT_TRUE(service.Locate("nobody").status().IsNotFound());
+}
+
+TEST_F(XkmsFixture, RegisterRejectsIncomplete) {
+  XkmsService service;
+  KeyBinding nameless;
+  nameless.key = key_a_->public_key;
+  EXPECT_TRUE(service.Register(nameless).IsInvalidArgument());
+  KeyBinding keyless;
+  keyless.name = "x";
+  EXPECT_TRUE(service.Register(keyless).IsInvalidArgument());
+}
+
+TEST_F(XkmsFixture, ValidateStates) {
+  XkmsService service;
+  ASSERT_TRUE(
+      service.Register(MakeBinding("studio-1", key_a_->public_key)).ok());
+  // Registered key with right key material: Valid.
+  EXPECT_EQ(service.Validate("studio-1", key_a_->public_key),
+            KeyStatus::kValid);
+  // Same name but different key: Invalid (an impersonation attempt).
+  EXPECT_EQ(service.Validate("studio-1", key_b_->public_key),
+            KeyStatus::kInvalid);
+  // Unknown name: Indeterminate.
+  EXPECT_EQ(service.Validate("ghost", key_a_->public_key),
+            KeyStatus::kIndeterminate);
+}
+
+TEST_F(XkmsFixture, RevocationFlow) {
+  XkmsService service;
+  ASSERT_TRUE(
+      service.Register(MakeBinding("studio-1", key_a_->public_key)).ok());
+  ASSERT_TRUE(service.Revoke("studio-1").ok());
+  EXPECT_EQ(service.Validate("studio-1", key_a_->public_key),
+            KeyStatus::kInvalid);
+  // Locate still finds the (revoked) binding, per XKMS semantics.
+  auto found = service.Locate("studio-1");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->status, KeyStatus::kInvalid);
+  // Re-registration (key update) restores validity.
+  ASSERT_TRUE(
+      service.Register(MakeBinding("studio-1", key_b_->public_key)).ok());
+  EXPECT_EQ(service.Validate("studio-1", key_b_->public_key),
+            KeyStatus::kValid);
+}
+
+TEST_F(XkmsFixture, RevokeUnknownFails) {
+  XkmsService service;
+  EXPECT_TRUE(service.Revoke("ghost").IsNotFound());
+}
+
+// --------------------------------------------------------- wire protocol
+
+TEST_F(XkmsFixture, FullClientServerFlowOverXmlMessages) {
+  XkmsService service;
+  XkmsClient client = XkmsClient::Direct(&service);
+
+  // Register over the wire.
+  ASSERT_TRUE(client.Register(MakeBinding("acme", key_a_->public_key)).ok());
+  EXPECT_EQ(service.BindingCount(), 1u);
+
+  // Locate over the wire.
+  auto located = client.Locate("acme");
+  ASSERT_TRUE(located.ok()) << located.status().ToString();
+  EXPECT_TRUE(located->key == key_a_->public_key);
+
+  // Validate over the wire.
+  auto valid = client.Validate("acme", key_a_->public_key);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(valid.value(), KeyStatus::kValid);
+  auto invalid = client.Validate("acme", key_b_->public_key);
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_EQ(invalid.value(), KeyStatus::kInvalid);
+
+  // Revoke over the wire; validation then reports Invalid.
+  ASSERT_TRUE(client.Revoke("acme").ok());
+  auto revoked = client.Validate("acme", key_a_->public_key);
+  ASSERT_TRUE(revoked.ok());
+  EXPECT_EQ(revoked.value(), KeyStatus::kInvalid);
+}
+
+TEST_F(XkmsFixture, LocateMissOverWire) {
+  XkmsService service;
+  XkmsClient client = XkmsClient::Direct(&service);
+  EXPECT_TRUE(client.Locate("ghost").status().IsNotFound());
+}
+
+TEST_F(XkmsFixture, RequestsAreWellFormedXml) {
+  std::string locate = BuildLocateRequest("abc");
+  EXPECT_NE(locate.find("LocateRequest"), std::string::npos);
+  EXPECT_NE(locate.find(kXkmsNamespace), std::string::npos);
+  std::string validate = BuildValidateRequest("abc", key_a_->public_key);
+  EXPECT_NE(validate.find("ValidateRequest"), std::string::npos);
+  EXPECT_NE(validate.find("Modulus"), std::string::npos);
+}
+
+TEST_F(XkmsFixture, ServiceRejectsGarbageAndUnknownOps) {
+  XkmsService service;
+  EXPECT_TRUE(service.HandleRequest("not xml").status().IsParseError());
+  EXPECT_TRUE(service.HandleRequest("<xkms:FooRequest xmlns:xkms=\"x\"/>")
+                  .status()
+                  .IsUnsupported());
+  EXPECT_TRUE(service.HandleRequest("<xkms:LocateRequest xmlns:xkms=\"x\"/>")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(XkmsFixture, TransportErrorPropagates) {
+  XkmsClient client([](const std::string&) -> Result<std::string> {
+    return Status::IOError("channel down");
+  });
+  EXPECT_TRUE(client.Locate("x").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace xkms
+}  // namespace discsec

@@ -1,0 +1,430 @@
+#include <gtest/gtest.h>
+
+#include "xml/c14n.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+#include "xml/select.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace xml {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(ParserTest, MinimalDocument) {
+  auto doc = Parse("<root/>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->root(), nullptr);
+  EXPECT_EQ(doc->root()->name(), "root");
+  EXPECT_TRUE(doc->root()->children().empty());
+}
+
+TEST(ParserTest, XmlDeclarationAndWhitespace) {
+  auto doc = Parse("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<a> x </a>\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), " x ");
+}
+
+TEST(ParserTest, NestedElementsAndAttributes) {
+  auto doc = Parse("<a id=\"1\"><b k=\"v\" j='w'><c/></b>text</a>");
+  ASSERT_TRUE(doc.ok());
+  Element* a = doc->root();
+  EXPECT_EQ(*a->GetAttribute("id"), "1");
+  Element* b = a->FirstChildElement("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*b->GetAttribute("k"), "v");
+  EXPECT_EQ(*b->GetAttribute("j"), "w");
+  ASSERT_NE(b->FirstChildElement("c"), nullptr);
+}
+
+TEST(ParserTest, EntitiesAndCharRefs) {
+  auto doc = Parse("<a>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "<>&\"'AB");
+}
+
+TEST(ParserTest, CdataFoldedIntoText) {
+  auto doc = Parse("<a><![CDATA[<not-a-tag> & raw]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "<not-a-tag> & raw");
+  // CDATA becomes a plain text node (as C14N requires).
+  ASSERT_EQ(doc->root()->ChildCount(), 1u);
+  EXPECT_TRUE(doc->root()->ChildAt(0)->IsText());
+}
+
+TEST(ParserTest, CommentsPreserved) {
+  auto doc = Parse("<!-- head --><a><!-- inner --></a><!-- tail -->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->children().size(), 3u);
+  ASSERT_EQ(doc->root()->ChildCount(), 1u);
+  EXPECT_TRUE(doc->root()->ChildAt(0)->IsComment());
+}
+
+TEST(ParserTest, ProcessingInstructions) {
+  auto doc = Parse("<?pi data here?><a><?inner?></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->children()[0]->IsPi());
+  auto* pi = static_cast<Pi*>(doc->children()[0].get());
+  EXPECT_EQ(pi->target(), "pi");
+  EXPECT_EQ(pi->data(), "data here");
+}
+
+TEST(ParserTest, LineEndNormalization) {
+  auto doc = Parse("<a>one\r\ntwo\rthree</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "one\ntwo\nthree");
+}
+
+TEST(ParserTest, AttributeWhitespaceNormalization) {
+  auto doc = Parse("<a k=\"x\ny\tz\"/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*doc->root()->GetAttribute("k"), "x y z");
+}
+
+TEST(ParserTest, Utf8Bom) {
+  std::string input = "\xef\xbb\xbf<a/>";
+  ASSERT_TRUE(Parse(input).ok());
+}
+
+struct BadXmlCase {
+  const char* name;
+  const char* input;
+};
+
+class ParserRejectionTest : public ::testing::TestWithParam<BadXmlCase> {};
+
+TEST_P(ParserRejectionTest, RejectsMalformedInput) {
+  auto doc = Parse(GetParam().input);
+  EXPECT_FALSE(doc.ok()) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, ParserRejectionTest,
+    ::testing::Values(
+        BadXmlCase{"empty", ""},
+        BadXmlCase{"unclosed", "<a>"},
+        BadXmlCase{"mismatched", "<a></b>"},
+        BadXmlCase{"two_roots", "<a/><b/>"},
+        BadXmlCase{"text_at_top", "hello"},
+        BadXmlCase{"bad_entity", "<a>&nbsp;</a>"},
+        BadXmlCase{"unterminated_entity", "<a>&am</a>"},
+        BadXmlCase{"dup_attr", "<a k=\"1\" k=\"2\"/>"},
+        BadXmlCase{"unquoted_attr", "<a k=v/>"},
+        BadXmlCase{"lt_in_attr", "<a k=\"<\"/>"},
+        BadXmlCase{"doctype", "<!DOCTYPE a [<!ENTITY x \"y\">]><a/>"},
+        BadXmlCase{"cdata_end_in_text", "<a>]]></a>"},
+        BadXmlCase{"unterminated_comment", "<!-- x <a/>"},
+        BadXmlCase{"double_dash_comment", "<!-- a -- b --><a/>"}),
+    [](const ::testing::TestParamInfo<BadXmlCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ParserTest, DoctypeAllowedWhenOptedIn) {
+  ParseOptions options;
+  options.allow_doctype = true;
+  auto doc = Parse("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>", options);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->name(), "a");
+}
+
+TEST(ParserTest, DepthLimitEnforced) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 300; ++i) deep += "</a>";
+  auto doc = Parse(deep);
+  EXPECT_TRUE(doc.status().IsResourceExhausted());
+}
+
+TEST(ParserTest, InputSizeLimitEnforced) {
+  ParseOptions options;
+  options.max_input = 10;
+  auto doc = Parse("<abcdefghijklmnop/>", options);
+  EXPECT_TRUE(doc.status().IsResourceExhausted());
+}
+
+// ---------------------------------------------------------------- DOM
+
+TEST(DomTest, QNameSplitting) {
+  auto [p1, l1] = SplitQName("ds:Signature");
+  EXPECT_EQ(p1, "ds");
+  EXPECT_EQ(l1, "Signature");
+  auto [p2, l2] = SplitQName("manifest");
+  EXPECT_EQ(p2, "");
+  EXPECT_EQ(l2, "manifest");
+}
+
+TEST(DomTest, NamespaceResolution) {
+  auto doc = Parse(
+      "<a xmlns=\"urn:default\" xmlns:ds=\"urn:ds\">"
+      "<b><c xmlns=\"urn:inner\"/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  Element* a = doc->root();
+  Element* b = a->FirstChildElement("b");
+  Element* c = b->FirstChildElement("c");
+  EXPECT_EQ(a->NamespaceUri(), "urn:default");
+  EXPECT_EQ(b->NamespaceUri(), "urn:default");
+  EXPECT_EQ(c->NamespaceUri(), "urn:inner");
+  EXPECT_EQ(b->LookupNamespaceUri("ds"), "urn:ds");
+  EXPECT_EQ(b->LookupNamespaceUri("nope"), "");
+  EXPECT_EQ(b->LookupNamespaceUri("xml"), kXmlNamespace);
+}
+
+TEST(DomTest, FindById) {
+  auto doc = Parse("<a><b Id=\"x\"/><c><d id=\"y\"/></c></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_NE(doc->FindById("x"), nullptr);
+  EXPECT_EQ(doc->FindById("x")->name(), "b");
+  ASSERT_NE(doc->FindById("y"), nullptr);
+  EXPECT_EQ(doc->FindById("y")->name(), "d");
+  EXPECT_EQ(doc->FindById("z"), nullptr);
+}
+
+TEST(DomTest, ChildManipulation) {
+  Element root("root");
+  Element* a = root.AppendElement("a");
+  root.AppendElement("b");
+  EXPECT_EQ(root.ChildCount(), 2u);
+  EXPECT_EQ(root.IndexOfChild(a), 0u);
+  auto removed = root.RemoveChild(a);
+  ASSERT_NE(removed, nullptr);
+  EXPECT_EQ(root.ChildCount(), 1u);
+  EXPECT_EQ(removed->parent(), nullptr);
+  root.InsertChild(0, std::move(removed));
+  EXPECT_EQ(root.FirstChildElement()->name(), "a");
+}
+
+TEST(DomTest, ReplaceChild) {
+  Element root("root");
+  Element* a = root.AppendElement("a");
+  auto old = root.ReplaceChild(a, std::make_unique<Element>("z"));
+  ASSERT_NE(old, nullptr);
+  EXPECT_EQ(root.FirstChildElement()->name(), "z");
+  EXPECT_EQ(static_cast<Element*>(old.get())->name(), "a");
+}
+
+TEST(DomTest, CloneIsDeepAndDetached) {
+  auto doc = Parse("<a k=\"v\"><b>t</b></a>");
+  ASSERT_TRUE(doc.ok());
+  Document copy = doc->Clone();
+  EXPECT_EQ(Serialize(*doc), Serialize(copy));
+  copy.root()->SetAttribute("k", "changed");
+  EXPECT_EQ(*doc->root()->GetAttribute("k"), "v");
+}
+
+TEST(DomTest, TextContentConcatenatesDescendants) {
+  auto doc = Parse("<a>x<b>y</b>z</a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->root()->TextContent(), "xyz");
+}
+
+// ---------------------------------------------------------------- serializer
+
+TEST(SerializerTest, CompactRoundTrip) {
+  const char* cases[] = {
+      "<a/>",
+      "<a k=\"v\"><b>text &amp; more</b><c/></a>",
+      "<a xmlns:x=\"urn:x\"><x:b x:attr=\"1\"/></a>",
+      "<a><!--comment--><?pi data?></a>",
+  };
+  for (const char* input : cases) {
+    auto doc = Parse(input);
+    ASSERT_TRUE(doc.ok()) << input;
+    SerializeOptions options;
+    options.xml_declaration = false;
+    std::string once = Serialize(*doc, options);
+    auto doc2 = Parse(once);
+    ASSERT_TRUE(doc2.ok()) << once;
+    EXPECT_EQ(Serialize(*doc2, options), once);
+  }
+}
+
+TEST(SerializerTest, EscapesSpecials) {
+  Element root("a");
+  root.SetAttribute("k", "a\"b<c&d");
+  root.AppendText("x<y&z>");
+  std::string out = SerializeElement(root);
+  EXPECT_EQ(out, "<a k=\"a&quot;b&lt;c&amp;d\">x&lt;y&amp;z&gt;</a>");
+}
+
+TEST(SerializerTest, PrettyPrintIndents) {
+  auto doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  SerializeOptions options;
+  options.xml_declaration = false;
+  options.indent = 2;
+  EXPECT_EQ(Serialize(*doc, options), "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+}
+
+// ---------------------------------------------------------------- C14N
+
+TEST(C14NTest, DropsXmlDeclAndNormalizesTags) {
+  auto doc = Parse("<?xml version=\"1.0\"?><a   k='v'  ><b   /></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Canonicalize(*doc), "<a k=\"v\"><b></b></a>");
+}
+
+TEST(C14NTest, AttributesSortedByNamespaceThenName) {
+  auto doc = Parse(
+      "<a xmlns:z=\"urn:a\" xmlns:y=\"urn:b\" z:attr=\"1\" y:attr=\"2\" "
+      "plain=\"3\" alpha=\"4\"/>");
+  ASSERT_TRUE(doc.ok());
+  // Unprefixed first (empty URI), sorted by local name; then urn:a, urn:b.
+  EXPECT_EQ(Canonicalize(*doc),
+            "<a xmlns:y=\"urn:b\" xmlns:z=\"urn:a\" alpha=\"4\" plain=\"3\" "
+            "z:attr=\"1\" y:attr=\"2\"></a>");
+}
+
+TEST(C14NTest, SuperfluousNamespaceDeclarationsRemoved) {
+  auto doc = Parse(
+      "<a xmlns:x=\"urn:x\"><b xmlns:x=\"urn:x\"><c xmlns:x=\"urn:y\"/>"
+      "</b></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Canonicalize(*doc),
+            "<a xmlns:x=\"urn:x\"><b><c xmlns:x=\"urn:y\"></c></b></a>");
+}
+
+TEST(C14NTest, DefaultNamespaceHandling) {
+  auto doc = Parse("<a xmlns=\"\"><b xmlns=\"urn:d\"><c xmlns=\"\"/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  // Empty default on the root is the initial state (not rendered); the inner
+  // xmlns="" undoes urn:d and must be kept.
+  EXPECT_EQ(Canonicalize(*doc),
+            "<a><b xmlns=\"urn:d\"><c xmlns=\"\"></c></b></a>");
+}
+
+TEST(C14NTest, CommentsExcludedByDefaultIncludedOnRequest) {
+  auto doc = Parse("<!--pre--><a><!--in-->x</a><!--post-->");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Canonicalize(*doc), "<a>x</a>");
+  C14NOptions with;
+  with.with_comments = true;
+  EXPECT_EQ(Canonicalize(*doc, with),
+            "<!--pre-->\n<a><!--in-->x</a>\n<!--post-->");
+}
+
+TEST(C14NTest, PisAtDocumentLevelGetLineFeeds) {
+  auto doc = Parse("<?pre d?><a/><?post?>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Canonicalize(*doc), "<?pre d?>\n<a></a>\n<?post?>");
+}
+
+TEST(C14NTest, TextEscaping) {
+  auto doc = Parse("<a>&lt;tag&gt; &amp; &quot;quote&quot;</a>");
+  ASSERT_TRUE(doc.ok());
+  // " is not escaped in text content; < > & are.
+  EXPECT_EQ(Canonicalize(*doc), "<a>&lt;tag&gt; &amp; \"quote\"</a>");
+}
+
+TEST(C14NTest, CdataBecomesEscapedText) {
+  auto doc = Parse("<a><![CDATA[1<2 & 3>2]]></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Canonicalize(*doc), "<a>1&lt;2 &amp; 3&gt;2</a>");
+}
+
+TEST(C14NTest, EquivalentDocumentsCanonicalizeIdentically) {
+  // The paper's §5.4 motivation: syntactic variants, same canonical form.
+  auto a = Parse("<m:app xmlns:m=\"urn:m\" x=\"1\" y=\"2\"><m:s/></m:app>");
+  auto b = Parse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<m:app   y=\"2\"   x=\"1\" xmlns:m=\"urn:m\"><m:s></m:s></m:app>");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(Canonicalize(*a), Canonicalize(*b));
+}
+
+TEST(C14NTest, IsIdempotent) {
+  auto doc = Parse(
+      "<a xmlns=\"urn:d\" xmlns:x=\"urn:x\" b=\"2\" a=\"1\">"
+      "t1<x:b at=\"v\">t2</x:b><!--c--><?p d?></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string once = Canonicalize(*doc);
+  auto reparsed = Parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(Canonicalize(*reparsed), once);
+}
+
+TEST(C14NTest, SubtreeInheritsNamespaces) {
+  auto doc = Parse(
+      "<root xmlns:x=\"urn:x\" xmlns=\"urn:d\"><mid><x:leaf a=\"1\"/></mid>"
+      "</root>");
+  ASSERT_TRUE(doc.ok());
+  Element* leaf = doc->root()
+                      ->FirstChildElementByLocalName("mid")
+                      ->FirstChildElementByLocalName("leaf");
+  ASSERT_NE(leaf, nullptr);
+  // The apex must render the inherited xmlns:x and default namespace.
+  EXPECT_EQ(CanonicalizeElement(*leaf),
+            "<x:leaf xmlns=\"urn:d\" xmlns:x=\"urn:x\" a=\"1\"></x:leaf>");
+}
+
+TEST(C14NTest, SubtreeInheritsXmlAttributes) {
+  auto doc = Parse(
+      "<root xml:lang=\"en\"><mid xml:space=\"preserve\"><leaf/></mid>"
+      "</root>");
+  ASSERT_TRUE(doc.ok());
+  Element* leaf = doc->root()
+                      ->FirstChildElementByLocalName("mid")
+                      ->FirstChildElementByLocalName("leaf");
+  EXPECT_EQ(CanonicalizeElement(*leaf),
+            "<leaf xml:lang=\"en\" xml:space=\"preserve\"></leaf>");
+}
+
+TEST(C14NTest, SubtreeOwnXmlAttributeOverridesInherited) {
+  auto doc = Parse("<root xml:lang=\"en\"><leaf xml:lang=\"nl\"/></root>");
+  ASSERT_TRUE(doc.ok());
+  Element* leaf = doc->root()->FirstChildElementByLocalName("leaf");
+  EXPECT_EQ(CanonicalizeElement(*leaf), "<leaf xml:lang=\"nl\"></leaf>");
+}
+
+TEST(C14NTest, SubtreeOfStandaloneElementNeedsNoContext) {
+  Element e("solo");
+  e.SetAttribute("k", "v");
+  EXPECT_EQ(CanonicalizeElement(e), "<solo k=\"v\"></solo>");
+}
+
+// ---------------------------------------------------------------- select
+
+TEST(SelectTest, RootAnchoredPath) {
+  auto doc = Parse("<cluster><track><manifest/></track><track/></cluster>");
+  ASSERT_TRUE(doc.ok());
+  auto tracks = SelectAll(doc->root(), "/cluster/track");
+  EXPECT_EQ(tracks.size(), 2u);
+  Element* m = SelectFirst(doc->root(), "/cluster/track/manifest");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->name(), "manifest");
+}
+
+TEST(SelectTest, RelativePath) {
+  auto doc = Parse("<a><b><c/></b></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_NE(SelectFirst(doc->root(), "b/c"), nullptr);
+  EXPECT_EQ(SelectFirst(doc->root(), "c"), nullptr);
+}
+
+TEST(SelectTest, DescendantSearch) {
+  auto doc = Parse("<a><b><script/></b><script/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(SelectAll(doc->root(), "//script").size(), 2u);
+}
+
+TEST(SelectTest, WildcardAndPrefixMatching) {
+  auto doc = Parse("<a xmlns:x=\"u\"><x:b/><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(SelectAll(doc->root(), "/a/*").size(), 2u);
+  // Unprefixed step matches local names regardless of prefix.
+  EXPECT_EQ(SelectAll(doc->root(), "/a/b").size(), 2u);
+  // Prefixed step matches the exact qualified name.
+  EXPECT_EQ(SelectAll(doc->root(), "/a/x:b").size(), 1u);
+}
+
+TEST(SelectTest, EmptyAndNullInputs) {
+  EXPECT_TRUE(SelectAll(nullptr, "/a").empty());
+  Element e("a");
+  EXPECT_TRUE(SelectAll(&e, "").empty());
+}
+
+}  // namespace
+}  // namespace xml
+}  // namespace discsec

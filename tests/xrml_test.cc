@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_world.h"
+#include "xml/serializer.h"
+#include "xrml/license.h"
+#include "xrml/rights_manager.h"
+
+namespace discsec {
+namespace xrml {
+namespace {
+
+using testing_world::kNow;
+using testing_world::kYear;
+using testing_world::World;
+
+class XrmlFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World();
+    trust_ = new pki::CertStore();
+    ASSERT_TRUE(trust_->AddTrustedRoot(world_->root_cert).ok());
+  }
+
+  License DemoLicense() {
+    License license;
+    license.license_id = "lic-1";
+    license.issuer = "CN=Acme Studios Signing";
+    Grant play;
+    play.key_holder = "*";
+    play.right = Right::kPlay;
+    play.resource = "track-movie";
+    Grant execute;
+    execute.key_holder = "player-device";
+    execute.right = Right::kExecute;
+    execute.resource = "quiz";
+    execute.conditions.not_before = kNow - 1000;
+    execute.conditions.not_after = kNow + kYear;
+    execute.conditions.territories = {"EU", "US"};
+    Grant copy_limited;
+    copy_limited.key_holder = "*";
+    copy_limited.right = Right::kCopy;
+    copy_limited.resource = "quiz";
+    copy_limited.conditions.exercise_limit = 2;
+    license.grants = {play, execute, copy_limited};
+    return license;
+  }
+
+  ExerciseContext Context() {
+    ExerciseContext context;
+    context.principal = "player-device";
+    context.now = kNow;
+    context.territory = "EU";
+    return context;
+  }
+
+  static World* world_;
+  static pki::CertStore* trust_;
+};
+
+World* XrmlFixture::world_ = nullptr;
+pki::CertStore* XrmlFixture::trust_ = nullptr;
+
+// --------------------------------------------------------- license codec
+
+TEST_F(XrmlFixture, RightNamesRoundTrip) {
+  for (Right r : {Right::kPlay, Right::kExecute, Right::kCopy,
+                  Right::kExtract}) {
+    auto parsed = ParseRight(RightName(r));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), r);
+  }
+  EXPECT_FALSE(ParseRight("teleport").ok());
+}
+
+TEST_F(XrmlFixture, XmlRoundTrip) {
+  License license = DemoLicense();
+  auto parsed = License::FromXmlString(license.ToXmlString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->license_id, "lic-1");
+  EXPECT_EQ(parsed->issuer, "CN=Acme Studios Signing");
+  ASSERT_EQ(parsed->grants.size(), 3u);
+  EXPECT_EQ(parsed->grants[0].right, Right::kPlay);
+  EXPECT_EQ(parsed->grants[1].conditions.territories.size(), 2u);
+  EXPECT_EQ(*parsed->grants[1].conditions.not_after, kNow + kYear);
+  EXPECT_EQ(*parsed->grants[2].conditions.exercise_limit, 2u);
+}
+
+TEST_F(XrmlFixture, RejectsMalformedLicenses) {
+  EXPECT_FALSE(License::FromXmlString("<other/>").ok());
+  EXPECT_FALSE(License::FromXmlString("<license/>").ok());  // no id
+  EXPECT_FALSE(License::FromXmlString(
+                   "<license licenseId=\"x\"><issuer>i</issuer>"
+                   "<grant><right>play</right></grant></license>")
+                   .ok());  // incomplete grant
+}
+
+// --------------------------------------------------------- signed install
+
+TEST_F(XrmlFixture, SignedLicenseInstalls) {
+  auto signed_xml = IssueSignedLicense(
+      DemoLicense(), world_->studio_key.private_key,
+      {world_->studio_cert, world_->root_cert});
+  ASSERT_TRUE(signed_xml.ok()) << signed_xml.status().ToString();
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallLicense(signed_xml.value()).ok());
+  EXPECT_EQ(manager.LicenseCount(), 1u);
+}
+
+TEST_F(XrmlFixture, TamperedLicenseRejected) {
+  auto signed_xml = IssueSignedLicense(
+      DemoLicense(), world_->studio_key.private_key,
+      {world_->studio_cert, world_->root_cert});
+  ASSERT_TRUE(signed_xml.ok());
+  std::string tampered = signed_xml.value();
+  // Upgrade the copy limit from 2 to 9.
+  size_t pos = tampered.find("count=\"2\"");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 9, "count=\"9\"");
+  RightsManager manager(trust_, kNow);
+  EXPECT_TRUE(manager.InstallLicense(tampered).IsVerificationFailed());
+  EXPECT_EQ(manager.LicenseCount(), 0u);
+}
+
+TEST_F(XrmlFixture, UntrustedIssuerRejected) {
+  Rng rng(999);
+  auto rogue = crypto::RsaGenerateKeyPair(512, &rng).value();
+  pki::CertificateInfo info;
+  info.subject = "CN=Rogue Issuer";
+  info.issuer = info.subject;
+  info.serial = 1;
+  info.not_before = kNow - 100;
+  info.not_after = kNow + 100;
+  info.is_ca = true;
+  info.public_key = rogue.public_key;
+  auto rogue_cert = pki::IssueCertificate(info, rogue.private_key).value();
+  auto signed_xml =
+      IssueSignedLicense(DemoLicense(), rogue.private_key, {rogue_cert});
+  ASSERT_TRUE(signed_xml.ok());
+  RightsManager manager(trust_, kNow);
+  EXPECT_TRUE(
+      manager.InstallLicense(signed_xml.value()).IsVerificationFailed());
+}
+
+// --------------------------------------------------------- evaluation
+
+TEST_F(XrmlFixture, GrantsEvaluate) {
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+  ExerciseContext context = Context();
+  // Wildcard play on the movie track, any principal.
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "track-movie", context));
+  ExerciseContext other = context;
+  other.principal = "some-other-device";
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "track-movie", other));
+  // Execute is principal-bound.
+  EXPECT_TRUE(manager.IsPermitted(Right::kExecute, "quiz", context));
+  EXPECT_FALSE(manager.IsPermitted(Right::kExecute, "quiz", other));
+  // No extract grant anywhere.
+  EXPECT_FALSE(manager.IsPermitted(Right::kExtract, "quiz", context));
+  // Unknown resource.
+  EXPECT_FALSE(manager.IsPermitted(Right::kPlay, "other-track", context));
+}
+
+TEST_F(XrmlFixture, ValidityWindowEnforced) {
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+  ExerciseContext context = Context();
+  context.now = kNow + 2 * kYear;  // past notAfter
+  EXPECT_FALSE(manager.IsPermitted(Right::kExecute, "quiz", context));
+  context.now = kNow - kYear;  // before notBefore
+  EXPECT_FALSE(manager.IsPermitted(Right::kExecute, "quiz", context));
+}
+
+TEST_F(XrmlFixture, TerritoryEnforced) {
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+  ExerciseContext context = Context();
+  context.territory = "JP";  // not in {EU, US}
+  EXPECT_FALSE(manager.IsPermitted(Right::kExecute, "quiz", context));
+  context.territory = "US";
+  EXPECT_TRUE(manager.IsPermitted(Right::kExecute, "quiz", context));
+}
+
+TEST_F(XrmlFixture, ExerciseLimitCountsDown) {
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+  ExerciseContext context = Context();
+  EXPECT_TRUE(manager.Exercise(Right::kCopy, "quiz", context).ok());
+  EXPECT_EQ(manager.UsesRecorded("lic-1", 2), 1u);
+  EXPECT_TRUE(manager.Exercise(Right::kCopy, "quiz", context).ok());
+  // Third copy exceeds the limit.
+  EXPECT_TRUE(
+      manager.Exercise(Right::kCopy, "quiz", context).IsPermissionDenied());
+  EXPECT_EQ(manager.UsesRecorded("lic-1", 2), 2u);
+  // Unlimited grants do not count.
+  EXPECT_TRUE(manager.Exercise(Right::kPlay, "track-movie", context).ok());
+  EXPECT_TRUE(manager.Exercise(Right::kPlay, "track-movie", context).ok());
+}
+
+TEST_F(XrmlFixture, WildcardResourceGrant) {
+  License license;
+  license.license_id = "lic-all";
+  license.issuer = "x";
+  Grant any;
+  any.key_holder = "*";
+  any.right = Right::kPlay;
+  any.resource = "*";
+  license.grants = {any};
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(license).ok());
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "anything", Context()));
+  EXPECT_FALSE(manager.IsPermitted(Right::kCopy, "anything", Context()));
+}
+
+// --------------------------------------------------------- player wiring
+
+TEST_F(XrmlFixture, PlayerRequiresExecuteRight) {
+  authoring::Author author = world_->MakeAuthor();
+  auto doc = author.BuildSigned(world_->DemoCluster(),
+                                authoring::SignLevel::kCluster);
+  ASSERT_TRUE(doc.ok());
+  std::string wire = xml::Serialize(doc.value());
+
+  // No rights manager: launches as before.
+  {
+    player::InteractiveApplicationEngine engine(world_->MakePlayerConfig());
+    EXPECT_TRUE(
+        engine.LaunchClusterXml(wire, player::Origin::kNetwork).ok());
+  }
+  // Rights manager without a license: execution denied.
+  {
+    RightsManager manager(trust_, kNow);
+    player::PlayerConfig config = world_->MakePlayerConfig();
+    config.rights = &manager;
+    player::InteractiveApplicationEngine engine(std::move(config));
+    auto report = engine.LaunchClusterXml(wire, player::Origin::kNetwork);
+    EXPECT_TRUE(report.status().IsPermissionDenied());
+  }
+  // With an installed execute grant: launches, right is consumed.
+  {
+    RightsManager manager(trust_, kNow);
+    ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+    player::PlayerConfig config = world_->MakePlayerConfig();
+    config.rights = &manager;
+    player::InteractiveApplicationEngine engine(std::move(config));
+    auto report = engine.LaunchClusterXml(wire, player::Origin::kNetwork);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->rights_exercised);
+  }
+}
+
+TEST_F(XrmlFixture, PlayerOutsideTerritoryDenied) {
+  authoring::Author author = world_->MakeAuthor();
+  auto doc = author.BuildSigned(world_->DemoCluster(),
+                                authoring::SignLevel::kCluster);
+  ASSERT_TRUE(doc.ok());
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(DemoLicense()).ok());
+  player::PlayerConfig config = world_->MakePlayerConfig();
+  config.rights = &manager;
+  config.territory = "JP";
+  player::InteractiveApplicationEngine engine(std::move(config));
+  auto report = engine.LaunchClusterXml(xml::Serialize(doc.value()),
+                                        player::Origin::kNetwork);
+  EXPECT_TRUE(report.status().IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace xrml
+}  // namespace discsec

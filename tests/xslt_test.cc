@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "smil/smil.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/xslt.h"
+
+namespace discsec {
+namespace xslt {
+namespace {
+
+std::string TransformToText(const Stylesheet& sheet,
+                            const std::string& input) {
+  auto doc = xml::Parse(input).value();
+  auto result = sheet.Transform(doc);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  return xml::Serialize(result.value(), options);
+}
+
+const char* kXslHeader =
+    "<xsl:stylesheet xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\" "
+    "version=\"1.0\">";
+
+TEST(XsltParseTest, RejectsNonStylesheets) {
+  EXPECT_FALSE(Stylesheet::Parse("<other/>").ok());
+  EXPECT_FALSE(Stylesheet::Parse(
+                   "<xsl:stylesheet "
+                   "xmlns:xsl=\"http://www.w3.org/1999/XSL/Transform\"/>")
+                   .ok());  // no templates
+  EXPECT_FALSE(Stylesheet::Parse(std::string(kXslHeader) +
+                                 "<xsl:template/></xsl:stylesheet>")
+                   .ok());  // no match
+  EXPECT_FALSE(Stylesheet::Parse(std::string(kXslHeader) +
+                                 "<rogue/></xsl:stylesheet>")
+                   .ok());  // non-template top level
+}
+
+TEST(XsltTest, ValueOfAndLiteralElements) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"movie\">"
+      "<title year=\"{@year}\"><xsl:value-of select=\"@name\"/>"
+      "</title></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok()) << sheet.status().ToString();
+  EXPECT_EQ(
+      TransformToText(sheet.value(), "<movie name=\"Heat\" year=\"1995\"/>"),
+      "<title year=\"1995\">Heat</title>");
+}
+
+TEST(XsltTest, SelectPathsAndDot) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"app\">"
+      "<out a=\"{meta/@version}\" b=\"{meta/author}\">"
+      "<xsl:value-of select=\".\"/></out>"
+      "</xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  EXPECT_EQ(TransformToText(
+                sheet.value(),
+                "<app><meta version=\"2\"><author>gopakumar</author></meta>"
+                "text</app>"),
+            "<out a=\"2\" b=\"gopakumar\">gopakumartext</out>");
+}
+
+TEST(XsltTest, ForEachIteratesChildren) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"scores\"><board>"
+      "<xsl:for-each select=\"entry\">"
+      "<row who=\"{@name}\"><xsl:value-of select=\".\"/></row>"
+      "</xsl:for-each></board></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  EXPECT_EQ(TransformToText(sheet.value(),
+                            "<scores><entry name=\"a\">10</entry>"
+                            "<entry name=\"b\">20</entry></scores>"),
+            "<board><row who=\"a\">10</row><row who=\"b\">20</row></board>");
+}
+
+TEST(XsltTest, IfConditions) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"item\"><out>"
+      "<xsl:if test=\"@vip = 'yes'\"><star/></xsl:if>"
+      "<xsl:if test=\"@missing\"><never/></xsl:if>"
+      "<xsl:if test=\"detail\"><has-detail/></xsl:if>"
+      "</out></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  EXPECT_EQ(TransformToText(sheet.value(),
+                            "<item vip=\"yes\"><detail/></item>"),
+            "<out><star/><has-detail/></out>");
+  EXPECT_EQ(TransformToText(sheet.value(), "<item vip=\"no\"/>"),
+            "<out/>");
+}
+
+TEST(XsltTest, ApplyTemplatesRecursesWithBuiltInRules) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"doc\"><html><xsl:apply-templates/></html>"
+      "</xsl:template>"
+      "<xsl:template match=\"b\"><bold><xsl:value-of select=\".\"/></bold>"
+      "</xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  // <u> has no template: the built-in rule recurses, copying text through.
+  EXPECT_EQ(TransformToText(sheet.value(),
+                            "<doc><b>bee</b><u>you</u></doc>"),
+            "<html><bold>bee</bold>you</html>");
+}
+
+TEST(XsltTest, RootTemplateAndWildcard) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"/\"><wrapped><xsl:apply-templates "
+      "select=\"*\"/></wrapped></xsl:template>"
+      "<xsl:template match=\"*\"><any/></xsl:template>"
+      "</xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  // "/" template runs with the document root as context; select="*" picks
+  // its children, each hitting the wildcard template.
+  EXPECT_EQ(TransformToText(sheet.value(), "<top><x/><y/></top>"),
+            "<wrapped><any/><any/></wrapped>");
+}
+
+TEST(XsltTest, UnsupportedInstructionRejected) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"a\"><xsl:copy-of select=\".\"/>"
+      "</xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  auto doc = xml::Parse("<a/>").value();
+  EXPECT_TRUE(sheet->Transform(doc).status().IsUnsupported());
+}
+
+TEST(XsltTest, MultiRootOutputRejected) {
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"a\"><one/><two/></xsl:template>"
+      "</xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  auto doc = xml::Parse("<a/>").value();
+  EXPECT_FALSE(sheet->Transform(doc).ok());
+}
+
+TEST(XsltTest, AuthoringScenario_QuestionsToSmil) {
+  // The intended use: transform a data document (quiz questions) into the
+  // SMIL presentation markup the manifest carries — then feed it to the
+  // actual SMIL engine.
+  auto sheet = Stylesheet::Parse(
+      std::string(kXslHeader) +
+      "<xsl:template match=\"quiz\">"
+      "<smil><head><layout>"
+      "<root-layout width=\"1920\" height=\"1080\"/>"
+      "<region id=\"q\" left=\"0\" top=\"0\" width=\"1920\" "
+      "height=\"1080\"/>"
+      "</layout></head><body><seq>"
+      "<xsl:for-each select=\"question\">"
+      "<text region=\"q\" src=\"{@id}.txt\" dur=\"10s\"/>"
+      "</xsl:for-each>"
+      "</seq></body></smil></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  auto data = xml::Parse("<quiz><question id=\"q1\"/><question id=\"q2\"/>"
+                         "<question id=\"q3\"/></quiz>")
+                  .value();
+  auto result = sheet->Transform(data);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // The generated markup is a valid SMIL presentation with the expected
+  // timeline.
+  auto presentation = smil::ParseSmil(result.value());
+  ASSERT_TRUE(presentation.ok()) << presentation.status().ToString();
+  EXPECT_TRUE(presentation->Validate().ok());
+  auto timeline = presentation->ResolveTimeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].src, "q1.txt");
+  EXPECT_EQ(timeline[2].start, 20000);
+  EXPECT_EQ(presentation->Duration(), 30000);
+}
+
+}  // namespace
+}  // namespace xslt
+}  // namespace discsec

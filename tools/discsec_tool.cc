@@ -1,0 +1,358 @@
+// discsec_tool — command-line front end for the library's authoring
+// operations: key generation, certificate issuance, XML signing and
+// verification, XML encryption and decryption, and canonicalization.
+//
+// Usage:
+//   discsec_tool keygen --bits 1024 --out key.xml
+//   discsec_tool cert-root --key key.xml --subject "CN=Root" --out root.xml
+//   discsec_tool cert-issue --issuer-key root-key.xml --issuer-cert root.xml
+//                --key leaf-key.xml --subject "CN=Leaf" --serial 2
+//                --out leaf.xml [--ca]
+//   discsec_tool sign --key key.xml --in doc.xml --out signed.xml
+//                [--cert leaf.xml --cert root.xml] [--detached-id <id>]
+//   discsec_tool verify --in signed.xml [--root root.xml | --allow-bare-key]
+//   discsec_tool encrypt --in doc.xml --target-id <id> --key-hex <32 hex>
+//                --key-name <name> --out enc.xml
+//   discsec_tool decrypt --in enc.xml --key-hex <32 hex> --key-name <name>
+//                --out dec.xml
+//   discsec_tool c14n --in doc.xml [--with-comments]
+//
+// Exit status: 0 on success, 1 on any error (including failed
+// verification), 2 on usage errors.
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "pki/cert_store.h"
+#include "pki/certificate.h"
+#include "pki/key_codec.h"
+#include "xml/c14n.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xmldsig/signer.h"
+#include "xmldsig/verifier.h"
+#include "xmlenc/decryptor.h"
+#include "xmlenc/encryptor.h"
+
+namespace {
+
+using namespace discsec;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::vector<std::string> certs;  // repeated --cert
+  bool Has(const std::string& name) const { return options.count(name) > 0; }
+  std::string Get(const std::string& name,
+                  const std::string& fallback = {}) const {
+    auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << content;
+  return out ? Status::OK() : Status::IOError("short write to " + path);
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage(const char* message) {
+  std::fprintf(stderr, "usage error: %s (see discsec_tool source header)\n",
+               message);
+  return 2;
+}
+
+// ---------------------------------------------------------- subcommands
+
+int CmdKeygen(const Args& args) {
+  if (!args.Has("out")) return Usage("keygen needs --out");
+  size_t bits =
+      static_cast<size_t>(std::strtoul(args.Get("bits", "1024").c_str(),
+                                       nullptr, 10));
+  Rng rng;
+  auto pair = crypto::RsaGenerateKeyPair(bits, &rng);
+  if (!pair.ok()) return Fail(pair.status());
+  Status st = WriteFile(args.Get("out"),
+                        pki::RsaPrivateKeyToXmlString(pair->private_key));
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu-bit RSA key to %s (fingerprint %s)\n", bits,
+              args.Get("out").c_str(),
+              pki::KeyFingerprint(pair->public_key).c_str());
+  return 0;
+}
+
+Result<crypto::RsaPrivateKey> LoadKey(const std::string& path) {
+  DISCSEC_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return pki::RsaPrivateKeyFromXmlString(text);
+}
+
+int CmdCertRoot(const Args& args) {
+  if (!args.Has("key") || !args.Has("subject") || !args.Has("out")) {
+    return Usage("cert-root needs --key --subject --out");
+  }
+  auto key = LoadKey(args.Get("key"));
+  if (!key.ok()) return Fail(key.status());
+  pki::CertificateInfo info;
+  info.subject = args.Get("subject");
+  info.issuer = info.subject;
+  info.serial = 1;
+  int64_t now = static_cast<int64_t>(std::time(nullptr));
+  info.not_before = now - 86400;
+  info.not_after = now + 20LL * 365 * 86400;
+  info.is_ca = true;
+  info.public_key = key->PublicKey();
+  auto cert = pki::IssueCertificate(info, key.value());
+  if (!cert.ok()) return Fail(cert.status());
+  Status st = WriteFile(args.Get("out"), cert->ToXmlString());
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote self-signed root '%s' to %s\n", info.subject.c_str(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdCertIssue(const Args& args) {
+  for (const char* required :
+       {"issuer-key", "issuer-cert", "key", "subject", "out"}) {
+    if (!args.Has(required)) {
+      return Usage("cert-issue needs --issuer-key --issuer-cert --key "
+                   "--subject --out");
+    }
+  }
+  auto issuer_key = LoadKey(args.Get("issuer-key"));
+  if (!issuer_key.ok()) return Fail(issuer_key.status());
+  auto issuer_text = ReadFile(args.Get("issuer-cert"));
+  if (!issuer_text.ok()) return Fail(issuer_text.status());
+  auto issuer_cert = pki::Certificate::FromXmlString(issuer_text.value());
+  if (!issuer_cert.ok()) return Fail(issuer_cert.status());
+  auto subject_key = LoadKey(args.Get("key"));
+  if (!subject_key.ok()) return Fail(subject_key.status());
+
+  pki::CertificateInfo info;
+  info.subject = args.Get("subject");
+  info.issuer = issuer_cert->info().subject;
+  info.serial = std::strtoull(args.Get("serial", "2").c_str(), nullptr, 10);
+  int64_t now = static_cast<int64_t>(std::time(nullptr));
+  info.not_before = now - 86400;
+  info.not_after = now + 2LL * 365 * 86400;
+  info.is_ca = args.Has("ca");
+  info.public_key = subject_key->PublicKey();
+  auto cert = pki::IssueCertificate(info, issuer_key.value());
+  if (!cert.ok()) return Fail(cert.status());
+  Status st = WriteFile(args.Get("out"), cert->ToXmlString());
+  if (!st.ok()) return Fail(st);
+  std::printf("issued '%s' (serial %llu) signed by '%s'\n",
+              info.subject.c_str(),
+              static_cast<unsigned long long>(info.serial),
+              info.issuer.c_str());
+  return 0;
+}
+
+int CmdSign(const Args& args) {
+  if (!args.Has("key") || !args.Has("in") || !args.Has("out")) {
+    return Usage("sign needs --key --in --out");
+  }
+  auto key = LoadKey(args.Get("key"));
+  if (!key.ok()) return Fail(key.status());
+  auto text = ReadFile(args.Get("in"));
+  if (!text.ok()) return Fail(text.status());
+  auto doc = xml::Parse(text.value());
+  if (!doc.ok()) return Fail(doc.status());
+
+  xmldsig::KeyInfoSpec key_info;
+  if (args.certs.empty()) {
+    key_info.include_key_value = true;
+  }
+  for (const std::string& path : args.certs) {
+    auto cert_text = ReadFile(path);
+    if (!cert_text.ok()) return Fail(cert_text.status());
+    auto cert = pki::Certificate::FromXmlString(cert_text.value());
+    if (!cert.ok()) return Fail(cert.status());
+    key_info.certificate_chain.push_back(std::move(cert).value());
+  }
+  xmldsig::Signer signer(xmldsig::SigningKey::Rsa(key.value()), key_info);
+
+  if (args.Has("detached-id")) {
+    xml::Element* target = doc->FindById(args.Get("detached-id"));
+    if (target == nullptr) {
+      return Fail(Status::NotFound("no element with Id '" +
+                                   args.Get("detached-id") + "'"));
+    }
+    auto sig = signer.SignDetached(&doc.value(), target,
+                                   args.Get("detached-id"), doc->root());
+    if (!sig.ok()) return Fail(sig.status());
+  } else {
+    auto sig = signer.SignEnveloped(&doc.value(), doc->root());
+    if (!sig.ok()) return Fail(sig.status());
+  }
+  Status st = WriteFile(args.Get("out"), xml::Serialize(doc.value()));
+  if (!st.ok()) return Fail(st);
+  std::printf("signed %s -> %s\n", args.Get("in").c_str(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdVerify(const Args& args) {
+  if (!args.Has("in")) return Usage("verify needs --in");
+  auto text = ReadFile(args.Get("in"));
+  if (!text.ok()) return Fail(text.status());
+  auto doc = xml::Parse(text.value());
+  if (!doc.ok()) return Fail(doc.status());
+
+  xmldsig::VerifyOptions options;
+  pki::CertStore store;
+  if (args.Has("root")) {
+    auto root_text = ReadFile(args.Get("root"));
+    if (!root_text.ok()) return Fail(root_text.status());
+    auto root = pki::Certificate::FromXmlString(root_text.value());
+    if (!root.ok()) return Fail(root.status());
+    Status st = store.AddTrustedRoot(root.value());
+    if (!st.ok()) return Fail(st);
+    options.cert_store = &store;
+    options.now = static_cast<int64_t>(std::time(nullptr));
+  } else if (args.Has("allow-bare-key")) {
+    options.allow_bare_key_value = true;
+  } else {
+    return Usage("verify needs --root <cert> or --allow-bare-key");
+  }
+  auto result = xmldsig::Verifier::VerifyFirstSignature(doc.value(), options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("VALID");
+  if (!result->signer_subject.empty()) {
+    std::printf("  signer: %s", result->signer_subject.c_str());
+  }
+  std::printf("  references:");
+  for (const std::string& uri : result->reference_uris) {
+    std::printf(" '%s'", uri.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdEncrypt(const Args& args) {
+  for (const char* required : {"in", "target-id", "key-hex", "key-name",
+                               "out"}) {
+    if (!args.Has(required)) {
+      return Usage("encrypt needs --in --target-id --key-hex --key-name "
+                   "--out");
+    }
+  }
+  auto key = FromHex(args.Get("key-hex"));
+  if (!key.ok()) return Fail(key.status());
+  auto text = ReadFile(args.Get("in"));
+  if (!text.ok()) return Fail(text.status());
+  auto doc = xml::Parse(text.value());
+  if (!doc.ok()) return Fail(doc.status());
+  xml::Element* target = doc->FindById(args.Get("target-id"));
+  if (target == nullptr) {
+    return Fail(Status::NotFound("no element with Id '" +
+                                 args.Get("target-id") + "'"));
+  }
+  xmlenc::EncryptionSpec spec;
+  spec.content_key = key.value();
+  spec.content_algorithm = key->size() == 32 ? crypto::kAlgAes256Cbc
+                                             : crypto::kAlgAes128Cbc;
+  spec.key_mode = xmlenc::KeyMode::kDirectReference;
+  spec.key_name = args.Get("key-name");
+  Rng rng;
+  auto encryptor = xmlenc::Encryptor::Create(spec, &rng);
+  if (!encryptor.ok()) return Fail(encryptor.status());
+  auto enc = encryptor->EncryptElement(&doc.value(), target,
+                                       "enc-" + args.Get("target-id"));
+  if (!enc.ok()) return Fail(enc.status());
+  Status st = WriteFile(args.Get("out"), xml::Serialize(doc.value()));
+  if (!st.ok()) return Fail(st);
+  std::printf("encrypted '#%s' -> %s\n", args.Get("target-id").c_str(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdDecrypt(const Args& args) {
+  for (const char* required : {"in", "key-hex", "key-name", "out"}) {
+    if (!args.Has(required)) {
+      return Usage("decrypt needs --in --key-hex --key-name --out");
+    }
+  }
+  auto key = FromHex(args.Get("key-hex"));
+  if (!key.ok()) return Fail(key.status());
+  auto text = ReadFile(args.Get("in"));
+  if (!text.ok()) return Fail(text.status());
+  auto doc = xml::Parse(text.value());
+  if (!doc.ok()) return Fail(doc.status());
+  xmlenc::KeyRing ring;
+  ring.AddKey(args.Get("key-name"), key.value());
+  xmlenc::Decryptor decryptor(std::move(ring));
+  Status st = decryptor.DecryptAll(&doc.value(), nullptr, {});
+  if (!st.ok()) return Fail(st);
+  st = WriteFile(args.Get("out"), xml::Serialize(doc.value()));
+  if (!st.ok()) return Fail(st);
+  std::printf("decrypted %s -> %s\n", args.Get("in").c_str(),
+              args.Get("out").c_str());
+  return 0;
+}
+
+int CmdC14n(const Args& args) {
+  if (!args.Has("in")) return Usage("c14n needs --in");
+  auto text = ReadFile(args.Get("in"));
+  if (!text.ok()) return Fail(text.status());
+  auto doc = xml::Parse(text.value());
+  if (!doc.ok()) return Fail(doc.status());
+  xml::C14NOptions options;
+  options.with_comments = args.Has("with-comments");
+  std::fputs(xml::Canonicalize(doc.value(), options).c_str(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage("no command given");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return Usage("expected --option");
+    std::string name = arg.substr(2);
+    // Flags without values.
+    if (name == "ca" || name == "allow-bare-key" || name == "with-comments") {
+      args.options[name] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) return Usage(("missing value for --" + name).c_str());
+    std::string value = argv[++i];
+    if (name == "cert") {
+      args.certs.push_back(value);
+    } else {
+      args.options[name] = value;
+    }
+  }
+  if (args.command == "keygen") return CmdKeygen(args);
+  if (args.command == "cert-root") return CmdCertRoot(args);
+  if (args.command == "cert-issue") return CmdCertIssue(args);
+  if (args.command == "sign") return CmdSign(args);
+  if (args.command == "verify") return CmdVerify(args);
+  if (args.command == "encrypt") return CmdEncrypt(args);
+  if (args.command == "decrypt") return CmdDecrypt(args);
+  if (args.command == "c14n") return CmdC14n(args);
+  return Usage(("unknown command '" + args.command + "'").c_str());
+}
