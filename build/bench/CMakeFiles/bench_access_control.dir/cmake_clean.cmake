@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_access_control.dir/bench_access_control.cc.o"
+  "CMakeFiles/bench_access_control.dir/bench_access_control.cc.o.d"
+  "bench_access_control"
+  "bench_access_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_access_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

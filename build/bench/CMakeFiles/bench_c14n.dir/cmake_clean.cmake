@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_c14n.dir/bench_c14n.cc.o"
+  "CMakeFiles/bench_c14n.dir/bench_c14n.cc.o.d"
+  "bench_c14n"
+  "bench_c14n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_c14n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dcf_vs_xml.dir/bench_dcf_vs_xml.cc.o"
+  "CMakeFiles/bench_dcf_vs_xml.dir/bench_dcf_vs_xml.cc.o.d"
+  "bench_dcf_vs_xml"
+  "bench_dcf_vs_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dcf_vs_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dcf_vs_xml.
+# This may be replaced when dependencies are built.

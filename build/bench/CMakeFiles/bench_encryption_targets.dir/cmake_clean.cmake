@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_encryption_targets.dir/bench_encryption_targets.cc.o"
+  "CMakeFiles/bench_encryption_targets.dir/bench_encryption_targets.cc.o.d"
+  "bench_encryption_targets"
+  "bench_encryption_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_encryption_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

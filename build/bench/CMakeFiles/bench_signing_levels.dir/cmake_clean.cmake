@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signing_levels.dir/bench_signing_levels.cc.o"
+  "CMakeFiles/bench_signing_levels.dir/bench_signing_levels.cc.o.d"
+  "bench_signing_levels"
+  "bench_signing_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signing_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

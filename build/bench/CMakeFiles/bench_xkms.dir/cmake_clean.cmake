@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xkms.dir/bench_xkms.cc.o"
+  "CMakeFiles/bench_xkms.dir/bench_xkms.cc.o.d"
+  "bench_xkms"
+  "bench_xkms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xkms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_authoring.dir/disc_authoring.cpp.o"
+  "CMakeFiles/disc_authoring.dir/disc_authoring.cpp.o.d"
+  "disc_authoring"
+  "disc_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

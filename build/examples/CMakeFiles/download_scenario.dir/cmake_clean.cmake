@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_scenario.dir/download_scenario.cpp.o"
+  "CMakeFiles/download_scenario.dir/download_scenario.cpp.o.d"
+  "download_scenario"
+  "download_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_scores.dir/game_scores.cpp.o"
+  "CMakeFiles/game_scores.dir/game_scores.cpp.o.d"
+  "game_scores"
+  "game_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_menu.dir/interactive_menu.cpp.o"
+  "CMakeFiles/interactive_menu.dir/interactive_menu.cpp.o.d"
+  "interactive_menu"
+  "interactive_menu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_menu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rights_management.dir/rights_management.cpp.o"
+  "CMakeFiles/rights_management.dir/rights_management.cpp.o.d"
+  "rights_management"
+  "rights_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rights_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("xml")
+subdirs("pki")
+subdirs("xmldsig")
+subdirs("xmlenc")
+subdirs("xkms")
+subdirs("access")
+subdirs("script")
+subdirs("smil")
+subdirs("svg")
+subdirs("xslt")
+subdirs("disc")
+subdirs("dcf")
+subdirs("net")
+subdirs("player")
+subdirs("authoring")
+subdirs("xrml")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/access/pep.cc" "src/access/CMakeFiles/discsec_access.dir/pep.cc.o" "gcc" "src/access/CMakeFiles/discsec_access.dir/pep.cc.o.d"
+  "/root/repo/src/access/permission_request.cc" "src/access/CMakeFiles/discsec_access.dir/permission_request.cc.o" "gcc" "src/access/CMakeFiles/discsec_access.dir/permission_request.cc.o.d"
+  "/root/repo/src/access/policy.cc" "src/access/CMakeFiles/discsec_access.dir/policy.cc.o" "gcc" "src/access/CMakeFiles/discsec_access.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/discsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_access.dir/pep.cc.o"
+  "CMakeFiles/discsec_access.dir/pep.cc.o.d"
+  "CMakeFiles/discsec_access.dir/permission_request.cc.o"
+  "CMakeFiles/discsec_access.dir/permission_request.cc.o.d"
+  "CMakeFiles/discsec_access.dir/policy.cc.o"
+  "CMakeFiles/discsec_access.dir/policy.cc.o.d"
+  "libdiscsec_access.a"
+  "libdiscsec_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

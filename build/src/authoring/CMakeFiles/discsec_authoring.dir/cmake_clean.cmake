@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_authoring.dir/author.cc.o"
+  "CMakeFiles/discsec_authoring.dir/author.cc.o.d"
+  "libdiscsec_authoring.a"
+  "libdiscsec_authoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_authoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

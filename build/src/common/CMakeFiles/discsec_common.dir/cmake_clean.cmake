@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_common.dir/base64.cc.o"
+  "CMakeFiles/discsec_common.dir/base64.cc.o.d"
+  "CMakeFiles/discsec_common.dir/bytes.cc.o"
+  "CMakeFiles/discsec_common.dir/bytes.cc.o.d"
+  "CMakeFiles/discsec_common.dir/random.cc.o"
+  "CMakeFiles/discsec_common.dir/random.cc.o.d"
+  "CMakeFiles/discsec_common.dir/status.cc.o"
+  "CMakeFiles/discsec_common.dir/status.cc.o.d"
+  "CMakeFiles/discsec_common.dir/strings.cc.o"
+  "CMakeFiles/discsec_common.dir/strings.cc.o.d"
+  "libdiscsec_common.a"
+  "libdiscsec_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

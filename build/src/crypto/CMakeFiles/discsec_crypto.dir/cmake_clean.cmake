@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_crypto.dir/aes.cc.o"
+  "CMakeFiles/discsec_crypto.dir/aes.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/bigint.cc.o"
+  "CMakeFiles/discsec_crypto.dir/bigint.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/digest.cc.o"
+  "CMakeFiles/discsec_crypto.dir/digest.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/hmac.cc.o"
+  "CMakeFiles/discsec_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/rsa.cc.o"
+  "CMakeFiles/discsec_crypto.dir/rsa.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/sha1.cc.o"
+  "CMakeFiles/discsec_crypto.dir/sha1.cc.o.d"
+  "CMakeFiles/discsec_crypto.dir/sha256.cc.o"
+  "CMakeFiles/discsec_crypto.dir/sha256.cc.o.d"
+  "libdiscsec_crypto.a"
+  "libdiscsec_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_dcf.dir/dcf.cc.o"
+  "CMakeFiles/discsec_dcf.dir/dcf.cc.o.d"
+  "libdiscsec_dcf.a"
+  "libdiscsec_dcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_dcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disc/content.cc" "src/disc/CMakeFiles/discsec_disc.dir/content.cc.o" "gcc" "src/disc/CMakeFiles/discsec_disc.dir/content.cc.o.d"
+  "/root/repo/src/disc/disc_image.cc" "src/disc/CMakeFiles/discsec_disc.dir/disc_image.cc.o" "gcc" "src/disc/CMakeFiles/discsec_disc.dir/disc_image.cc.o.d"
+  "/root/repo/src/disc/local_storage.cc" "src/disc/CMakeFiles/discsec_disc.dir/local_storage.cc.o" "gcc" "src/disc/CMakeFiles/discsec_disc.dir/local_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/discsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

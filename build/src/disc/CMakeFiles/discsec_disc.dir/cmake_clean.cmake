@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_disc.dir/content.cc.o"
+  "CMakeFiles/discsec_disc.dir/content.cc.o.d"
+  "CMakeFiles/discsec_disc.dir/disc_image.cc.o"
+  "CMakeFiles/discsec_disc.dir/disc_image.cc.o.d"
+  "CMakeFiles/discsec_disc.dir/local_storage.cc.o"
+  "CMakeFiles/discsec_disc.dir/local_storage.cc.o.d"
+  "libdiscsec_disc.a"
+  "libdiscsec_disc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_disc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

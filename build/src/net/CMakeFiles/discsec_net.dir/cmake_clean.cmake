@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_net.dir/channel.cc.o"
+  "CMakeFiles/discsec_net.dir/channel.cc.o.d"
+  "CMakeFiles/discsec_net.dir/server.cc.o"
+  "CMakeFiles/discsec_net.dir/server.cc.o.d"
+  "libdiscsec_net.a"
+  "libdiscsec_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

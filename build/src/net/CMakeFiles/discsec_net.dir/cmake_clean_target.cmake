@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdiscsec_net.a"
+)

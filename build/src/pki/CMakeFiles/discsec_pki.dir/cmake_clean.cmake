@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_pki.dir/cert_store.cc.o"
+  "CMakeFiles/discsec_pki.dir/cert_store.cc.o.d"
+  "CMakeFiles/discsec_pki.dir/certificate.cc.o"
+  "CMakeFiles/discsec_pki.dir/certificate.cc.o.d"
+  "CMakeFiles/discsec_pki.dir/key_codec.cc.o"
+  "CMakeFiles/discsec_pki.dir/key_codec.cc.o.d"
+  "libdiscsec_pki.a"
+  "libdiscsec_pki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_pki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

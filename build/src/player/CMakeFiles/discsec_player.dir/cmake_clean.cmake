@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_player.dir/engine.cc.o"
+  "CMakeFiles/discsec_player.dir/engine.cc.o.d"
+  "CMakeFiles/discsec_player.dir/host_api.cc.o"
+  "CMakeFiles/discsec_player.dir/host_api.cc.o.d"
+  "CMakeFiles/discsec_player.dir/playback.cc.o"
+  "CMakeFiles/discsec_player.dir/playback.cc.o.d"
+  "CMakeFiles/discsec_player.dir/session.cc.o"
+  "CMakeFiles/discsec_player.dir/session.cc.o.d"
+  "libdiscsec_player.a"
+  "libdiscsec_player.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_player.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/script/interpreter.cc" "src/script/CMakeFiles/discsec_script.dir/interpreter.cc.o" "gcc" "src/script/CMakeFiles/discsec_script.dir/interpreter.cc.o.d"
+  "/root/repo/src/script/lexer.cc" "src/script/CMakeFiles/discsec_script.dir/lexer.cc.o" "gcc" "src/script/CMakeFiles/discsec_script.dir/lexer.cc.o.d"
+  "/root/repo/src/script/parser.cc" "src/script/CMakeFiles/discsec_script.dir/parser.cc.o" "gcc" "src/script/CMakeFiles/discsec_script.dir/parser.cc.o.d"
+  "/root/repo/src/script/value.cc" "src/script/CMakeFiles/discsec_script.dir/value.cc.o" "gcc" "src/script/CMakeFiles/discsec_script.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/discsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_script.dir/interpreter.cc.o"
+  "CMakeFiles/discsec_script.dir/interpreter.cc.o.d"
+  "CMakeFiles/discsec_script.dir/lexer.cc.o"
+  "CMakeFiles/discsec_script.dir/lexer.cc.o.d"
+  "CMakeFiles/discsec_script.dir/parser.cc.o"
+  "CMakeFiles/discsec_script.dir/parser.cc.o.d"
+  "CMakeFiles/discsec_script.dir/value.cc.o"
+  "CMakeFiles/discsec_script.dir/value.cc.o.d"
+  "libdiscsec_script.a"
+  "libdiscsec_script.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_script.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_smil.dir/smil.cc.o"
+  "CMakeFiles/discsec_smil.dir/smil.cc.o.d"
+  "libdiscsec_smil.a"
+  "libdiscsec_smil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_smil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

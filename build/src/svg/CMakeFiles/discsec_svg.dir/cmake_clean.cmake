@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_svg.dir/svg.cc.o"
+  "CMakeFiles/discsec_svg.dir/svg.cc.o.d"
+  "libdiscsec_svg.a"
+  "libdiscsec_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xkms/client.cc" "src/xkms/CMakeFiles/discsec_xkms.dir/client.cc.o" "gcc" "src/xkms/CMakeFiles/discsec_xkms.dir/client.cc.o.d"
+  "/root/repo/src/xkms/service.cc" "src/xkms/CMakeFiles/discsec_xkms.dir/service.cc.o" "gcc" "src/xkms/CMakeFiles/discsec_xkms.dir/service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/discsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/discsec_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xkms.dir/client.cc.o"
+  "CMakeFiles/discsec_xkms.dir/client.cc.o.d"
+  "CMakeFiles/discsec_xkms.dir/service.cc.o"
+  "CMakeFiles/discsec_xkms.dir/service.cc.o.d"
+  "libdiscsec_xkms.a"
+  "libdiscsec_xkms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xkms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

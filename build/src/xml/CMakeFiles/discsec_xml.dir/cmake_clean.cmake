@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xml.dir/c14n.cc.o"
+  "CMakeFiles/discsec_xml.dir/c14n.cc.o.d"
+  "CMakeFiles/discsec_xml.dir/dom.cc.o"
+  "CMakeFiles/discsec_xml.dir/dom.cc.o.d"
+  "CMakeFiles/discsec_xml.dir/parser.cc.o"
+  "CMakeFiles/discsec_xml.dir/parser.cc.o.d"
+  "CMakeFiles/discsec_xml.dir/select.cc.o"
+  "CMakeFiles/discsec_xml.dir/select.cc.o.d"
+  "CMakeFiles/discsec_xml.dir/serializer.cc.o"
+  "CMakeFiles/discsec_xml.dir/serializer.cc.o.d"
+  "libdiscsec_xml.a"
+  "libdiscsec_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xmldsig.dir/signer.cc.o"
+  "CMakeFiles/discsec_xmldsig.dir/signer.cc.o.d"
+  "CMakeFiles/discsec_xmldsig.dir/transforms.cc.o"
+  "CMakeFiles/discsec_xmldsig.dir/transforms.cc.o.d"
+  "CMakeFiles/discsec_xmldsig.dir/verifier.cc.o"
+  "CMakeFiles/discsec_xmldsig.dir/verifier.cc.o.d"
+  "libdiscsec_xmldsig.a"
+  "libdiscsec_xmldsig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xmldsig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

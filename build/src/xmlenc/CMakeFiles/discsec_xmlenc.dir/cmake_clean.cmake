@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xmlenc.dir/decryptor.cc.o"
+  "CMakeFiles/discsec_xmlenc.dir/decryptor.cc.o.d"
+  "CMakeFiles/discsec_xmlenc.dir/encryptor.cc.o"
+  "CMakeFiles/discsec_xmlenc.dir/encryptor.cc.o.d"
+  "libdiscsec_xmlenc.a"
+  "libdiscsec_xmlenc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xmlenc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xrml.dir/license.cc.o"
+  "CMakeFiles/discsec_xrml.dir/license.cc.o.d"
+  "CMakeFiles/discsec_xrml.dir/rights_manager.cc.o"
+  "CMakeFiles/discsec_xrml.dir/rights_manager.cc.o.d"
+  "libdiscsec_xrml.a"
+  "libdiscsec_xrml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xrml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for discsec_xrml.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_xslt.dir/xslt.cc.o"
+  "CMakeFiles/discsec_xslt.dir/xslt.cc.o.d"
+  "libdiscsec_xslt.a"
+  "libdiscsec_xslt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_xslt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

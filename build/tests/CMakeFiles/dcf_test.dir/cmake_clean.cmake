@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcf_test.dir/dcf_test.cc.o"
+  "CMakeFiles/dcf_test.dir/dcf_test.cc.o.d"
+  "dcf_test"
+  "dcf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

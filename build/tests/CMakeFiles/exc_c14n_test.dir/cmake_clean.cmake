@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exc_c14n_test.dir/exc_c14n_test.cc.o"
+  "CMakeFiles/exc_c14n_test.dir/exc_c14n_test.cc.o.d"
+  "exc_c14n_test"
+  "exc_c14n_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exc_c14n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

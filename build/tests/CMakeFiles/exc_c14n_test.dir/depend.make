@@ -1,0 +1,2 @@
+# Empty dependencies file for exc_c14n_test.
+# This may be replaced when dependencies are built.

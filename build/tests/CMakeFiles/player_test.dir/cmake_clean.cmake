@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/player_test.dir/player_test.cc.o"
+  "CMakeFiles/player_test.dir/player_test.cc.o.d"
+  "player_test"
+  "player_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/player_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

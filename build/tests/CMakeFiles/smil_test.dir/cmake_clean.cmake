@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smil_test.dir/smil_test.cc.o"
+  "CMakeFiles/smil_test.dir/smil_test.cc.o.d"
+  "smil_test"
+  "smil_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

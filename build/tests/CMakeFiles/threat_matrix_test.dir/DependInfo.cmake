@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/threat_matrix_test.cc" "tests/CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o" "gcc" "tests/CMakeFiles/threat_matrix_test.dir/threat_matrix_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/player/CMakeFiles/discsec_player.dir/DependInfo.cmake"
+  "/root/repo/build/src/authoring/CMakeFiles/discsec_authoring.dir/DependInfo.cmake"
+  "/root/repo/build/src/access/CMakeFiles/discsec_access.dir/DependInfo.cmake"
+  "/root/repo/build/src/script/CMakeFiles/discsec_script.dir/DependInfo.cmake"
+  "/root/repo/build/src/smil/CMakeFiles/discsec_smil.dir/DependInfo.cmake"
+  "/root/repo/build/src/svg/CMakeFiles/discsec_svg.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrml/CMakeFiles/discsec_xrml.dir/DependInfo.cmake"
+  "/root/repo/build/src/disc/CMakeFiles/discsec_disc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/discsec_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xkms/CMakeFiles/discsec_xkms.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlenc/CMakeFiles/discsec_xmlenc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmldsig/CMakeFiles/discsec_xmldsig.dir/DependInfo.cmake"
+  "/root/repo/build/src/pki/CMakeFiles/discsec_pki.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/discsec_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/discsec_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/discsec_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xkms_test.dir/xkms_test.cc.o"
+  "CMakeFiles/xkms_test.dir/xkms_test.cc.o.d"
+  "xkms_test"
+  "xkms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xkms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

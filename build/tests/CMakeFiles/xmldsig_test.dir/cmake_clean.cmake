@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmldsig_test.dir/xmldsig_test.cc.o"
+  "CMakeFiles/xmldsig_test.dir/xmldsig_test.cc.o.d"
+  "xmldsig_test"
+  "xmldsig_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmldsig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

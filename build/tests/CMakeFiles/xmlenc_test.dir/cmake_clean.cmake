@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlenc_test.dir/xmlenc_test.cc.o"
+  "CMakeFiles/xmlenc_test.dir/xmlenc_test.cc.o.d"
+  "xmlenc_test"
+  "xmlenc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlenc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

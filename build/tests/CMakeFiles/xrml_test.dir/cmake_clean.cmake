@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xrml_test.dir/xrml_test.cc.o"
+  "CMakeFiles/xrml_test.dir/xrml_test.cc.o.d"
+  "xrml_test"
+  "xrml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xrml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

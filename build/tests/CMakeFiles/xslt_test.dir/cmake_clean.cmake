@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xslt_test.dir/xslt_test.cc.o"
+  "CMakeFiles/xslt_test.dir/xslt_test.cc.o.d"
+  "xslt_test"
+  "xslt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xslt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

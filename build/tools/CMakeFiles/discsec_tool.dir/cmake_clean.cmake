@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discsec_tool.dir/discsec_tool.cc.o"
+  "CMakeFiles/discsec_tool.dir/discsec_tool.cc.o.d"
+  "discsec_tool"
+  "discsec_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discsec_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
