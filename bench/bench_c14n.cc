@@ -8,7 +8,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_tracker.h"
 #include "bench/bench_util.h"
+#include "crypto/digest.h"
+#include "crypto/sha256.h"
 #include "xml/c14n.h"
 #include "xmldsig/signer.h"
 
@@ -93,6 +96,56 @@ void BM_C14N_Subtree(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_C14N_Subtree);
+
+// ------------------------------------- buffered vs streaming digest path
+//
+// The canonicalize-to-digest comparison behind BENCH_streaming.json: the
+// buffered path materializes the canonical string before hashing (the
+// pre-ByteSink pipeline); the streaming path feeds a DigestSink directly.
+// peak_alloc_bytes / allocs_per_iter come from the alloc_tracker new/delete
+// replacement linked into this binary.
+
+void BM_C14N_DigestBuffered(benchmark::State& state) {
+  std::string text = SyntheticDoc(2, static_cast<int>(state.range(0)));
+  auto doc = xml::Parse(text).value();
+  crypto::Sha256 sha;
+  bench::ResetAllocStats();
+  for (auto _ : state) {
+    std::string canonical = xml::Canonicalize(doc);
+    Bytes value = crypto::Digest::Compute(&sha, canonical);
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+  state.counters["peak_alloc_bytes"] =
+      static_cast<double>(bench::AllocPeakBytes());
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(bench::AllocCount()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_C14N_DigestBuffered)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_C14N_DigestStreaming(benchmark::State& state) {
+  std::string text = SyntheticDoc(2, static_cast<int>(state.range(0)));
+  auto doc = xml::Parse(text).value();
+  crypto::Sha256 sha;
+  bench::ResetAllocStats();
+  for (auto _ : state) {
+    sha.Reset();
+    crypto::DigestSink sink(&sha);
+    xml::Canonicalize(doc, xml::C14NOptions(), &sink);
+    Bytes value = sha.Finalize();
+    benchmark::DoNotOptimize(value);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+  state.counters["peak_alloc_bytes"] =
+      static_cast<double>(bench::AllocPeakBytes());
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(bench::AllocCount()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_C14N_DigestStreaming)->Arg(4)->Arg(16)->Arg(64)->Arg(128);
 
 // ------------------------------------------------- signature placements
 

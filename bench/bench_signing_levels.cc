@@ -9,7 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/alloc_tracker.h"
 #include "bench/bench_util.h"
+#include "common/byte_sink.h"
 #include "xml/c14n.h"
 #include "xmldsig/verifier.h"
 
@@ -39,13 +41,18 @@ std::string ArgName(SignLevel level) {
 
 size_t SignedBytes(const disc::InteractiveCluster& cluster, SignLevel level,
                    const std::string& name) {
+  // CountingSink measures the canonical size without materializing the
+  // canonical form — the same streaming path the signer itself uses.
   xml::Document doc = cluster.ToXml();
+  CountingSink sink;
   if (level == SignLevel::kCluster) {
-    return xml::Canonicalize(doc).size();
+    xml::Canonicalize(doc, xml::C14NOptions(), &sink);
+  } else {
+    std::string id =
+        authoring::ResolveSignTargetId(cluster, level, "", name).value();
+    xml::CanonicalizeElement(*doc.FindById(id), xml::C14NOptions(), &sink);
   }
-  std::string id =
-      authoring::ResolveSignTargetId(cluster, level, "", name).value();
-  return xml::CanonicalizeElement(*doc.FindById(id)).size();
+  return sink.count();
 }
 
 void RunSign(benchmark::State& state, SignLevel level,
@@ -54,11 +61,17 @@ void RunSign(benchmark::State& state, SignLevel level,
   // A sizable application so granularity differences are visible.
   disc::InteractiveCluster cluster = bench::ClusterWithPayload(32 << 10);
   authoring::Author author = world.MakeAuthor();
+  bench::ResetAllocStats();
   for (auto _ : state) {
     auto doc = author.BuildSigned(cluster, level, "", name);
     if (!doc.ok()) state.SkipWithError(doc.status().ToString().c_str());
     benchmark::DoNotOptimize(doc.value().root());
   }
+  state.counters["peak_alloc_bytes"] =
+      static_cast<double>(bench::AllocPeakBytes());
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(bench::AllocCount()) /
+      static_cast<double>(state.iterations());
   state.counters["signed_bytes"] =
       static_cast<double>(SignedBytes(cluster, level, name));
 }
@@ -72,6 +85,7 @@ void RunVerify(benchmark::State& state, SignLevel level,
   std::string wire = xml::Serialize(doc.value());
   pki::CertStore store;
   (void)store.AddTrustedRoot(world.root_cert);
+  bench::ResetAllocStats();
   for (auto _ : state) {
     auto parsed = xml::Parse(wire).value();
     xmldsig::VerifyOptions options;
@@ -81,6 +95,11 @@ void RunVerify(benchmark::State& state, SignLevel level,
     if (!result.ok()) state.SkipWithError("verify failed");
     benchmark::DoNotOptimize(result.value().signer_subject);
   }
+  state.counters["peak_alloc_bytes"] =
+      static_cast<double>(bench::AllocPeakBytes());
+  state.counters["allocs_per_iter"] =
+      static_cast<double>(bench::AllocCount()) /
+      static_cast<double>(state.iterations());
   state.counters["signed_bytes"] =
       static_cast<double>(SignedBytes(cluster, level, name));
   state.counters["wire_bytes"] = static_cast<double>(wire.size());

@@ -1,0 +1,8 @@
+#include "common/byte_sink.h"
+
+namespace discsec {
+
+// Out-of-line key function anchors the vtable in this translation unit.
+ByteSink::~ByteSink() = default;
+
+}  // namespace discsec

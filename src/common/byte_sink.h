@@ -1,0 +1,81 @@
+#ifndef DISCSEC_COMMON_BYTE_SINK_H_
+#define DISCSEC_COMMON_BYTE_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace discsec {
+
+/// Destination for a stream of octets.
+///
+/// The serialization layers (xml::Serialize, xml::Canonicalize and friends)
+/// emit into a ByteSink, so a consumer chooses where the bytes land: an
+/// owned buffer (StringSink/BytesSink), a running hash (crypto::DigestSink,
+/// crypto::HmacSink), or nowhere at all (CountingSink). The hot
+/// canonicalize-then-digest path of XML-DSig streams through a DigestSink
+/// and never materializes the canonical form.
+class ByteSink {
+ public:
+  virtual ~ByteSink();
+
+  /// Appends `len` octets starting at `data`.
+  virtual void Append(const uint8_t* data, size_t len) = 0;
+
+  // Convenience overloads. Implementations that override Append(ptr, len)
+  // should `using ByteSink::Append;` to keep these visible.
+  void Append(std::string_view s) {
+    Append(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void Append(const Bytes& b) { Append(b.data(), b.size()); }
+  void Append(char c) {
+    const uint8_t byte = static_cast<uint8_t>(c);
+    Append(&byte, 1);
+  }
+};
+
+/// Appends to a caller-owned std::string.
+class StringSink : public ByteSink {
+ public:
+  explicit StringSink(std::string* out) : out_(out) {}
+  using ByteSink::Append;
+  void Append(const uint8_t* data, size_t len) override {
+    out_->append(reinterpret_cast<const char*>(data), len);
+  }
+
+ private:
+  std::string* out_;
+};
+
+/// Appends to a caller-owned Bytes buffer.
+class BytesSink : public ByteSink {
+ public:
+  explicit BytesSink(Bytes* out) : out_(out) {}
+  using ByteSink::Append;
+  void Append(const uint8_t* data, size_t len) override {
+    out_->insert(out_->end(), data, data + len);
+  }
+
+ private:
+  Bytes* out_;
+};
+
+/// Discards the bytes, keeping only their count. Measures output size
+/// (e.g. the signed_bytes counters in the benches) without allocating.
+class CountingSink : public ByteSink {
+ public:
+  using ByteSink::Append;
+  void Append(const uint8_t* /*data*/, size_t len) override { count_ += len; }
+
+  size_t count() const { return count_; }
+  void Reset() { count_ = 0; }
+
+ private:
+  size_t count_ = 0;
+};
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_BYTE_SINK_H_

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/byte_sink.h"
 #include "common/bytes.h"
 #include "common/result.h"
 
@@ -43,6 +44,25 @@ class Digest {
     digest->Update(data);
     return digest->Finalize();
   }
+  static Bytes Compute(Digest* digest, std::string_view data) {
+    digest->Reset();
+    digest->Update(data);
+    return digest->Finalize();
+  }
+};
+
+/// ByteSink that feeds a running digest: serialization layers stream into
+/// it, so canonicalize-then-digest never materializes the canonical form.
+class DigestSink final : public ByteSink {
+ public:
+  explicit DigestSink(Digest* digest) : digest_(digest) {}
+  using ByteSink::Append;
+  void Append(const uint8_t* data, size_t len) override {
+    digest_->Update(data, len);
+  }
+
+ private:
+  Digest* digest_;
 };
 
 /// Factory keyed by W3C algorithm URI (see crypto/algorithms.h). Returns

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/byte_sink.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/digest.h"
@@ -42,6 +43,20 @@ class Hmac {
   std::unique_ptr<Digest> digest_;
   Bytes ipad_;
   Bytes opad_;
+};
+
+/// ByteSink that feeds a running HMAC (the hmac-sha1 SignatureMethod
+/// streams canonical SignedInfo through this).
+class HmacSink final : public ByteSink {
+ public:
+  explicit HmacSink(Hmac* hmac) : hmac_(hmac) {}
+  using ByteSink::Append;
+  void Append(const uint8_t* data, size_t len) override {
+    hmac_->Update(data, len);
+  }
+
+ private:
+  Hmac* hmac_;
 };
 
 /// HMAC-SHA256-based key derivation: expands (secret, label, seed) into

@@ -25,15 +25,33 @@ std::unique_ptr<xml::Element> Certificate::TbsXml() const {
   return tbs;
 }
 
-Bytes Certificate::TbsBytes() const {
-  return ToBytes(xml::CanonicalizeElement(*TbsXml()));
+void Certificate::AppendTbsTo(ByteSink* sink) const {
+  xml::CanonicalizeElement(*TbsXml(), xml::C14NOptions(), sink);
 }
+
+Bytes Certificate::TbsBytes() const {
+  Bytes out;
+  BytesSink sink(&out);
+  AppendTbsTo(&sink);
+  return out;
+}
+
+namespace {
+
+/// Canonical TBS streamed straight into SHA-256.
+Bytes TbsDigest(const Certificate& cert) {
+  crypto::Sha256 sha;
+  crypto::DigestSink sink(&sha);
+  cert.AppendTbsTo(&sink);
+  return sha.Finalize();
+}
+
+}  // namespace
 
 Status Certificate::VerifySignature(
     const crypto::RsaPublicKey& issuer_key) const {
-  Bytes digest = crypto::Sha256::Hash(TbsBytes());
-  return crypto::RsaVerifyDigest(issuer_key, crypto::kAlgSha256, digest,
-                                 signature_)
+  return crypto::RsaVerifyDigest(issuer_key, crypto::kAlgSha256,
+                                 TbsDigest(*this), signature_)
       .WithContext("certificate '" + info_.subject + "'");
 }
 
@@ -105,10 +123,10 @@ Result<Certificate> IssueCertificate(const CertificateInfo& info,
     return Status::InvalidArgument("certificate validity window is inverted");
   }
   Certificate unsigned_cert(info, {});
-  Bytes digest = crypto::Sha256::Hash(unsigned_cert.TbsBytes());
   DISCSEC_ASSIGN_OR_RETURN(
       Bytes signature,
-      crypto::RsaSignDigest(issuer_key, crypto::kAlgSha256, digest));
+      crypto::RsaSignDigest(issuer_key, crypto::kAlgSha256,
+                            TbsDigest(unsigned_cert)));
   return Certificate(info, std::move(signature));
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/byte_sink.h"
 #include "common/result.h"
 #include "crypto/rsa.h"
 #include "xml/dom.h"
@@ -43,7 +44,11 @@ class Certificate {
 
   bool IsSelfSigned() const { return info_.subject == info_.issuer; }
 
-  /// The canonical octets the issuer signs.
+  /// Streams the canonical octets the issuer signs into `sink` (a
+  /// crypto::DigestSink digests them without materializing the buffer).
+  void AppendTbsTo(ByteSink* sink) const;
+
+  /// Buffer-returning wrapper over AppendTbsTo.
   Bytes TbsBytes() const;
 
   /// Verifies this certificate's signature with `issuer_key`.

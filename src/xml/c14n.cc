@@ -1,6 +1,7 @@
 #include "xml/c14n.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
 #include <set>
 
@@ -11,29 +12,31 @@ namespace xml {
 
 namespace {
 
+std::atomic<size_t> g_buffered_c14n_count{0};
+
 /// Map of prefix -> namespace URI rendered so far on the ancestor chain.
 using NsMap = std::map<std::string, std::string>;
 
 struct C14NWriter {
   const C14NOptions& options;
-  std::string out;
+  ByteSink* out;
 
-  void WriteText(const Text& text) { out += EscapeText(text.data()); }
+  void WriteText(const Text& text) { EscapeText(text.data(), out); }
 
   void WriteComment(const Comment& comment) {
-    out += "<!--";
-    out += comment.data();
-    out += "-->";
+    out->Append("<!--");
+    out->Append(comment.data());
+    out->Append("-->");
   }
 
   void WritePi(const Pi& pi) {
-    out += "<?";
-    out += pi.target();
+    out->Append("<?");
+    out->Append(pi.target());
     if (!pi.data().empty()) {
-      out += ' ';
-      out += pi.data();
+      out->Append(' ');
+      out->Append(pi.data());
     }
-    out += "?>";
+    out->Append("?>");
   }
 
   /// The prefixes element `e` visibly utilizes: its own plus those of its
@@ -58,8 +61,8 @@ struct C14NWriter {
   void WriteElement(const Element& e, const NsMap& rendered,
                     const NsMap& extra_ns,
                     const std::vector<Attribute>& extra_attrs) {
-    out += '<';
-    out += e.name();
+    out->Append('<');
+    out->Append(e.name());
 
     NsMap next_rendered = rendered;
     std::vector<std::pair<std::string, std::string>> to_render;
@@ -107,11 +110,16 @@ struct C14NWriter {
     // Namespace nodes sort by prefix (default namespace, "", sorts first).
     std::sort(to_render.begin(), to_render.end());
     for (const auto& [prefix, uri] : to_render) {
-      out += ' ';
-      out += prefix.empty() ? "xmlns" : "xmlns:" + prefix;
-      out += "=\"";
-      out += EscapeAttribute(uri);
-      out += '"';
+      out->Append(' ');
+      if (prefix.empty()) {
+        out->Append("xmlns");
+      } else {
+        out->Append("xmlns:");
+        out->Append(prefix);
+      }
+      out->Append("=\"");
+      EscapeAttribute(uri, out);
+      out->Append('"');
     }
 
     // Regular attributes sorted by (namespace URI of prefix, local name);
@@ -140,21 +148,21 @@ struct C14NWriter {
                 return sort_key(a) < sort_key(b);
               });
     for (const Attribute* attr : attrs) {
-      out += ' ';
-      out += attr->name;
-      out += "=\"";
-      out += EscapeAttribute(attr->value);
-      out += '"';
+      out->Append(' ');
+      out->Append(attr->name);
+      out->Append("=\"");
+      EscapeAttribute(attr->value, out);
+      out->Append('"');
     }
-    out += '>';
+    out->Append('>');
 
     for (const auto& child : e.children()) {
       WriteNode(*child, next_rendered);
     }
 
-    out += "</";
-    out += e.name();
-    out += '>';
+    out->Append("</");
+    out->Append(e.name());
+    out->Append('>');
   }
 
   void WriteNode(const Node& node, const NsMap& rendered) {
@@ -179,8 +187,9 @@ struct C14NWriter {
 
 }  // namespace
 
-std::string Canonicalize(const Document& doc, const C14NOptions& options) {
-  C14NWriter writer{options, {}};
+void Canonicalize(const Document& doc, const C14NOptions& options,
+                  ByteSink* sink) {
+  C14NWriter writer{options, sink};
   // Document-level children: PIs (and comments in WithComments mode) that
   // precede the root are followed by #xA; those after are preceded by #xA.
   bool seen_root = false;
@@ -191,11 +200,18 @@ std::string Canonicalize(const Document& doc, const C14NOptions& options) {
       continue;
     }
     if (child->IsComment() && !options.with_comments) continue;
-    if (seen_root) writer.out += '\n';
+    if (seen_root) sink->Append('\n');
     writer.WriteNode(*child, NsMap());
-    if (!seen_root) writer.out += '\n';
+    if (!seen_root) sink->Append('\n');
   }
-  return std::move(writer.out);
+}
+
+std::string Canonicalize(const Document& doc, const C14NOptions& options) {
+  internal::NoteBufferedCanonicalization();
+  std::string out;
+  StringSink sink(&out);
+  Canonicalize(doc, options, &sink);
+  return out;
 }
 
 std::string Canonicalize(const Document& doc) {
@@ -203,14 +219,14 @@ std::string Canonicalize(const Document& doc) {
   return Canonicalize(doc, options);
 }
 
-std::string CanonicalizeElement(const Element& apex,
-                                const C14NOptions& options) {
+void CanonicalizeElement(const Element& apex, const C14NOptions& options,
+                         ByteSink* sink) {
   if (options.exclusive) {
     // Exclusive C14N does not inherit ancestor xml:* attributes, and
     // namespace context comes from LookupNamespaceUri on demand.
-    C14NWriter writer{options, {}};
+    C14NWriter writer{options, sink};
     writer.WriteElement(apex, NsMap(), {}, {});
-    return std::move(writer.out);
+    return;
   }
   // Collect in-scope namespace declarations from ancestors (nearest wins)
   // and inheritable xml:* attributes, per C14N's document-subset rules.
@@ -243,15 +259,33 @@ std::string CanonicalizeElement(const Element& apex,
   if (def != inherited_ns.end() && def->second.empty()) {
     inherited_ns.erase(def);
   }
-  C14NWriter writer{options, {}};
+  C14NWriter writer{options, sink};
   writer.WriteElement(apex, NsMap(), inherited_ns, inherited_xml_attrs);
-  return std::move(writer.out);
+}
+
+std::string CanonicalizeElement(const Element& apex,
+                                const C14NOptions& options) {
+  internal::NoteBufferedCanonicalization();
+  std::string out;
+  StringSink sink(&out);
+  CanonicalizeElement(apex, options, &sink);
+  return out;
 }
 
 std::string CanonicalizeElement(const Element& apex) {
   C14NOptions options;
   return CanonicalizeElement(apex, options);
 }
+
+size_t BufferedCanonicalizationCount() {
+  return g_buffered_c14n_count.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void NoteBufferedCanonicalization() {
+  g_buffered_c14n_count.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 }  // namespace xml
 }  // namespace discsec

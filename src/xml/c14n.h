@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/byte_sink.h"
 #include "xml/dom.h"
 
 namespace discsec {
@@ -34,15 +35,37 @@ struct C14NOptions {
 };
 
 /// Canonicalizes the entire document.
+///
+/// The sink overloads stream the canonical octets without materializing
+/// them — this is the form the XML-DSig hot path uses (a crypto::DigestSink
+/// fuses canonicalization into the digest). The string-returning forms wrap
+/// a StringSink and count toward BufferedCanonicalizationCount().
+void Canonicalize(const Document& doc, const C14NOptions& options,
+                  ByteSink* sink);
 std::string Canonicalize(const Document& doc, const C14NOptions& options);
 std::string Canonicalize(const Document& doc);
 
 /// Canonicalizes the subtree rooted at `apex` as a document subset: the apex
 /// element inherits its ancestors' in-scope namespace declarations and xml:*
 /// attributes, per the C14N rules for document subsets.
+void CanonicalizeElement(const Element& apex, const C14NOptions& options,
+                         ByteSink* sink);
 std::string CanonicalizeElement(const Element& apex,
                                 const C14NOptions& options);
 std::string CanonicalizeElement(const Element& apex);
+
+/// Instrumentation: process-wide count of canonicalizations that
+/// materialized a full owned canonical buffer (the string-returning
+/// wrappers above, plus any buffering fallback in the xmldsig transform
+/// pipeline). Streaming sink-based calls do not count. Tests and benches
+/// take deltas of this to assert hot paths stay constant-memory.
+size_t BufferedCanonicalizationCount();
+
+namespace internal {
+/// Called by pipeline stages outside this module when they are forced to
+/// buffer a canonicalization (e.g. a node-set -> octet transform).
+void NoteBufferedCanonicalization();
+}  // namespace internal
 
 }  // namespace xml
 }  // namespace discsec

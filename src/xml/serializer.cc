@@ -3,69 +3,99 @@
 namespace discsec {
 namespace xml {
 
+namespace {
+
+/// Shared run-based escaper: unescaped spans are appended in bulk so the
+/// sink sees long contiguous writes, not one call per character.
+/// `Replacement` maps a char to its entity (or nullptr to pass through).
+template <typename Replacement>
+void EscapeRuns(std::string_view s, Replacement replacement, ByteSink* sink) {
+  size_t start = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char* entity = replacement(s[i]);
+    if (entity == nullptr) continue;
+    if (i > start) sink->Append(s.substr(start, i - start));
+    sink->Append(std::string_view(entity));
+    start = i + 1;
+  }
+  if (start < s.size()) sink->Append(s.substr(start));
+}
+
+const char* TextEntity(char c) {
+  switch (c) {
+    case '&':
+      return "&amp;";
+    case '<':
+      return "&lt;";
+    case '>':
+      return "&gt;";
+    case '\r':
+      return "&#xD;";
+    default:
+      return nullptr;
+  }
+}
+
+const char* AttributeEntity(char c) {
+  switch (c) {
+    case '&':
+      return "&amp;";
+    case '<':
+      return "&lt;";
+    case '"':
+      return "&quot;";
+    case '\t':
+      return "&#x9;";
+    case '\n':
+      return "&#xA;";
+    case '\r':
+      return "&#xD;";
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+void EscapeText(std::string_view s, ByteSink* sink) {
+  EscapeRuns(s, TextEntity, sink);
+}
+
 std::string EscapeText(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&':
-        out += "&amp;";
-        break;
-      case '<':
-        out += "&lt;";
-        break;
-      case '>':
-        out += "&gt;";
-        break;
-      case '\r':
-        out += "&#xD;";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
+  StringSink sink(&out);
+  EscapeText(s, &sink);
   return out;
+}
+
+void EscapeAttribute(std::string_view s, ByteSink* sink) {
+  EscapeRuns(s, AttributeEntity, sink);
 }
 
 std::string EscapeAttribute(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&':
-        out += "&amp;";
-        break;
-      case '<':
-        out += "&lt;";
-        break;
-      case '"':
-        out += "&quot;";
-        break;
-      case '\t':
-        out += "&#x9;";
-        break;
-      case '\n':
-        out += "&#xA;";
-        break;
-      case '\r':
-        out += "&#xD;";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
+  StringSink sink(&out);
+  EscapeAttribute(s, &sink);
   return out;
 }
 
 namespace {
 
 void SerializeNode(const Node& node, const SerializeOptions& options,
-                   int depth, std::string* out);
+                   int depth, ByteSink* out);
 
-void Indent(const SerializeOptions& options, int depth, std::string* out) {
+void Indent(const SerializeOptions& options, int depth, ByteSink* out) {
   if (options.indent > 0) {
-    out->push_back('\n');
-    out->append(static_cast<size_t>(options.indent * depth), ' ');
+    static const char kSpaces[] = "                                ";
+    out->Append('\n');
+    size_t n = static_cast<size_t>(options.indent * depth);
+    while (n > 0) {
+      size_t chunk = n < sizeof(kSpaces) - 1 ? n : sizeof(kSpaces) - 1;
+      out->Append(std::string_view(kSpaces, chunk));
+      n -= chunk;
+    }
   }
 }
 
@@ -79,21 +109,21 @@ bool HasElementChildrenOnly(const Element& e) {
 }
 
 void SerializeElementImpl(const Element& e, const SerializeOptions& options,
-                          int depth, std::string* out) {
-  out->push_back('<');
-  out->append(e.name());
+                          int depth, ByteSink* out) {
+  out->Append('<');
+  out->Append(e.name());
   for (const auto& attr : e.attributes()) {
-    out->push_back(' ');
-    out->append(attr.name);
-    out->append("=\"");
-    out->append(EscapeAttribute(attr.value));
-    out->push_back('"');
+    out->Append(' ');
+    out->Append(attr.name);
+    out->Append("=\"");
+    EscapeAttribute(attr.value, out);
+    out->Append('"');
   }
   if (e.children().empty()) {
-    out->append("/>");
+    out->Append("/>");
     return;
   }
-  out->push_back('>');
+  out->Append('>');
   // Only pretty-print inside elements with no text children, otherwise the
   // added whitespace would change the text content.
   bool pretty_inside = options.indent > 0 && HasElementChildrenOnly(e);
@@ -102,35 +132,35 @@ void SerializeElementImpl(const Element& e, const SerializeOptions& options,
     SerializeNode(*child, options, depth + 1, out);
   }
   if (pretty_inside) Indent(options, depth, out);
-  out->append("</");
-  out->append(e.name());
-  out->push_back('>');
+  out->Append("</");
+  out->Append(e.name());
+  out->Append('>');
 }
 
 void SerializeNode(const Node& node, const SerializeOptions& options,
-                   int depth, std::string* out) {
+                   int depth, ByteSink* out) {
   switch (node.kind()) {
     case NodeKind::kElement:
       SerializeElementImpl(static_cast<const Element&>(node), options, depth,
                            out);
       break;
     case NodeKind::kText:
-      out->append(EscapeText(static_cast<const Text&>(node).data()));
+      EscapeText(static_cast<const Text&>(node).data(), out);
       break;
     case NodeKind::kComment:
-      out->append("<!--");
-      out->append(static_cast<const Comment&>(node).data());
-      out->append("-->");
+      out->Append("<!--");
+      out->Append(static_cast<const Comment&>(node).data());
+      out->Append("-->");
       break;
     case NodeKind::kProcessingInstruction: {
       const auto& pi = static_cast<const Pi&>(node);
-      out->append("<?");
-      out->append(pi.target());
+      out->Append("<?");
+      out->Append(pi.target());
       if (!pi.data().empty()) {
-        out->push_back(' ');
-        out->append(pi.data());
+        out->Append(' ');
+        out->Append(pi.data());
       }
-      out->append("?>");
+      out->Append("?>");
       break;
     }
   }
@@ -138,18 +168,24 @@ void SerializeNode(const Node& node, const SerializeOptions& options,
 
 }  // namespace
 
-std::string Serialize(const Document& doc, const SerializeOptions& options) {
-  std::string out;
+void Serialize(const Document& doc, const SerializeOptions& options,
+               ByteSink* sink) {
   if (options.xml_declaration) {
-    out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
-    if (options.indent > 0) out.push_back('\n');
+    sink->Append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent > 0) sink->Append('\n');
   }
   bool first = true;
   for (const auto& child : doc.children()) {
-    if (!first && options.indent > 0) out.push_back('\n');
-    SerializeNode(*child, options, 0, &out);
+    if (!first && options.indent > 0) sink->Append('\n');
+    SerializeNode(*child, options, 0, sink);
     first = false;
   }
+}
+
+std::string Serialize(const Document& doc, const SerializeOptions& options) {
+  std::string out;
+  StringSink sink(&out);
+  Serialize(doc, options, &sink);
   return out;
 }
 
@@ -158,10 +194,16 @@ std::string Serialize(const Document& doc) {
   return Serialize(doc, options);
 }
 
+void SerializeElement(const Element& element, const SerializeOptions& options,
+                      ByteSink* sink) {
+  SerializeElementImpl(element, options, 0, sink);
+}
+
 std::string SerializeElement(const Element& element,
                              const SerializeOptions& options) {
   std::string out;
-  SerializeElementImpl(element, options, 0, &out);
+  StringSink sink(&out);
+  SerializeElement(element, options, &sink);
   return out;
 }
 

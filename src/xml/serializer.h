@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/byte_sink.h"
 #include "xml/dom.h"
 
 namespace discsec {
@@ -20,18 +21,27 @@ struct SerializeOptions {
 
 /// Serializes a document to UTF-8 text. Compact mode output re-parses to an
 /// equal tree.
+///
+/// The sink overloads stream the output without materializing it; the
+/// string-returning forms are thin wrappers over a StringSink.
+void Serialize(const Document& doc, const SerializeOptions& options,
+               ByteSink* sink);
 std::string Serialize(const Document& doc, const SerializeOptions& options);
 std::string Serialize(const Document& doc);
 
 /// Serializes a single element subtree (no XML declaration).
+void SerializeElement(const Element& element, const SerializeOptions& options,
+                      ByteSink* sink);
 std::string SerializeElement(const Element& element,
                              const SerializeOptions& options);
 std::string SerializeElement(const Element& element);
 
 /// Escapes `s` for use as element character data (&, <, > and CR).
+void EscapeText(std::string_view s, ByteSink* sink);
 std::string EscapeText(std::string_view s);
 
 /// Escapes `s` for use inside a double-quoted attribute value.
+void EscapeAttribute(std::string_view s, ByteSink* sink);
 std::string EscapeAttribute(std::string_view s);
 
 }  // namespace xml

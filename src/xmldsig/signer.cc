@@ -44,13 +44,16 @@ std::unique_ptr<xml::Element> BuildReferenceElement(const ReferenceSpec& spec) {
 }  // namespace
 
 Result<Bytes> Signer::ComputeSignatureValue(
-    const Bytes& canonical_signed_info) const {
+    const xml::Element& signed_info, const xml::C14NOptions& options) const {
   if (key_.kind == SigningKey::Kind::kHmac) {
     if (key_.signature_algorithm != crypto::kAlgHmacSha1) {
       return Status::Unsupported("HMAC signature algorithm: " +
                                  key_.signature_algorithm);
     }
-    return crypto::Hmac::Sha1Mac(key_.hmac_secret, canonical_signed_info);
+    crypto::Hmac hmac(std::make_unique<crypto::Sha1>(), key_.hmac_secret);
+    crypto::HmacSink sink(&hmac);
+    xml::CanonicalizeElement(signed_info, options, &sink);
+    return hmac.Finalize();
   }
   std::string digest_uri;
   if (key_.signature_algorithm == crypto::kAlgRsaSha1) {
@@ -62,7 +65,8 @@ Result<Bytes> Signer::ComputeSignatureValue(
                                key_.signature_algorithm);
   }
   DISCSEC_ASSIGN_OR_RETURN(auto digest, crypto::MakeDigest(digest_uri));
-  digest->Update(canonical_signed_info);
+  crypto::DigestSink sink(digest.get());
+  xml::CanonicalizeElement(signed_info, options, &sink);
   return crypto::RsaSignDigest(key_.rsa, digest_uri, digest->Finalize());
 }
 
@@ -85,10 +89,11 @@ Result<std::unique_ptr<xml::Element>> Signer::BuildUnsigned(
   for (const ReferenceSpec& spec : refs) {
     xml::Element* ref = static_cast<xml::Element*>(
         signed_info->AppendChild(BuildReferenceElement(spec)));
-    DISCSEC_ASSIGN_OR_RETURN(Bytes data, ProcessReference(*ref, ctx));
     DISCSEC_ASSIGN_OR_RETURN(auto digest,
                              crypto::MakeDigest(spec.digest_algorithm));
-    digest->Update(data);
+    // The reference octets stream into the digest as they are produced.
+    crypto::DigestSink sink(digest.get());
+    DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(*ref, ctx, &sink));
     ref->FirstChildElementByLocalName("DigestValue")
         ->SetTextContent(Base64Encode(digest->Finalize()));
   }
@@ -144,9 +149,8 @@ Status Signer::Finalize(xml::Element* signature) const {
     options.with_comments = alg == crypto::kAlgC14NWithComments ||
                             alg == crypto::kAlgExcC14NWithComments;
   }
-  Bytes canonical =
-      ToBytes(xml::CanonicalizeElement(*signed_info, options));
-  DISCSEC_ASSIGN_OR_RETURN(Bytes value, ComputeSignatureValue(canonical));
+  DISCSEC_ASSIGN_OR_RETURN(Bytes value,
+                           ComputeSignatureValue(*signed_info, options));
   sig_value->SetTextContent(Base64Encode(value));
   return Status::OK();
 }

@@ -9,6 +9,7 @@
 #include "crypto/algorithms.h"
 #include "crypto/rsa.h"
 #include "pki/certificate.h"
+#include "xml/c14n.h"
 #include "xml/dom.h"
 #include "xmldsig/transforms.h"
 
@@ -123,8 +124,11 @@ class Signer {
   Status Finalize(xml::Element* signature) const;
 
  private:
-  Result<Bytes> ComputeSignatureValue(const Bytes& canonical_signed_info)
-      const;
+  /// Canonicalizes `signed_info` with `options`, streaming straight into
+  /// the signature primitive (HMAC or message digest) — the canonical form
+  /// is never materialized.
+  Result<Bytes> ComputeSignatureValue(const xml::Element& signed_info,
+                                      const xml::C14NOptions& options) const;
 
   SigningKey key_;
   KeyInfoSpec key_info_;

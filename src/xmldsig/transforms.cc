@@ -46,23 +46,34 @@ struct PipelineState {
   bool is_octets = false;
 };
 
+/// Streams the current node-set's canonical form into `sink` (no-op
+/// conversion for octet state: the buffered octets are appended as-is).
+void CanonicalizeStateTo(const PipelineState& state,
+                         const xml::C14NOptions& options, ByteSink* sink) {
+  if (state.is_octets) {
+    sink->Append(state.octets);
+    return;
+  }
+  if (state.apex != nullptr) {
+    xml::CanonicalizeElement(*state.apex, options, sink);
+  } else {
+    xml::Canonicalize(*state.working, options, sink);
+  }
+}
+
+/// Buffering fallback: a later transform needs the full octet stream, so
+/// the canonical form must be materialized here.
 Status ToOctets(PipelineState* state, const xml::C14NOptions& options) {
   if (state->is_octets) return Status::OK();
-  std::string canonical =
-      state->apex != nullptr
-          ? xml::CanonicalizeElement(*state->apex, options)
-          : xml::Canonicalize(*state->working, options);
-  state->octets = ToBytes(canonical);
+  xml::internal::NoteBufferedCanonicalization();
+  Bytes canonical;
+  BytesSink sink(&canonical);
+  CanonicalizeStateTo(*state, options, &sink);
+  state->octets = std::move(canonical);
   state->is_octets = true;
   state->working.reset();
   state->apex = nullptr;
   return Status::OK();
-}
-
-Status ToOctets(PipelineState* state, bool with_comments) {
-  xml::C14NOptions options;
-  options.with_comments = with_comments;
-  return ToOctets(state, options);
 }
 
 /// Reads the ec:InclusiveNamespaces PrefixList parameter of an exclusive
@@ -155,8 +166,28 @@ Status ApplyDecryption(const xml::Element& transform, PipelineState* state,
 
 }  // namespace
 
-Result<Bytes> ProcessReference(const xml::Element& reference,
-                               const ReferenceContext& ctx) {
+namespace {
+
+/// True for the canonicalization transform algorithms, filling `options`.
+bool ReadC14NTransform(const xml::Element& transform, const std::string& alg,
+                       xml::C14NOptions* options) {
+  if (alg == crypto::kAlgC14N || alg == crypto::kAlgC14NWithComments) {
+    options->with_comments = (alg == crypto::kAlgC14NWithComments);
+    return true;
+  }
+  if (alg == crypto::kAlgExcC14N || alg == crypto::kAlgExcC14NWithComments) {
+    options->exclusive = true;
+    options->with_comments = (alg == crypto::kAlgExcC14NWithComments);
+    options->inclusive_prefixes = ReadInclusivePrefixes(transform);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ProcessReferenceTo(const xml::Element& reference,
+                          const ReferenceContext& ctx, ByteSink* sink) {
   const std::string* uri_attr = reference.GetAttribute("URI");
   std::string uri = uri_attr != nullptr ? *uri_attr : std::string();
 
@@ -186,44 +217,57 @@ Result<Bytes> ProcessReference(const xml::Element& reference,
     state.is_octets = true;
   }
 
-  // Apply the ds:Transforms chain in document order.
+  // Collect the ds:Transform chain so the terminal transform is known:
+  // only a canonicalization with transforms still after it must buffer.
+  std::vector<const xml::Element*> chain;
   const xml::Element* transforms =
       reference.FirstChildElementByLocalName("Transforms");
   if (transforms != nullptr) {
     for (const auto& child : transforms->children()) {
       if (!child->IsElement()) continue;
       const auto* t = static_cast<const xml::Element*>(child.get());
-      if (t->LocalName() != "Transform") continue;
-      const std::string* alg = t->GetAttribute("Algorithm");
-      if (alg == nullptr) {
-        return Status::ParseError("Transform missing Algorithm attribute");
-      }
-      if (*alg == crypto::kAlgC14N) {
-        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/false));
-      } else if (*alg == crypto::kAlgC14NWithComments) {
-        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/true));
-      } else if (*alg == crypto::kAlgExcC14N ||
-                 *alg == crypto::kAlgExcC14NWithComments) {
-        xml::C14NOptions options;
-        options.exclusive = true;
-        options.with_comments = (*alg == crypto::kAlgExcC14NWithComments);
-        options.inclusive_prefixes = ReadInclusivePrefixes(*t);
-        DISCSEC_RETURN_IF_ERROR(ToOctets(&state, options));
-      } else if (*alg == crypto::kAlgEnvelopedSignature) {
-        DISCSEC_RETURN_IF_ERROR(ApplyEnvelopedSignature(&state, ctx));
-      } else if (*alg == crypto::kAlgBase64Transform) {
-        DISCSEC_RETURN_IF_ERROR(ApplyBase64(&state));
-      } else if (*alg == crypto::kAlgDecryptionTransform) {
-        DISCSEC_RETURN_IF_ERROR(ApplyDecryption(*t, &state, ctx));
-      } else {
-        return Status::Unsupported("transform algorithm: " + *alg);
-      }
+      if (t->LocalName() == "Transform") chain.push_back(t);
     }
   }
 
-  // Implicit final canonicalization when still in node-set form.
-  DISCSEC_RETURN_IF_ERROR(ToOctets(&state, /*with_comments=*/false));
-  return state.octets;
+  // Apply the chain in document order.
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const xml::Element* t = chain[i];
+    const std::string* alg = t->GetAttribute("Algorithm");
+    if (alg == nullptr) {
+      return Status::ParseError("Transform missing Algorithm attribute");
+    }
+    xml::C14NOptions c14n_options;
+    if (ReadC14NTransform(*t, *alg, &c14n_options)) {
+      if (i + 1 == chain.size()) {
+        // Terminal canonicalization: stream straight into the sink.
+        CanonicalizeStateTo(state, c14n_options, sink);
+        return Status::OK();
+      }
+      DISCSEC_RETURN_IF_ERROR(ToOctets(&state, c14n_options));
+    } else if (*alg == crypto::kAlgEnvelopedSignature) {
+      DISCSEC_RETURN_IF_ERROR(ApplyEnvelopedSignature(&state, ctx));
+    } else if (*alg == crypto::kAlgBase64Transform) {
+      DISCSEC_RETURN_IF_ERROR(ApplyBase64(&state));
+    } else if (*alg == crypto::kAlgDecryptionTransform) {
+      DISCSEC_RETURN_IF_ERROR(ApplyDecryption(*t, &state, ctx));
+    } else {
+      return Status::Unsupported("transform algorithm: " + *alg);
+    }
+  }
+
+  // Implicit final canonicalization when still in node-set form; buffered
+  // octet state (external URI, base64 output) is forwarded as-is.
+  CanonicalizeStateTo(state, xml::C14NOptions(), sink);
+  return Status::OK();
+}
+
+Result<Bytes> ProcessReference(const xml::Element& reference,
+                               const ReferenceContext& ctx) {
+  Bytes out;
+  BytesSink sink(&out);
+  DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(reference, ctx, &sink));
+  return out;
 }
 
 }  // namespace xmldsig

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/byte_sink.h"
 #include "common/bytes.h"
 #include "common/result.h"
 #include "xml/dom.h"
@@ -49,13 +50,24 @@ xml::Element* ResolvePath(const xml::Document& doc,
                           const std::vector<size_t>& path);
 
 /// Dereferences a ds:Reference URI, applies its ds:Transform chain in
-/// order, and returns the octets to digest (applying the implicit final
-/// canonicalization when the chain ends in node-set form).
+/// order, and emits the octets to digest into `sink` (applying the
+/// implicit final canonicalization when the chain ends in node-set form).
+///
+/// The terminal canonicalization — implicit, or an explicit C14N transform
+/// in last position — is streamed straight into the sink, so the common
+/// same-document reference never materializes its canonical form. Only a
+/// mid-chain node-set -> octet boundary (an explicit C14N followed by more
+/// transforms, a base64 transform, an external URI) buffers, because the
+/// next stage needs the full octet stream.
 ///
 /// Supported URIs: "" (whole document), "#id" (same-document element), and
 /// anything else via ctx.resolver. Supported transforms: Canonical XML
-/// (with/without comments), enveloped-signature, base64, and the Decryption
-/// Transform (via ctx.decrypt_hook).
+/// (inclusive/exclusive, with/without comments), enveloped-signature,
+/// base64, and the Decryption Transform (via ctx.decrypt_hook).
+Status ProcessReferenceTo(const xml::Element& reference,
+                          const ReferenceContext& ctx, ByteSink* sink);
+
+/// Buffer-returning wrapper over ProcessReferenceTo (a BytesSink).
 Result<Bytes> ProcessReference(const xml::Element& reference,
                                const ReferenceContext& ctx);
 

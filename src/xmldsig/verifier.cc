@@ -4,6 +4,7 @@
 #include "crypto/algorithms.h"
 #include "crypto/digest.h"
 #include "crypto/hmac.h"
+#include "crypto/sha1.h"
 #include "pki/key_codec.h"
 #include "xml/c14n.h"
 #include "xmldsig/constants.h"
@@ -196,11 +197,12 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
         digest_method->GetAttribute("Algorithm") == nullptr) {
       return Status::ParseError("Reference missing digest method/value");
     }
-    DISCSEC_ASSIGN_OR_RETURN(Bytes data, ProcessReference(*ref, ctx));
     DISCSEC_ASSIGN_OR_RETURN(
         auto digest,
         crypto::MakeDigest(*digest_method->GetAttribute("Algorithm")));
-    digest->Update(data);
+    // The reference octets stream into the digest as they are produced.
+    crypto::DigestSink sink(digest.get());
+    DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(*ref, ctx, &sink));
     Bytes actual = digest->Finalize();
     DISCSEC_ASSIGN_OR_RETURN(Bytes expected,
                              Base64Decode(digest_value->TextContent()));
@@ -214,9 +216,6 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
     return Status::VerificationFailed("signature has no references");
   }
 
-  // Signature value over canonical SignedInfo.
-  Bytes canonical =
-      ToBytes(xml::CanonicalizeElement(*signed_info, signed_info_c14n));
   DISCSEC_ASSIGN_OR_RETURN(Bytes sig_value,
                            Base64Decode(sig_value_elem->TextContent()));
 
@@ -231,9 +230,13 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
       ResolvedKey key, ResolveKey(key_info, signature_algorithm, options));
   info.signer_subject = key.signer_subject;
 
+  // Signature value over canonical SignedInfo, streamed straight into the
+  // MAC/digest so the canonical form is never materialized.
   if (key.is_hmac) {
-    Bytes expected = crypto::Hmac::Sha1Mac(key.hmac_secret, canonical);
-    if (!ConstantTimeEquals(expected, sig_value)) {
+    crypto::Hmac hmac(std::make_unique<crypto::Sha1>(), key.hmac_secret);
+    crypto::HmacSink sink(&hmac);
+    xml::CanonicalizeElement(*signed_info, signed_info_c14n, &sink);
+    if (!ConstantTimeEquals(hmac.Finalize(), sig_value)) {
       return Status::VerificationFailed("HMAC signature mismatch");
     }
   } else {
@@ -247,7 +250,8 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
                                  signature_algorithm);
     }
     DISCSEC_ASSIGN_OR_RETURN(auto digest, crypto::MakeDigest(digest_uri));
-    digest->Update(canonical);
+    crypto::DigestSink sink(digest.get());
+    xml::CanonicalizeElement(*signed_info, signed_info_c14n, &sink);
     DISCSEC_RETURN_IF_ERROR(crypto::RsaVerifyDigest(
         key.rsa, digest_uri, digest->Finalize(), sig_value));
   }

@@ -1,6 +1,7 @@
 #include "xmlenc/encryptor.h"
 
 #include "common/base64.h"
+#include "common/byte_sink.h"
 #include "crypto/aes.h"
 #include "xml/c14n.h"
 #include "xml/serializer.h"
@@ -123,8 +124,11 @@ Result<xml::Element*> Encryptor::EncryptElement(xml::Document* doc,
         "EncryptElement needs a non-root target inside a document");
   }
   // Canonical serialization carries inherited namespace declarations into
-  // the ciphertext, so the decrypted fragment parses standalone.
-  Bytes plaintext = ToBytes(xml::CanonicalizeElement(*target));
+  // the ciphertext, so the decrypted fragment parses standalone. Serialized
+  // straight into the cipher-input buffer — no string intermediate.
+  Bytes plaintext;
+  BytesSink plaintext_sink(&plaintext);
+  xml::CanonicalizeElement(*target, xml::C14NOptions(), &plaintext_sink);
   DISCSEC_ASSIGN_OR_RETURN(
       auto enc, BuildEncryptedData(plaintext, kTypeElement, "", id));
   xml::Element* parent = target->parent();
@@ -139,33 +143,38 @@ Result<xml::Element*> Encryptor::EncryptContent(xml::Document* doc,
   if (doc == nullptr || target == nullptr) {
     return Status::InvalidArgument("EncryptContent needs a target");
   }
-  std::string serialized;
+  Bytes serialized;
+  BytesSink sink(&serialized);
   for (const auto& child : target->children()) {
     switch (child->kind()) {
       case xml::NodeKind::kElement:
-        serialized += xml::CanonicalizeElement(
-            *static_cast<const xml::Element*>(child.get()));
+        xml::CanonicalizeElement(*static_cast<const xml::Element*>(child.get()),
+                                 xml::C14NOptions(), &sink);
         break;
       case xml::NodeKind::kText:
-        serialized +=
-            xml::EscapeText(static_cast<const xml::Text*>(child.get())->data());
+        xml::EscapeText(static_cast<const xml::Text*>(child.get())->data(),
+                        &sink);
         break;
       case xml::NodeKind::kComment:
-        serialized += "<!--" +
-                      static_cast<const xml::Comment*>(child.get())->data() +
-                      "-->";
+        sink.Append("<!--");
+        sink.Append(static_cast<const xml::Comment*>(child.get())->data());
+        sink.Append("-->");
         break;
       case xml::NodeKind::kProcessingInstruction: {
         const auto* pi = static_cast<const xml::Pi*>(child.get());
-        serialized += "<?" + pi->target() +
-                      (pi->data().empty() ? "" : " " + pi->data()) + "?>";
+        sink.Append("<?");
+        sink.Append(pi->target());
+        if (!pi->data().empty()) {
+          sink.Append(' ');
+          sink.Append(pi->data());
+        }
+        sink.Append("?>");
         break;
       }
     }
   }
   DISCSEC_ASSIGN_OR_RETURN(
-      auto enc,
-      BuildEncryptedData(ToBytes(serialized), kTypeContent, "", id));
+      auto enc, BuildEncryptedData(serialized, kTypeContent, "", id));
   target->ClearChildren();
   return static_cast<xml::Element*>(target->AppendChild(std::move(enc)));
 }

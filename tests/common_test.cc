@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "common/base64.h"
+#include "common/byte_sink.h"
 #include "common/bytes.h"
 #include "common/random.h"
 #include "common/status.h"
@@ -162,6 +163,43 @@ TEST(StringsTest, StartsEndsWith) {
 TEST(StringsTest, JoinAndFormat) {
   EXPECT_EQ(JoinStrings({"a", "b", "c"}, "/"), "a/b/c");
   EXPECT_EQ(StringFormat("track-%02d", 7), "track-07");
+}
+
+TEST(ByteSinkTest, StringSinkCollectsAllOverloads) {
+  std::string out;
+  StringSink sink(&out);
+  sink.Append("abc");                     // string_view
+  sink.Append('d');                       // char
+  sink.Append(Bytes{0x65, 0x66});         // Bytes
+  const uint8_t raw[] = {0x67};
+  sink.Append(raw, sizeof(raw));          // pointer + length
+  EXPECT_EQ(out, "abcdefg");
+}
+
+TEST(ByteSinkTest, BytesSinkAppendsOctets) {
+  Bytes out{0x01};
+  BytesSink sink(&out);
+  sink.Append("\x02\x03");
+  sink.Append('\x04');
+  EXPECT_EQ(out, (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(ByteSinkTest, CountingSinkCountsWithoutStoring) {
+  CountingSink sink;
+  sink.Append("hello");
+  sink.Append(' ');
+  sink.Append(Bytes{1, 2, 3});
+  EXPECT_EQ(sink.count(), 9u);
+  sink.Reset();
+  EXPECT_EQ(sink.count(), 0u);
+}
+
+TEST(ByteSinkTest, PolymorphicUseThroughBasePointer) {
+  std::string out;
+  StringSink string_sink(&out);
+  ByteSink* sink = &string_sink;
+  sink->Append("via base");
+  EXPECT_EQ(out, "via base");
 }
 
 }  // namespace

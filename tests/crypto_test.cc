@@ -128,6 +128,46 @@ TEST(HmacTest, ReusableAfterFinalize) {
   EXPECT_EQ(mac.Finalize(), first);
 }
 
+// ------------------------------------------------------------ sinks
+
+TEST(DigestSinkTest, StreamingThroughSinkEqualsOneShot) {
+  Bytes data = ToBytes("canonical xml would stream through here");
+  Sha256 sha;
+  DigestSink sink(&sha);
+  sink.Append("canonical xml ");
+  sink.Append(std::string_view("would stream "));
+  sink.Append("through here");
+  EXPECT_EQ(sha.Finalize(), Sha256::Hash(data));
+}
+
+TEST(DigestSinkTest, UsableAsByteSink) {
+  Sha1 sha;
+  DigestSink digest_sink(&sha);
+  ByteSink* sink = &digest_sink;
+  sink->Append("abc");
+  EXPECT_EQ(ToHex(sha.Finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(HmacSinkTest, StreamingThroughSinkEqualsOneShot) {
+  Bytes key = ToBytes("key");
+  Bytes data = ToBytes("signed info octets");
+  Hmac mac(std::make_unique<Sha1>(), key);
+  HmacSink sink(&mac);
+  sink.Append("signed info ");
+  sink.Append("octets");
+  EXPECT_EQ(mac.Finalize(), Hmac::Sha1Mac(key, data));
+}
+
+TEST(DigestTest, ComputeStringViewAvoidsBytesRoundTrip) {
+  Sha256 sha;
+  EXPECT_EQ(Digest::Compute(&sha, std::string_view("abc")),
+            Sha256::Hash(ToBytes("abc")));
+  // Reusable: Compute resets before absorbing.
+  EXPECT_EQ(Digest::Compute(&sha, std::string_view("abc")),
+            Digest::Compute(&sha, ToBytes("abc")));
+}
+
 TEST(HkdfTest, DeterministicAndLabelSeparated) {
   Bytes secret = ToBytes("premaster");
   Bytes seed = ToBytes("nonce");

@@ -81,6 +81,24 @@ TEST(ExcC14NTest, InclusivePrefixListForcesRendering) {
             "attr=\"data:typed-value\"></soap:body>");
 }
 
+TEST(ExcC14NTest, SinkOutputMatchesStringApi) {
+  // The streaming overload agrees with the string API in exclusive mode,
+  // including the InclusiveNamespaces PrefixList and "#default".
+  auto doc = Parse("<root xmlns=\"urn:d\" xmlns:soap=\"urn:soap\" "
+                   "xmlns:data=\"urn:data\"><soap:body attr=\"data:v\">"
+                   "<inner/></soap:body></root>")
+                 .value();
+  C14NOptions options = Exclusive();
+  options.inclusive_prefixes = {"data", "#default"};
+  doc.root()->ForEachElement([&](Element* e) {
+    std::string expected = CanonicalizeElement(*e, options);
+    std::string streamed;
+    StringSink sink(&streamed);
+    CanonicalizeElement(*e, options, &sink);
+    EXPECT_EQ(streamed, expected) << e->name();
+  });
+}
+
 TEST(ExcC14NTest, NoXmlAttributeInheritance) {
   auto doc =
       Parse("<root xml:lang=\"en\"><leaf/></root>").value();

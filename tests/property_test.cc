@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "common/base64.h"
+#include "common/byte_sink.h"
 #include "crypto/aes.h"
 #include "crypto/algorithms.h"
 #include "crypto/bigint.h"
@@ -123,6 +124,64 @@ TEST_P(XmlPropertyTest, C14NInsensitiveToAttributeOrder) {
     }
   });
   EXPECT_EQ(xml::Canonicalize(doc), xml::Canonicalize(shuffled));
+}
+
+TEST_P(XmlPropertyTest, SinkCanonicalizeMatchesStringApi) {
+  // The streaming sink overloads are byte-identical to the string-returning
+  // API for every C14N variant (inclusive/exclusive × with/without
+  // comments), for the full document and for every element subset.
+  XmlGenerator gen(GetParam());
+  auto doc = xml::Parse(gen.Generate()).value();
+  for (bool exclusive : {false, true}) {
+    for (bool with_comments : {false, true}) {
+      xml::C14NOptions options;
+      options.exclusive = exclusive;
+      options.with_comments = with_comments;
+
+      std::string buffered = xml::Canonicalize(doc, options);
+      std::string streamed;
+      StringSink doc_sink(&streamed);
+      xml::Canonicalize(doc, options, &doc_sink);
+      EXPECT_EQ(streamed, buffered);
+
+      doc.root()->ForEachElement([&](xml::Element* e) {
+        std::string expected = xml::CanonicalizeElement(*e, options);
+        std::string actual;
+        StringSink element_sink(&actual);
+        xml::CanonicalizeElement(*e, options, &element_sink);
+        EXPECT_EQ(actual, expected);
+        // CountingSink sees the same byte count without storing anything.
+        CountingSink counter;
+        xml::CanonicalizeElement(*e, options, &counter);
+        EXPECT_EQ(counter.count(), expected.size());
+      });
+    }
+  }
+}
+
+TEST_P(XmlPropertyTest, SinkSerializeMatchesStringApi) {
+  XmlGenerator gen(GetParam());
+  auto doc = xml::Parse(gen.Generate()).value();
+  for (int indent : {0, 2}) {
+    for (bool declaration : {false, true}) {
+      xml::SerializeOptions options;
+      options.indent = indent;
+      options.xml_declaration = declaration;
+
+      std::string expected = xml::Serialize(doc, options);
+      std::string actual;
+      StringSink sink(&actual);
+      xml::Serialize(doc, options, &sink);
+      EXPECT_EQ(actual, expected);
+
+      std::string element_expected =
+          xml::SerializeElement(*doc.root(), options);
+      Bytes element_bytes;
+      BytesSink element_sink(&element_bytes);
+      xml::SerializeElement(*doc.root(), options, &element_sink);
+      EXPECT_EQ(ToString(element_bytes), element_expected);
+    }
+  }
 }
 
 TEST_P(XmlPropertyTest, SignVerifyAnyDocument) {

@@ -580,6 +580,86 @@ TEST_F(DsigFixture, SignatureNeedsReferences) {
   EXPECT_TRUE(signer.CreateSignature({}, ctx).status().IsInvalidArgument());
 }
 
+// ------------------------------------------------------------- streaming
+
+TEST_F(DsigFixture, SignAndVerifyNeverMaterializeCanonicalForm) {
+  // The acceptance bar for the streaming pipeline: enveloped + detached
+  // sign and verify on same-document references run entirely through
+  // ByteSinks — zero buffered canonicalizations along the way.
+  auto doc = xml::Parse("<manifest xmlns:m=\"urn:m\"><markup Id=\"part\">"
+                        "<m:clip src=\"a\"/>text</markup><code>x</code>"
+                        "</manifest>")
+                 .value();
+  Signer signer = BareSigner();
+
+  size_t before = xml::BufferedCanonicalizationCount();
+  // Detached first: the enveloped signature covers the whole document, so
+  // it must be the last mutation.
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("markup"),
+                                "part", doc.root())
+                  .ok());
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  for (xml::Element* sig : Verifier::FindSignatures(doc.root())) {
+    ASSERT_TRUE(Verifier::Verify(&doc, *sig, BareOptions()).ok());
+  }
+  EXPECT_EQ(xml::BufferedCanonicalizationCount(), before)
+      << "sign/verify materialized a canonical buffer";
+}
+
+TEST_F(DsigFixture, HmacSignVerifyStreamsToo) {
+  auto doc = xml::Parse("<m><a Id=\"t\">payload</a></m>").value();
+  Signer signer(SigningKey::HmacSecret(ToBytes("secret")), {});
+  size_t before = xml::BufferedCanonicalizationCount();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  VerifyOptions options;
+  options.hmac_secret = ToBytes("secret");
+  ASSERT_TRUE(Verifier::VerifyFirstSignature(doc, options).ok());
+  EXPECT_EQ(xml::BufferedCanonicalizationCount(), before);
+}
+
+TEST_F(DsigFixture, StreamedReferenceOctetsMatchBufferedApi) {
+  // ProcessReferenceTo into a sink is byte-identical to the Bytes-returning
+  // ProcessReference for every reference kind the signer emits.
+  auto doc = xml::Parse("<root xmlns:n=\"urn:n\"><part Id=\"p\">"
+                        "<n:x k=\"v\"/>body</part></root>")
+                 .value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("part"),
+                                "p", doc.root())
+                  .ok());
+  ReferenceContext ctx;
+  ctx.document = &doc;
+  doc.root()->ForEachElement([&](xml::Element* e) {
+    if (e->LocalName() != "Reference") return;
+    auto buffered = ProcessReference(*e, ctx);
+    ASSERT_TRUE(buffered.ok());
+    Bytes streamed;
+    BytesSink sink(&streamed);
+    ASSERT_TRUE(ProcessReferenceTo(*e, ctx, &sink).ok());
+    EXPECT_EQ(streamed, buffered.value());
+  });
+}
+
+TEST_F(DsigFixture, Base64TransformChainStillBuffersCorrectly) {
+  // A node-set -> octet transform (base64) cannot stream; the pipeline
+  // must fall back to buffering and still produce the decoded octets.
+  auto doc = xml::Parse("<root><blob Id=\"b\">aGVsbG8=</blob></root>")
+                 .value();
+  auto ref = std::make_unique<xml::Element>("ds:Reference");
+  ref->SetAttribute("URI", "#b");
+  xml::Element* transforms = ref->AppendElement("ds:Transforms");
+  transforms->AppendElement("ds:Transform")
+      ->SetAttribute("Algorithm", crypto::kAlgBase64Transform);
+  ReferenceContext ctx;
+  ctx.document = &doc;
+  Bytes streamed;
+  BytesSink sink(&streamed);
+  ASSERT_TRUE(ProcessReferenceTo(*ref, ctx, &sink).ok());
+  EXPECT_EQ(ToString(streamed), "hello");
+}
+
 }  // namespace
 }  // namespace xmldsig
 }  // namespace discsec
