@@ -41,6 +41,7 @@ Status InteractiveApplicationEngine::VerifyPhase(
     const xmldsig::ExternalResolver& resolver, LaunchReport* report) {
   PhaseTimer timer(&report->timings.verify_us);
   xmlenc::Decryptor decryptor(config_.keys);
+  decryptor.set_parse_options(config_.parse_limits);
   auto signatures = xmldsig::Verifier::FindSignatures(doc->root());
   report->signature_present = !signatures.empty();
 
@@ -60,6 +61,19 @@ Status InteractiveApplicationEngine::VerifyPhase(
   options.now = config_.now;
   options.decrypt_hook = decryptor.MakeHook();
   options.resolver = resolver;
+  options.parse_options = config_.parse_limits;
+  // See-what-is-signed: when the signature is load-bearing, its references
+  // must land on elements of the cluster schema — a reference resolving to
+  // an attacker-planted decoy element is a wrapping attempt, not a valid
+  // authorization of the application.
+  bool signature_was_required =
+      (origin == Origin::kNetwork && config_.require_signature_for_network) ||
+      (origin == Origin::kDisc && !config_.trust_disc_content);
+  if (signature_was_required && config_.restrict_reference_targets) {
+    options.allowed_reference_roots = {"cluster", "track",  "manifest",
+                                       "markup",  "code",   "script",
+                                       "submarkup"};
+  }
   for (xml::Element* signature : signatures) {
     auto result = xmldsig::Verifier::Verify(doc, *signature, options);
     if (!result.ok()) {
@@ -102,6 +116,7 @@ Status InteractiveApplicationEngine::DecryptPhase(xml::Document* doc,
   });
   if (encrypted == 0) return Status::OK();
   xmlenc::Decryptor decryptor(config_.keys);
+  decryptor.set_parse_options(config_.parse_limits);
   DISCSEC_RETURN_IF_ERROR(
       decryptor.DecryptAll(doc, nullptr, {}).WithContext("content decrypt"));
   report->content_decrypted = true;
@@ -199,7 +214,8 @@ InteractiveApplicationEngine::BeginSession(const std::string& cluster_xml,
   LaunchReport& report = *session->report_;
   report.origin = origin;
 
-  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(cluster_xml));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::Parse(cluster_xml, config_.parse_limits));
   // 1. Authenticate (signature + chain + optional XKMS), using the
   //    Decryption Transform for parts encrypted after signing and the
   //    resolver for external (AV essence) references.
@@ -223,6 +239,20 @@ InteractiveApplicationEngine::BeginSession(const std::string& cluster_xml,
       (origin == Origin::kNetwork && config_.require_signature_for_network) ||
       (origin == Origin::kDisc && !config_.trust_disc_content);
   if (config_.require_app_coverage && signature_was_required) {
+    // Strict ID resolution: one registry over the executable document. A
+    // duplicated Id here means the signed element and the executed element
+    // can diverge — the duplicate-ID wrapping vector — so it is fatal, not
+    // a first-match.
+    xml::IdRegistry registry(doc);
+    auto strict_find = [&](const std::string& id) -> Result<xml::Element*> {
+      Result<xml::Element*> found = registry.Find(id);
+      if (found.ok()) return found;
+      if (found.status().IsNotFound()) {
+        return static_cast<xml::Element*>(nullptr);  // tolerated: no match
+      }
+      return Status::VerificationFailed(found.status().message() +
+                                        " (signature-wrapping defense)");
+    };
     bool covered = false;
     for (const std::string& uri : report.verified_references) {
       if (uri.empty()) {  // whole-document reference covers everything
@@ -233,17 +263,19 @@ InteractiveApplicationEngine::BeginSession(const std::string& cluster_xml,
       std::string id = uri.substr(1);
       // Covered when the reference names the track, the manifest, or any
       // ancestor of the track element in the document.
-      xml::Element* target = doc.FindById(id);
+      DISCSEC_ASSIGN_OR_RETURN(xml::Element * target, strict_find(id));
       if (target == nullptr) continue;
-      xml::Element* track_elem = doc.FindById(app_track->id);
+      DISCSEC_ASSIGN_OR_RETURN(xml::Element * track_elem,
+                               strict_find(app_track->id));
       for (xml::Element* e = track_elem; e != nullptr; e = e->parent()) {
         if (e == target) {
           covered = true;
           break;
         }
       }
-      if (!covered && doc.FindById(manifest.id) != nullptr) {
-        xml::Element* manifest_elem = doc.FindById(manifest.id);
+      if (!covered) {
+        DISCSEC_ASSIGN_OR_RETURN(xml::Element * manifest_elem,
+                                 strict_find(manifest.id));
         for (xml::Element* e = manifest_elem; e != nullptr; e = e->parent()) {
           if (e == target) {
             covered = true;

@@ -18,6 +18,7 @@
 #include "script/interpreter.h"
 #include "smil/smil.h"
 #include "xkms/client.h"
+#include "xml/parser.h"
 #include "xmldsig/transforms.h"
 #include "xmlenc/decryptor.h"
 #include "xrml/rights_manager.h"
@@ -64,6 +65,16 @@ struct PlayerConfig {
   /// Treat disc applications as trusted without a signature (the paper's
   /// §5.1 stance; AACS-style disc authentication is assumed upstream).
   bool trust_disc_content = true;
+  /// Parser input limits applied to every attacker-reachable parse: the
+  /// cluster document itself, transform re-parses inside signature
+  /// verification, and decrypted plaintext fragments.
+  xml::ParseOptions parse_limits;
+  /// See-what-is-signed defense: when a signature is required, every
+  /// verified same-document reference that does not cover the whole
+  /// document must resolve to a cluster-schema element (cluster, track,
+  /// manifest, ...). Rejects signatures whose references point at decoy
+  /// elements the player never consumes.
+  bool restrict_reference_targets = true;
   /// When set, also validate the signer's key binding with this XKMS
   /// client after signature verification (§7).
   xkms::XkmsClient* xkms = nullptr;

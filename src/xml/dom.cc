@@ -152,14 +152,29 @@ std::string Element::LookupNamespaceUri(std::string_view prefix) const {
   return std::string();
 }
 
-Element* Element::FindById(std::string_view id) {
+namespace {
+
+/// The value of the element's ID attribute (`Id` preferred over `id`), or
+/// null when it carries neither.
+const std::string* IdAttributeOf(const Element& e) {
+  const std::string* v = e.GetAttribute("Id");
+  if (v == nullptr) v = e.GetAttribute("id");
+  return v;
+}
+
+}  // namespace
+
+Element* Element::FindById(std::string_view id, size_t* count) {
   Element* found = nullptr;
+  size_t matches = 0;
   ForEachElement([&](Element* e) {
-    if (found) return;
-    const std::string* v = e->GetAttribute("Id");
-    if (v == nullptr) v = e->GetAttribute("id");
-    if (v != nullptr && *v == id) found = e;
+    const std::string* v = IdAttributeOf(*e);
+    if (v != nullptr && *v == id) {
+      ++matches;
+      if (found == nullptr) found = e;
+    }
   });
+  if (count != nullptr) *count = matches;
   return found;
 }
 
@@ -205,6 +220,64 @@ Document Document::Clone() const {
     copy.children_.push_back(std::move(cloned));
   }
   return copy;
+}
+
+Result<Element*> Document::FindByIdStrict(std::string_view id) const {
+  return IdRegistry(*this).Find(id);
+}
+
+IdRegistry::IdRegistry(const Document& doc) : IdRegistry(doc.root()) {}
+
+IdRegistry::IdRegistry(Element* root) {
+  if (root == nullptr) return;
+  root->ForEachElement([&](Element* e) {
+    const std::string* v = IdAttributeOf(*e);
+    if (v == nullptr) return;
+    std::vector<Element*>& bucket = by_id_[*v];
+    bucket.push_back(e);
+    if (bucket.size() == 2) duplicate_ids_.push_back(*v);
+  });
+}
+
+Result<Element*> IdRegistry::Find(std::string_view id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    return Status::NotFound("no element with Id '" + std::string(id) + "'");
+  }
+  if (it->second.size() > 1) {
+    return Status::Corruption(
+        "Id '" + std::string(id) + "' is ambiguous: declared by " +
+        std::to_string(it->second.size()) +
+        " elements (duplicate-ID wrapping)");
+  }
+  return it->second.front();
+}
+
+const std::vector<Element*>* IdRegistry::AllOf(std::string_view id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::string ElementPath(const Element* e) {
+  if (e == nullptr) return std::string();
+  std::vector<std::string> steps;
+  for (const Element* cur = e; cur != nullptr; cur = cur->parent()) {
+    if (cur->parent() == nullptr) {
+      steps.push_back(cur->name());
+      break;
+    }
+    size_t index = 0;
+    for (const auto& sibling : cur->parent()->children()) {
+      if (sibling.get() == cur) break;
+      if (sibling->IsElement()) ++index;
+    }
+    steps.push_back(cur->name() + "[" + std::to_string(index) + "]");
+  }
+  std::string path;
+  for (auto it = steps.rbegin(); it != steps.rend(); ++it) {
+    path += "/" + *it;
+  }
+  return path;
 }
 
 }  // namespace xml

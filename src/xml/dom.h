@@ -1,6 +1,7 @@
 #ifndef DISCSEC_XML_DOM_H_
 #define DISCSEC_XML_DOM_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -183,8 +184,12 @@ class Element final : public Node {
   std::string NamespaceUri() const { return LookupNamespaceUri(Prefix()); }
 
   /// Depth-first search for a descendant-or-self element whose `Id` (or
-  /// `id`) attribute equals `id`; nullptr when not found.
-  Element* FindById(std::string_view id);
+  /// `id`) attribute equals `id`; nullptr when not found. When `count` is
+  /// non-null it receives the TOTAL number of matching elements, so callers
+  /// can detect the duplicate-ID ambiguity this first-match rule would
+  /// otherwise hide (signature-wrapping vector; prefer IdRegistry for
+  /// security-relevant resolution).
+  Element* FindById(std::string_view id, size_t* count = nullptr);
 
   /// Depth-first pre-order visit of descendant-or-self elements.
   template <typename Fn>
@@ -230,15 +235,64 @@ class Document {
   /// Deep copy.
   Document Clone() const;
 
-  /// Convenience: FindById on the root.
-  Element* FindById(std::string_view id) const {
-    return root_ ? root_->FindById(id) : nullptr;
+  /// Convenience: FindById on the root. First match in document order;
+  /// `count` (when non-null) receives the total number of matches so the
+  /// duplicate-ID ambiguity is detectable. Security-relevant callers should
+  /// use IdRegistry (or FindByIdStrict) instead.
+  Element* FindById(std::string_view id, size_t* count = nullptr) const {
+    if (root_ == nullptr) {
+      if (count != nullptr) *count = 0;
+      return nullptr;
+    }
+    return root_->FindById(id, count);
   }
+
+  /// Strict resolution: NotFound when no element declares `id`, Corruption
+  /// when more than one does (the duplicate-ID wrapping vector).
+  Result<Element*> FindByIdStrict(std::string_view id) const;
 
  private:
   std::vector<std::unique_ptr<Node>> children_;
   Element* root_ = nullptr;
 };
+
+/// Document-wide index of `Id`/`id` attributes, built in one pre-order
+/// pass. Unlike first-match FindById it *reports* duplicate declarations —
+/// the ambiguity XML-signature-wrapping attacks exploit (a second element
+/// carrying the signed Id placed where a naive resolver finds it first).
+class IdRegistry {
+ public:
+  /// Indexes every descendant-or-self element of `doc`'s root.
+  explicit IdRegistry(const Document& doc);
+  /// Indexes the subtree rooted at `root` (may be null: empty registry).
+  explicit IdRegistry(Element* root);
+
+  /// Strict resolution: NotFound when absent, Corruption when `id` is
+  /// declared by more than one element.
+  Result<Element*> Find(std::string_view id) const;
+
+  /// Every element declaring `id`, in document order (null when none).
+  const std::vector<Element*>* AllOf(std::string_view id) const;
+
+  /// Ids declared by more than one element, in first-seen document order.
+  const std::vector<std::string>& duplicate_ids() const {
+    return duplicate_ids_;
+  }
+  bool HasDuplicates() const { return !duplicate_ids_.empty(); }
+
+  /// Number of distinct ids indexed.
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::map<std::string, std::vector<Element*>, std::less<>> by_id_;
+  std::vector<std::string> duplicate_ids_;
+};
+
+/// Human-readable slash path of `e` from its root: each step is the element
+/// name, non-root steps carrying the index among same-parent *element*
+/// children — e.g. "/cluster/track[1]/manifest[0]". This is the diagnostic
+/// form the see-what-is-signed verifier report uses.
+std::string ElementPath(const Element* e);
 
 /// The fixed namespace bound to the `xml` prefix.
 inline constexpr char kXmlNamespace[] =

@@ -190,8 +190,20 @@ class ParserImpl {
     return std::string(input_.substr(start, pos_ - start));
   }
 
-  /// Resolves an entity or character reference starting after '&'.
+  /// Resolves an entity or character reference starting after '&'. The
+  /// total output across the document is capped (entity-expansion bombs).
   Status AppendReference(std::string* out) {
+    size_t before = out->size();
+    DISCSEC_RETURN_IF_ERROR(AppendReferenceUncounted(out));
+    entity_output_ += out->size() - before;
+    if (entity_output_ > options_.max_entity_output) {
+      return Status::ResourceExhausted(
+          "entity expansion output exceeds max_entity_output");
+    }
+    return Status::OK();
+  }
+
+  Status AppendReferenceUncounted(std::string* out) {
     size_t semi = input_.find(';', pos_);
     if (semi == std::string_view::npos || semi - pos_ > 10) {
       return Error("unterminated entity reference");
@@ -275,10 +287,15 @@ class ParserImpl {
     DISCSEC_ASSIGN_OR_RETURN(std::string name, ParseName());
     auto elem = std::make_unique<Element>(name);
     // Attributes.
+    size_t attribute_count = 0;
     for (;;) {
       SkipWhitespace();
       if (AtEnd()) return Error("unterminated start tag");
       if (Peek() == '>' || Lookahead("/>")) break;
+      if (++attribute_count > options_.max_attributes) {
+        return Status::ResourceExhausted(
+            "attribute count exceeds max_attributes on <" + name + ">");
+      }
       DISCSEC_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
       SkipWhitespace();
       if (!Consume("=")) return Error("expected '=' after attribute name");
@@ -362,6 +379,7 @@ class ParserImpl {
   std::string_view input_;
   const ParseOptions& options_;
   size_t pos_ = 0;
+  size_t entity_output_ = 0;
 };
 
 }  // namespace

@@ -9,12 +9,22 @@
 namespace discsec {
 namespace xml {
 
-/// Options controlling the parser's security posture.
+/// Options controlling the parser's security posture. Every limit maps to a
+/// denial-of-service vector a CE player must survive; exceeding any of them
+/// yields Status::ResourceExhausted.
 struct ParseOptions {
   /// Maximum element nesting depth — a CE player must bound recursion.
   size_t max_depth = 256;
   /// Maximum total input size accepted (16 MiB default).
   size_t max_input = 16u << 20;
+  /// Maximum number of attributes on a single element, namespace
+  /// declarations included — bounds the quadratic duplicate-attribute scan
+  /// and per-element memory (oversized-attribute-list bombs).
+  size_t max_attributes = 256;
+  /// Maximum total bytes produced by entity and character references across
+  /// the whole document (1 MiB default) — caps entity-expansion
+  /// amplification output even though custom entities are rejected.
+  size_t max_entity_output = 1u << 20;
   /// DOCTYPE handling: the player profile rejects DTDs outright (they are a
   /// well-known XML attack surface and C14N discards them anyway).
   bool allow_doctype = false;

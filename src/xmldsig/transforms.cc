@@ -92,11 +92,12 @@ std::vector<std::string> ReadInclusivePrefixes(const xml::Element& transform) {
   return out;
 }
 
-Status ToNodeSet(PipelineState* state) {
+Status ToNodeSet(PipelineState* state, const xml::ParseOptions& options) {
   if (!state->is_octets) return Status::OK();
-  // Per XML-DSig, a transform requiring a node-set parses the octet stream.
+  // Per XML-DSig, a transform requiring a node-set parses the octet stream
+  // — under the same input limits as the top-level document parse.
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc,
-                           xml::Parse(ToString(state->octets)));
+                           xml::Parse(ToString(state->octets), options));
   state->working = std::move(doc);
   state->apex = nullptr;
   state->is_octets = false;
@@ -106,7 +107,7 @@ Status ToNodeSet(PipelineState* state) {
 
 Status ApplyEnvelopedSignature(PipelineState* state,
                                const ReferenceContext& ctx) {
-  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state));
+  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state, ctx.parse_options));
   if (ctx.signature_path.empty()) {
     return Status::InvalidArgument(
         "enveloped-signature transform without an in-document signature");
@@ -147,7 +148,7 @@ Status ApplyDecryption(const xml::Element& transform, PipelineState* state,
     return Status::Unsupported(
         "decryption transform requires a decrypt hook (player decryptor)");
   }
-  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state));
+  DISCSEC_RETURN_IF_ERROR(ToNodeSet(state, ctx.parse_options));
   // Collect dcrpt:Except URIs ("#id" references naming EncryptedData
   // elements that must stay encrypted for digesting).
   std::vector<std::string> except_ids;
@@ -187,7 +188,8 @@ bool ReadC14NTransform(const xml::Element& transform, const std::string& alg,
 }  // namespace
 
 Status ProcessReferenceTo(const xml::Element& reference,
-                          const ReferenceContext& ctx, ByteSink* sink) {
+                          const ReferenceContext& ctx, ByteSink* sink,
+                          ReferenceResolution* resolution) {
   const std::string* uri_attr = reference.GetAttribute("URI");
   std::string uri = uri_attr != nullptr ? *uri_attr : std::string();
 
@@ -198,15 +200,35 @@ Status ProcessReferenceTo(const xml::Element& reference,
           "same-document reference without a document");
     }
     state.working = ctx.document->Clone();
+    if (resolution != nullptr && state.working->root() != nullptr) {
+      resolution->same_document = true;
+      resolution->covers_root = true;
+      resolution->element_name = state.working->root()->name();
+      resolution->element_path = xml::ElementPath(state.working->root());
+    }
   } else if (uri[0] == '#') {
     if (ctx.document == nullptr) {
       return Status::InvalidArgument(
           "same-document reference without a document");
     }
     state.working = ctx.document->Clone();
-    state.apex = state.working->FindById(uri.substr(1));
-    if (state.apex == nullptr) {
-      return Status::NotFound("reference target '" + uri + "' not found");
+    // Strict resolution: a duplicate Id is the classic signature-wrapping
+    // vector, so it is a hard verification failure, never a first-match.
+    std::string id = uri.substr(1);
+    Result<xml::Element*> apex = xml::IdRegistry(*state.working).Find(id);
+    if (!apex.ok()) {
+      if (apex.status().IsNotFound()) {
+        return Status::NotFound("reference target '" + uri + "' not found");
+      }
+      return Status::VerificationFailed("reference " +
+                                        apex.status().message());
+    }
+    state.apex = apex.value();
+    if (resolution != nullptr) {
+      resolution->same_document = true;
+      resolution->covers_root = (state.apex == state.working->root());
+      resolution->element_name = state.apex->name();
+      resolution->element_path = xml::ElementPath(state.apex);
     }
   } else {
     if (!ctx.resolver) {

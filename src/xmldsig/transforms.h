@@ -9,6 +9,7 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "xml/dom.h"
+#include "xml/parser.h"
 
 namespace discsec {
 namespace xmldsig {
@@ -37,6 +38,25 @@ struct ReferenceContext {
   std::vector<size_t> signature_path;
   ExternalResolver resolver;
   DecryptHook decrypt_hook;
+  /// Limits applied when a transform must re-parse an octet stream into a
+  /// node-set (the same input-bomb caps the top-level parser enforces).
+  xml::ParseOptions parse_options;
+};
+
+/// Where a Reference's URI actually resolved — the verifier's
+/// see-what-is-signed report. Same-document references record the element
+/// path so wrapping/relocation is visible to policy layers.
+struct ReferenceResolution {
+  /// True for URI "" and "#id" references (resolved inside ctx.document).
+  bool same_document = false;
+  /// True when the reference covers the whole document (URI "" or an Id
+  /// resolving to the document root).
+  bool covers_root = false;
+  /// Qualified name of the resolved element; empty for external references.
+  std::string element_name;
+  /// xml::ElementPath of the resolved element; empty for external
+  /// references.
+  std::string element_path;
 };
 
 /// Computes the child-index path of `e` from its document root. The element
@@ -64,8 +84,14 @@ xml::Element* ResolvePath(const xml::Document& doc,
 /// anything else via ctx.resolver. Supported transforms: Canonical XML
 /// (inclusive/exclusive, with/without comments), enveloped-signature,
 /// base64, and the Decryption Transform (via ctx.decrypt_hook).
+///
+/// "#id" resolution is strict: an Id declared by more than one element in
+/// the document fails with VerificationFailed instead of silently picking
+/// the first match (the duplicate-ID wrapping vector). When `resolution` is
+/// non-null it receives where the reference resolved.
 Status ProcessReferenceTo(const xml::Element& reference,
-                          const ReferenceContext& ctx, ByteSink* sink);
+                          const ReferenceContext& ctx, ByteSink* sink,
+                          ReferenceResolution* resolution = nullptr);
 
 /// Buffer-returning wrapper over ProcessReferenceTo (a BytesSink).
 Result<Bytes> ProcessReference(const xml::Element& reference,

@@ -174,6 +174,7 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
   ctx.document = doc;
   ctx.resolver = options.resolver;
   ctx.decrypt_hook = options.decrypt_hook;
+  ctx.parse_options = options.parse_options;
   if (doc != nullptr && signature.parent() != nullptr) {
     ctx.signature_path = ComputePath(&signature);
   }
@@ -202,7 +203,8 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
         crypto::MakeDigest(*digest_method->GetAttribute("Algorithm")));
     // The reference octets stream into the digest as they are produced.
     crypto::DigestSink sink(digest.get());
-    DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(*ref, ctx, &sink));
+    ReferenceResolution resolution;
+    DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(*ref, ctx, &sink, &resolution));
     Bytes actual = digest->Finalize();
     DISCSEC_ASSIGN_OR_RETURN(Bytes expected,
                              Base64Decode(digest_value->TextContent()));
@@ -211,9 +213,44 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
                                         uri_str + "'");
     }
     info.reference_uris.push_back(uri_str);
+    VerifiedReference verified;
+    verified.uri = uri_str;
+    verified.resolved_name = resolution.element_name;
+    verified.resolved_path = resolution.element_path;
+    verified.covers_root = resolution.covers_root;
+    verified.same_document = resolution.same_document;
+    info.references.push_back(std::move(verified));
   }
   if (reference_count == 0) {
     return Status::VerificationFailed("signature has no references");
+  }
+
+  // See-what-is-signed policy over the resolved reference set.
+  bool any_covers_root = false;
+  for (const VerifiedReference& r : info.references) {
+    if (r.covers_root) any_covers_root = true;
+    if (!r.same_document || r.covers_root ||
+        options.allowed_reference_roots.empty()) {
+      continue;
+    }
+    bool allowed = false;
+    for (const std::string& name : options.allowed_reference_roots) {
+      if (r.resolved_name == name) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      return Status::VerificationFailed(
+          "reference '" + r.uri + "' resolved to disallowed element <" +
+          r.resolved_name + "> at " + r.resolved_path +
+          " (possible signature wrapping)");
+    }
+  }
+  if (options.require_signed_root && !any_covers_root) {
+    return Status::VerificationFailed(
+        "policy requires a reference covering the document root, but none "
+        "does (possible signature relocation)");
   }
 
   DISCSEC_ASSIGN_OR_RETURN(Bytes sig_value,

@@ -41,6 +41,36 @@ struct VerifyOptions {
 
   /// For the Decryption Transform.
   DecryptHook decrypt_hook;
+
+  /// Limits applied when a transform re-parses an octet stream (and
+  /// forwarded to the Decryption Transform's inner parse).
+  xml::ParseOptions parse_options;
+
+  /// See-what-is-signed policy: require at least one verified reference to
+  /// cover the document root (URI "" or an Id on the root element). Defeats
+  /// relocation attacks where only an attacker-chosen fragment is signed.
+  bool require_signed_root = false;
+
+  /// See-what-is-signed policy: when non-empty, every same-document
+  /// reference that does NOT cover the root must resolve to an element
+  /// whose name is in this list. Defeats wrapping attacks that point a
+  /// reference at a decoy element outside the schema the player consumes.
+  std::vector<std::string> allowed_reference_roots;
+};
+
+/// Where one verified Reference resolved — the per-reference
+/// see-what-is-signed report surfaced in VerifyInfo.
+struct VerifiedReference {
+  /// The Reference URI as written ("", "#id", or external).
+  std::string uri;
+  /// Qualified name of the resolved element (empty for external URIs).
+  std::string resolved_name;
+  /// xml::ElementPath of the resolved element (empty for external URIs).
+  std::string resolved_path;
+  /// True when the reference covers the whole document.
+  bool covers_root = false;
+  /// True for same-document ("" / "#id") references.
+  bool same_document = false;
 };
 
 /// Outcome details for a successful verification.
@@ -49,6 +79,8 @@ struct VerifyInfo {
   std::string signer_subject;
   /// The URIs of all verified references.
   std::vector<std::string> reference_uris;
+  /// Where each verified reference resolved (parallel to reference_uris).
+  std::vector<VerifiedReference> references;
   /// The signature algorithm that was checked.
   std::string signature_algorithm;
   /// KeyName content, when present (XKMS lookup hint).

@@ -151,7 +151,7 @@ Status Decryptor::DecryptInPlace(xml::Document* doc,
   // Parse the fragment inside a wrapper so content (multiple nodes, bare
   // text) parses as well as a single element.
   std::string wrapped = "<w>" + ToString(plaintext) + "</w>";
-  auto fragment = xml::Parse(wrapped);
+  auto fragment = xml::Parse(wrapped, parse_options_);
   if (!fragment.ok()) {
     return Status::Corruption("decrypted plaintext is not well-formed XML: " +
                               fragment.status().message());

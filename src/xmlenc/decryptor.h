@@ -45,6 +45,14 @@ class Decryptor {
 
   const KeyRing& key_ring() const { return key_ring_; }
 
+  /// Limits applied when parsing decrypted plaintext back into the document
+  /// — decrypted content is attacker-reachable input and gets the same
+  /// input-bomb caps as the top-level parse.
+  void set_parse_options(const xml::ParseOptions& options) {
+    parse_options_ = options;
+  }
+  const xml::ParseOptions& parse_options() const { return parse_options_; }
+
   /// Decrypts a standalone EncryptedData element to raw octets.
   Result<Bytes> DecryptData(const xml::Element& encrypted_data) const;
 
@@ -69,6 +77,7 @@ class Decryptor {
                                   size_t key_size) const;
 
   KeyRing key_ring_;
+  xml::ParseOptions parse_options_;
 };
 
 /// True when `e` is an xenc:EncryptedData element.

@@ -1,0 +1,268 @@
+#include "tests/attacks/attack_corpus.h"
+
+#include <cassert>
+
+#include "authoring/author.h"
+#include "xml/serializer.h"
+
+namespace discsec {
+namespace attacks {
+
+namespace {
+
+using authoring::SignLevel;
+using testing_world::World;
+
+/// The §5 signing scenarios the corpus covers. `part_name` selects the
+/// script/SubMarkup for the fragment-level scenarios.
+struct Scenario {
+  SignLevel level;
+  const char* part_name;
+};
+
+constexpr Scenario kScenarios[] = {
+    {SignLevel::kCluster, ""},   {SignLevel::kTrack, ""},
+    {SignLevel::kManifest, ""},  {SignLevel::kMarkupPart, ""},
+    {SignLevel::kCodePart, ""},  {SignLevel::kScript, "main"},
+    {SignLevel::kSubMarkup, "menu"},
+};
+
+/// Serializes the pristine signed demo cluster for one scenario.
+std::string PristineWire(const World& world, const Scenario& scenario) {
+  authoring::Author author = world.MakeAuthor();
+  auto doc = author.BuildSigned(world.DemoCluster(), scenario.level, "",
+                                scenario.part_name);
+  assert(doc.ok() && "pristine signing must succeed");
+  return xml::Serialize(doc.value());
+}
+
+/// Replaces the first occurrence of `find` with `replace`; asserts it was
+/// present (a corpus generator bug otherwise, not an attack outcome).
+std::string ReplaceOnce(std::string s, const std::string& find,
+                        const std::string& replace) {
+  size_t pos = s.find(find);
+  assert(pos != std::string::npos && "mutation anchor missing from wire");
+  s.replace(pos, find.size(), replace);
+  return s;
+}
+
+/// Inserts `fragment` immediately after the root element's opening tag.
+std::string InsertAfterRootOpen(std::string s, const std::string& fragment) {
+  size_t root = s.find("<cluster");
+  assert(root != std::string::npos);
+  size_t end = s.find('>', root);
+  assert(end != std::string::npos);
+  s.insert(end + 1, fragment);
+  return s;
+}
+
+/// Flips the first base64 character after `tag` to a different one.
+std::string FlipBase64After(std::string s, const std::string& tag) {
+  size_t pos = s.find(tag);
+  assert(pos != std::string::npos);
+  pos += tag.size();
+  s[pos] = (s[pos] == 'A') ? 'B' : 'A';
+  return s;
+}
+
+/// Removes 4 base64 characters after `tag` — still a valid base64 length,
+/// but decoding 3 bytes short of the modulus size.
+std::string TruncateBase64After(std::string s, const std::string& tag) {
+  size_t pos = s.find(tag);
+  assert(pos != std::string::npos);
+  s.erase(pos + tag.size(), 4);
+  return s;
+}
+
+/// The Id the scenario's detached signature references (empty for the
+/// enveloped whole-cluster scenario).
+std::string TargetId(const World& world, const Scenario& scenario) {
+  if (scenario.level == SignLevel::kCluster) return std::string();
+  disc::InteractiveCluster cluster = world.DemoCluster();
+  auto id = authoring::ResolveSignTargetId(cluster, scenario.level, "",
+                                           scenario.part_name);
+  assert(id.ok());
+  return id.value();
+}
+
+/// A text anchor inside the signed region of each scenario, and a
+/// replacement that changes application behavior.
+void ContentTamperAnchor(const Scenario& scenario, std::string* find,
+                         std::string* replace) {
+  if (scenario.level == SignLevel::kMarkupPart ||
+      scenario.level == SignLevel::kSubMarkup) {
+    // The layout SubMarkup: widen the quiz board region.
+    *find = "1800";
+    *replace = "1801";
+  } else {
+    // The quiz script: inflate alice's submitted score.
+    *find = "4200";
+    *replace = "9999";
+  }
+}
+
+/// The attacker's own application track, inserted before the legitimate
+/// (signed) one so the engine would execute it first.
+constexpr char kEvilTrack[] =
+    "<track Id=\"track-evil\" kind=\"application\">"
+    "<manifest Id=\"evil\"><markup Id=\"evil-markup\"/>"
+    "<code Id=\"evil-code\"><script Id=\"evil-s\" name=\"main\">"
+    "var pwned = true;</script></code>"
+    "<permissions Id=\"evil-p\">"
+    "&lt;permissionrequestfile appid=\"0\" orgid=\"evil\"/&gt;"
+    "</permissions></manifest></track>";
+
+AttackCase Make(const Scenario& scenario, const std::string& attack_class,
+                AttackRoute route, std::string xml, Status::Code code,
+                const std::string& substring) {
+  AttackCase out;
+  out.scenario = authoring::SignLevelName(scenario.level);
+  out.attack_class = attack_class;
+  out.name = out.scenario + "/" + attack_class;
+  out.route = route;
+  out.xml = std::move(xml);
+  out.expected_code = code;
+  out.expected_substring = substring;
+  return out;
+}
+
+}  // namespace
+
+std::vector<AttackCase> BuildPristineBaselines(const World& world) {
+  std::vector<AttackCase> out;
+  for (const Scenario& scenario : kScenarios) {
+    AttackCase baseline;
+    baseline.scenario = authoring::SignLevelName(scenario.level);
+    baseline.attack_class = "pristine";
+    baseline.name = baseline.scenario + "/pristine";
+    baseline.route = AttackRoute::kVerifier;
+    baseline.xml = PristineWire(world, scenario);
+    baseline.expected_code = Status::Code::kOk;
+    out.push_back(std::move(baseline));
+  }
+  return out;
+}
+
+std::vector<AttackCase> BuildAttackCorpus(const World& world) {
+  std::vector<AttackCase> corpus;
+  constexpr Status::Code kVerify = Status::Code::kVerificationFailed;
+  constexpr Status::Code kExhausted = Status::Code::kResourceExhausted;
+
+  for (const Scenario& scenario : kScenarios) {
+    const std::string wire = PristineWire(world, scenario);
+
+    // Digest tamper: corrupt a stored DigestValue; the recomputed reference
+    // digest no longer matches.
+    corpus.push_back(Make(scenario, "digest-tamper", AttackRoute::kVerifier,
+                          FlipBase64After(wire, "<ds:DigestValue>"), kVerify,
+                          "digest mismatch"));
+
+    // Content tamper: change bytes inside the signed region; the reference
+    // digest catches it.
+    std::string find, replace;
+    ContentTamperAnchor(scenario, &find, &replace);
+    corpus.push_back(Make(scenario, "content-tamper", AttackRoute::kVerifier,
+                          ReplaceOnce(wire, find, replace), kVerify,
+                          "digest mismatch"));
+
+    // SignedInfo tamper: the reference digests are untouched, but the
+    // signed SignedInfo canonical form changes -> RSA check fails.
+    corpus.push_back(Make(
+        scenario, "signedinfo-tamper", AttackRoute::kVerifier,
+        ReplaceOnce(wire, "<ds:SignatureMethod Algorithm=",
+                    "<ds:SignatureMethod Extra=\"x\" Algorithm="),
+        kVerify, "RSA signature mismatch"));
+
+    // Algorithm substitution: downgrade rsa-sha1 to hmac-sha1 so the
+    // attacker could mint the MAC themselves — rejected because no shared
+    // secret is provisioned for this trust profile.
+    corpus.push_back(Make(scenario, "algorithm-substitution",
+                          AttackRoute::kVerifier,
+                          ReplaceOnce(wire, "xmldsig#rsa-sha1",
+                                      "xmldsig#hmac-sha1"),
+                          kVerify, "shared secret"));
+
+    // Signature truncation: shorten SignatureValue (still valid base64);
+    // the RSA layer rejects the length before any math runs.
+    corpus.push_back(Make(scenario, "signature-truncation",
+                          AttackRoute::kVerifier,
+                          TruncateBase64After(wire, "<ds:SignatureValue>"),
+                          kVerify, "signature length mismatch"));
+
+    // Duplicate-ID wrapping (detached scenarios): a decoy element declares
+    // the referenced Id a second time; strict resolution refuses to pick.
+    if (scenario.level != SignLevel::kCluster) {
+      std::string id = TargetId(world, scenario);
+      corpus.push_back(Make(
+          scenario, "duplicate-id-wrapping", AttackRoute::kVerifier,
+          InsertAfterRootOpen(wire, "<decoy Id=\"" + id + "\"/>"), kVerify,
+          "ambiguous"));
+    }
+
+    // Reference relocation (player route): the signed element stays intact
+    // so the signature verifies, but the engine would execute the
+    // attacker's earlier track — the coverage check refuses.
+    if (scenario.level == SignLevel::kTrack ||
+        scenario.level == SignLevel::kManifest) {
+      size_t pos = wire.find("<track Id=\"track-app\"");
+      assert(pos != std::string::npos);
+      std::string relocated = wire;
+      relocated.insert(pos, kEvilTrack);
+      corpus.push_back(Make(scenario, "reference-relocation",
+                            AttackRoute::kPlayer, std::move(relocated),
+                            kVerify, "not covered"));
+    }
+  }
+
+  // Parser resource bombs ride on the whole-cluster scenario and go through
+  // the full player (its configured parse limits are the defense).
+  const Scenario cluster_scenario = kScenarios[0];
+  const std::string wire = PristineWire(world, cluster_scenario);
+
+  // Entity-expansion bomb: enough character references to exceed the
+  // player's total entity-output cap (1 MiB default).
+  {
+    std::string run;
+    size_t refs = (xml::ParseOptions().max_entity_output) + 1;
+    run.reserve(refs * 5);
+    for (size_t i = 0; i < refs; ++i) run += "&#65;";
+    corpus.push_back(Make(cluster_scenario, "entity-expansion-bomb",
+                          AttackRoute::kPlayer,
+                          InsertAfterRootOpen(wire, run), kExhausted,
+                          "entity expansion"));
+  }
+
+  // Deep-nesting bomb: nesting past max_depth.
+  {
+    size_t depth = xml::ParseOptions().max_depth + 2;
+    std::string open, close;
+    for (size_t i = 0; i < depth; ++i) {
+      open += "<z>";
+      close += "</z>";
+    }
+    corpus.push_back(Make(cluster_scenario, "deep-nesting-bomb",
+                          AttackRoute::kPlayer,
+                          InsertAfterRootOpen(wire, open + close), kExhausted,
+                          "max_depth"));
+  }
+
+  // Oversized attribute list: one element with more attributes than
+  // max_attributes allows.
+  {
+    std::string bomb = "<z";
+    size_t count = xml::ParseOptions().max_attributes + 1;
+    for (size_t i = 0; i < count; ++i) {
+      bomb += " a" + std::to_string(i) + "=\"x\"";
+    }
+    bomb += "/>";
+    corpus.push_back(Make(cluster_scenario, "attribute-list-bomb",
+                          AttackRoute::kPlayer,
+                          InsertAfterRootOpen(wire, bomb), kExhausted,
+                          "max_attributes"));
+  }
+
+  return corpus;
+}
+
+}  // namespace attacks
+}  // namespace discsec

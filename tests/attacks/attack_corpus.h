@@ -1,0 +1,53 @@
+#ifndef DISCSEC_TESTS_ATTACKS_ATTACK_CORPUS_H_
+#define DISCSEC_TESTS_ATTACKS_ATTACK_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tests/test_world.h"
+
+namespace discsec {
+namespace attacks {
+
+/// Which pipeline the mutated document is fed to.
+enum class AttackRoute {
+  /// Parse + xmldsig::Verifier::VerifyFirstSignature with the player's
+  /// trust anchor — exercises the signature layer in isolation.
+  kVerifier,
+  /// Full player::InteractiveApplicationEngine launch with network origin —
+  /// exercises parse limits and the engine's coverage/wrapping defenses.
+  kPlayer,
+};
+
+/// One adversarial document: a §5 signing scenario, an attack class, the
+/// mutated wire bytes, and the exact rejection the defense must produce.
+struct AttackCase {
+  std::string name;          ///< "<scenario>/<attack-class>"
+  std::string scenario;      ///< authoring::SignLevelName of the pristine doc
+  std::string attack_class;  ///< e.g. "duplicate-id-wrapping"
+  AttackRoute route = AttackRoute::kVerifier;
+  std::string xml;           ///< the mutated serialized document
+  Status::Code expected_code = Status::Code::kVerificationFailed;
+  /// Required substring of the rejection message — ties each attack class
+  /// to its specific defense instead of a generic failure.
+  std::string expected_substring;
+};
+
+/// Generates the full corpus: every §5 signing scenario (cluster, track,
+/// manifest, markup part, code part, script, SubMarkup) crossed with every
+/// applicable attack class (duplicate-ID wrapping, reference relocation,
+/// digest tamper, content tamper, SignedInfo tamper, algorithm
+/// substitution, signature truncation, entity-expansion / deep-nesting /
+/// attribute-list bombs). Deterministic: same World -> same corpus.
+std::vector<AttackCase> BuildAttackCorpus(const testing_world::World& world);
+
+/// The pristine (unmutated) signed document for each scenario — the
+/// baseline the corpus mutates; every one must verify.
+std::vector<AttackCase> BuildPristineBaselines(
+    const testing_world::World& world);
+
+}  // namespace attacks
+}  // namespace discsec
+
+#endif  // DISCSEC_TESTS_ATTACKS_ATTACK_CORPUS_H_

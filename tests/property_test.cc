@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/base64.h"
 #include "common/byte_sink.h"
 #include "crypto/aes.h"
@@ -26,6 +28,10 @@ namespace {
 class XmlGenerator {
  public:
   explicit XmlGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Also sprinkle unique Id attributes and extra namespace declarations
+  /// over the generated elements (the signed-reference attack surface).
+  void set_emit_ids(bool emit) { emit_ids_ = emit; }
 
   std::string Generate() {
     std::string out;
@@ -54,6 +60,13 @@ class XmlGenerator {
     if (name.rfind("ns1:", 0) == 0) {
       *out += " xmlns:ns1=\"urn:ext\"";
     }
+    if (emit_ids_ && rng_.NextBelow(2) == 0) {
+      *out += " Id=\"id-" + std::to_string(next_id_++) + "\"";
+    }
+    if (emit_ids_ && rng_.NextBelow(4) == 0) {
+      *out += " xmlns:ns2=\"urn:gen-" +
+              std::to_string(rng_.NextBelow(3)) + "\"";
+    }
     size_t attrs = rng_.NextBelow(3);
     for (size_t i = 0; i < attrs; ++i) {
       *out += " a" + std::to_string(i) + "=\"" +
@@ -77,6 +90,8 @@ class XmlGenerator {
   }
 
   Rng rng_;
+  bool emit_ids_ = false;
+  size_t next_id_ = 0;
 };
 
 // --------------------------------------------------------- XML properties
@@ -96,6 +111,55 @@ TEST_P(XmlPropertyTest, SerializeParseRoundTrip) {
   auto doc2 = xml::Parse(once);
   ASSERT_TRUE(doc2.ok()) << once;
   EXPECT_EQ(xml::Serialize(doc2.value(), options), once);
+}
+
+TEST_P(XmlPropertyTest, RoundTripPreservesIdsAndNamespaces) {
+  // Documents carrying Id attributes and mixed namespace declarations
+  // round-trip through serialize/parse, the ID registry stays duplicate-
+  // free (the generator mints unique Ids), strict lookup agrees with the
+  // element that declared each Id, and ElementPath uniquely names every
+  // element.
+  XmlGenerator gen(GetParam());
+  gen.set_emit_ids(true);
+  std::string text = gen.Generate();
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok()) << text;
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  std::string once = xml::Serialize(doc.value(), options);
+  auto reparsed = xml::Parse(once);
+  ASSERT_TRUE(reparsed.ok()) << once;
+  EXPECT_EQ(xml::Serialize(reparsed.value(), options), once);
+
+  xml::IdRegistry registry(reparsed.value());
+  EXPECT_FALSE(registry.HasDuplicates());
+  size_t elements = 0;
+  size_t ids = 0;
+  std::set<std::string> paths;
+  reparsed->root()->ForEachElement([&](xml::Element* e) {
+    ++elements;
+    paths.insert(xml::ElementPath(e));
+    const std::string* id = e->GetAttribute("Id");
+    if (id == nullptr) return;
+    ++ids;
+    auto found = reparsed->FindByIdStrict(*id);
+    ASSERT_TRUE(found.ok()) << *id;
+    EXPECT_EQ(found.value(), e);
+  });
+  EXPECT_EQ(paths.size(), elements);  // paths uniquely identify elements
+  EXPECT_EQ(registry.size(), ids);
+
+  // Duplicating any Id must flip strict resolution to an error.
+  if (ids > 0) {
+    std::string some_id;
+    reparsed->root()->ForEachElement([&](xml::Element* e) {
+      const std::string* id = e->GetAttribute("Id");
+      if (some_id.empty() && id != nullptr) some_id = *id;
+    });
+    reparsed->root()->AppendElement("dup")->SetAttribute("Id", some_id);
+    EXPECT_TRUE(
+        reparsed->FindByIdStrict(some_id).status().IsCorruption());
+  }
 }
 
 TEST_P(XmlPropertyTest, C14NIsIdempotent) {

@@ -144,6 +144,58 @@ TEST(ParserTest, InputSizeLimitEnforced) {
   EXPECT_TRUE(doc.status().IsResourceExhausted());
 }
 
+TEST(ParserTest, DepthLimitBoundaryIsExact) {
+  // max_depth = N accepts N levels below the root and rejects N + 1.
+  ParseOptions options;
+  options.max_depth = 3;
+  std::string at_limit = "<r><a><b><c/></b></a></r>";      // depths 0..3
+  std::string one_over = "<r><a><b><c><d/></c></b></a></r>";  // depth 4
+  EXPECT_TRUE(Parse(at_limit, options).ok());
+  auto over = Parse(one_over, options);
+  ASSERT_TRUE(over.status().IsResourceExhausted());
+  EXPECT_NE(over.status().message().find("max_depth"), std::string::npos);
+}
+
+TEST(ParserTest, AttributeCountLimitEnforced) {
+  ParseOptions options;
+  options.max_attributes = 4;
+  EXPECT_TRUE(Parse("<r a=\"1\" b=\"2\" c=\"3\" d=\"4\"/>", options).ok());
+  auto over = Parse("<r a=\"1\" b=\"2\" c=\"3\" d=\"4\" e=\"5\"/>", options);
+  ASSERT_TRUE(over.status().IsResourceExhausted());
+  EXPECT_NE(over.status().message().find("max_attributes"),
+            std::string::npos);
+}
+
+TEST(ParserTest, AttributeLimitCountsNamespaceDeclarations) {
+  ParseOptions options;
+  options.max_attributes = 2;
+  auto doc = Parse(
+      "<r xmlns=\"urn:a\" xmlns:b=\"urn:b\" xmlns:c=\"urn:c\"/>", options);
+  EXPECT_TRUE(doc.status().IsResourceExhausted());
+}
+
+TEST(ParserTest, EntityOutputLimitEnforced) {
+  ParseOptions options;
+  options.max_entity_output = 8;
+  // 8 expanded bytes pass; the 9th fails — character and named references
+  // both count toward the budget.
+  EXPECT_TRUE(Parse("<r>&#65;&#65;&#65;&#65;&amp;&lt;&gt;&#x41;</r>",
+                    options)
+                  .ok());
+  auto over =
+      Parse("<r>&#65;&#65;&#65;&#65;&amp;&lt;&gt;&#x41;&#65;</r>", options);
+  ASSERT_TRUE(over.status().IsResourceExhausted());
+  EXPECT_NE(over.status().message().find("entity expansion"),
+            std::string::npos);
+}
+
+TEST(ParserTest, EntityOutputLimitAppliesToAttributes) {
+  ParseOptions options;
+  options.max_entity_output = 2;
+  auto doc = Parse("<r a=\"&#65;&#65;&#65;\"/>", options);
+  EXPECT_TRUE(doc.status().IsResourceExhausted());
+}
+
 // ---------------------------------------------------------------- DOM
 
 TEST(DomTest, QNameSplitting) {
@@ -179,6 +231,61 @@ TEST(DomTest, FindById) {
   ASSERT_NE(doc->FindById("y"), nullptr);
   EXPECT_EQ(doc->FindById("y")->name(), "d");
   EXPECT_EQ(doc->FindById("z"), nullptr);
+}
+
+TEST(DomTest, FindByIdReportsDuplicateCount) {
+  auto doc = Parse("<a><b Id=\"x\"/><c Id=\"x\"/><d Id=\"y\"/></a>");
+  ASSERT_TRUE(doc.ok());
+  size_t count = 0;
+  Element* first = doc->FindById("x", &count);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name(), "b");  // document order, but ambiguity is visible
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(doc->FindById("y", &count), nullptr);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(doc->FindById("z", &count), nullptr);
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(DomTest, FindByIdStrictRejectsDuplicates) {
+  auto doc = Parse("<a><b Id=\"x\"/><c Id=\"x\"/><d Id=\"y\"/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto unique = doc->FindByIdStrict("y");
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(unique.value()->name(), "d");
+  auto dup = doc->FindByIdStrict("x");
+  ASSERT_TRUE(dup.status().IsCorruption());
+  EXPECT_NE(dup.status().message().find("ambiguous"), std::string::npos);
+  EXPECT_TRUE(doc->FindByIdStrict("z").status().IsNotFound());
+}
+
+TEST(DomTest, IdRegistryEnumeratesDuplicates) {
+  auto doc =
+      Parse("<a><b Id=\"x\"/><c id=\"x\"/><d Id=\"y\"/><e Id=\"y\"/>"
+            "<f Id=\"z\"/></a>")
+          .value();
+  IdRegistry registry(doc);
+  EXPECT_TRUE(registry.HasDuplicates());
+  EXPECT_EQ(registry.size(), 3u);  // x, y, z
+  EXPECT_EQ(registry.duplicate_ids().size(), 2u);
+  ASSERT_NE(registry.AllOf("x"), nullptr);
+  EXPECT_EQ(registry.AllOf("x")->size(), 2u);  // Id and id both declare x
+  EXPECT_EQ(registry.AllOf("missing"), nullptr);
+  EXPECT_TRUE(registry.Find("z").ok());
+  EXPECT_TRUE(registry.Find("y").status().IsCorruption());
+}
+
+TEST(DomTest, ElementPathNamesStepsWithSiblingIndexes) {
+  auto doc =
+      Parse("<cluster><track/>text<track><manifest/><manifest/></track>"
+            "</cluster>")
+          .value();
+  Element* second_track = doc.root()->ChildElements("track")[1];
+  Element* second_manifest = second_track->ChildElements("manifest")[1];
+  EXPECT_EQ(ElementPath(doc.root()), "/cluster");
+  EXPECT_EQ(ElementPath(second_track), "/cluster/track[1]");
+  EXPECT_EQ(ElementPath(second_manifest), "/cluster/track[1]/manifest[1]");
+  EXPECT_EQ(ElementPath(nullptr), "");
 }
 
 TEST(DomTest, ChildManipulation) {

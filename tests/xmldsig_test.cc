@@ -660,6 +660,176 @@ TEST_F(DsigFixture, Base64TransformChainStillBuffersCorrectly) {
   EXPECT_EQ(ToString(streamed), "hello");
 }
 
+// ------------------------------------------------- adversarial negatives
+
+TEST_F(DsigFixture, WrongKeyFailsWithSignatureMismatch) {
+  auto doc = xml::Parse("<app><code>var s = 1;</code></app>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  // The verifier trusts a different key than the one that signed.
+  VerifyOptions options;
+  options.trusted_key = root_key_->public_key;
+  auto result = Verifier::VerifyFirstSignature(doc, options);
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("RSA signature mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, TruncatedSignatureValueFailsOnLength) {
+  auto doc = xml::Parse("<app><code>var s = 1;</code></app>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  // Drop 4 base64 characters: still valid base64, 3 bytes short of the
+  // modulus size — must be rejected on length, before any RSA math.
+  std::string wire = xml::Serialize(doc);
+  size_t pos = wire.find("<ds:SignatureValue>");
+  ASSERT_NE(pos, std::string::npos);
+  wire.erase(pos + std::string("<ds:SignatureValue>").size(), 4);
+  auto reparsed = xml::Parse(wire).value();
+  auto result = Verifier::VerifyFirstSignature(reparsed, BareOptions());
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("signature length mismatch"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, HmacRsaConfusionFailsWithoutSharedSecret) {
+  // Classic algorithm-confusion: the attacker rewrites an RSA signature's
+  // SignatureMethod to hmac-sha1, hoping the verifier MACs with public
+  // material. Without an explicitly provisioned secret this must fail.
+  auto doc = xml::Parse("<app><code>var s = 1;</code></app>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  std::string wire = xml::Serialize(doc);
+  size_t pos = wire.find(crypto::kAlgRsaSha1);
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, std::string(crypto::kAlgRsaSha1).size(),
+               crypto::kAlgHmacSha1);
+  auto reparsed = xml::Parse(wire).value();
+  auto result = Verifier::VerifyFirstSignature(reparsed, BareOptions());
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("no shared secret"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, EmptyReferenceListFails) {
+  // The Signer refuses to create a reference-free signature, so an attacker
+  // must craft one on the wire: strip the <ds:Reference> out of a valid
+  // signature. The verifier must reject it before trusting anything.
+  auto doc = xml::Parse("<app Id=\"a\"/>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  xml::Element* sig = Verifier::FindSignatures(doc.root())[0];
+  xml::Element* signed_info = sig->FirstChildElementByLocalName("SignedInfo");
+  ASSERT_NE(signed_info, nullptr);
+  xml::Element* reference =
+      signed_info->FirstChildElementByLocalName("Reference");
+  ASSERT_NE(reference, nullptr);
+  signed_info->RemoveChild(reference);
+  auto result = Verifier::Verify(&doc, *sig, BareOptions());
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("no references"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, DuplicateReferenceIdFailsAsWrapping) {
+  auto doc = xml::Parse("<m><part Id=\"p\">good</part></m>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("part"),
+                                "p", doc.root())
+                  .ok());
+  // Plant a second element declaring the signed Id: strict resolution must
+  // refuse instead of silently digesting the first match.
+  doc.root()->AppendElement("part")->SetAttribute("Id", "p");
+  auto result = Verifier::VerifyFirstSignature(doc, BareOptions());
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("ambiguous"), std::string::npos)
+      << result.status().ToString();
+}
+
+// --------------------------------------------------- see-what-is-signed
+
+TEST_F(DsigFixture, VerifyInfoReportsResolvedReferences) {
+  auto doc = xml::Parse("<m><a/><part Id=\"p\">x</part></m>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("part"),
+                                "p", doc.root())
+                  .ok());
+  auto result = Verifier::VerifyFirstSignature(doc, BareOptions());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->references.size(), 1u);
+  const VerifiedReference& ref = result->references[0];
+  EXPECT_EQ(ref.uri, "#p");
+  EXPECT_TRUE(ref.same_document);
+  EXPECT_FALSE(ref.covers_root);
+  EXPECT_EQ(ref.resolved_name, "part");
+  EXPECT_EQ(ref.resolved_path, "/m/part[1]");
+}
+
+TEST_F(DsigFixture, EnvelopedReferenceCoversRoot) {
+  auto doc = xml::Parse("<app><code>x</code></app>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  VerifyOptions options = BareOptions();
+  options.require_signed_root = true;  // satisfied by the "" reference
+  auto result = Verifier::VerifyFirstSignature(doc, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->references.size(), 1u);
+  EXPECT_TRUE(result->references[0].covers_root);
+  EXPECT_EQ(result->references[0].resolved_name, "app");
+}
+
+TEST_F(DsigFixture, RequireSignedRootRejectsFragmentOnlySignature) {
+  auto doc = xml::Parse("<m><part Id=\"p\">x</part></m>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("part"),
+                                "p", doc.root())
+                  .ok());
+  VerifyOptions options = BareOptions();
+  options.require_signed_root = true;
+  auto result = Verifier::VerifyFirstSignature(doc, options);
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("document root"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, AllowedReferenceRootsRejectsDecoyTarget) {
+  auto doc =
+      xml::Parse("<m><decoy Id=\"d\">x</decoy><code Id=\"c\">y</code></m>")
+          .value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("decoy"),
+                                "d", doc.root())
+                  .ok());
+  VerifyOptions options = BareOptions();
+  options.allowed_reference_roots = {"code", "markup"};
+  auto result = Verifier::VerifyFirstSignature(doc, options);
+  ASSERT_TRUE(result.status().IsVerificationFailed());
+  EXPECT_NE(result.status().message().find("disallowed element"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(DsigFixture, AllowedReferenceRootsAcceptsSchemaTarget) {
+  auto doc = xml::Parse("<m><code Id=\"c\">y</code></m>").value();
+  Signer signer = BareSigner();
+  ASSERT_TRUE(signer
+                  .SignDetached(&doc, doc.root()->FirstChildElement("code"),
+                                "c", doc.root())
+                  .ok());
+  VerifyOptions options = BareOptions();
+  options.allowed_reference_roots = {"code", "markup"};
+  EXPECT_TRUE(Verifier::VerifyFirstSignature(doc, options).ok());
+}
+
 }  // namespace
 }  // namespace xmldsig
 }  // namespace discsec
