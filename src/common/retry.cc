@@ -1,0 +1,126 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace discsec {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RealSleepUs(int64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+Retryer::Retryer(RetryPolicy policy, Clock clock, SleepFn sleep,
+                 uint64_t jitter_seed)
+    : policy_(policy),
+      clock_(clock ? std::move(clock) : Clock(SteadyNowUs)),
+      sleep_(sleep ? std::move(sleep) : SleepFn(RealSleepUs)),
+      rng_(jitter_seed) {}
+
+int64_t Retryer::BackoffForAttempt(int attempt) const {
+  double backoff = static_cast<double>(policy_.initial_backoff_us);
+  for (int i = 1; i < attempt; ++i) backoff *= policy_.backoff_multiplier;
+  backoff = std::min(backoff, static_cast<double>(policy_.max_backoff_us));
+  return static_cast<int64_t>(backoff);
+}
+
+Status Retryer::Run(const std::function<Status()>& attempt) {
+  const int max_attempts = std::max(policy_.max_attempts, 1);
+  const int64_t start_us = clock_();
+  Status last;
+  for (int n = 1; n <= max_attempts; ++n) {
+    const int64_t attempt_start_us = clock_();
+    last = attempt();
+    const int64_t now_us = clock_();
+    if (last.ok()) return last;
+    if (!last.IsRetryable()) return last;
+    if (policy_.attempt_deadline_us > 0 &&
+        now_us - attempt_start_us > policy_.attempt_deadline_us) {
+      return Status::DeadlineExceeded(
+          "attempt " + std::to_string(n) + " ran " +
+          std::to_string(now_us - attempt_start_us) +
+          "us, past the per-attempt deadline of " +
+          std::to_string(policy_.attempt_deadline_us) + "us: " +
+          last.ToString());
+    }
+    if (n == max_attempts) break;
+    int64_t backoff_us = BackoffForAttempt(n);
+    if (policy_.jitter > 0.0) {
+      double fraction = static_cast<double>(rng_.NextUint64() >> 11) *
+                        0x1.0p-53;  // [0, 1)
+      backoff_us -= static_cast<int64_t>(static_cast<double>(backoff_us) *
+                                         policy_.jitter * fraction);
+    }
+    if (policy_.overall_deadline_us > 0 &&
+        (now_us - start_us) + backoff_us >= policy_.overall_deadline_us) {
+      return Status::DeadlineExceeded(
+          "retry budget of " + std::to_string(policy_.overall_deadline_us) +
+          "us exhausted after " + std::to_string(n) + " attempt(s): " +
+          last.ToString());
+    }
+    sleep_(backoff_us);
+  }
+  return last.WithContext("after " + std::to_string(max_attempts) +
+                          " attempts");
+}
+
+bool CircuitBreaker::Allow(int64_t now_us) {
+  if (!open_) return true;
+  if (now_us - opened_at_us_ < options_.open_duration_us) return false;
+  if (probe_in_flight_) return false;
+  probe_in_flight_ = true;  // half-open: admit a single probe
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure(int64_t now_us) {
+  ++failures_;
+  if (open_) {
+    // The half-open probe failed: re-open for a fresh cool-down.
+    opened_at_us_ = now_us;
+    probe_in_flight_ = false;
+    return;
+  }
+  if (failures_ >= options_.failure_threshold) {
+    open_ = true;
+    opened_at_us_ = now_us;
+    probe_in_flight_ = false;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(int64_t now_us) const {
+  if (!open_) return State::kClosed;
+  if (now_us - opened_at_us_ >= options_.open_duration_us) {
+    return State::kHalfOpen;
+  }
+  return State::kOpen;
+}
+
+const char* CircuitStateName(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace discsec

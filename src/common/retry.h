@@ -1,0 +1,113 @@
+#ifndef DISCSEC_COMMON_RETRY_H_
+#define DISCSEC_COMMON_RETRY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace discsec {
+
+/// gRPC-style retry policy: bounded attempts, exponential backoff with
+/// jitter, and two deadlines. All times are microseconds. Only statuses
+/// with Status::IsRetryable() (kUnavailable) are retried; everything else
+/// is returned to the caller on the first attempt.
+struct RetryPolicy {
+  int max_attempts = 3;
+  int64_t initial_backoff_us = 1000;
+  double backoff_multiplier = 2.0;
+  int64_t max_backoff_us = 1000000;
+  /// Fraction of the computed backoff randomized away (0 = deterministic,
+  /// 0.2 = sleep in [0.8b, b]). Decorrelates retry storms across clients.
+  double jitter = 0.0;
+  /// An attempt that fails after running longer than this is not retried
+  /// (the operation is too slow to be worth hammering). 0 = unbounded.
+  int64_t attempt_deadline_us = 0;
+  /// Total budget across attempts and backoffs; once the next backoff
+  /// would cross it, the retryer gives up with kDeadlineExceeded.
+  /// 0 = unbounded.
+  int64_t overall_deadline_us = 0;
+};
+
+/// Executes an operation under a RetryPolicy. Clock and sleep are
+/// injectable so tests drive deadlines with a fake clock and *no real
+/// sleeping*; the defaults use the steady clock and a real sleep.
+class Retryer {
+ public:
+  using Clock = std::function<int64_t()>;        ///< now, microseconds
+  using SleepFn = std::function<void(int64_t)>;  ///< sleep N microseconds
+
+  explicit Retryer(RetryPolicy policy, Clock clock = {}, SleepFn sleep = {},
+                   uint64_t jitter_seed = 0);
+
+  /// Runs `attempt` until it returns OK, a non-retryable status, or the
+  /// policy is exhausted. The returned status keeps the last attempt's
+  /// code; exhaustion annotates the message with the attempt count and
+  /// deadline overruns surface as kDeadlineExceeded.
+  Status Run(const std::function<Status()>& attempt);
+
+  /// Result-returning convenience over Run().
+  template <typename T>
+  Result<T> Call(const std::function<Result<T>()>& attempt) {
+    std::optional<T> value;
+    Status status = Run([&]() -> Status {
+      Result<T> result = attempt();
+      if (!result.ok()) return result.status();
+      value = std::move(result).value();
+      return Status::OK();
+    });
+    if (!status.ok()) return status;
+    return std::move(*value);
+  }
+
+  /// The backoff before retry number `attempt` (1-based, pre-jitter);
+  /// exposed so tests can assert the exponential schedule.
+  int64_t BackoffForAttempt(int attempt) const;
+
+ private:
+  RetryPolicy policy_;
+  Clock clock_;
+  SleepFn sleep_;
+  Rng rng_;
+};
+
+/// A minimal circuit breaker (closed -> open -> half-open): after
+/// `failure_threshold` consecutive failures the circuit opens and calls are
+/// rejected outright until `open_duration_us` has passed; then one probe is
+/// let through — success closes the circuit, failure re-opens it. Callers
+/// supply timestamps so tests use a fake clock.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    int failure_threshold = 5;
+    int64_t open_duration_us = 5000000;
+  };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options options) : options_(options) {}
+
+  /// Whether a call may proceed at time `now_us`. In the half-open state
+  /// exactly one probe is admitted per open period.
+  bool Allow(int64_t now_us);
+  void RecordSuccess();
+  void RecordFailure(int64_t now_us);
+
+  State state(int64_t now_us) const;
+  int consecutive_failures() const { return failures_; }
+
+ private:
+  Options options_;
+  int failures_ = 0;
+  bool open_ = false;
+  bool probe_in_flight_ = false;
+  int64_t opened_at_us_ = 0;
+};
+
+const char* CircuitStateName(CircuitBreaker::State state);
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_RETRY_H_

@@ -27,6 +27,10 @@ const char* CodeName(Status::Code code) {
       return "IOError";
     case Status::Code::kResourceExhausted:
       return "ResourceExhausted";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -42,10 +46,10 @@ std::string Status::ToString() const {
   return out;
 }
 
-Status Status::WithContext(const std::string& context) const {
+Status Status::WithContext(std::string_view context) const {
   if (ok()) return *this;
   Status copy = *this;
-  copy.message_ = context + ": " + message_;
+  copy.message_ = std::string(context) + ": " + message_;
   return copy;
 }
 

@@ -2,6 +2,7 @@
 #define DISCSEC_COMMON_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace discsec {
@@ -26,6 +27,8 @@ class Status {
     kUnsupported,         ///< algorithm or feature not implemented
     kIOError,             ///< filesystem or channel failure
     kResourceExhausted,   ///< embedded-profile budget exceeded
+    kUnavailable,         ///< transient failure; a retry may succeed
+    kDeadlineExceeded,    ///< operation (or its retry budget) timed out
   };
 
   /// Creates an OK (success) status.
@@ -62,6 +65,19 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(Code::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+
+  /// Builds a status from a code chosen at runtime (fault injection, wire
+  /// decoding). Make(Code::kOk, ...) returns OK and drops the message.
+  static Status Make(Code code, std::string msg) {
+    if (code == Code::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -81,13 +97,23 @@ class Status {
   bool IsResourceExhausted() const {
     return code_ == Code::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+
+  /// gRPC-style retryability taxonomy: only kUnavailable marks a transient
+  /// condition a retry may cure. Deadline expiry is terminal (the budget is
+  /// spent), and every logic/corruption/security error is deterministic.
+  bool IsRetryable() const { return code_ == Code::kUnavailable; }
 
   /// Human-readable rendering, e.g. "VerificationFailed: digest mismatch".
   std::string ToString() const;
 
   /// Returns a copy of this status with extra context prepended to the
-  /// message. OK statuses are returned unchanged.
-  Status WithContext(const std::string& context) const;
+  /// message, preserving the code. OK statuses are returned unchanged.
+  /// Chains: st.WithContext("a").WithContext("b") reads "b: a: <msg>".
+  Status WithContext(std::string_view context) const;
 
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}

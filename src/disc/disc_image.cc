@@ -26,7 +26,11 @@ Result<Bytes> DiscImage::Get(const std::string& path) const {
   if (it == files_.end()) {
     return Status::NotFound("no file '" + path + "' on disc image");
   }
-  return it->second;
+  Bytes data = it->second;
+  DISCSEC_RETURN_IF_ERROR(fault::Effective(fault_)
+                              ->HitData(fault::kDiscRead, &data, path)
+                              .WithContext("disc image"));
+  return data;
 }
 
 Result<std::string> DiscImage::GetText(const std::string& path) const {

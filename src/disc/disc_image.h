@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/result.h"
 
 namespace discsec {
@@ -49,8 +50,18 @@ class DiscImage {
   Status SaveToFile(const std::string& fs_path) const;
   static Result<DiscImage> LoadFromFile(const std::string& fs_path);
 
+  /// Attaches a fault injector consulted on every Get (fault point
+  /// fault::kDiscRead, detail = file path): injected errors model transient
+  /// pickup failures, corrupt/truncate model scratched-media bit-rot on the
+  /// *read copy* (the mastered bytes stay intact, like a marginal sector
+  /// that reads differently per pass). Null reverts to the global injector.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   std::map<std::string, Bytes> files_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 /// Resolver mapping "disc://<path>" URIs to files of `image` (which must

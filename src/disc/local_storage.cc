@@ -1,6 +1,7 @@
 #include "disc/local_storage.h"
 
 #include "common/strings.h"
+#include "crypto/sha256.h"
 #include "disc/disc_image.h"
 
 namespace discsec {
@@ -11,12 +12,24 @@ Status LocalStorage::Write(const std::string& path, Bytes data) {
   if (quota_ != 0) {
     size_t current = UsedBytes();
     auto it = entries_.find(path);
-    size_t existing = it != entries_.end() ? it->second.size() : 0;
+    size_t existing = it != entries_.end() ? it->second.data.size() : 0;
     if (current - existing + data.size() > quota_) {
       return Status::ResourceExhausted("local storage quota exceeded");
     }
   }
-  entries_[path] = std::move(data);
+  // The checksum is over what the caller meant to store; a data fault below
+  // then models a torn write whose damage Read() can prove.
+  Bytes sum = crypto::Sha256::Hash(data);
+  fault::FaultInjector* injector = fault::Effective(fault_);
+  uint64_t fires_before = injector->fires(fault::kStorageWrite);
+  Status fault = injector->HitData(fault::kStorageWrite, &data, path);
+  if (!fault.ok()) return fault.WithContext("local storage");
+  bool torn = injector->fires(fault::kStorageWrite) != fires_before;
+  entries_[path] = Entry{std::move(data), std::move(sum)};
+  if (torn) {
+    return Status::Unavailable("partial write of '" + path + "'")
+        .WithContext("local storage");
+  }
   return Status::OK();
 }
 
@@ -30,7 +43,15 @@ Result<Bytes> LocalStorage::Read(const std::string& path) const {
   if (it == entries_.end()) {
     return Status::NotFound("no entry '" + path + "' in local storage");
   }
-  return it->second;
+  Bytes data = it->second.data;
+  DISCSEC_RETURN_IF_ERROR(fault::Effective(fault_)
+                              ->HitData(fault::kStorageRead, &data, path)
+                              .WithContext("local storage"));
+  if (!ConstantTimeEquals(crypto::Sha256::Hash(data), it->second.sum)) {
+    return Status::Corruption("checksum mismatch for entry '" + path +
+                              "' in local storage");
+  }
+  return data;
 }
 
 Result<std::string> LocalStorage::ReadText(const std::string& path) const {
@@ -52,7 +73,7 @@ Status LocalStorage::Remove(const std::string& path) {
 std::vector<std::string> LocalStorage::ListPrefix(
     const std::string& prefix) const {
   std::vector<std::string> out;
-  for (const auto& [path, data] : entries_) {
+  for (const auto& [path, entry] : entries_) {
     if (StartsWith(path, prefix)) out.push_back(path);
   }
   return out;
@@ -60,7 +81,7 @@ std::vector<std::string> LocalStorage::ListPrefix(
 
 size_t LocalStorage::UsedBytes() const {
   size_t total = 0;
-  for (const auto& [path, data] : entries_) total += data.size();
+  for (const auto& [path, entry] : entries_) total += entry.data.size();
   return total;
 }
 
@@ -68,8 +89,8 @@ Status LocalStorage::SaveToFile(const std::string& fs_path) const {
   // Reuse the disc image's integrity-checked container as the on-disk
   // format: same framing, same SHA-256 trailer.
   DiscImage container;
-  for (const auto& [path, data] : entries_) {
-    container.Put(path, data);
+  for (const auto& [path, entry] : entries_) {
+    container.Put(path, entry.data);
   }
   return container.SaveToFile(fs_path);
 }
@@ -82,9 +103,15 @@ Status LocalStorage::LoadFromFile(const std::string& fs_path) {
     return Status::ResourceExhausted(
         "persisted storage exceeds this player's quota");
   }
-  std::map<std::string, Bytes> loaded;
+  // Bypass injected disc.read faults: the container is in memory and its
+  // trailer already proved integrity; checksums are rebuilt fresh.
+  fault::FaultInjector disarmed;
+  container.set_fault_injector(&disarmed);
+  std::map<std::string, Entry> loaded;
   for (const std::string& path : container.List()) {
-    loaded[path] = container.Get(path).value();
+    DISCSEC_ASSIGN_OR_RETURN(Bytes data, container.Get(path));
+    Bytes sum = crypto::Sha256::Hash(data);
+    loaded[path] = Entry{std::move(data), std::move(sum)};
   }
   entries_ = std::move(loaded);
   return Status::OK();

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/result.h"
 
 namespace discsec {
@@ -16,16 +17,26 @@ namespace disc {
 /// the player") and of its §4 partial-encryption example (encrypted game
 /// high scores). Quota-bounded key/value octet store; access control is
 /// enforced above by the PEP, confidentiality by XML-Enc.
+///
+/// Every entry carries a SHA-256 checksum computed over the bytes the
+/// writer *intended* to store, verified on each Read. A write interrupted
+/// mid-flight (torn write, injected via fault::kStorageWrite) therefore
+/// leaves a detectably-corrupt entry rather than silently wrong data.
 class LocalStorage {
  public:
   /// `quota_bytes` bounds the sum of stored values (0 = unlimited).
   explicit LocalStorage(size_t quota_bytes = 0) : quota_(quota_bytes) {}
 
   /// Stores `data` under `path`; fails with ResourceExhausted when the
-  /// write would exceed the quota.
+  /// write would exceed the quota. Under an injected storage.write fault an
+  /// error-kind fault is fail-stop (nothing written, status returned) while
+  /// a data-kind fault models a torn write: the mangled bytes are stored
+  /// against the intended checksum and kUnavailable is returned, so a later
+  /// Read reports Corruption instead of returning the mangled bytes.
   Status Write(const std::string& path, Bytes data);
   Status WriteText(const std::string& path, std::string_view text);
 
+  /// Returns the entry, verifying its checksum (Corruption on mismatch).
   Result<Bytes> Read(const std::string& path) const;
   Result<std::string> ReadText(const std::string& path) const;
 
@@ -45,12 +56,27 @@ class LocalStorage {
 
   /// Replaces the current entries with those from `fs_path`. Entries that
   /// exceed the quota are refused wholesale (the file is inconsistent with
-  /// this player's provisioning).
+  /// this player's provisioning). Checksums are recomputed on load; the
+  /// container's own SHA-256 trailer vouches for the file contents.
   Status LoadFromFile(const std::string& fs_path);
 
+  /// Attaches a fault injector consulted on Read (fault::kStorageRead,
+  /// modelling at-rest bit-rot and transient flash errors) and Write
+  /// (fault::kStorageWrite, modelling torn writes and write failures);
+  /// detail = entry path. Null reverts to the global injector.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
+  struct Entry {
+    Bytes data;
+    Bytes sum;  ///< SHA-256 over the bytes the writer intended to store.
+  };
+
   size_t quota_;
-  std::map<std::string, Bytes> entries_;
+  std::map<std::string, Entry> entries_;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 }  // namespace disc

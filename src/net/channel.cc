@@ -25,31 +25,38 @@ Result<Bytes> ChannelEndpoint::Seal(const Bytes& plaintext) {
   Append(&record, ciphertext);
   Bytes mac = crypto::Hmac::Sha256Mac(send_mac_, record);
   Append(&record, mac);
+  DISCSEC_RETURN_IF_ERROR(fault::Effective(fault_)
+                              ->HitData(fault::kNetSeal, &record, "seal")
+                              .WithContext("secure channel"));
   return record;
 }
 
 Result<Bytes> ChannelEndpoint::Open(const Bytes& record) {
   if (rng_ == nullptr) return Status::InvalidArgument("endpoint not connected");
+  Bytes damaged = record;
+  DISCSEC_RETURN_IF_ERROR(fault::Effective(fault_)
+                              ->HitData(fault::kNetOpen, &damaged, "open")
+                              .WithContext("secure channel"));
   constexpr size_t kMacLen = 32;
-  if (record.size() < 12 + kMacLen) {
+  if (damaged.size() < 12 + kMacLen) {
     return Status::Corruption("record too short");
   }
-  size_t body_len = record.size() - kMacLen;
-  Bytes body(record.begin(), record.begin() + body_len);
-  Bytes mac(record.begin() + body_len, record.end());
+  size_t body_len = damaged.size() - kMacLen;
+  Bytes body(damaged.begin(), damaged.begin() + body_len);
+  Bytes mac(damaged.begin() + body_len, damaged.end());
   if (!ConstantTimeEquals(crypto::Hmac::Sha256Mac(recv_mac_, body), mac)) {
     return Status::VerificationFailed("record MAC mismatch (tampered?)");
   }
-  uint64_t seq = ReadUint64BE(record.data());
+  uint64_t seq = ReadUint64BE(damaged.data());
   if (seq != recv_seq_) {
     return Status::VerificationFailed("record sequence mismatch (replay?)");
   }
   ++recv_seq_;
-  uint32_t len = ReadUint32BE(record.data() + 8);
+  uint32_t len = ReadUint32BE(damaged.data() + 8);
   if (12 + len != body_len) {
     return Status::Corruption("record length mismatch");
   }
-  Bytes ciphertext(record.begin() + 12, record.begin() + body_len);
+  Bytes ciphertext(damaged.begin() + 12, damaged.begin() + body_len);
   return crypto::AesCbcDecrypt(recv_key_, ciphertext);
 }
 

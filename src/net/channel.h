@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "crypto/rsa.h"
@@ -31,11 +32,20 @@ class ChannelEndpoint {
   /// replayed/reordered sequence numbers.
   Result<Bytes> Open(const Bytes& record);
 
+  /// Attaches a fault injector consulted on Seal (fault::kNetSeal, the
+  /// outbound record) and Open (fault::kNetOpen, a local copy of the
+  /// inbound record before MAC verification — modelling on-the-wire damage,
+  /// which the MAC then catches). Null reverts to the global injector.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   Bytes send_key_, recv_key_, send_mac_, recv_mac_;
   uint64_t send_seq_ = 0;
   uint64_t recv_seq_ = 0;
   Rng* rng_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
 };
 
 /// Result of the handshake: the two connected endpoints (in-process

@@ -23,27 +23,47 @@ bool ContentServer::Hosts(const std::string& path) const {
   return content_.count(path) > 0;
 }
 
-Result<Bytes> Downloader::Roundtrip(const Bytes& request, bool is_xkms) {
+Result<Bytes> Downloader::Roundtrip(const Bytes& request, bool is_xkms,
+                                    bool* service_error) {
+  fault::FaultInjector* injector = fault::Effective(options_.fault);
   auto tap = [this](const Bytes& wire) {
     return options_.tap ? options_.tap(wire) : wire;
   };
 
-  // Server-side dispatch once the request plaintext is in hand.
-  auto dispatch = [this, is_xkms](const Bytes& plain) -> Result<Bytes> {
+  // Server-side dispatch once the request plaintext is in hand. A failure
+  // here is the *service* answering badly, not the network losing bytes —
+  // mark it so callers can classify.
+  auto dispatch = [this, is_xkms,
+                   service_error](const Bytes& plain) -> Result<Bytes> {
+    auto mark = [service_error] {
+      if (service_error != nullptr) *service_error = true;
+    };
     if (is_xkms) {
-      DISCSEC_ASSIGN_OR_RETURN(std::string response,
-                               server_->xkms()->HandleRequest(
-                                   ToString(plain)));
-      return ToBytes(response);
+      Result<std::string> response =
+          server_->xkms()->HandleRequest(ToString(plain));
+      if (!response.ok()) {
+        mark();
+        return response.status();
+      }
+      return ToBytes(std::move(response).value());
     }
-    return server_->HandleGet(ToString(plain));
+    Result<Bytes> content = server_->HandleGet(ToString(plain));
+    if (!content.ok()) mark();
+    return content;
   };
 
   if (!options_.use_secure_channel) {
     // Plain HTTP-like exchange: the tap sees (and may alter) everything.
     Bytes wire_request = tap(request);
+    DISCSEC_RETURN_IF_ERROR(
+        injector->HitData(fault::kNetWire, &wire_request, "request")
+            .WithContext("network"));
     DISCSEC_ASSIGN_OR_RETURN(Bytes response, dispatch(wire_request));
-    return tap(response);
+    Bytes wire_response = tap(response);
+    DISCSEC_RETURN_IF_ERROR(
+        injector->HitData(fault::kNetWire, &wire_response, "response")
+            .WithContext("network"));
+    return wire_response;
   }
 
   if (options_.trust == nullptr) {
@@ -53,10 +73,15 @@ Result<Bytes> Downloader::Roundtrip(const Bytes& request, bool is_xkms) {
       SecureChannel channel,
       EstablishSecureChannel(*options_.trust, server_->chain(),
                              server_->key(), options_.now, rng_));
+  channel.client.set_fault_injector(options_.fault);
+  channel.server.set_fault_injector(options_.fault);
   // Client -> server.
   DISCSEC_ASSIGN_OR_RETURN(Bytes sealed_request,
                            channel.client.Seal(request));
   Bytes wire_request = tap(sealed_request);
+  DISCSEC_RETURN_IF_ERROR(
+      injector->HitData(fault::kNetWire, &wire_request, "request")
+          .WithContext("network"));
   DISCSEC_ASSIGN_OR_RETURN(Bytes opened_request,
                            channel.server.Open(wire_request));
   DISCSEC_ASSIGN_OR_RETURN(Bytes response, dispatch(opened_request));
@@ -64,6 +89,9 @@ Result<Bytes> Downloader::Roundtrip(const Bytes& request, bool is_xkms) {
   DISCSEC_ASSIGN_OR_RETURN(Bytes sealed_response,
                            channel.server.Seal(response));
   Bytes wire_response = tap(sealed_response);
+  DISCSEC_RETURN_IF_ERROR(
+      injector->HitData(fault::kNetWire, &wire_response, "response")
+          .WithContext("network"));
   return channel.client.Open(wire_response);
 }
 
@@ -72,9 +100,26 @@ Result<Bytes> Downloader::Fetch(const std::string& path) {
 }
 
 Result<std::string> Downloader::XkmsExchange(const std::string& request_xml) {
-  DISCSEC_ASSIGN_OR_RETURN(Bytes response,
-                           Roundtrip(ToBytes(request_xml), /*is_xkms=*/true));
-  return ToString(response);
+  bool service_error = false;
+  Result<Bytes> response =
+      Roundtrip(ToBytes(request_xml), /*is_xkms=*/true, &service_error);
+  if (!response.ok()) {
+    if (service_error) {
+      return response.status().WithContext("XKMS service");
+    }
+    // Everything else broke in transit (handshake, torn record, injected
+    // wire fault): retryable by definition, whatever the inner code was.
+    return Status::Unavailable(response.status().ToString())
+        .WithContext("XKMS transport");
+  }
+  return ToString(std::move(response).value());
+}
+
+std::function<Result<std::string>(const std::string&)>
+Downloader::XkmsTransport() {
+  return [this](const std::string& request_xml) {
+    return XkmsExchange(request_xml);
+  };
 }
 
 }  // namespace net

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/result.h"
 #include "net/channel.h"
 #include "xkms/service.h"
@@ -60,6 +61,10 @@ class Downloader {
     const pki::CertStore* trust = nullptr;
     int64_t now = 0;
     WireTap tap;  ///< applied to every wire payload in both directions
+    /// Injector for fault::kNetWire (wire bytes in both directions; detail
+    /// "request"/"response") and, over the secure channel, the endpoint
+    /// points fault::kNetSeal/kNetOpen. Null means the global injector.
+    fault::FaultInjector* fault = nullptr;
   };
 
   Downloader(ContentServer* server, Options options, Rng* rng)
@@ -72,11 +77,23 @@ class Downloader {
   Result<Bytes> Fetch(const std::string& path);
 
   /// Sends an XKMS request to the server's trust service over the same
-  /// transport, returning the response markup.
+  /// transport, returning the response markup. Failures are classified:
+  /// errors raised by the trust service itself keep their code with an
+  /// "XKMS service" context, while anything that broke in transit
+  /// (handshake, torn records, injected wire faults) comes back as
+  /// retryable kUnavailable with an "XKMS transport" context.
   Result<std::string> XkmsExchange(const std::string& request_xml);
 
+  /// A transport closure for xkms::XkmsClient bound to XkmsExchange().
+  /// This downloader must outlive the returned closure.
+  std::function<Result<std::string>(const std::string&)> XkmsTransport();
+
  private:
-  Result<Bytes> Roundtrip(const Bytes& request, bool is_xkms);
+  /// `service_error`, when non-null, is set to true iff the request reached
+  /// the server-side handler and *it* failed — the marker XkmsExchange uses
+  /// to tell terminal service errors from retryable transport errors.
+  Result<Bytes> Roundtrip(const Bytes& request, bool is_xkms,
+                          bool* service_error = nullptr);
 
   ContentServer* server_;
   Options options_;

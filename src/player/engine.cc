@@ -33,8 +33,15 @@ class PhaseTimer {
 
 }  // namespace
 
+DiscPlayback::DiscPlayback() = default;
+DiscPlayback::~DiscPlayback() = default;
+DiscPlayback::DiscPlayback(DiscPlayback&&) noexcept = default;
+DiscPlayback& DiscPlayback::operator=(DiscPlayback&&) noexcept = default;
+
 InteractiveApplicationEngine::InteractiveApplicationEngine(PlayerConfig config)
-    : config_(std::move(config)), storage_(config_.storage_quota) {}
+    : config_(std::move(config)), storage_(config_.storage_quota) {
+  storage_.set_fault_injector(config_.fault);
+}
 
 Status InteractiveApplicationEngine::VerifyPhase(
     xml::Document* doc, Origin origin,
@@ -86,15 +93,24 @@ Status InteractiveApplicationEngine::VerifyPhase(
     }
 
     // Optional XKMS key-binding validation against the trust server (§7).
+    // Only a definite "no such binding" is a verification verdict; a
+    // transport or service breakdown keeps its own code (and retryability)
+    // so callers can tell "key not registered" from "could not ask".
     if (config_.xkms != nullptr && !result->key_name.empty()) {
       auto binding = config_.xkms->Locate(result->key_name);
       if (!binding.ok()) {
-        return Status::VerificationFailed("XKMS: signer key '" +
-                                          result->key_name +
-                                          "' is not registered");
+        if (binding.status().IsNotFound()) {
+          return Status::VerificationFailed("XKMS: signer key '" +
+                                            result->key_name +
+                                            "' is not registered");
+        }
+        return binding.status().WithContext("XKMS key-binding validation");
       }
       auto status = config_.xkms->Validate(result->key_name, binding->key);
-      if (!status.ok() || status.value() != xkms::KeyStatus::kValid) {
+      if (!status.ok()) {
+        return status.status().WithContext("XKMS key-binding validation");
+      }
+      if (status.value() != xkms::KeyStatus::kValid) {
         return Status::VerificationFailed(
             "XKMS: signer key binding is not Valid (revoked?)");
       }
@@ -350,6 +366,63 @@ Result<LaunchReport> InteractiveApplicationEngine::LaunchFromDisc(
                        disc::MakeDiscResolver(&image)));
   report.timings.fetch_us = fetch_us;
   return report;
+}
+
+Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
+    const disc::DiscImage& image) {
+  // The cluster document is the disc's table of contents: unreadable or
+  // malformed means there is nothing to salvage, degraded mode or not.
+  DISCSEC_ASSIGN_OR_RETURN(std::string cluster_xml,
+                           image.GetText(disc::kClusterPath));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc,
+                           xml::Parse(cluster_xml, config_.parse_limits));
+  DISCSEC_ASSIGN_OR_RETURN(disc::InteractiveCluster cluster,
+                           disc::InteractiveCluster::FromXml(doc));
+  DISCSEC_RETURN_IF_ERROR(cluster.Validate());
+
+  DiscPlayback playback;
+  const bool degraded_ok = config_.allow_degraded_playback;
+  // Interactive application track through the full security pipeline.
+  const disc::Track* app_track = cluster.FirstApplicationTrack();
+  if (app_track != nullptr) {
+    auto session = BeginSession(cluster_xml, Origin::kDisc,
+                                disc::MakeDiscResolver(&image));
+    if (session.ok()) {
+      playback.app = std::move(session).value();
+    } else if (!degraded_ok) {
+      return session.status().WithContext("track '" + app_track->id + "'");
+    } else {
+      playback.quarantined.push_back(
+          TrackFailure{app_track->id, "application", session.status()});
+    }
+  }
+  // AV tracks: rights, clip chain, essence validation.
+  xrml::ExerciseContext rights_context;
+  rights_context.principal = config_.device_id;
+  rights_context.now = config_.now;
+  rights_context.territory = config_.territory;
+  for (const disc::Track& track : cluster.tracks) {
+    if (track.kind != disc::Track::Kind::kAudioVideo) continue;
+    auto plan = BuildPlaybackPlan(cluster, image, track.id, config_.rights,
+                                  rights_context);
+    if (plan.ok()) {
+      playback.played.push_back(std::move(plan).value());
+    } else if (!degraded_ok) {
+      return plan.status().WithContext("track '" + track.id + "'");
+    } else {
+      playback.quarantined.push_back(
+          TrackFailure{track.id, "playback", plan.status()});
+    }
+  }
+  // A disc where *nothing* survived quarantine is a failed insertion, and
+  // the first quarantine reason is the best explanation.
+  if (playback.app == nullptr && playback.played.empty() &&
+      !playback.quarantined.empty()) {
+    const TrackFailure& first = playback.quarantined.front();
+    return first.status.WithContext("track '" + first.track_id +
+                                    "' (no track played)");
+  }
+  return playback;
 }
 
 Result<LaunchReport> InteractiveApplicationEngine::LaunchFromServer(

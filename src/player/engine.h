@@ -8,6 +8,7 @@
 
 #include "access/pep.h"
 #include "access/policy.h"
+#include "common/fault.h"
 #include "common/random.h"
 #include "common/result.h"
 #include "disc/content.h"
@@ -15,6 +16,7 @@
 #include "disc/local_storage.h"
 #include "net/server.h"
 #include "pki/cert_store.h"
+#include "player/playback.h"
 #include "script/interpreter.h"
 #include "smil/smil.h"
 #include "xkms/client.h"
@@ -85,6 +87,17 @@ struct PlayerConfig {
   /// This player's identity and region for rights evaluation.
   std::string device_id = "player-device";
   std::string territory = "EU";
+  /// Degraded-mode policy for PlayDisc: when true, a track whose security
+  /// pipeline or essence validation fails is quarantined (reported in
+  /// DiscPlayback::quarantined) and the remaining verified tracks still
+  /// play; when false (the production default) the first failure aborts
+  /// the whole disc. Degraded mode never *runs* anything that failed
+  /// verification — it only skips it.
+  bool allow_degraded_playback = false;
+  /// Injector handed to this engine's local storage (and available to
+  /// callers wiring the same instance into disc images and downloaders).
+  /// Null means the process-global injector.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// One drawing operation the application performed (the graphics plane).
@@ -130,6 +143,35 @@ struct LaunchReport {
   PhaseTimings timings;
 };
 
+/// One track the player refused to present, and why — the structured
+/// failure report of degraded-mode playback.
+struct TrackFailure {
+  std::string track_id;
+  /// Which stage quarantined it: "application" (the security/launch
+  /// pipeline of the interactive track) or "playback" (AV plan building:
+  /// rights, clip resolution, essence validation).
+  std::string phase;
+  Status status;
+};
+
+/// What a full disc insertion produced: the interactive application session
+/// (when its track launched), the playback plans of every AV track that
+/// validated, and the quarantine list for everything that did not.
+struct DiscPlayback {
+  DiscPlayback();
+  ~DiscPlayback();
+  DiscPlayback(DiscPlayback&&) noexcept;
+  DiscPlayback& operator=(DiscPlayback&&) noexcept;
+
+  /// Live application session, or null when the disc has no application
+  /// track (or it was quarantined).
+  std::unique_ptr<ApplicationSession> app;
+  std::vector<PlaybackPlan> played;
+  std::vector<TrackFailure> quarantined;
+
+  bool degraded() const { return !quarantined.empty(); }
+};
+
 /// The Interactive Application Engine of the paper's Fig. 11: "the main
 /// component, which has access to the Interactive Cluster and is
 /// responsible for getting the application contents decrypted, if
@@ -144,6 +186,16 @@ class InteractiveApplicationEngine {
   /// Inserts a disc: loads the cluster document from the image, runs the
   /// security pipeline with Origin::kDisc, validates AV essence.
   Result<LaunchReport> LaunchFromDisc(const disc::DiscImage& image);
+
+  /// Full disc insertion with per-track fault isolation: launches the
+  /// application track through the security pipeline and builds a playback
+  /// plan for every AV track. A track failure is terminal in the default
+  /// strict mode; with PlayerConfig::allow_degraded_playback it is
+  /// quarantined into the report instead and the rest of the disc still
+  /// plays. Failures of the disc as a whole (unreadable or malformed
+  /// cluster document) are always terminal, as is the case where every
+  /// track failed.
+  Result<DiscPlayback> PlayDisc(const disc::DiscImage& image);
 
   /// Downloads a cluster document from a content server and launches it
   /// with Origin::kNetwork.

@@ -59,7 +59,12 @@ void BindHostApi(script::Interpreter* interpreter,
         DISCSEC_RETURN_IF_ERROR(
             pep->Check("localstorage", "read", {{"path", path}}));
         auto text = storage->ReadText(path);
-        if (!text.ok()) return Value::Null();
+        // Absence is an ordinary null to the script; anything else (I/O
+        // fault, checksum mismatch) is a real error it must see.
+        if (!text.ok()) {
+          if (text.status().IsNotFound()) return Value::Null();
+          return text.status();
+        }
         return Value::String(std::move(text).value());
       });
   storage_api.AsObject()["exists"] = Value::Native(
@@ -96,7 +101,12 @@ void BindHostApi(script::Interpreter* interpreter,
         bool any = false;
         for (const std::string& path : storage->ListPrefix("scores/")) {
           auto text = storage->ReadText(path);
-          if (!text.ok()) continue;
+          if (!text.ok()) {
+            // A concurrently-removed entry is skippable; corruption or an
+            // I/O fault must not silently shrink the leaderboard.
+            if (text.status().IsNotFound()) continue;
+            return text.status();
+          }
           char* end = nullptr;
           double v = std::strtod(text->c_str(), &end);
           if (end != text->c_str() && (!any || v > best)) {

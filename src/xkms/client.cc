@@ -6,16 +6,47 @@
 namespace discsec {
 namespace xkms {
 
+namespace {
+
+/// Parses response markup, labelling failures as response-layer errors.
+Result<xml::Document> ParseResponse(const std::string& response_xml) {
+  Result<xml::Document> doc = xml::Parse(response_xml);
+  if (!doc.ok()) return doc.status().WithContext("XKMS response");
+  return doc;
+}
+
+}  // namespace
+
 XkmsClient XkmsClient::Direct(XkmsService* service) {
-  return XkmsClient([service](const std::string& request) {
-    return service->HandleRequest(request);
-  });
+  return XkmsClient(DirectTransport(service));
+}
+
+Transport XkmsClient::DirectTransport(XkmsService* service,
+                                      fault::FaultInjector* injector) {
+  return [service,
+          injector](const std::string& request) -> Result<std::string> {
+    std::string wire_request = request;
+    DISCSEC_RETURN_IF_ERROR(
+        fault::Effective(injector)
+            ->HitData(fault::kXkmsTransport, &wire_request, "request")
+            .WithContext("XKMS transport"));
+    Result<std::string> response = service->HandleRequest(wire_request);
+    if (!response.ok()) {
+      return response.status().WithContext("XKMS service");
+    }
+    std::string wire_response = std::move(response).value();
+    DISCSEC_RETURN_IF_ERROR(
+        fault::Effective(injector)
+            ->HitData(fault::kXkmsTransport, &wire_response, "response")
+            .WithContext("XKMS transport"));
+    return wire_response;
+  };
 }
 
 Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildLocateRequest(name)));
-  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const xml::Element* root = doc.root();
   const std::string* minor = root->GetAttribute("ResultMinor");
   if (minor != nullptr && *minor == "NoMatch") {
@@ -23,16 +54,22 @@ Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
   }
   const xml::Element* kb = root->FirstChildElementByLocalName("KeyBinding");
   if (kb == nullptr) {
-    return Status::ParseError("LocateResult missing KeyBinding");
+    return Status::ParseError("LocateResult missing KeyBinding")
+        .WithContext("XKMS response");
   }
   KeyBinding binding;
   const xml::Element* key_name = kb->FirstChildElementByLocalName("KeyName");
   const xml::Element* key = kb->FirstChildElementByLocalName("RSAKeyValue");
   if (key_name == nullptr || key == nullptr) {
-    return Status::ParseError("KeyBinding missing fields");
+    return Status::ParseError("KeyBinding missing fields")
+        .WithContext("XKMS response");
   }
   binding.name = key_name->TextContent();
-  DISCSEC_ASSIGN_OR_RETURN(binding.key, pki::RsaKeyFromXml(*key));
+  Result<crypto::RsaPublicKey> parsed_key = pki::RsaKeyFromXml(*key);
+  if (!parsed_key.ok()) {
+    return parsed_key.status().WithContext("XKMS response");
+  }
+  binding.key = std::move(parsed_key).value();
   for (const auto& child : kb->children()) {
     if (!child->IsElement()) continue;
     const auto* e = static_cast<const xml::Element*>(child.get());
@@ -52,11 +89,12 @@ Result<KeyStatus> XkmsClient::Validate(const std::string& name,
                                        const crypto::RsaPublicKey& key) {
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildValidateRequest(name, key)));
-  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const xml::Element* status =
       doc.root()->FirstChildElementByLocalName("Status");
   if (status == nullptr) {
-    return Status::ParseError("ValidateResult missing Status");
+    return Status::ParseError("ValidateResult missing Status")
+        .WithContext("XKMS response");
   }
   std::string s = status->TextContent();
   if (s == "Valid") return KeyStatus::kValid;
@@ -67,7 +105,7 @@ Result<KeyStatus> XkmsClient::Validate(const std::string& name,
 Status XkmsClient::Register(const KeyBinding& binding) {
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildRegisterRequest(binding)));
-  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const std::string* major = doc.root()->GetAttribute("ResultMajor");
   if (major == nullptr || *major != "Success") {
     return Status::VerificationFailed("XKMS register rejected");
@@ -78,7 +116,7 @@ Status XkmsClient::Register(const KeyBinding& binding) {
 Status XkmsClient::Revoke(const std::string& name) {
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildRevokeRequest(name)));
-  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(response_xml));
+  DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const std::string* major = doc.root()->GetAttribute("ResultMajor");
   if (major == nullptr || *major != "Success") {
     return Status::NotFound("XKMS revoke failed for '" + name + "'");

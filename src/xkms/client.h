@@ -4,6 +4,7 @@
 #include <functional>
 #include <string>
 
+#include "common/fault.h"
 #include "common/result.h"
 #include "xkms/service.h"
 
@@ -18,6 +19,12 @@ using Transport =
 
 /// Player/author-side XKMS client: builds request markup, sends it through
 /// the transport, parses the response.
+///
+/// Error taxonomy: transport failures come back from the Transport itself
+/// (an "XKMS transport" context, kUnavailable when retryable), errors the
+/// trust service raised carry an "XKMS service" context, and a response
+/// that arrived but does not parse as the expected result markup gets an
+/// "XKMS response" context here — three distinct, testable layers.
 class XkmsClient {
  public:
   explicit XkmsClient(Transport transport)
@@ -38,6 +45,15 @@ class XkmsClient {
 
   /// Binds a client directly to an in-process service (no wire).
   static XkmsClient Direct(XkmsService* service);
+
+  /// The transport Direct() uses, exposed so callers can wrap it (retry,
+  /// fault injection). Consults `injector` (null = global) at the
+  /// fault::kXkmsTransport point on the request and response strings
+  /// (details "request"/"response"); service-side failures are labelled
+  /// "XKMS service", injected transport errors "XKMS transport". The
+  /// service must outlive the returned closure.
+  static Transport DirectTransport(XkmsService* service,
+                                   fault::FaultInjector* injector = nullptr);
 
  private:
   Transport transport_;

@@ -1,0 +1,79 @@
+#include "xkms/retrying_transport.h"
+
+#include <chrono>
+#include <string>
+
+namespace discsec {
+namespace xkms {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Shared by every copy of the returned std::function.
+struct TransportState {
+  TransportState(Transport t, const RetryingTransportOptions& o)
+      : inner(std::move(t)),
+        retryer(o.retry, o.clock, o.sleep, o.jitter_seed),
+        breaker(o.breaker),
+        clock(o.clock ? o.clock : Retryer::Clock(SteadyNowUs)) {}
+
+  Transport inner;
+  Retryer retryer;
+  CircuitBreaker breaker;
+  Retryer::Clock clock;
+  RetryingTransportStats stats;
+};
+
+}  // namespace
+
+Transport MakeRetryingTransport(
+    Transport inner, RetryingTransportOptions options,
+    std::shared_ptr<const RetryingTransportStats>* stats) {
+  auto state = std::make_shared<TransportState>(std::move(inner), options);
+  if (stats != nullptr) {
+    // Aliasing share: the counters live exactly as long as the transport.
+    *stats = std::shared_ptr<const RetryingTransportStats>(state,
+                                                           &state->stats);
+  }
+  return [state](const std::string& request) -> Result<std::string> {
+    ++state->stats.calls;
+    if (!state->breaker.Allow(state->clock())) {
+      ++state->stats.breaker_rejections;
+      state->stats.breaker_state = state->breaker.state(state->clock());
+      return Status::Unavailable(
+                 std::string("circuit breaker is ") +
+                 CircuitStateName(state->stats.breaker_state) +
+                 " after " +
+                 std::to_string(state->breaker.consecutive_failures()) +
+                 " consecutive failures; failing fast")
+          .WithContext("XKMS transport");
+    }
+    uint64_t attempts_this_call = 0;
+    Result<std::string> out = state->retryer.Call<std::string>(
+        [&]() -> Result<std::string> {
+          ++attempts_this_call;
+          return state->inner(request);
+        });
+    state->stats.attempts += attempts_this_call;
+    if (attempts_this_call > 0) {
+      state->stats.retries += attempts_this_call - 1;
+    }
+    // One *call* is one breaker verdict, however many attempts it took:
+    // a call that only succeeded on retry is still a success.
+    if (out.ok()) {
+      state->breaker.RecordSuccess();
+    } else {
+      state->breaker.RecordFailure(state->clock());
+    }
+    state->stats.breaker_state = state->breaker.state(state->clock());
+    return out;
+  };
+}
+
+}  // namespace xkms
+}  // namespace discsec

@@ -1,0 +1,52 @@
+#ifndef DISCSEC_XKMS_RETRYING_TRANSPORT_H_
+#define DISCSEC_XKMS_RETRYING_TRANSPORT_H_
+
+#include <memory>
+
+#include "common/retry.h"
+#include "xkms/client.h"
+
+namespace discsec {
+namespace xkms {
+
+/// Configuration for MakeRetryingTransport.
+struct RetryingTransportOptions {
+  RetryPolicy retry;
+  CircuitBreaker::Options breaker;
+  /// Injectable clock/sleep, microseconds — tests drive deadlines and
+  /// breaker cool-downs with a fake clock and no real sleeping. Defaults
+  /// (empty) use the steady clock and a real sleep.
+  Retryer::Clock clock;
+  Retryer::SleepFn sleep;
+  uint64_t jitter_seed = 0;
+};
+
+/// Counters describing what the wrapper has done, for tests and telemetry.
+/// Snapshot semantics: read them between calls, not concurrently.
+struct RetryingTransportStats {
+  uint64_t calls = 0;          ///< transport invocations by the client
+  uint64_t attempts = 0;       ///< underlying sends, including retries
+  uint64_t retries = 0;        ///< attempts beyond the first, per call
+  uint64_t breaker_rejections = 0;  ///< calls refused while the circuit
+                                    ///< was open (no send happened)
+  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+};
+
+/// Wraps an xkms::Transport with a RetryPolicy and a circuit breaker:
+/// retryable (kUnavailable) failures are retried under the policy, and a
+/// run of consecutive failed *calls* opens the circuit so a struggling
+/// trust service is not hammered — further calls fail fast with
+/// kUnavailable until the cool-down admits a probe.
+///
+/// The returned closure and `stats` share state owned by a shared_ptr, so
+/// the Transport may be copied freely (std::function copies); `stats`, if
+/// non-null, receives the shared counters and stays valid as long as any
+/// copy of the transport lives.
+Transport MakeRetryingTransport(
+    Transport inner, RetryingTransportOptions options,
+    std::shared_ptr<const RetryingTransportStats>* stats = nullptr);
+
+}  // namespace xkms
+}  // namespace discsec
+
+#endif  // DISCSEC_XKMS_RETRYING_TRANSPORT_H_

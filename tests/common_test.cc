@@ -3,7 +3,9 @@
 #include "common/base64.h"
 #include "common/byte_sink.h"
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/strings.h"
 
@@ -200,6 +202,345 @@ TEST(ByteSinkTest, PolymorphicUseThroughBasePointer) {
   ByteSink* sink = &string_sink;
   sink->Append("via base");
   EXPECT_EQ(out, "via base");
+}
+
+TEST(StatusTest, RetryabilityTaxonomy) {
+  EXPECT_TRUE(Status::Unavailable("link down").IsUnavailable());
+  EXPECT_TRUE(Status::Unavailable("link down").IsRetryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("budget gone").IsDeadlineExceeded());
+  // Everything that is not kUnavailable is terminal.
+  EXPECT_FALSE(Status::DeadlineExceeded("budget gone").IsRetryable());
+  EXPECT_FALSE(Status::VerificationFailed("bad digest").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("missing").IsRetryable());
+  EXPECT_FALSE(Status::OK().IsRetryable());
+}
+
+TEST(StatusTest, WithContextStacksOutermostFirst) {
+  Status s = Status::Unavailable("socket reset")
+                 .WithContext("XKMS transport")
+                 .WithContext("key-binding validation");
+  EXPECT_EQ(s.ToString(),
+            "Unavailable: key-binding validation: XKMS transport: "
+            "socket reset");
+  EXPECT_TRUE(s.IsRetryable());  // context never changes the code
+}
+
+TEST(FaultInjectorTest, DisarmedPointIsPassThrough) {
+  fault::FaultInjector injector;
+  Bytes data = {1, 2, 3};
+  EXPECT_TRUE(injector.HitData(fault::kDiscRead, &data, "x").ok());
+  EXPECT_EQ(data, (Bytes{1, 2, 3}));
+  EXPECT_EQ(injector.hits(fault::kDiscRead), 0u);  // not even counted
+  EXPECT_FALSE(injector.armed());
+}
+
+TEST(FaultInjectorTest, ErrorFaultInjectsConfiguredStatus) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageWrite);
+  spec.code = Status::Code::kDeadlineExceeded;
+  spec.message = "disk went away";
+  injector.Arm(spec);
+  Status s = injector.Hit(fault::kStorageWrite);
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  // The injected message names its fault point for replayability.
+  EXPECT_EQ(s.ToString(),
+            "DeadlineExceeded: disk went away at 'storage.write'");
+  EXPECT_EQ(injector.hits(fault::kStorageWrite), 1u);
+  EXPECT_EQ(injector.fires(fault::kStorageWrite), 1u);
+  // Other points are unaffected.
+  EXPECT_TRUE(injector.Hit(fault::kDiscRead).ok());
+}
+
+TEST(FaultInjectorTest, CorruptFlipsExactlyOneByteTruncateShortens) {
+  fault::FaultInjector injector(42);
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kDiscRead);
+  spec.kind = fault::Kind::kCorrupt;
+  injector.Arm(spec);
+  Bytes original(64, 0xAB);
+  Bytes data = original;
+  EXPECT_TRUE(injector.HitData(fault::kDiscRead, &data).ok());
+  ASSERT_EQ(data.size(), original.size());
+  int diffs = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data[i] != original[i]) ++diffs;
+  }
+  EXPECT_EQ(diffs, 1);
+
+  spec.kind = fault::Kind::kTruncate;
+  injector.Arm(spec);
+  data = original;
+  EXPECT_TRUE(injector.HitData(fault::kDiscRead, &data).ok());
+  EXPECT_LT(data.size(), original.size());
+}
+
+TEST(FaultInjectorTest, EqualSeedsGiveEqualCorruption) {
+  Bytes a(128, 0x5C), b(128, 0x5C);
+  for (Bytes* data : {&a, &b}) {
+    fault::FaultInjector injector(1234);
+    fault::FaultSpec spec;
+    spec.point = std::string(fault::kNetWire);
+    spec.kind = fault::Kind::kCorrupt;
+    injector.Arm(spec);
+    EXPECT_TRUE(injector.HitData(fault::kNetWire, data).ok());
+  }
+  EXPECT_EQ(a, b);  // deterministic replay: same seed, same flipped bit
+}
+
+TEST(FaultInjectorTest, TriggerGatesCompose) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageRead);
+  spec.skip_first = 2;
+  spec.every_nth = 2;
+  spec.max_fires = 2;
+  injector.Arm(spec);
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) {
+    fired.push_back(!injector.Hit(fault::kStorageRead).ok());
+  }
+  // Hits 0,1 skipped; of the eligible hits 2,3,4,... every 2nd fires
+  // starting with the first eligible one; budget stops it after 2 fires.
+  EXPECT_EQ(injector.hits(fault::kStorageRead), 10u);
+  EXPECT_EQ(injector.fires(fault::kStorageRead), 2u);
+  EXPECT_EQ(std::count(fired.begin(), fired.end(), true), 2);
+  EXPECT_FALSE(fired[0]);
+  EXPECT_FALSE(fired[1]);
+}
+
+TEST(FaultInjectorTest, DetailFilterTargetsOneFile) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kDiscRead);
+  spec.detail_filter = "00002.m2ts";
+  injector.Arm(spec);
+  EXPECT_TRUE(injector.Hit(fault::kDiscRead, "BDMV/STREAM/00001.m2ts").ok());
+  EXPECT_FALSE(
+      injector.Hit(fault::kDiscRead, "BDMV/STREAM/00002.m2ts").ok());
+  EXPECT_EQ(injector.hits(fault::kDiscRead), 2u);
+  EXPECT_EQ(injector.fires(fault::kDiscRead), 1u);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityNeverFiresAndResetClears) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kNetSeal);
+  spec.probability = 0.0;
+  injector.Arm(spec);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(injector.Hit(fault::kNetSeal).ok());
+  }
+  EXPECT_EQ(injector.hits(fault::kNetSeal), 50u);
+  EXPECT_EQ(injector.fires(fault::kNetSeal), 0u);
+  injector.Reset();
+  EXPECT_FALSE(injector.armed());
+  EXPECT_EQ(injector.hits(fault::kNetSeal), 0u);
+  EXPECT_EQ(injector.total_fires(), 0u);
+}
+
+TEST(FaultInjectorTest, EffectiveFallsBackToGlobalInjector) {
+  fault::FaultInjector local;
+  EXPECT_EQ(fault::Effective(&local), &local);
+  EXPECT_EQ(fault::Effective(nullptr), &fault::GlobalFaultInjector());
+  // The global injector is disarmed by default and can be armed/reset by
+  // command-line tools (--inject-fault).
+  EXPECT_FALSE(fault::GlobalFaultInjector().armed());
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kToolRead);
+  fault::GlobalFaultInjector().Arm(spec);
+  EXPECT_FALSE(fault::GlobalFaultInjector().Hit(fault::kToolRead).ok());
+  fault::GlobalFaultInjector().Reset();
+  EXPECT_FALSE(fault::GlobalFaultInjector().armed());
+  EXPECT_TRUE(fault::GlobalFaultInjector().Hit(fault::kToolRead).ok());
+}
+
+TEST(FaultInjectorTest, KindNamesRoundTrip) {
+  for (fault::Kind kind : {fault::Kind::kError, fault::Kind::kCorrupt,
+                           fault::Kind::kTruncate}) {
+    auto parsed = fault::KindFromName(fault::KindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_TRUE(fault::KindFromName("meltdown").status().IsInvalidArgument());
+}
+
+/// Fake time base for Retryer tests: clock reads a counter, sleep advances
+/// it and records the schedule. No real sleeping anywhere.
+struct FakeTime {
+  int64_t now_us = 0;
+  std::vector<int64_t> sleeps;
+  Retryer::Clock clock() {
+    return [this] { return now_us; };
+  }
+  Retryer::SleepFn sleep() {
+    return [this](int64_t us) {
+      sleeps.push_back(us);
+      now_us += us;
+    };
+  }
+};
+
+TEST(RetryerTest, SucceedsAfterTransientFailuresWithExponentialBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  FakeTime time;
+  Retryer retryer(policy, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    if (calls < 3) return Status::Unavailable("flaky");
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(time.sleeps, (std::vector<int64_t>{1000, 2000}));
+}
+
+TEST(RetryerTest, TerminalStatusIsNotRetried) {
+  FakeTime time;
+  Retryer retryer(RetryPolicy{}, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    return Status::VerificationFailed("bad digest");
+  });
+  EXPECT_TRUE(s.IsVerificationFailed());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(time.sleeps.empty());
+}
+
+TEST(RetryerTest, ExhaustionKeepsLastCodeAndCountsAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  FakeTime time;
+  Retryer retryer(policy, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+  EXPECT_NE(s.ToString().find("after 3 attempts"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(RetryerTest, BackoffCapsAtMax) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.backoff_multiplier = 10.0;
+  policy.max_backoff_us = 50000;
+  Retryer retryer(policy);
+  EXPECT_EQ(retryer.BackoffForAttempt(1), 1000);
+  EXPECT_EQ(retryer.BackoffForAttempt(2), 10000);
+  EXPECT_EQ(retryer.BackoffForAttempt(3), 50000);  // capped
+  EXPECT_EQ(retryer.BackoffForAttempt(4), 50000);
+}
+
+TEST(RetryerTest, JitterStaysWithinWindowAndIsSeeded) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.jitter = 0.5;
+  auto collect = [&](uint64_t seed) {
+    FakeTime time;
+    Retryer retryer(policy, time.clock(), time.sleep(), seed);
+    retryer.Run([] { return Status::Unavailable("x"); });
+    return time.sleeps;
+  };
+  std::vector<int64_t> a = collect(7), b = collect(7), c = collect(8);
+  EXPECT_EQ(a, b);  // same seed, same schedule
+  EXPECT_NE(a, c);  // different seed decorrelates
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    int64_t base = 1000 << i;
+    EXPECT_GE(a[i], base / 2);
+    EXPECT_LE(a[i], base);
+  }
+}
+
+TEST(RetryerTest, AttemptDeadlineMakesSlowFailureTerminal) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.attempt_deadline_us = 100;
+  FakeTime time;
+  Retryer retryer(policy, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    time.now_us += 500;  // the attempt itself burns 500us
+    return Status::Unavailable("slow and broken");
+  });
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_EQ(calls, 1);  // too slow to be worth hammering
+  EXPECT_NE(s.ToString().find("per-attempt deadline"), std::string::npos);
+}
+
+TEST(RetryerTest, OverallDeadlineBoundsTheRetryBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.overall_deadline_us = 2500;  // admits sleeps of 1000+2000 > budget
+  FakeTime time;
+  Retryer retryer(policy, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_LE(calls, 3);
+  EXPECT_NE(s.ToString().find("retry budget"), std::string::npos);
+  // The fake clock never advanced except through fake sleeps — proof no
+  // real time was consumed.
+  EXPECT_LE(time.now_us, 2500);
+}
+
+TEST(CircuitBreakerTest, OpensAfterThresholdAndProbesHalfOpen) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.open_duration_us = 1000;
+  CircuitBreaker breaker(options);
+  int64_t now = 0;
+
+  EXPECT_TRUE(breaker.Allow(now));
+  breaker.RecordFailure(now);
+  breaker.RecordFailure(now);
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure(now);  // third strike
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(now));
+  EXPECT_FALSE(breaker.Allow(now + 999));
+
+  now += 1000;  // open period elapses -> half-open, one probe only
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.Allow(now));
+  EXPECT_FALSE(breaker.Allow(now));
+
+  breaker.RecordSuccess();  // probe succeeded -> closed again
+  EXPECT_EQ(breaker.state(now), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.Allow(now));
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensImmediately) {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.open_duration_us = 100;
+  CircuitBreaker breaker(options);
+  breaker.RecordFailure(0);
+  EXPECT_FALSE(breaker.Allow(50));
+  EXPECT_TRUE(breaker.Allow(100));  // the half-open probe
+  breaker.RecordFailure(100);       // probe fails -> open again
+  EXPECT_EQ(breaker.state(150), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.Allow(150));
+  EXPECT_TRUE(breaker.Allow(200));  // next period, next probe
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitStateName(CircuitBreaker::State::kClosed), "closed");
+  EXPECT_STREQ(CircuitStateName(CircuitBreaker::State::kOpen), "open");
+  EXPECT_STREQ(CircuitStateName(CircuitBreaker::State::kHalfOpen),
+               "half-open");
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/fault.h"
+#include "crypto/aes.h"
 #include "disc/content.h"
 #include "disc/disc_image.h"
 #include "disc/local_storage.h"
@@ -275,6 +277,140 @@ TEST(LocalStorageTest, PersistenceRoundTrip) {
 TEST(LocalStorageTest, EmptyPathRejected) {
   LocalStorage storage;
   EXPECT_TRUE(storage.Write("", Bytes(1)).IsInvalidArgument());
+}
+
+TEST(LocalStorageTest, ZeroLengthEntriesRoundTripAndPersist) {
+  LocalStorage storage;
+  ASSERT_TRUE(storage.Write("flags/seen-intro", Bytes()).ok());
+  EXPECT_TRUE(storage.Exists("flags/seen-intro"));
+  auto read = storage.Read("flags/seen-intro");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->empty());
+  EXPECT_EQ(storage.UsedBytes(), 0u);
+
+  // Zero-length entries survive the save/load cycle too.
+  const std::string path = "/tmp/discsec_zero_len_test.bin";
+  ASSERT_TRUE(storage.SaveToFile(path).ok());
+  LocalStorage reloaded;
+  ASSERT_TRUE(reloaded.LoadFromFile(path).ok());
+  EXPECT_TRUE(reloaded.Exists("flags/seen-intro"));
+  auto reread = reloaded.Read("flags/seen-intro");
+  ASSERT_TRUE(reread.ok());
+  EXPECT_TRUE(reread->empty());
+  std::remove(path.c_str());
+}
+
+TEST(LocalStorageTest, TruncatedReadIsDetectedNotReturned) {
+  fault::FaultInjector injector;
+  LocalStorage storage;
+  storage.set_fault_injector(&injector);
+  ASSERT_TRUE(storage.WriteText("scores/alice", "4200").ok());
+
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageRead);
+  spec.kind = fault::Kind::kTruncate;
+  injector.Arm(spec);
+  auto read = storage.ReadText("scores/alice");
+  EXPECT_TRUE(read.status().IsCorruption()) << read.status().ToString();
+  EXPECT_NE(read.status().ToString().find("scores/alice"),
+            std::string::npos);
+
+  // The fault was transient (read path only): disarmed, the entry is whole.
+  injector.Disarm(fault::kStorageRead);
+  auto clean = storage.ReadText("scores/alice");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean.value(), "4200");
+}
+
+TEST(LocalStorageTest, ErrorFaultOnWriteIsFailStop) {
+  fault::FaultInjector injector;
+  LocalStorage storage;
+  storage.set_fault_injector(&injector);
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageWrite);
+  injector.Arm(spec);
+  Status s = storage.WriteText("scores/bob", "3100");
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_NE(s.ToString().find("local storage"), std::string::npos);
+  EXPECT_FALSE(storage.Exists("scores/bob"));  // nothing half-written
+}
+
+TEST(LocalStorageTest, EncryptedHighScoreOverwriteUnderPartialWriteFault) {
+  // The paper's §4 scenario: game high scores stored encrypted. A torn
+  // write while overwriting the score must not leave plausible-but-wrong
+  // ciphertext for the next read — the checksum flags it as Corruption,
+  // and a clean rewrite recovers.
+  const Bytes key(16, 0x42);
+  const Bytes iv(16, 0x07);
+  auto encrypt = [&](std::string_view plaintext) {
+    return crypto::AesCbcEncrypt(key, iv,
+                                 Bytes(plaintext.begin(), plaintext.end()))
+        .value();
+  };
+
+  fault::FaultInjector injector;
+  LocalStorage storage(1024);
+  storage.set_fault_injector(&injector);
+  ASSERT_TRUE(storage.Write("scores/highscore", encrypt("alice:4200")).ok());
+
+  // Overwrite with a better score, torn mid-write.
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageWrite);
+  spec.kind = fault::Kind::kTruncate;
+  injector.Arm(spec);
+  Status torn = storage.Write("scores/highscore", encrypt("alice:9999"));
+  EXPECT_TRUE(torn.IsUnavailable()) << torn.ToString();
+
+  // The entry now fails its checksum: neither the old nor a mangled new
+  // score is ever served.
+  injector.Disarm(fault::kStorageWrite);
+  EXPECT_TRUE(storage.Read("scores/highscore").status().IsCorruption());
+
+  // A clean rewrite (the application's retry) fully recovers.
+  ASSERT_TRUE(storage.Write("scores/highscore", encrypt("alice:9999")).ok());
+  auto recovered = storage.Read("scores/highscore");
+  ASSERT_TRUE(recovered.ok());
+  auto plaintext = crypto::AesCbcDecrypt(key, recovered.value());
+  ASSERT_TRUE(plaintext.ok());
+  EXPECT_EQ(std::string(plaintext->begin(), plaintext->end()),
+            "alice:9999");
+}
+
+TEST(LocalStorageTest, CorruptWriteFaultStoresDetectablyBadBytes) {
+  fault::FaultInjector injector;
+  LocalStorage storage;
+  storage.set_fault_injector(&injector);
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kStorageWrite);
+  spec.kind = fault::Kind::kCorrupt;
+  injector.Arm(spec);
+  Status s = storage.WriteText("prefs/lang", "en-GB");
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();  // the write reports it
+  injector.Disarm(fault::kStorageWrite);
+  // And the mangled entry can never masquerade as good data.
+  EXPECT_TRUE(storage.ReadText("prefs/lang").status().IsCorruption());
+}
+
+TEST(DiscImageTest, InjectedBitRotOnlyAffectsTheReadCopy) {
+  DiscImage image;
+  image.PutText("a/file.xml", "<doc/>");
+
+  fault::FaultInjector injector;
+  image.set_fault_injector(&injector);
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kDiscRead);
+  spec.kind = fault::Kind::kCorrupt;
+  spec.max_fires = 1;
+  injector.Arm(spec);
+
+  auto damaged = image.Get("a/file.xml");
+  ASSERT_TRUE(damaged.ok());
+  // The mastered bytes are intact — the fault models a device read error,
+  // not damage to the pressing itself — so the next read is clean.
+  auto clean = image.Get("a/file.xml");
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(std::string(clean->begin(), clean->end()), "<doc/>");
+  EXPECT_NE(damaged.value(), clean.value());
 }
 
 }  // namespace

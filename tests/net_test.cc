@@ -271,6 +271,152 @@ TEST_F(NetFixture, XkmsOverSecureChannel) {
   EXPECT_EQ(status.value(), xkms::KeyStatus::kValid);
 }
 
+// ------------------------------------------------ fault classification
+
+TEST_F(NetFixture, WireFaultSurfacesAsNetworkError) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kNetWire);
+  injector.Arm(spec);
+
+  ContentServer server = MakeServer();
+  pki::CertStore trust = Trust();
+  Downloader::Options options;
+  options.use_secure_channel = true;
+  options.trust = &trust;
+  options.now = kNow;
+  options.fault = &injector;
+  Downloader downloader(&server, options, rng_);
+
+  auto fetched = downloader.Fetch("/apps/bonus.xml");
+  ASSERT_FALSE(fetched.ok());
+  EXPECT_TRUE(fetched.status().IsUnavailable())
+      << fetched.status().ToString();
+  EXPECT_NE(fetched.status().ToString().find("network"), std::string::npos)
+      << fetched.status().ToString();
+  EXPECT_GE(injector.fires(fault::kNetWire), 1u);
+}
+
+TEST_F(NetFixture, CorruptedWireBytesAreCaughtByTheSecureChannel) {
+  // A flipped bit on the sealed wire record must be rejected by the MAC
+  // check — the man-in-the-van cannot even flip bits silently.
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kNetWire);
+  spec.kind = fault::Kind::kCorrupt;
+  spec.detail_filter = "request";
+  injector.Arm(spec);
+
+  ContentServer server = MakeServer();
+  pki::CertStore trust = Trust();
+  Downloader::Options options;
+  options.use_secure_channel = true;
+  options.trust = &trust;
+  options.now = kNow;
+  options.fault = &injector;
+  Downloader downloader(&server, options, rng_);
+
+  auto fetched = downloader.Fetch("/apps/bonus.xml");
+  EXPECT_FALSE(fetched.ok());
+  EXPECT_EQ(injector.fires(fault::kNetWire), 1u);
+}
+
+TEST_F(NetFixture, EndpointSealAndOpenFaultsCarryChannelContext) {
+  for (std::string_view point : {fault::kNetSeal, fault::kNetOpen}) {
+    fault::FaultInjector injector;
+    fault::FaultSpec spec;
+    spec.point = std::string(point);
+    injector.Arm(spec);
+
+    pki::CertStore trust = Trust();
+    auto channel =
+        EstablishSecureChannel(trust, {*server_cert_, *root_cert_},
+                               server_key_->private_key, kNow, rng_);
+    ASSERT_TRUE(channel.ok());
+    channel->client.set_fault_injector(&injector);
+    channel->server.set_fault_injector(&injector);
+
+    Bytes request = ToBytes("GET /x");
+    if (point == fault::kNetSeal) {
+      auto sealed = channel->client.Seal(request);
+      ASSERT_FALSE(sealed.ok());
+      EXPECT_NE(sealed.status().ToString().find("secure channel"),
+                std::string::npos)
+          << sealed.status().ToString();
+    } else {
+      auto sealed = channel->client.Seal(request);
+      ASSERT_TRUE(sealed.ok());
+      auto opened = channel->server.Open(sealed.value());
+      ASSERT_FALSE(opened.ok());
+      EXPECT_NE(opened.status().ToString().find("secure channel"),
+                std::string::npos)
+          << opened.status().ToString();
+    }
+  }
+}
+
+TEST_F(NetFixture, XkmsExchangeClassifiesTransportVersusService) {
+  ContentServer server = MakeServer();
+  pki::CertStore trust = Trust();
+
+  // Transport leg broken: retryable kUnavailable, "XKMS transport".
+  {
+    fault::FaultInjector injector;
+    fault::FaultSpec spec;
+    spec.point = std::string(fault::kNetWire);
+    injector.Arm(spec);
+    Downloader::Options options;
+    options.use_secure_channel = true;
+    options.trust = &trust;
+    options.now = kNow;
+    options.fault = &injector;
+    Downloader downloader(&server, options, rng_);
+    auto response = downloader.XkmsExchange(xkms::BuildLocateRequest("k"));
+    ASSERT_FALSE(response.ok());
+    EXPECT_TRUE(response.status().IsRetryable())
+        << response.status().ToString();
+    EXPECT_NE(response.status().ToString().find("XKMS transport"),
+              std::string::npos)
+        << response.status().ToString();
+  }
+
+  // Transport healthy, the trust service itself rejects the request:
+  // terminal, original code kept, "XKMS service".
+  {
+    Downloader::Options options;
+    options.use_secure_channel = true;
+    options.trust = &trust;
+    options.now = kNow;
+    Downloader downloader(&server, options, rng_);
+    auto response = downloader.XkmsExchange("this is not xkms xml");
+    ASSERT_FALSE(response.ok());
+    EXPECT_FALSE(response.status().IsRetryable());
+    EXPECT_NE(response.status().ToString().find("XKMS service"),
+              std::string::npos)
+        << response.status().ToString();
+  }
+}
+
+TEST_F(NetFixture, XkmsTransportClosureFeedsTheClient) {
+  ContentServer server = MakeServer();
+  Rng rng(778);
+  auto studio = crypto::RsaGenerateKeyPair(512, &rng).value();
+  ASSERT_TRUE(server.xkms()
+                  ->Register({"studio-key", studio.public_key, {"Signature"},
+                              xkms::KeyStatus::kValid})
+                  .ok());
+  pki::CertStore trust = Trust();
+  Downloader::Options options;
+  options.use_secure_channel = true;
+  options.trust = &trust;
+  options.now = kNow;
+  Downloader downloader(&server, options, rng_);
+  xkms::XkmsClient client(downloader.XkmsTransport());
+  auto binding = client.Locate("studio-key");
+  ASSERT_TRUE(binding.ok()) << binding.status().ToString();
+  EXPECT_TRUE(binding->key == studio.public_key);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace discsec

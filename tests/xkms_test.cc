@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include "common/fault.h"
 #include "pki/key_codec.h"
 #include "xkms/client.h"
+#include "xkms/retrying_transport.h"
 #include "xkms/service.h"
 
 namespace discsec {
@@ -161,6 +163,189 @@ TEST_F(XkmsFixture, TransportErrorPropagates) {
     return Status::IOError("channel down");
   });
   EXPECT_TRUE(client.Locate("x").status().IsIOError());
+}
+
+// ------------------------------------------------ error taxonomy
+
+TEST_F(XkmsFixture, TransportFailureIsRetryableWithTransportContext) {
+  // A fault on the wire (before the service ever sees the request) must
+  // come back as kUnavailable with the "XKMS transport" layer context.
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kXkmsTransport);
+  injector.Arm(spec);
+  XkmsService service;
+  EXPECT_TRUE(service.Register(MakeBinding("k1", key_a_->public_key)).ok());
+  XkmsClient client(XkmsClient::DirectTransport(&service, &injector));
+
+  Status s = client.Locate("k1").status();
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+  EXPECT_TRUE(s.IsRetryable());
+  EXPECT_NE(s.ToString().find("XKMS transport"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(XkmsFixture, ServiceFailureIsTerminalWithServiceContext) {
+  // The service handling the request and *rejecting* it is a terminal
+  // outcome — retrying an unparseable request cannot help.
+  XkmsService service;
+  XkmsClient probe(
+      [&service](const std::string&) -> Result<std::string> {
+        auto response =
+            XkmsClient::DirectTransport(&service)("definitely not xml");
+        return response;
+      });
+  Status s = probe.Locate("k1").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsRetryable());
+  EXPECT_NE(s.ToString().find("XKMS service"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(XkmsFixture, MangledResponseIsAResponseParseErrorNotTransport) {
+  // A response that arrives but does not parse is the *parse* layer's
+  // failure: terminal, tagged "XKMS response", never retried as if the
+  // network were at fault.
+  XkmsClient client([](const std::string&) -> Result<std::string> {
+    return std::string("<xkms:LocateResult truncated...");
+  });
+  Status s = client.Locate("k1").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(s.IsRetryable());
+  EXPECT_NE(s.ToString().find("XKMS response"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(XkmsFixture, CorruptedResponseBytesSurfaceAsResponseError) {
+  fault::FaultInjector injector(7);
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kXkmsTransport);
+  spec.kind = fault::Kind::kTruncate;
+  spec.detail_filter = "response";  // damage only the response leg
+  injector.Arm(spec);
+  XkmsService service;
+  EXPECT_TRUE(service.Register(MakeBinding("k1", key_a_->public_key)).ok());
+  XkmsClient client(XkmsClient::DirectTransport(&service, &injector));
+
+  Status s = client.Locate("k1").status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(injector.fires(fault::kXkmsTransport), 1u);
+  EXPECT_NE(s.ToString().find("XKMS response"), std::string::npos)
+      << s.ToString();
+}
+
+// ------------------------------------------------ retrying transport
+
+struct FakeTransportTime {
+  int64_t now_us = 0;
+  std::vector<int64_t> sleeps;
+  RetryingTransportOptions Options() {
+    RetryingTransportOptions options;
+    options.clock = [this] { return now_us; };
+    options.sleep = [this](int64_t us) {
+      sleeps.push_back(us);
+      now_us += us;
+    };
+    return options;
+  }
+};
+
+TEST_F(XkmsFixture, RetryingTransportRecoversWhenFirstTwoAttemptsFail) {
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kXkmsTransport);
+  spec.max_fires = 2;  // transport fails the first 2 of 3 attempts
+  injector.Arm(spec);
+  XkmsService service;
+  EXPECT_TRUE(service.Register(MakeBinding("k1", key_a_->public_key)).ok());
+
+  FakeTransportTime time;
+  RetryingTransportOptions options = time.Options();
+  options.retry.max_attempts = 3;
+  std::shared_ptr<const RetryingTransportStats> stats;
+  XkmsClient client(MakeRetryingTransport(
+      XkmsClient::DirectTransport(&service, &injector), options, &stats));
+
+  auto binding = client.Locate("k1");
+  ASSERT_TRUE(binding.ok()) << binding.status().ToString();
+  EXPECT_EQ(binding->name, "k1");
+  EXPECT_EQ(stats->calls, 1u);
+  EXPECT_EQ(stats->attempts, 3u);
+  EXPECT_EQ(stats->retries, 2u);
+  EXPECT_EQ(stats->breaker_rejections, 0u);
+  // Backoffs came from the fake sleep: no real time passed.
+  EXPECT_EQ(time.sleeps, (std::vector<int64_t>{1000, 2000}));
+}
+
+TEST_F(XkmsFixture, RetryingTransportHonorsOverallDeadline) {
+  XkmsService service;
+  FakeTransportTime time;
+  RetryingTransportOptions options = time.Options();
+  options.retry.max_attempts = 100;
+  options.retry.overall_deadline_us = 2500;
+  XkmsClient client(MakeRetryingTransport(
+      [](const std::string&) -> Result<std::string> {
+        return Status::Unavailable("service melting");
+      },
+      options));
+
+  Status s = client.Locate("k1").status();
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_LE(time.now_us, 2500);  // budget respected on the fake clock
+}
+
+TEST_F(XkmsFixture, RetryingTransportDoesNotRetryTerminalErrors) {
+  int sends = 0;
+  FakeTransportTime time;
+  XkmsClient client(MakeRetryingTransport(
+      [&sends](const std::string&) -> Result<std::string> {
+        ++sends;
+        return Status::VerificationFailed("service cert rejected");
+      },
+      time.Options()));
+  Status s = client.Locate("k1").status();
+  EXPECT_TRUE(s.IsVerificationFailed()) << s.ToString();
+  EXPECT_EQ(sends, 1);
+  EXPECT_TRUE(time.sleeps.empty());
+}
+
+TEST_F(XkmsFixture, CircuitBreakerFailsFastAfterConsecutiveFailedCalls) {
+  FakeTransportTime time;
+  RetryingTransportOptions options = time.Options();
+  options.retry.max_attempts = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_duration_us = 1000000;
+  int sends = 0;
+  std::shared_ptr<const RetryingTransportStats> stats;
+  XkmsClient client(MakeRetryingTransport(
+      [&sends](const std::string&) -> Result<std::string> {
+        ++sends;
+        return Status::Unavailable("down hard");
+      },
+      options, &stats));
+
+  EXPECT_TRUE(client.Locate("k1").status().IsUnavailable());
+  EXPECT_TRUE(client.Locate("k1").status().IsUnavailable());
+  EXPECT_EQ(sends, 2);
+  EXPECT_EQ(stats->breaker_state, CircuitBreaker::State::kOpen);
+
+  // Circuit open: the next call is rejected without touching the wire.
+  Status rejected = client.Locate("k1").status();
+  EXPECT_TRUE(rejected.IsUnavailable());
+  EXPECT_NE(rejected.ToString().find("circuit breaker"), std::string::npos)
+      << rejected.ToString();
+  EXPECT_NE(rejected.ToString().find("XKMS transport"), std::string::npos);
+  EXPECT_EQ(sends, 2);
+  EXPECT_EQ(stats->breaker_rejections, 1u);
+
+  // After the cool-down the probe goes through; a success closes the
+  // circuit and normal service resumes.
+  time.now_us += 1000000;
+  XkmsService service;
+  EXPECT_TRUE(service.Register(MakeBinding("k1", key_a_->public_key)).ok());
+  // (The inner transport still fails; verify the probe was attempted.)
+  EXPECT_TRUE(client.Locate("k1").status().IsUnavailable());
+  EXPECT_EQ(sends, 3);
 }
 
 }  // namespace

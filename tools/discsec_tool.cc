@@ -17,6 +17,12 @@
 //                --out dec.xml
 //   discsec_tool c14n --in doc.xml [--with-comments]
 //
+// Any command also accepts --inject-fault point:kind:rate (repeatable),
+// arming the process-global fault injector before the command runs — e.g.
+// --inject-fault tool.read:corrupt:1.0 flips a bit in every file read, for
+// rehearsing how the pipeline reports damaged inputs. Kinds: error,
+// corrupt, truncate; rate is a probability in [0, 1].
+//
 // Exit status: 0 on success, 1 on any error (including failed
 // verification), 2 on usage errors.
 
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/fault.h"
 #include "pki/cert_store.h"
 #include "pki/certificate.h"
 #include "pki/key_codec.h"
@@ -61,7 +68,37 @@ Result<std::string> ReadFile(const std::string& path) {
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream out;
   out << in.rdbuf();
-  return out.str();
+  std::string text = out.str();
+  DISCSEC_RETURN_IF_ERROR(fault::GlobalFaultInjector()
+                              .HitData(fault::kToolRead, &text, path)
+                              .WithContext("tool input"));
+  return text;
+}
+
+/// Parses one --inject-fault value ("point:kind:rate") and arms the global
+/// injector with it.
+Status ArmInjectedFault(const std::string& flag) {
+  size_t first = flag.find(':');
+  size_t second =
+      first == std::string::npos ? std::string::npos : flag.find(':', first + 1);
+  if (second == std::string::npos) {
+    return Status::InvalidArgument(
+        "--inject-fault wants point:kind:rate, got '" + flag + "'");
+  }
+  fault::FaultSpec spec;
+  spec.point = flag.substr(0, first);
+  DISCSEC_ASSIGN_OR_RETURN(
+      spec.kind, fault::KindFromName(flag.substr(first + 1,
+                                                 second - first - 1)));
+  const char* rate_text = flag.c_str() + second + 1;
+  char* end = nullptr;
+  spec.probability = std::strtod(rate_text, &end);
+  if (end == rate_text || *end != '\0' || spec.probability < 0.0 ||
+      spec.probability > 1.0) {
+    return Status::InvalidArgument("--inject-fault rate must be in [0, 1]");
+  }
+  fault::GlobalFaultInjector().Arm(std::move(spec));
+  return Status::OK();
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -342,6 +379,9 @@ int main(int argc, char** argv) {
     std::string value = argv[++i];
     if (name == "cert") {
       args.certs.push_back(value);
+    } else if (name == "inject-fault") {
+      Status st = ArmInjectedFault(value);
+      if (!st.ok()) return Usage(st.message().c_str());
     } else {
       args.options[name] = value;
     }
