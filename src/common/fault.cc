@@ -27,27 +27,38 @@ void FaultInjector::Arm(FaultSpec spec) {
   PointState state;
   std::string point = spec.point;
   state.spec = std::move(spec);
+  std::lock_guard<std::mutex> lock(mu_);
   points_[point] = std::move(state);
+  armed_.store(true, std::memory_order_release);
 }
 
 void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it != points_.end()) points_.erase(it);
+  armed_.store(!points_.empty(), std::memory_order_release);
 }
 
-void FaultInjector::Reset() { points_.clear(); }
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_release);
+}
 
 uint64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.fires;
 }
 
 uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [point, state] : points_) total += state.fires;
   return total;
@@ -93,7 +104,11 @@ bool FaultInjector::ApplyDataFault(Kind kind, Container* data) {
 template <typename Container>
 Status FaultInjector::HitImpl(std::string_view point, std::string_view detail,
                               Container* data) {
-  if (points_.empty()) return Status::OK();
+  // Disarmed fast path: no lock, one relaxed-ish load. Arm/Hit races are
+  // benign — a hit that overlaps Arm may miss the brand-new spec, exactly
+  // as if it had run a moment earlier.
+  if (!armed_.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = points_.find(point);
   if (it == points_.end()) return Status::OK();
   PointState& state = it->second;

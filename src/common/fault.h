@@ -1,7 +1,9 @@
 #ifndef DISCSEC_COMMON_FAULT_H_
 #define DISCSEC_COMMON_FAULT_H_
 
+#include <atomic>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -69,6 +71,14 @@ struct FaultSpec {
 
 /// Seedable fault injector: equal seeds give equal corruption positions and
 /// probability rolls, so every chaos finding replays exactly.
+///
+/// Thread-safe: trigger state, counters and the corruption RNG are guarded
+/// by one mutex, so chaos runs under the parallel verification engine are
+/// data-race-free. The disarmed fast path stays lock-free — a single
+/// relaxed atomic load — which keeps the always-compiled-in instrumentation
+/// cheap on the production path. Determinism holds per-thread-schedule:
+/// equal seeds and equal hit orders replay exactly; concurrent hitters
+/// interleave rolls in whatever order the schedule produces.
 class FaultInjector {
  public:
   explicit FaultInjector(uint64_t seed = 20050915) : rng_(seed) {}
@@ -78,7 +88,7 @@ class FaultInjector {
   void Disarm(std::string_view point);
   /// Disarms everything and zeroes all counters.
   void Reset();
-  bool armed() const { return !points_.empty(); }
+  bool armed() const { return armed_.load(std::memory_order_acquire); }
 
   /// The single instrumentation entry point: consult the injector at
   /// `point` for an operation whose payload is `data` (null for payload-
@@ -117,8 +127,10 @@ class FaultInjector {
   template <typename Container>
   bool ApplyDataFault(Kind kind, Container* data);
 
-  Rng rng_;
-  std::map<std::string, PointState, std::less<>> points_;
+  mutable std::mutex mu_;
+  std::atomic<bool> armed_{false};
+  Rng rng_;  // guarded by mu_
+  std::map<std::string, PointState, std::less<>> points_;  // guarded by mu_
 };
 
 /// The process-wide injector, disarmed by default. Command-line tools arm

@@ -46,7 +46,7 @@ void Rng::Fill(uint8_t* out, size_t n) {
 }
 
 Rng& GlobalRng() {
-  static Rng rng;
+  thread_local Rng rng;
   return rng;
 }
 

@@ -39,8 +39,10 @@ class Rng {
   uint64_t state_;
 };
 
-/// Returns a process-wide generator seeded from OS entropy. Not thread-safe;
-/// the library is single-threaded by design (it models a CE player).
+/// Returns this thread's generator, seeded from OS entropy on first use.
+/// Each thread owns an independent stream, so concurrent callers (the
+/// parallel verification engine, pool workers) never contend or interleave
+/// state. Do not hand the returned reference to another thread.
 Rng& GlobalRng();
 
 }  // namespace discsec

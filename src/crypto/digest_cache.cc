@@ -1,0 +1,148 @@
+#include "crypto/digest_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace discsec {
+namespace crypto {
+
+DigestCache::DigestCache(Options options) : options_(std::move(options)) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.max_entries == 0) options_.max_entries = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  per_shard_budget_ =
+      std::max<size_t>(1, options_.max_entries / options_.shards);
+}
+
+DigestCache::Shard& DigestCache::ShardFor(const Bytes& content_key) {
+  // The content key is itself a SHA-256 value: its leading bytes are already
+  // uniformly distributed, so they double as the shard selector.
+  uint64_t h = 0;
+  for (size_t i = 0; i < 8 && i < content_key.size(); ++i) {
+    h = (h << 8) | content_key[i];
+  }
+  return *shards_[h % shards_.size()];
+}
+
+std::string DigestCache::MakeKey(const std::string& algorithm_uri,
+                                 const Bytes& content_key) {
+  std::string key;
+  key.reserve(algorithm_uri.size() + 1 + content_key.size());
+  key.append(algorithm_uri);
+  key.push_back('\0');
+  key.append(reinterpret_cast<const char*>(content_key.data()),
+             content_key.size());
+  return key;
+}
+
+std::optional<Bytes> DigestCache::Lookup(const std::string& algorithm_uri,
+                                         const Bytes& content_key) {
+  Shard& shard = ShardFor(content_key);
+  std::string key = MakeKey(algorithm_uri, content_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  return it->second.value;
+}
+
+void DigestCache::Insert(const std::string& algorithm_uri,
+                         const Bytes& content_key, const Bytes& digest_value) {
+  Shard& shard = ShardFor(content_key);
+  std::string key = MakeKey(algorithm_uri, content_key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    // Content-addressed: a re-insert under the same key is necessarily the
+    // same value (or a SHA-256 collision); refresh recency, keep the value.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  shard.lru.push_front(key);
+  shard.entries.emplace(std::move(key),
+                        Shard::Entry{digest_value, shard.lru.begin()});
+  while (shard.entries.size() > per_shard_budget_) {
+    shard.entries.erase(shard.lru.back());
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+DigestCacheStats DigestCache::stats() const {
+  DigestCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.entries += shard->entries.size();
+  }
+  out.bypasses = bypasses_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t DigestCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->entries.size();
+  }
+  return n;
+}
+
+void DigestCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+CachingDigestSink::CachingDigestSink(DigestCache* cache, Digest* target,
+                                     std::string algorithm_uri)
+    : cache_(cache),
+      target_(target),
+      algorithm_uri_(std::move(algorithm_uri)),
+      bypassed_(cache == nullptr) {}
+
+void CachingDigestSink::Append(const uint8_t* data, size_t len) {
+  if (bypassed_) {
+    target_->Update(data, len);
+    return;
+  }
+  keyer_.Update(data, len);
+  if (buffer_.size() + len > cache_->options().max_entry_bytes) {
+    // Too big to cache: replay what we held back, then stream the rest.
+    bypassed_ = true;
+    cache_->NoteBypass();
+    target_->Update(buffer_.data(), buffer_.size());
+    Bytes().swap(buffer_);
+    target_->Update(data, len);
+    return;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+}
+
+Bytes CachingDigestSink::Finalize() {
+  if (bypassed_) return target_->Finalize();
+  Bytes content_key = keyer_.Finalize();
+  if (std::optional<Bytes> cached =
+          cache_->Lookup(algorithm_uri_, content_key)) {
+    was_hit_ = true;
+    return std::move(*cached);
+  }
+  target_->Update(buffer_.data(), buffer_.size());
+  Bytes value = target_->Finalize();
+  cache_->Insert(algorithm_uri_, content_key, value);
+  return value;
+}
+
+}  // namespace crypto
+}  // namespace discsec

@@ -1,0 +1,143 @@
+#ifndef DISCSEC_CRYPTO_DIGEST_CACHE_H_
+#define DISCSEC_CRYPTO_DIGEST_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_sink.h"
+#include "common/bytes.h"
+#include "crypto/digest.h"
+#include "crypto/sha256.h"
+
+namespace discsec {
+namespace crypto {
+
+/// Counter snapshot for telemetry and the cache-effectiveness benchmarks.
+struct DigestCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  /// Streams too large to buffer went straight to the digest, uncached.
+  uint64_t bypasses = 0;
+  size_t entries = 0;
+};
+
+/// A sharded, bounded, content-addressed cache of digest values.
+///
+/// Key: (digest algorithm URI, SHA-256 of the exact input octets). Because
+/// the key commits to the full content, a hit can only ever return the
+/// digest of byte-identical input — an attacker who controls documents but
+/// not the cache internals cannot poison an entry for content they did not
+/// supply, and two references that canonicalize to different octets can
+/// never collide short of a SHA-256 collision. See DESIGN.md §9 for why
+/// this preserves the §6.1 wrapping defenses.
+///
+/// Sharded LRU: the key hash picks a shard, each shard holds its own mutex
+/// and LRU list, so concurrent verifiers on different references mostly
+/// touch different locks.
+class DigestCache {
+ public:
+  struct Options {
+    /// Total entry budget across all shards.
+    size_t max_entries = 4096;
+    /// Number of independent LRU shards (rounded up to at least 1).
+    size_t shards = 16;
+    /// Streams longer than this bypass the cache (see CachingDigestSink).
+    size_t max_entry_bytes = 1 << 20;
+  };
+
+  DigestCache() : DigestCache(Options()) {}
+  explicit DigestCache(Options options);
+
+  /// Returns the cached digest for (algorithm, content_key), refreshing its
+  /// LRU position, or nullopt on miss. `content_key` is the SHA-256 of the
+  /// input octets.
+  std::optional<Bytes> Lookup(const std::string& algorithm_uri,
+                              const Bytes& content_key);
+
+  /// Inserts (or refreshes) an entry, evicting the shard's LRU tail past
+  /// the per-shard budget.
+  void Insert(const std::string& algorithm_uri, const Bytes& content_key,
+              const Bytes& digest_value);
+
+  DigestCacheStats stats() const;
+  size_t size() const;
+  void Clear();
+
+  const Options& options() const { return options_; }
+
+  /// Called by CachingDigestSink when a stream overflowed the buffer cap.
+  void NoteBypass() { bypasses_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recent-first list of keys; the map points into it.
+    std::list<std::string> lru;
+    struct Entry {
+      Bytes value;
+      std::list<std::string>::iterator lru_pos;
+    };
+    std::unordered_map<std::string, Entry> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const Bytes& content_key);
+  static std::string MakeKey(const std::string& algorithm_uri,
+                             const Bytes& content_key);
+
+  Options options_;
+  size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> bypasses_{0};
+};
+
+/// ByteSink adapter that puts a DigestCache in front of a Digest.
+///
+/// The stream is buffered (up to Options::max_entry_bytes) while a SHA-256
+/// content key is computed incrementally. Finalize() then either returns the
+/// cached value — the wrapped digest never runs — or computes the digest
+/// over the buffer and inserts it. Oversized streams fall back to feeding
+/// the wrapped digest directly (the buffered prefix is replayed first), so
+/// correctness never depends on the cap.
+class CachingDigestSink final : public ByteSink {
+ public:
+  /// `cache` may be null (pure pass-through to `target`). `target` is the
+  /// real digest for `algorithm_uri`; the caller retains ownership and must
+  /// not touch it until Finalize().
+  CachingDigestSink(DigestCache* cache, Digest* target,
+                    std::string algorithm_uri);
+
+  using ByteSink::Append;
+  void Append(const uint8_t* data, size_t len) override;
+
+  /// Completes the stream and returns the digest value (cached or freshly
+  /// computed). The sink must not be reused afterwards.
+  Bytes Finalize();
+
+  /// Whether Finalize() was served from the cache.
+  bool was_hit() const { return was_hit_; }
+
+ private:
+  DigestCache* cache_;
+  Digest* target_;
+  std::string algorithm_uri_;
+  Sha256 keyer_;
+  Bytes buffer_;
+  bool bypassed_;
+  bool was_hit_ = false;
+};
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_CRYPTO_DIGEST_CACHE_H_

@@ -1,6 +1,7 @@
 #include "player/engine.h"
 
 #include <chrono>
+#include <optional>
 
 #include "access/permission_request.h"
 #include "pki/key_codec.h"
@@ -69,6 +70,8 @@ Status InteractiveApplicationEngine::VerifyPhase(
   options.decrypt_hook = decryptor.MakeHook();
   options.resolver = resolver;
   options.parse_options = config_.parse_limits;
+  options.pool = config_.pool;
+  options.digest_cache = config_.digest_cache;
   // See-what-is-signed: when the signature is load-bearing, its references
   // must land on elements of the cluster schema — a reference resolving to
   // an attacker-planted decoy element is a wrapping attempt, not a valid
@@ -96,8 +99,18 @@ Status InteractiveApplicationEngine::VerifyPhase(
     // Only a definite "no such binding" is a verification verdict; a
     // transport or service breakdown keeps its own code (and retryability)
     // so callers can tell "key not registered" from "could not ask".
-    if (config_.xkms != nullptr && !result->key_name.empty()) {
-      auto binding = config_.xkms->Locate(result->key_name);
+    // Location goes through the TTL/single-flight cache when one is
+    // configured; the Validate verdict is always fetched live so a
+    // revocation is honored immediately, not a TTL later.
+    xkms::XkmsClient* xkms_client =
+        config_.xkms != nullptr
+            ? config_.xkms
+            : (config_.xkms_cache != nullptr ? config_.xkms_cache->client()
+                                             : nullptr);
+    if (xkms_client != nullptr && !result->key_name.empty()) {
+      auto binding = config_.xkms_cache != nullptr
+                         ? config_.xkms_cache->Locate(result->key_name)
+                         : xkms_client->Locate(result->key_name);
       if (!binding.ok()) {
         if (binding.status().IsNotFound()) {
           return Status::VerificationFailed("XKMS: signer key '" +
@@ -106,7 +119,7 @@ Status InteractiveApplicationEngine::VerifyPhase(
         }
         return binding.status().WithContext("XKMS key-binding validation");
       }
-      auto status = config_.xkms->Validate(result->key_name, binding->key);
+      auto status = xkms_client->Validate(result->key_name, binding->key);
       if (!status.ok()) {
         return status.status().WithContext("XKMS key-binding validation");
       }
@@ -382,36 +395,91 @@ Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
 
   DiscPlayback playback;
   const bool degraded_ok = config_.allow_degraded_playback;
-  // Interactive application track through the full security pipeline.
   const disc::Track* app_track = cluster.FirstApplicationTrack();
-  if (app_track != nullptr) {
-    auto session = BeginSession(cluster_xml, Origin::kDisc,
-                                disc::MakeDiscResolver(&image));
-    if (session.ok()) {
-      playback.app = std::move(session).value();
-    } else if (!degraded_ok) {
-      return session.status().WithContext("track '" + app_track->id + "'");
-    } else {
-      playback.quarantined.push_back(
-          TrackFailure{app_track->id, "application", session.status()});
-    }
-  }
-  // AV tracks: rights, clip chain, essence validation.
   xrml::ExerciseContext rights_context;
   rights_context.principal = config_.device_id;
   rights_context.now = config_.now;
   rights_context.territory = config_.territory;
-  for (const disc::Track& track : cluster.tracks) {
-    if (track.kind != disc::Track::Kind::kAudioVideo) continue;
-    auto plan = BuildPlaybackPlan(cluster, image, track.id, config_.rights,
-                                  rights_context);
-    if (plan.ok()) {
-      playback.played.push_back(std::move(plan).value());
-    } else if (!degraded_ok) {
-      return plan.status().WithContext("track '" + track.id + "'");
-    } else {
-      playback.quarantined.push_back(
-          TrackFailure{track.id, "playback", plan.status()});
+
+  if (config_.pool == nullptr) {
+    // Serial path: verify tracks one by one, aborting on the first failure
+    // in strict mode (later tracks are then never evaluated — no rights
+    // consumed, no fault points hit — which the chaos suite relies on).
+    if (app_track != nullptr) {
+      auto session = BeginSession(cluster_xml, Origin::kDisc,
+                                  disc::MakeDiscResolver(&image));
+      if (session.ok()) {
+        playback.app = std::move(session).value();
+      } else if (!degraded_ok) {
+        return session.status().WithContext("track '" + app_track->id + "'");
+      } else {
+        playback.quarantined.push_back(
+            TrackFailure{app_track->id, "application", session.status()});
+      }
+    }
+    for (const disc::Track& track : cluster.tracks) {
+      if (track.kind != disc::Track::Kind::kAudioVideo) continue;
+      auto plan = BuildPlaybackPlan(cluster, image, track.id, config_.rights,
+                                    rights_context);
+      if (plan.ok()) {
+        playback.played.push_back(std::move(plan).value());
+      } else if (!degraded_ok) {
+        return plan.status().WithContext("track '" + track.id + "'");
+      } else {
+        playback.quarantined.push_back(
+            TrackFailure{track.id, "playback", plan.status()});
+      }
+    }
+  } else {
+    // Parallel path: every track verifies on its own task — the application
+    // track through the full security pipeline, each AV track through
+    // rights/clip/essence validation — then the results are folded in the
+    // same deterministic order the serial path uses (application first, AV
+    // tracks in cluster order). Degraded-mode quarantine semantics and the
+    // strict-mode verdict (first failing track in track order) are
+    // unchanged; the only divergence is that in strict mode the failure is
+    // found after all tracks ran rather than instead of the later ones.
+    std::vector<const disc::Track*> av_tracks;
+    for (const disc::Track& track : cluster.tracks) {
+      if (track.kind == disc::Track::Kind::kAudioVideo) {
+        av_tracks.push_back(&track);
+      }
+    }
+    std::optional<Result<std::unique_ptr<ApplicationSession>>> app_session;
+    if (app_track != nullptr) app_session.emplace(nullptr);
+    std::vector<std::optional<Result<PlaybackPlan>>> plans(av_tracks.size());
+    const size_t app_jobs = app_track != nullptr ? 1 : 0;
+    ParallelFor(config_.pool, app_jobs + av_tracks.size(), [&](size_t job) {
+      if (app_track != nullptr && job == 0) {
+        *app_session = BeginSession(cluster_xml, Origin::kDisc,
+                                    disc::MakeDiscResolver(&image));
+        return;
+      }
+      const size_t t = job - app_jobs;
+      plans[t].emplace(BuildPlaybackPlan(cluster, image, av_tracks[t]->id,
+                                         config_.rights, rights_context));
+    });
+    if (app_track != nullptr) {
+      if (app_session->ok()) {
+        playback.app = std::move(*app_session).value();
+      } else if (!degraded_ok) {
+        return app_session->status().WithContext("track '" + app_track->id +
+                                                 "'");
+      } else {
+        playback.quarantined.push_back(
+            TrackFailure{app_track->id, "application", app_session->status()});
+      }
+    }
+    for (size_t t = 0; t < av_tracks.size(); ++t) {
+      Result<PlaybackPlan>& plan = *plans[t];
+      if (plan.ok()) {
+        playback.played.push_back(std::move(plan).value());
+      } else if (!degraded_ok) {
+        return plan.status().WithContext("track '" + av_tracks[t]->id + "'");
+      } else {
+        playback.quarantined.push_back(
+            TrackFailure{av_tracks[t]->id, "playback", plan.status()});
+      }
     }
   }
   // A disc where *nothing* survived quarantine is a failed insertion, and

@@ -11,6 +11,8 @@
 #include "common/fault.h"
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
+#include "crypto/digest_cache.h"
 #include "disc/content.h"
 #include "disc/disc_image.h"
 #include "disc/local_storage.h"
@@ -20,6 +22,7 @@
 #include "script/interpreter.h"
 #include "smil/smil.h"
 #include "xkms/client.h"
+#include "xkms/locate_cache.h"
 #include "xml/parser.h"
 #include "xmldsig/transforms.h"
 #include "xmlenc/decryptor.h"
@@ -98,6 +101,20 @@ struct PlayerConfig {
   /// callers wiring the same instance into disc images and downloaders).
   /// Null means the process-global injector.
   fault::FaultInjector* fault = nullptr;
+  /// Parallel verification engine: when set, PlayDisc verifies tracks
+  /// concurrently and signature references digest on their own tasks. Null
+  /// (the default) keeps every path serial. Results are identical either
+  /// way: reports keep deterministic (cluster) ordering, and strict-mode
+  /// failure still surfaces the first failing track in track order.
+  ThreadPool* pool = nullptr;
+  /// Content-addressed digest cache shared across verifications (and, when
+  /// the caller wires it into several engines, across players). Null
+  /// disables caching.
+  crypto::DigestCache* digest_cache = nullptr;
+  /// TTL + single-flight cache over XKMS Locate. When set it takes
+  /// precedence over `xkms` for key-binding location (Validate always goes
+  /// to the live service — revocation verdicts are never cached).
+  xkms::LocateCache* xkms_cache = nullptr;
 };
 
 /// One drawing operation the application performed (the graphics plane).

@@ -1,0 +1,105 @@
+#include "xkms/locate_cache.h"
+
+#include <chrono>
+#include <utility>
+
+namespace discsec {
+namespace xkms {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LocateCache::LocateCache(XkmsClient* client, Options options)
+    : client_(client),
+      options_(std::move(options)),
+      clock_(options_.clock ? options_.clock
+                            : std::function<int64_t()>(SteadyNowUs)) {}
+
+Result<KeyBinding> LocateCache::Locate(const std::string& name) {
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      if (clock_() < it->second.expires_us) {
+        ++stats_.hits;
+        return it->second.binding;
+      }
+      entries_.erase(it);
+      ++stats_.expirations;
+    }
+    auto in_flight = flights_.find(name);
+    if (in_flight != flights_.end()) {
+      ++stats_.coalesced;
+      flight = in_flight->second;
+    } else {
+      leader = true;
+      ++stats_.misses;
+      ++stats_.transport_calls;
+      flight = std::make_shared<Flight>();
+      flights_.emplace(name, flight);
+    }
+  }
+
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    return *flight->result;
+  }
+
+  // Leader: the transport call happens outside every cache lock, so slow
+  // lookups for one name never block hits on others.
+  Result<KeyBinding> result = client_->Locate(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      entries_[name] = Entry{result.value(), clock_() + options_.ttl_us};
+      while (entries_.size() > options_.max_entries) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+          if (it->second.expires_us < victim->second.expires_us) victim = it;
+        }
+        entries_.erase(victim);
+      }
+    }
+    flights_.erase(name);
+  }
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  return result;
+}
+
+void LocateCache::Invalidate(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(name);
+}
+
+void LocateCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+LocateCacheStats LocateCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t LocateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace xkms
+}  // namespace discsec

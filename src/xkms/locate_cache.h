@@ -1,0 +1,95 @@
+#ifndef DISCSEC_XKMS_LOCATE_CACHE_H_
+#define DISCSEC_XKMS_LOCATE_CACHE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "xkms/client.h"
+
+namespace discsec {
+namespace xkms {
+
+/// Counter snapshot; taken under the cache lock, so values are consistent
+/// with each other.
+struct LocateCacheStats {
+  uint64_t hits = 0;          ///< served from a fresh cached binding
+  uint64_t misses = 0;        ///< no usable entry; a transport call resulted
+  uint64_t expirations = 0;   ///< entries discarded because their TTL lapsed
+  uint64_t coalesced = 0;     ///< callers that waited on another's in-flight
+                              ///< Locate instead of issuing their own
+  uint64_t transport_calls = 0;  ///< actual XkmsClient::Locate invocations
+};
+
+/// A TTL cache with single-flight deduplication over XkmsClient::Locate.
+///
+/// N concurrent players resolving the same KeyInfo name issue exactly one
+/// transport call: the first caller becomes the leader and performs the
+/// lookup while the rest block on the shared flight and receive the leader's
+/// result (including its error — errors are delivered to every waiter but
+/// never cached, so the next call retries). Successful bindings are cached
+/// for `ttl_us` of the injected clock; revocation latency is therefore
+/// bounded by the TTL, which is why Validate verdicts are deliberately NOT
+/// cached here — see DESIGN.md §9.
+class LocateCache {
+ public:
+  struct Options {
+    /// Lifetime of a cached binding, microseconds of `clock`.
+    int64_t ttl_us = 60 * 1000 * 1000;
+    /// Injectable clock for tests; defaults to the steady clock.
+    std::function<int64_t()> clock;
+    /// Entry budget; the oldest-expiring entry is dropped past it.
+    size_t max_entries = 1024;
+  };
+
+  /// `client` must outlive the cache.
+  explicit LocateCache(XkmsClient* client) : LocateCache(client, Options()) {}
+  LocateCache(XkmsClient* client, Options options);
+
+  /// Cached, deduplicated XkmsClient::Locate.
+  Result<KeyBinding> Locate(const std::string& name);
+
+  /// The wrapped client, for the operations that must stay uncached
+  /// (Validate, Register, Revoke).
+  XkmsClient* client() const { return client_; }
+
+  /// Drops one entry (e.g. after a revocation the caller performed).
+  void Invalidate(const std::string& name);
+  void Clear();
+
+  LocateCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    KeyBinding binding;
+    int64_t expires_us = 0;
+  };
+  /// One in-flight Locate; waiters block on `cv` until the leader publishes.
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::optional<Result<KeyBinding>> result;
+  };
+
+  XkmsClient* client_;
+  Options options_;
+  std::function<int64_t()> clock_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, std::shared_ptr<Flight>> flights_;
+  LocateCacheStats stats_;
+};
+
+}  // namespace xkms
+}  // namespace discsec
+
+#endif  // DISCSEC_XKMS_LOCATE_CACHE_H_

@@ -1,6 +1,7 @@
 #include "xkms/retrying_transport.h"
 
 #include <chrono>
+#include <mutex>
 #include <string>
 
 namespace discsec {
@@ -18,12 +19,13 @@ int64_t SteadyNowUs() {
 struct TransportState {
   TransportState(Transport t, const RetryingTransportOptions& o)
       : inner(std::move(t)),
-        retryer(o.retry, o.clock, o.sleep, o.jitter_seed),
+        options(o),
         breaker(o.breaker),
         clock(o.clock ? o.clock : Retryer::Clock(SteadyNowUs)) {}
 
   Transport inner;
-  Retryer retryer;
+  RetryingTransportOptions options;
+  std::mutex breaker_mu;  ///< guards breaker (not thread-safe itself)
   CircuitBreaker breaker;
   Retryer::Clock clock;
   RetryingTransportStats stats;
@@ -41,21 +43,31 @@ Transport MakeRetryingTransport(
                                                            &state->stats);
   }
   return [state](const std::string& request) -> Result<std::string> {
-    ++state->stats.calls;
-    if (!state->breaker.Allow(state->clock())) {
-      ++state->stats.breaker_rejections;
-      state->stats.breaker_state = state->breaker.state(state->clock());
-      return Status::Unavailable(
-                 std::string("circuit breaker is ") +
-                 CircuitStateName(state->stats.breaker_state) +
-                 " after " +
-                 std::to_string(state->breaker.consecutive_failures()) +
-                 " consecutive failures; failing fast")
-          .WithContext("XKMS transport");
+    const uint64_t call_index = state->stats.calls.fetch_add(1) + 1;
+    {
+      std::lock_guard<std::mutex> lock(state->breaker_mu);
+      if (!state->breaker.Allow(state->clock())) {
+        ++state->stats.breaker_rejections;
+        CircuitBreaker::State breaker_state =
+            state->breaker.state(state->clock());
+        state->stats.breaker_state = breaker_state;
+        return Status::Unavailable(
+                   std::string("circuit breaker is ") +
+                   CircuitStateName(breaker_state) + " after " +
+                   std::to_string(state->breaker.consecutive_failures()) +
+                   " consecutive failures; failing fast")
+            .WithContext("XKMS transport");
+      }
     }
+    // A per-call Retryer keeps the backoff/jitter RNG off the shared state;
+    // mixing the call index into the seed decorrelates concurrent callers.
+    Retryer retryer(state->options.retry, state->options.clock,
+                    state->options.sleep,
+                    state->options.jitter_seed ^
+                        (call_index * 0x9e3779b97f4a7c15ULL));
     uint64_t attempts_this_call = 0;
-    Result<std::string> out = state->retryer.Call<std::string>(
-        [&]() -> Result<std::string> {
+    Result<std::string> out =
+        retryer.Call<std::string>([&]() -> Result<std::string> {
           ++attempts_this_call;
           return state->inner(request);
         });
@@ -65,12 +77,15 @@ Transport MakeRetryingTransport(
     }
     // One *call* is one breaker verdict, however many attempts it took:
     // a call that only succeeded on retry is still a success.
-    if (out.ok()) {
-      state->breaker.RecordSuccess();
-    } else {
-      state->breaker.RecordFailure(state->clock());
+    {
+      std::lock_guard<std::mutex> lock(state->breaker_mu);
+      if (out.ok()) {
+        state->breaker.RecordSuccess();
+      } else {
+        state->breaker.RecordFailure(state->clock());
+      }
+      state->stats.breaker_state = state->breaker.state(state->clock());
     }
-    state->stats.breaker_state = state->breaker.state(state->clock());
     return out;
   };
 }

@@ -1,6 +1,7 @@
 #ifndef DISCSEC_XKMS_RETRYING_TRANSPORT_H_
 #define DISCSEC_XKMS_RETRYING_TRANSPORT_H_
 
+#include <atomic>
 #include <memory>
 
 #include "common/retry.h"
@@ -22,14 +23,18 @@ struct RetryingTransportOptions {
 };
 
 /// Counters describing what the wrapper has done, for tests and telemetry.
-/// Snapshot semantics: read them between calls, not concurrently.
+/// Every field is atomic, so N concurrent players sharing one transport
+/// read and bump them race-free; cross-field consistency is still only
+/// guaranteed when read between calls.
 struct RetryingTransportStats {
-  uint64_t calls = 0;          ///< transport invocations by the client
-  uint64_t attempts = 0;       ///< underlying sends, including retries
-  uint64_t retries = 0;        ///< attempts beyond the first, per call
-  uint64_t breaker_rejections = 0;  ///< calls refused while the circuit
-                                    ///< was open (no send happened)
-  CircuitBreaker::State breaker_state = CircuitBreaker::State::kClosed;
+  std::atomic<uint64_t> calls{0};     ///< transport invocations by the client
+  std::atomic<uint64_t> attempts{0};  ///< underlying sends, incl. retries
+  std::atomic<uint64_t> retries{0};   ///< attempts beyond the first, per call
+  std::atomic<uint64_t> breaker_rejections{0};  ///< calls refused while the
+                                                ///< circuit was open (no send
+                                                ///< happened)
+  std::atomic<CircuitBreaker::State> breaker_state{
+      CircuitBreaker::State::kClosed};
 };
 
 /// Wraps an xkms::Transport with a RetryPolicy and a circuit breaker:
@@ -37,6 +42,12 @@ struct RetryingTransportStats {
 /// run of consecutive failed *calls* opens the circuit so a struggling
 /// trust service is not hammered — further calls fail fast with
 /// kUnavailable until the cool-down admits a probe.
+///
+/// The wrapper is thread-safe: breaker transitions are mutex-guarded,
+/// counters are atomic, and each call runs its own Retryer (jitter streams
+/// are decorrelated per call), so concurrent players may share one
+/// transport. The inner transport is invoked concurrently and must be
+/// thread-safe itself (DirectTransport over XkmsService's read paths is).
 ///
 /// The returned closure and `stats` share state owned by a shared_ptr, so
 /// the Transport may be copied freely (std::function copies); `stats`, if

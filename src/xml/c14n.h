@@ -58,7 +58,10 @@ std::string CanonicalizeElement(const Element& apex);
 /// materialized a full owned canonical buffer (the string-returning
 /// wrappers above, plus any buffering fallback in the xmldsig transform
 /// pipeline). Streaming sink-based calls do not count. Tests and benches
-/// take deltas of this to assert hot paths stay constant-memory.
+/// take deltas of this to assert hot paths stay constant-memory. The
+/// counter is atomic, so the parallel verification engine's concurrent
+/// reference processing bumps it race-free (deltas remain exact across a
+/// join, since ParallelFor completes before the caller reads the counter).
 size_t BufferedCanonicalizationCount();
 
 namespace internal {

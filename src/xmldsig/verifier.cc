@@ -1,8 +1,10 @@
 #include "xmldsig/verifier.h"
 
 #include "common/base64.h"
+#include "common/thread_pool.h"
 #include "crypto/algorithms.h"
 #include "crypto/digest.h"
+#include "crypto/digest_cache.h"
 #include "crypto/hmac.h"
 #include "crypto/sha1.h"
 #include "pki/key_codec.h"
@@ -181,48 +183,78 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
 
   VerifyInfo info;
   info.signature_algorithm = signature_algorithm;
-  size_t reference_count = 0;
+  std::vector<const xml::Element*> refs;
   for (const auto& child : signed_info->children()) {
     if (!child->IsElement()) continue;
     const auto* ref = static_cast<const xml::Element*>(child.get());
-    if (ref->LocalName() != "Reference") continue;
-    ++reference_count;
-    const std::string* uri = ref->GetAttribute("URI");
-    std::string uri_str = uri != nullptr ? *uri : std::string();
+    if (ref->LocalName() == "Reference") refs.push_back(ref);
+  }
+  if (refs.empty()) {
+    return Status::VerificationFailed("signature has no references");
+  }
 
+  // Each Reference canonicalizes + digests independently: same-document
+  // targets clone the source document into a private working copy and the
+  // shared context is read-only, so references fan out over the pool and
+  // join before the SignedInfo signature check below. With a null pool
+  // this degrades to the serial loop. The first failing reference in
+  // document order decides the error either way, so parallel and serial
+  // verification are observably identical.
+  struct RefOutcome {
+    Status status;
+    VerifiedReference verified;
+  };
+  std::vector<RefOutcome> outcomes(refs.size());
+  auto process_reference = [&](const xml::Element& ref) -> RefOutcome {
+    RefOutcome out;
+    const std::string* uri = ref.GetAttribute("URI");
+    std::string uri_str = uri != nullptr ? *uri : std::string();
     const xml::Element* digest_method =
-        ref->FirstChildElementByLocalName("DigestMethod");
+        ref.FirstChildElementByLocalName("DigestMethod");
     const xml::Element* digest_value =
-        ref->FirstChildElementByLocalName("DigestValue");
+        ref.FirstChildElementByLocalName("DigestValue");
     if (digest_method == nullptr || digest_value == nullptr ||
         digest_method->GetAttribute("Algorithm") == nullptr) {
-      return Status::ParseError("Reference missing digest method/value");
+      out.status = Status::ParseError("Reference missing digest method/value");
+      return out;
     }
-    DISCSEC_ASSIGN_OR_RETURN(
-        auto digest,
-        crypto::MakeDigest(*digest_method->GetAttribute("Algorithm")));
-    // The reference octets stream into the digest as they are produced.
-    crypto::DigestSink sink(digest.get());
+    const std::string& digest_alg = *digest_method->GetAttribute("Algorithm");
+    auto digest = crypto::MakeDigest(digest_alg);
+    if (!digest.ok()) {
+      out.status = digest.status();
+      return out;
+    }
+    // The reference octets stream into the digest as they are produced —
+    // through the content-addressed cache when one is configured.
+    crypto::CachingDigestSink sink(options.digest_cache, digest->get(),
+                                   digest_alg);
     ReferenceResolution resolution;
-    DISCSEC_RETURN_IF_ERROR(ProcessReferenceTo(*ref, ctx, &sink, &resolution));
-    Bytes actual = digest->Finalize();
-    DISCSEC_ASSIGN_OR_RETURN(Bytes expected,
-                             Base64Decode(digest_value->TextContent()));
-    if (!ConstantTimeEquals(actual, expected)) {
-      return Status::VerificationFailed("digest mismatch for reference '" +
-                                        uri_str + "'");
+    out.status = ProcessReferenceTo(ref, ctx, &sink, &resolution);
+    if (!out.status.ok()) return out;
+    Bytes actual = sink.Finalize();
+    auto expected = Base64Decode(digest_value->TextContent());
+    if (!expected.ok()) {
+      out.status = expected.status();
+      return out;
     }
-    info.reference_uris.push_back(uri_str);
-    VerifiedReference verified;
-    verified.uri = uri_str;
-    verified.resolved_name = resolution.element_name;
-    verified.resolved_path = resolution.element_path;
-    verified.covers_root = resolution.covers_root;
-    verified.same_document = resolution.same_document;
-    info.references.push_back(std::move(verified));
-  }
-  if (reference_count == 0) {
-    return Status::VerificationFailed("signature has no references");
+    if (!ConstantTimeEquals(actual, expected.value())) {
+      out.status = Status::VerificationFailed(
+          "digest mismatch for reference '" + uri_str + "'");
+      return out;
+    }
+    out.verified.uri = std::move(uri_str);
+    out.verified.resolved_name = resolution.element_name;
+    out.verified.resolved_path = resolution.element_path;
+    out.verified.covers_root = resolution.covers_root;
+    out.verified.same_document = resolution.same_document;
+    return out;
+  };
+  ParallelFor(options.pool, refs.size(),
+              [&](size_t i) { outcomes[i] = process_reference(*refs[i]); });
+  for (RefOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) return outcome.status;
+    info.reference_uris.push_back(outcome.verified.uri);
+    info.references.push_back(std::move(outcome.verified));
   }
 
   // See-what-is-signed policy over the resolved reference set.

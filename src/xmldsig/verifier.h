@@ -12,6 +12,13 @@
 #include "xmldsig/transforms.h"
 
 namespace discsec {
+
+class ThreadPool;
+
+namespace crypto {
+class DigestCache;
+}  // namespace crypto
+
 namespace xmldsig {
 
 /// How the verifier establishes trust in the signing key — the player-side
@@ -56,6 +63,19 @@ struct VerifyOptions {
   /// whose name is in this list. Defeats wrapping attacks that point a
   /// reference at a decoy element outside the schema the player consumes.
   std::vector<std::string> allowed_reference_roots;
+
+  /// When set, each <Reference> canonicalizes and digests on its own pool
+  /// task (the SignedInfo signature check still happens after every
+  /// reference joined). Null keeps the serial path; results are identical
+  /// either way — on multi-reference signatures the first failing
+  /// reference in document order still decides the error.
+  ThreadPool* pool = nullptr;
+
+  /// When set, reference digests are served through this content-addressed
+  /// cache (keyed by digest algorithm + SHA-256 of the exact reference
+  /// octets). Safe to share across verifiers and threads; see DESIGN.md §9
+  /// for why a hit cannot weaken the wrapping defenses.
+  crypto::DigestCache* digest_cache = nullptr;
 };
 
 /// Where one verified Reference resolved — the per-reference

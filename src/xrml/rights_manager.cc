@@ -32,6 +32,7 @@ Status RightsManager::InstallLicense(const std::string& signed_license_xml) {
           .status()
           .WithContext("license signature"));
   DISCSEC_ASSIGN_OR_RETURN(License license, License::FromXml(*doc.root()));
+  std::lock_guard<std::mutex> lock(mu_);
   licenses_.push_back(std::move(license));
   return Status::OK();
 }
@@ -40,6 +41,7 @@ Status RightsManager::InstallUnsigned(const License& license) {
   if (license.license_id.empty()) {
     return Status::InvalidArgument("license needs an id");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   licenses_.push_back(license);
   return Status::OK();
 }
@@ -97,6 +99,7 @@ const Grant* RightsManager::FindGrant(Right right,
 
 bool RightsManager::IsPermitted(Right right, const std::string& resource,
                                 const ExerciseContext& context) const {
+  std::lock_guard<std::mutex> lock(mu_);
   const License* license = nullptr;
   size_t index = 0;
   return FindGrant(right, resource, context, &license, &index) != nullptr;
@@ -104,6 +107,7 @@ bool RightsManager::IsPermitted(Right right, const std::string& resource,
 
 Status RightsManager::Exercise(Right right, const std::string& resource,
                                const ExerciseContext& context) {
+  std::lock_guard<std::mutex> lock(mu_);
   const License* license = nullptr;
   size_t index = 0;
   const Grant* grant = FindGrant(right, resource, context, &license, &index);
@@ -120,6 +124,7 @@ Status RightsManager::Exercise(Right right, const std::string& resource,
 
 uint32_t RightsManager::UsesRecorded(const std::string& license_id,
                                      size_t grant_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = uses_.find({license_id, grant_index});
   return it == uses_.end() ? 0 : it->second;
 }

@@ -2,6 +2,7 @@
 #define DISCSEC_XRML_RIGHTS_MANAGER_H_
 
 #include <map>
+#include <mutex>
 
 #include "crypto/rsa.h"
 #include "pki/cert_store.h"
@@ -21,6 +22,13 @@ Result<std::string> IssueSignedLicense(
 /// evaluator then answers "may `principal` exercise `right` on `resource`
 /// now?", enforcing validity windows, territories and (stateful) exercise
 /// limits.
+///
+/// Thread-safe: the license store and exercise counters are mutex-guarded,
+/// so the parallel per-track verification in player::PlayDisc may exercise
+/// rights for distinct tracks concurrently. Exercise-limit accounting is
+/// exact under concurrency — each successful Exercise consumes exactly one
+/// use — though which of several racing exercisers gets the last use of a
+/// nearly-exhausted grant depends on the schedule.
 class RightsManager {
  public:
   RightsManager(const pki::CertStore* trust, int64_t now)
@@ -34,7 +42,10 @@ class RightsManager {
   /// authenticated disc).
   Status InstallUnsigned(const License& license);
 
-  size_t LicenseCount() const { return licenses_.size(); }
+  size_t LicenseCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return licenses_.size();
+  }
 
   /// Whether any installed grant permits the exercise. On success the
   /// exercise is *counted* against any exercise-limited grant used.
@@ -51,6 +62,7 @@ class RightsManager {
                         size_t grant_index) const;
 
  private:
+  /// Requires mu_ held by the caller.
   const Grant* FindGrant(Right right, const std::string& resource,
                          const ExerciseContext& context,
                          const License** license_out,
@@ -58,8 +70,9 @@ class RightsManager {
 
   const pki::CertStore* trust_;
   int64_t now_;
-  std::vector<License> licenses_;
-  std::map<std::pair<std::string, size_t>, uint32_t> uses_;
+  mutable std::mutex mu_;
+  std::vector<License> licenses_;                          // guarded by mu_
+  std::map<std::pair<std::string, size_t>, uint32_t> uses_;  // guarded by mu_
 };
 
 }  // namespace xrml

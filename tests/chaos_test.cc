@@ -315,14 +315,12 @@ std::string ExpectedContext(const std::string& point) {
 
 class ChaosSweep : public ::testing::TestWithParam<ChaosCase> {
  protected:
-  fault::FaultInjector MakeArmedInjector() const {
-    fault::FaultInjector injector(ChaosSeed());
+  void ArmInjector(fault::FaultInjector* injector) const {
     fault::FaultSpec spec;
     spec.point = GetParam().point;
     spec.kind = GetParam().kind;
     spec.probability = 1.0;
-    injector.Arm(spec);
-    return injector;
+    injector->Arm(spec);
   }
 
   void CheckOutcome(const ScenarioOutcome& outcome, uint64_t fires,
@@ -364,14 +362,16 @@ INSTANTIATE_TEST_SUITE_P(AllPoints, ChaosSweep,
 
 TEST_P(ChaosSweep, DiscPathFailsClosed) {
   const std::string& baseline = DiscBaseline();
-  fault::FaultInjector injector = MakeArmedInjector();
+  fault::FaultInjector injector(ChaosSeed());
+  ArmInjector(&injector);
   ScenarioOutcome outcome = RunDiscScenario(&injector, false);
   CheckOutcome(outcome, injector.fires(GetParam().point), baseline);
 }
 
 TEST_P(ChaosSweep, DiscPathDegradedModeContainsFaults) {
   const std::string& baseline = DiscBaseline();
-  fault::FaultInjector injector = MakeArmedInjector();
+  fault::FaultInjector injector(ChaosSeed());
+  ArmInjector(&injector);
   ScenarioOutcome outcome = RunDiscScenario(&injector, true);
   uint64_t fires = injector.fires(GetParam().point);
   if (fires == 0) {
@@ -391,7 +391,8 @@ TEST_P(ChaosSweep, DiscPathDegradedModeContainsFaults) {
 
 TEST_P(ChaosSweep, NetworkPathFailsClosed) {
   const std::string& baseline = NetworkBaseline();
-  fault::FaultInjector injector = MakeArmedInjector();
+  fault::FaultInjector injector(ChaosSeed());
+  ArmInjector(&injector);
   ScenarioOutcome outcome = RunNetworkScenario(&injector);
   CheckOutcome(outcome, injector.fires(GetParam().point), baseline);
 }
