@@ -6,6 +6,21 @@ namespace access {
 Status PolicyEnforcementPoint::Check(
     const std::string& resource, const std::string& action,
     const std::map<std::string, std::string>& attributes) const {
+  obs::ScopedSpan span(tracer_, "access.pep.check");
+  span.SetAttr("resource", resource);
+  span.SetAttr("action", action);
+  if (metrics_ != nullptr) metrics_->GetCounter("access.checks")->Add();
+  Status status = CheckImpl(resource, action, attributes);
+  span.SetAttr("decision", status.ok() ? "permit" : "deny");
+  if (!status.ok() && metrics_ != nullptr) {
+    metrics_->GetCounter("access.denials")->Add();
+  }
+  return status;
+}
+
+Status PolicyEnforcementPoint::CheckImpl(
+    const std::string& resource, const std::string& action,
+    const std::map<std::string, std::string>& attributes) const {
   // Least privilege: the application must have requested the resource.
   const Permission* requested = nullptr;
   for (const Permission& p : request_.permissions) {
@@ -45,6 +60,9 @@ Status PolicyEnforcementPoint::Check(
 }
 
 std::map<std::string, bool> PolicyEnforcementPoint::EvaluateAll() const {
+  obs::ScopedSpan span(tracer_, "access.pep.evaluate_all");
+  span.SetAttr("permissions",
+               static_cast<uint64_t>(request_.permissions.size()));
   std::map<std::string, bool> grants;
   for (const Permission& p : request_.permissions) {
     const std::string* access = p.Attr("access");

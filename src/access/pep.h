@@ -6,6 +6,8 @@
 
 #include "access/permission_request.h"
 #include "access/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace discsec {
 namespace access {
@@ -39,10 +41,23 @@ class PolicyEnforcementPoint {
   const PermissionRequest& request() const { return request_; }
   const std::string& subject() const { return subject_; }
 
+  /// Observability (DESIGN.md §10): "access.pep.check" spans (attributes:
+  /// resource, action, decision) and "access.pep.evaluate_all" spans, plus
+  /// "access.checks" / "access.denials" counters. Null = no-op.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
+  Status CheckImpl(const std::string& resource, const std::string& action,
+                   const std::map<std::string, std::string>& attributes) const;
+
   const PolicyDecisionPoint* pdp_;
   PermissionRequest request_;
   std::string subject_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace access

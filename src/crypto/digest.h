@@ -51,6 +51,18 @@ class Digest {
   }
 };
 
+namespace internal {
+/// Bumps the process-wide DigestBytesStreamed() counter (one relaxed atomic
+/// add per chunk, not per byte).
+void NoteDigestBytes(size_t len);
+}  // namespace internal
+
+/// Instrumentation: process-wide total of bytes streamed through DigestSink.
+/// The observability layer reads this into the "digest.bytes_streamed"
+/// metric; benches take deltas to confirm hot paths stream rather than
+/// buffer. Atomic and monotonic.
+uint64_t DigestBytesStreamed();
+
 /// ByteSink that feeds a running digest: serialization layers stream into
 /// it, so canonicalize-then-digest never materializes the canonical form.
 class DigestSink final : public ByteSink {
@@ -58,6 +70,7 @@ class DigestSink final : public ByteSink {
   explicit DigestSink(Digest* digest) : digest_(digest) {}
   using ByteSink::Append;
   void Append(const uint8_t* data, size_t len) override {
+    internal::NoteDigestBytes(len);
     digest_->Update(data, len);
   }
 

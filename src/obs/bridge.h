@@ -1,0 +1,79 @@
+#ifndef DISCSEC_OBS_BRIDGE_H_
+#define DISCSEC_OBS_BRIDGE_H_
+
+/// Bridges between component-local stats structs (DigestCacheStats,
+/// LocateCacheStats, RetryingTransportStats, FaultInjector counters) and a
+/// MetricsRegistry. Header-only on purpose: discsec_obs links only
+/// discsec_common, so it cannot depend on crypto/xkms — instead the *caller*
+/// (player, tool, tests), which already links those libraries, instantiates
+/// these inline absorbers.
+///
+/// Component stats are cumulative, so absorption uses Counter::MaxTo and is
+/// idempotent: re-absorbing the same snapshot leaves the registry unchanged,
+/// absorbing a newer snapshot advances it.
+
+#include <string>
+
+#include "common/fault.h"
+#include "common/retry.h"
+#include "crypto/digest_cache.h"
+#include "obs/metrics.h"
+#include "xkms/locate_cache.h"
+#include "xkms/retrying_transport.h"
+
+namespace discsec {
+namespace obs {
+
+inline void AbsorbDigestCacheStats(const crypto::DigestCacheStats& stats,
+                                   MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("digest_cache.hits")->MaxTo(stats.hits);
+  metrics->GetCounter("digest_cache.misses")->MaxTo(stats.misses);
+  metrics->GetCounter("digest_cache.evictions")->MaxTo(stats.evictions);
+  metrics->GetCounter("digest_cache.bypasses")->MaxTo(stats.bypasses);
+  metrics->GetCounter("digest_cache.entries")->Set(stats.entries);
+}
+
+inline void AbsorbLocateCacheStats(const xkms::LocateCacheStats& stats,
+                                   MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("locate_cache.hits")->MaxTo(stats.hits);
+  metrics->GetCounter("locate_cache.misses")->MaxTo(stats.misses);
+  metrics->GetCounter("locate_cache.expirations")->MaxTo(stats.expirations);
+  metrics->GetCounter("locate_cache.coalesced")->MaxTo(stats.coalesced);
+  metrics->GetCounter("locate_cache.transport_calls")
+      ->MaxTo(stats.transport_calls);
+}
+
+inline void AbsorbRetryingTransportStats(
+    const xkms::RetryingTransportStats& stats, MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("xkms_transport.calls")
+      ->MaxTo(stats.calls.load(std::memory_order_relaxed));
+  metrics->GetCounter("xkms_transport.attempts")
+      ->MaxTo(stats.attempts.load(std::memory_order_relaxed));
+  metrics->GetCounter("xkms_transport.retries")
+      ->MaxTo(stats.retries.load(std::memory_order_relaxed));
+  metrics->GetCounter("xkms_transport.breaker_rejections")
+      ->MaxTo(stats.breaker_rejections.load(std::memory_order_relaxed));
+  metrics->GetCounter("xkms_transport.breaker_state")
+      ->Set(static_cast<uint64_t>(
+          stats.breaker_state.load(std::memory_order_relaxed)));
+}
+
+inline void AbsorbFaultInjectorStats(const fault::FaultInjector& injector,
+                                     MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  for (std::string_view point : fault::kAllPoints) {
+    std::string base = "fault.";
+    base.append(point);
+    metrics->GetCounter(base + ".hits")->MaxTo(injector.hits(point));
+    metrics->GetCounter(base + ".fires")->MaxTo(injector.fires(point));
+  }
+  metrics->GetCounter("fault.total_fires")->MaxTo(injector.total_fires());
+}
+
+}  // namespace obs
+}  // namespace discsec
+
+#endif  // DISCSEC_OBS_BRIDGE_H_

@@ -1,0 +1,323 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace discsec {
+namespace obs {
+namespace json {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+void AppendUtf8(std::string* out, uint32_t cp) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    DISCSEC_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("json: trailing content at offset " +
+                                     std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Status::InvalidArgument(std::string("json: expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  bool ConsumeKeyword(std::string_view kw) {
+    if (text_.substr(pos_, kw.size()) == kw) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) {
+      return Status::InvalidArgument("json: nesting too deep");
+    }
+    SkipWs();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("json: unexpected end of input");
+    }
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        DISCSEC_ASSIGN_OR_RETURN(v.string_value, ParseString());
+        return v;
+      }
+      case 't':
+        if (ConsumeKeyword("true")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.bool_value = true;
+          return v;
+        }
+        break;
+      case 'f':
+        if (ConsumeKeyword("false")) {
+          Value v;
+          v.type = Value::Type::kBool;
+          v.bool_value = false;
+          return v;
+        }
+        break;
+      case 'n':
+        if (ConsumeKeyword("null")) {
+          return Value{};
+        }
+        break;
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) {
+          return ParseNumber();
+        }
+        break;
+    }
+    return Status::InvalidArgument("json: unexpected character at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<Value> ParseObject(int depth) {
+    DISCSEC_RETURN_IF_ERROR(Expect('{'));
+    Value v;
+    v.type = Value::Type::kObject;
+    SkipWs();
+    if (Consume('}')) return v;
+    while (true) {
+      SkipWs();
+      DISCSEC_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      DISCSEC_RETURN_IF_ERROR(Expect(':'));
+      DISCSEC_ASSIGN_OR_RETURN(Value member, ParseValue(depth + 1));
+      v.members.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume(',')) continue;
+      DISCSEC_RETURN_IF_ERROR(Expect('}'));
+      return v;
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    DISCSEC_RETURN_IF_ERROR(Expect('['));
+    Value v;
+    v.type = Value::Type::kArray;
+    SkipWs();
+    if (Consume(']')) return v;
+    while (true) {
+      DISCSEC_ASSIGN_OR_RETURN(Value item, ParseValue(depth + 1));
+      v.items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(',')) continue;
+      DISCSEC_RETURN_IF_ERROR(Expect(']'));
+      return v;
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("json: truncated \\u escape");
+    }
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_ + static_cast<size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Status::InvalidArgument("json: bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    DISCSEC_RETURN_IF_ERROR(Expect('"'));
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return Status::InvalidArgument("json: unterminated string");
+      }
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("json: truncated escape");
+        }
+        char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            DISCSEC_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00-\uDFFF.
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Status::InvalidArgument("json: lone high surrogate");
+              }
+              pos_ += 2;
+              DISCSEC_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Status::InvalidArgument("json: bad low surrogate");
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              return Status::InvalidArgument("json: lone low surrogate");
+            }
+            AppendUtf8(&out, cp);
+            break;
+          }
+          default:
+            return Status::InvalidArgument("json: bad escape character");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Status::InvalidArgument("json: raw control character in string");
+      }
+      out.push_back(c);
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (Consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") {
+      return Status::InvalidArgument("json: malformed number");
+    }
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Status::InvalidArgument("json: malformed number '" + token + "'");
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.number_value = value;
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+void AppendString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(ch);
+        }
+        break;
+    }
+  }
+  out->push_back('"');
+}
+
+const Value* Value::Find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Result<Value> Parse(std::string_view text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace json
+}  // namespace obs
+}  // namespace discsec

@@ -1,0 +1,50 @@
+#ifndef DISCSEC_OBS_JSON_H_
+#define DISCSEC_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace discsec {
+namespace obs {
+namespace json {
+
+/// Appends `s` to `out` as a JSON string literal (quotes included),
+/// escaping per RFC 8259. Used by the trace and metrics exporters so span
+/// names and attribute values survive arbitrary content.
+void AppendString(std::string* out, std::string_view s);
+
+/// A parsed JSON value — just enough JSON to round-trip the exporters'
+/// output in tests and tooling. Numbers are kept as doubles (the exporters
+/// only emit integers that fit a double exactly).
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<Value> items;                            ///< kArray
+  std::vector<std::pair<std::string, Value>> members;  ///< kObject, in order
+
+  /// Object member lookup; null when absent or not an object.
+  const Value* Find(std::string_view key) const;
+
+  bool IsObject() const { return type == Type::kObject; }
+  bool IsArray() const { return type == Type::kArray; }
+  bool IsString() const { return type == Type::kString; }
+  bool IsNumber() const { return type == Type::kNumber; }
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else after the value). Strict on structure, depth-limited against
+/// nesting bombs; \uXXXX escapes outside the BMP surrogate mechanics are
+/// decoded to UTF-8.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace obs
+}  // namespace discsec
+
+#endif  // DISCSEC_OBS_JSON_H_

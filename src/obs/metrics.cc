@@ -1,0 +1,149 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "obs/json.h"
+
+namespace discsec {
+namespace obs {
+
+namespace {
+
+int BucketIndex(uint64_t micros) {
+  int idx = 0;
+  while (micros >= 2 && idx < Histogram::kBuckets - 1) {
+    micros >>= 1;
+    ++idx;
+  }
+  return idx;
+}
+
+uint64_t BucketUpperEdge(int idx) {
+  return uint64_t{1} << (idx + 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(uint64_t micros) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  uint64_t cur = max_.load(std::memory_order_relaxed);
+  while (cur < micros &&
+         !max_.compare_exchange_weak(cur, micros, std::memory_order_relaxed)) {
+  }
+  buckets_[static_cast<size_t>(BucketIndex(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::ApproxQuantileMicros(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) return BucketUpperEdge(i);
+  }
+  return max_micros();
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out;
+  out += "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json::AppendString(&out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    json::AppendString(&out, h.name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum_us\": " + std::to_string(h.sum_micros);
+    out += ", \"max_us\": " + std::to_string(h.max_micros);
+    out += ", \"p50_us\": " + std::to_string(h.p50_micros);
+    out += ", \"p99_us\": " + std::to_string(h.p99_micros);
+    out += ", \"buckets\": [";
+    // Trailing all-zero buckets are elided to keep dumps readable.
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h.buckets[static_cast<size_t>(last)] == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(h.buckets[static_cast<size_t>(i)]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = hist->count();
+    h.sum_micros = hist->sum_micros();
+    h.max_micros = hist->max_micros();
+    h.p50_micros = hist->ApproxQuantileMicros(0.50);
+    h.p99_micros = hist->ApproxQuantileMicros(0.99);
+    h.buckets.resize(Histogram::kBuckets);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[static_cast<size_t>(i)] = hist->bucket(i);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace discsec

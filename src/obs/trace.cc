@@ -1,0 +1,183 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "obs/json.h"
+
+namespace discsec {
+namespace obs {
+
+namespace {
+
+// The innermost live span on this thread; children started without an
+// explicit parent attach here. Plain pointers/ints only — no thread-local
+// destructor ordering hazards.
+thread_local SpanContext t_current_span;
+
+uint64_t NextThreadOrdinal() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+uint64_t Tracer::NextSpanId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t Tracer::CurrentThreadId() {
+  thread_local uint64_t id = NextThreadOrdinal();
+  return id;
+}
+
+void Tracer::Record(SpanRecord&& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  std::string out;
+  out.reserve(128 + spans.size() * 160);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ph\":\"X\",\"name\":";
+    json::AppendString(&out, s.name);
+    out += ",\"cat\":\"discsec\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.thread_id);
+    out += ",\"ts\":";
+    out += std::to_string(s.start_us);
+    out += ",\"dur\":";
+    out += std::to_string(s.duration_us);
+    out += ",\"args\":{";
+    out += "\"span_id\":" + std::to_string(s.id);
+    out += ",\"parent_id\":" + std::to_string(s.parent_id);
+    for (const auto& [key, value] : s.attributes) {
+      out += ",";
+      json::AppendString(&out, key);
+      out += ":";
+      json::AppendString(&out, value);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string Tracer::TextReport() const {
+  std::vector<SpanRecord> spans = Snapshot();
+  // Depth = distance to a root through parent links.
+  std::unordered_map<uint64_t, const SpanRecord*> by_id;
+  by_id.reserve(spans.size());
+  for (const SpanRecord& s : spans) by_id[s.id] = &s;
+
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& s : spans) ordered.push_back(&s);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord* a, const SpanRecord* b) {
+              if (a->start_us != b->start_us) return a->start_us < b->start_us;
+              return a->id < b->id;
+            });
+
+  std::string out;
+  for (const SpanRecord* s : ordered) {
+    int depth = 0;
+    uint64_t parent = s->parent_id;
+    while (parent != 0 && depth < 64) {
+      auto it = by_id.find(parent);
+      if (it == by_id.end()) break;
+      ++depth;
+      parent = it->second->parent_id;
+    }
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += s->name;
+    out += " ";
+    out += std::to_string(s->duration_us);
+    out += "us";
+    out += " [tid=" + std::to_string(s->thread_id) + "]";
+    for (const auto& [key, value] : s->attributes) {
+      out += " " + key + "=" + value;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ScopedSpan::Begin(Tracer* tracer, uint64_t parent_id,
+                       std::string_view name) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;  // disabled: record_ stays empty, no alloc
+  record_.id = tracer_->NextSpanId();
+  record_.parent_id = parent_id;
+  record_.name.assign(name.data(), name.size());
+  record_.thread_id = Tracer::CurrentThreadId();
+  record_.start_us = tracer_->NowMicros();
+  saved_current_ = t_current_span;
+  t_current_span = {tracer_, record_.id};
+  installed_ = true;
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, std::string_view name) {
+  uint64_t parent = 0;
+  if (tracer != nullptr && t_current_span.tracer == tracer) {
+    parent = t_current_span.span_id;
+  }
+  Begin(tracer, parent, name);
+}
+
+ScopedSpan::ScopedSpan(const SpanContext& parent, std::string_view name) {
+  Begin(parent.tracer, parent.span_id, name);
+}
+
+void ScopedSpan::SetAttr(std::string_view key, std::string_view value) {
+  if (tracer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::SetAttr(std::string_view key, uint64_t value) {
+  if (tracer_ == nullptr) return;
+  record_.attributes.emplace_back(std::string(key), std::to_string(value));
+}
+
+void ScopedSpan::End() {
+  if (tracer_ == nullptr) return;
+  record_.duration_us = tracer_->NowMicros() - record_.start_us;
+  if (installed_) {
+    t_current_span = saved_current_;
+    installed_ = false;
+  }
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;  // make End idempotent
+  tracer->Record(std::move(record_));
+}
+
+}  // namespace obs
+}  // namespace discsec

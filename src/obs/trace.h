@@ -1,0 +1,127 @@
+#ifndef DISCSEC_OBS_TRACE_H_
+#define DISCSEC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace discsec {
+namespace obs {
+
+/// One recorded span. Spans form a tree via parent_id; id 0 means "no span"
+/// (roots have parent_id 0). Timestamps are microseconds on a steady clock
+/// whose epoch is the Tracer's construction.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint64_t thread_id = 0;  ///< small dense id assigned per OS thread
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+class Tracer;
+
+/// Identifies a live span so children started on *other* threads (e.g.
+/// ThreadPool workers) can attach to the right parent. Copyable and cheap;
+/// a default-constructed context means "no parent".
+struct SpanContext {
+  Tracer* tracer = nullptr;
+  uint64_t span_id = 0;
+};
+
+/// Collects spans from any number of threads. The tracer itself is always
+/// "on" — the disabled fast path is expressed by passing a null Tracer* to
+/// ScopedSpan, which then does no work and allocates nothing.
+///
+/// Span begin/end cost: one steady_clock read each plus, at end, a short
+/// mutex-guarded append to the record vector. Attributes are buffered in the
+/// ScopedSpan (no tracer lock) until the span ends.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Snapshot of every finished span, in completion order.
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Number of finished spans so far.
+  size_t size() const;
+
+  /// Discards all recorded spans (epoch is preserved).
+  void Clear();
+
+  /// Serializes finished spans in Chrome trace-event format — a JSON object
+  /// with a "traceEvents" array of complete ("ph":"X") events. Load the
+  /// output in chrome://tracing or https://ui.perfetto.dev.
+  std::string ChromeTraceJson() const;
+
+  /// Plain-text rendering: one line per span, indented by tree depth,
+  /// ordered by start time. For terminals and test diagnostics.
+  std::string TextReport() const;
+
+ private:
+  friend class ScopedSpan;
+
+  uint64_t NowMicros() const;
+  uint64_t NextSpanId();
+  void Record(SpanRecord&& span);
+  static uint64_t CurrentThreadId();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+/// RAII span handle. Constructing with a null tracer is the disabled fast
+/// path: every method returns immediately and nothing is allocated (name and
+/// attribute strings are only copied when a tracer is attached).
+///
+/// Parenting: by default a new span becomes a child of the innermost live
+/// ScopedSpan *on the same thread* (tracked thread-locally). To nest across
+/// threads, capture `context()` before handing work to another thread and
+/// pass it to the child's constructor there.
+class ScopedSpan {
+ public:
+  /// Child of the current thread's innermost span (or a root).
+  ScopedSpan(Tracer* tracer, std::string_view name);
+
+  /// Child of an explicit parent — used across ThreadPool workers. The
+  /// parent context's tracer is used; a default context makes a root span.
+  ScopedSpan(const SpanContext& parent, std::string_view name);
+
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key-value attribute. No-op when disabled.
+  void SetAttr(std::string_view key, std::string_view value);
+  void SetAttr(std::string_view key, uint64_t value);
+
+  /// Context for parenting child spans on other threads.
+  SpanContext context() const { return {tracer_, record_.id}; }
+
+  bool enabled() const { return tracer_ != nullptr; }
+
+  /// Ends the span now (idempotent; the destructor calls this).
+  void End();
+
+ private:
+  void Begin(Tracer* tracer, uint64_t parent_id, std::string_view name);
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+  SpanContext saved_current_;  ///< restored on End (LIFO per thread)
+  bool installed_ = false;     ///< did we push onto the thread-local stack?
+};
+
+}  // namespace obs
+}  // namespace discsec
+
+#endif  // DISCSEC_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "access/permission_request.h"
+#include "obs/bridge.h"
 #include "pki/key_codec.h"
 #include "player/host_api.h"
 #include "player/session.h"
@@ -22,12 +23,22 @@ int64_t NowUs() {
       .count();
 }
 
+/// Accumulates into a PhaseTimings slot and, when observability is on, opens
+/// a phase span and records the phase-latency histogram. With null
+/// tracer/histogram this is exactly the old two-int timer.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(int64_t* slot) : slot_(slot), start_(NowUs()) {}
+  PhaseTimer(int64_t* slot, obs::Tracer* tracer, std::string_view span_name,
+             obs::Histogram* hist)
+      : span_(tracer, span_name),
+        latency_(hist),
+        slot_(slot),
+        start_(NowUs()) {}
   ~PhaseTimer() { *slot_ += NowUs() - start_; }
 
  private:
+  obs::ScopedSpan span_;
+  obs::ScopedLatency latency_;
   int64_t* slot_;
   int64_t start_;
 };
@@ -42,14 +53,58 @@ DiscPlayback& DiscPlayback::operator=(DiscPlayback&&) noexcept = default;
 InteractiveApplicationEngine::InteractiveApplicationEngine(PlayerConfig config)
     : config_(std::move(config)), storage_(config_.storage_quota) {
   storage_.set_fault_injector(config_.fault);
+  // Observability opt-in propagates to every component the config reaches:
+  // the parser limits carry the tracer into all attacker-input parses, and
+  // the XKMS client/cache (externally owned, shared by design) get spans so
+  // trust-service traffic shows up under the launch spans.
+  if (config_.tracer != nullptr) {
+    if (config_.parse_limits.tracer == nullptr) {
+      config_.parse_limits.tracer = config_.tracer;
+    }
+    if (config_.xkms_cache != nullptr) {
+      config_.xkms_cache->set_observability(config_.tracer);
+    }
+  }
+  if (config_.tracer != nullptr || config_.metrics != nullptr) {
+    if (config_.xkms != nullptr) {
+      config_.xkms->set_observability(config_.tracer, config_.metrics);
+    }
+    if (config_.xkms_cache != nullptr &&
+        config_.xkms_cache->client() != nullptr) {
+      config_.xkms_cache->client()->set_observability(config_.tracer,
+                                                      config_.metrics);
+    }
+  }
+}
+
+obs::Histogram* InteractiveApplicationEngine::Hist(const char* name) const {
+  return config_.metrics != nullptr ? config_.metrics->GetHistogram(name)
+                                    : nullptr;
+}
+
+void InteractiveApplicationEngine::AbsorbComponentMetrics() {
+  if (config_.metrics == nullptr) return;
+  if (config_.digest_cache != nullptr) {
+    obs::AbsorbDigestCacheStats(config_.digest_cache->stats(),
+                                config_.metrics);
+  }
+  if (config_.xkms_cache != nullptr) {
+    obs::AbsorbLocateCacheStats(config_.xkms_cache->stats(), config_.metrics);
+  }
+  obs::AbsorbFaultInjectorStats(*fault::Effective(config_.fault),
+                                config_.metrics);
+  config_.metrics->GetCounter("digest.bytes_streamed")
+      ->MaxTo(crypto::DigestBytesStreamed());
 }
 
 Status InteractiveApplicationEngine::VerifyPhase(
     xml::Document* doc, Origin origin,
     const xmldsig::ExternalResolver& resolver, LaunchReport* report) {
-  PhaseTimer timer(&report->timings.verify_us);
+  PhaseTimer timer(&report->timings.verify_us, config_.tracer,
+                   "player.verify", Hist("player.verify_us"));
   xmlenc::Decryptor decryptor(config_.keys);
   decryptor.set_parse_options(config_.parse_limits);
+  decryptor.set_observability(config_.tracer, config_.metrics);
   auto signatures = xmldsig::Verifier::FindSignatures(doc->root());
   report->signature_present = !signatures.empty();
 
@@ -72,6 +127,8 @@ Status InteractiveApplicationEngine::VerifyPhase(
   options.parse_options = config_.parse_limits;
   options.pool = config_.pool;
   options.digest_cache = config_.digest_cache;
+  options.tracer = config_.tracer;
+  options.metrics = config_.metrics;
   // See-what-is-signed: when the signature is load-bearing, its references
   // must land on elements of the cluster schema — a reference resolving to
   // an attacker-planted decoy element is a wrapping attempt, not a valid
@@ -135,7 +192,8 @@ Status InteractiveApplicationEngine::VerifyPhase(
 
 Status InteractiveApplicationEngine::DecryptPhase(xml::Document* doc,
                                                   LaunchReport* report) {
-  PhaseTimer timer(&report->timings.decrypt_us);
+  PhaseTimer timer(&report->timings.decrypt_us, config_.tracer,
+                   "player.decrypt", Hist("player.decrypt_us"));
   // Count EncryptedData before deciding whether decryption happened.
   size_t encrypted = 0;
   doc->root()->ForEachElement([&](xml::Element* e) {
@@ -146,6 +204,7 @@ Status InteractiveApplicationEngine::DecryptPhase(xml::Document* doc,
   if (encrypted == 0) return Status::OK();
   xmlenc::Decryptor decryptor(config_.keys);
   decryptor.set_parse_options(config_.parse_limits);
+  decryptor.set_observability(config_.tracer, config_.metrics);
   DISCSEC_RETURN_IF_ERROR(
       decryptor.DecryptAll(doc, nullptr, {}).WithContext("content decrypt"));
   report->content_decrypted = true;
@@ -155,7 +214,8 @@ Status InteractiveApplicationEngine::DecryptPhase(xml::Document* doc,
 Status InteractiveApplicationEngine::PolicyPhase(
     const disc::ApplicationManifest& manifest, LaunchReport* report,
     std::unique_ptr<access::PolicyEnforcementPoint>* pep) {
-  PhaseTimer timer(&report->timings.policy_us);
+  PhaseTimer timer(&report->timings.policy_us, config_.tracer,
+                   "player.policy", Hist("player.policy_us"));
   access::PermissionRequest request;
   if (!manifest.permission_request_xml.empty()) {
     DISCSEC_ASSIGN_OR_RETURN(request,
@@ -169,13 +229,15 @@ Status InteractiveApplicationEngine::PolicyPhase(
                             : report->signer_subject;
   *pep = std::make_unique<access::PolicyEnforcementPoint>(
       &config_.pdp, std::move(request), subject);
+  (*pep)->set_observability(config_.tracer, config_.metrics);
   report->grants = (*pep)->EvaluateAll();
   return Status::OK();
 }
 
 Status InteractiveApplicationEngine::MarkupPhase(
     const disc::ApplicationManifest& manifest, LaunchReport* report) {
-  PhaseTimer timer(&report->timings.markup_us);
+  PhaseTimer timer(&report->timings.markup_us, config_.tracer,
+                   "player.markup", Hist("player.markup_us"));
   // Layout/timing SubMarkup (SMIL).
   const disc::SubMarkup* layout = manifest.FindMarkupByRole("layout");
   if (layout == nullptr && !manifest.markups.empty()) {
@@ -213,7 +275,8 @@ Status InteractiveApplicationEngine::MarkupPhase(
 Status InteractiveApplicationEngine::ScriptPhase(
     const disc::ApplicationManifest& manifest,
     script::Interpreter* interpreter, LaunchReport* report) {
-  PhaseTimer timer(&report->timings.script_us);
+  PhaseTimer timer(&report->timings.script_us, config_.tracer,
+                   "player.script", Hist("player.script_us"));
   if (manifest.scripts.empty()) return Status::OK();
   for (const disc::ScriptPart& part : manifest.scripts) {
     auto result = interpreter->Run(part.source);
@@ -238,6 +301,12 @@ Result<std::unique_ptr<ApplicationSession>>
 InteractiveApplicationEngine::BeginSession(const std::string& cluster_xml,
                                            Origin origin,
                                            xmldsig::ExternalResolver resolver) {
+  obs::ScopedSpan launch_span(config_.tracer, "player.launch");
+  launch_span.SetAttr("origin",
+                      origin == Origin::kDisc ? "disc" : "network");
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("player.launches")->Add();
+  }
   auto session = std::unique_ptr<ApplicationSession>(new ApplicationSession);
   session->report_ = std::make_unique<LaunchReport>();
   LaunchReport& report = *session->report_;
@@ -383,6 +452,10 @@ Result<LaunchReport> InteractiveApplicationEngine::LaunchFromDisc(
 
 Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
     const disc::DiscImage& image) {
+  obs::ScopedSpan disc_span(config_.tracer, "player.play_disc");
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("player.discs_inserted")->Add();
+  }
   // The cluster document is the disc's table of contents: unreadable or
   // malformed means there is nothing to salvage, degraded mode or not.
   DISCSEC_ASSIGN_OR_RETURN(std::string cluster_xml,
@@ -406,8 +479,12 @@ Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
     // in strict mode (later tracks are then never evaluated — no rights
     // consumed, no fault points hit — which the chaos suite relies on).
     if (app_track != nullptr) {
+      obs::ScopedSpan track_span(config_.tracer, "player.track");
+      track_span.SetAttr("track", app_track->id);
+      track_span.SetAttr("kind", "application");
       auto session = BeginSession(cluster_xml, Origin::kDisc,
                                   disc::MakeDiscResolver(&image));
+      track_span.SetAttr("outcome", session.ok() ? "ok" : "failed");
       if (session.ok()) {
         playback.app = std::move(session).value();
       } else if (!degraded_ok) {
@@ -419,8 +496,12 @@ Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
     }
     for (const disc::Track& track : cluster.tracks) {
       if (track.kind != disc::Track::Kind::kAudioVideo) continue;
+      obs::ScopedSpan track_span(config_.tracer, "player.track");
+      track_span.SetAttr("track", track.id);
+      track_span.SetAttr("kind", "av");
       auto plan = BuildPlaybackPlan(cluster, image, track.id, config_.rights,
                                     rights_context);
+      track_span.SetAttr("outcome", plan.ok() ? "ok" : "failed");
       if (plan.ok()) {
         playback.played.push_back(std::move(plan).value());
       } else if (!degraded_ok) {
@@ -449,15 +530,26 @@ Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
     if (app_track != nullptr) app_session.emplace(nullptr);
     std::vector<std::optional<Result<PlaybackPlan>>> plans(av_tracks.size());
     const size_t app_jobs = app_track != nullptr ? 1 : 0;
+    // Track spans parent onto the play_disc span explicitly: the lambda may
+    // run on a pool worker whose thread-local span stack is empty.
+    const obs::SpanContext disc_ctx = disc_span.context();
     ParallelFor(config_.pool, app_jobs + av_tracks.size(), [&](size_t job) {
       if (app_track != nullptr && job == 0) {
+        obs::ScopedSpan track_span(disc_ctx, "player.track");
+        track_span.SetAttr("track", app_track->id);
+        track_span.SetAttr("kind", "application");
         *app_session = BeginSession(cluster_xml, Origin::kDisc,
                                     disc::MakeDiscResolver(&image));
+        track_span.SetAttr("outcome", app_session->ok() ? "ok" : "failed");
         return;
       }
       const size_t t = job - app_jobs;
+      obs::ScopedSpan track_span(disc_ctx, "player.track");
+      track_span.SetAttr("track", av_tracks[t]->id);
+      track_span.SetAttr("kind", "av");
       plans[t].emplace(BuildPlaybackPlan(cluster, image, av_tracks[t]->id,
                                          config_.rights, rights_context));
+      track_span.SetAttr("outcome", plans[t]->ok() ? "ok" : "failed");
     });
     if (app_track != nullptr) {
       if (app_session->ok()) {
@@ -489,6 +581,12 @@ Result<DiscPlayback> InteractiveApplicationEngine::PlayDisc(
     const TrackFailure& first = playback.quarantined.front();
     return first.status.WithContext("track '" + first.track_id +
                                     "' (no track played)");
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->GetCounter("player.tracks_played")
+        ->Add(playback.played.size() + (playback.app != nullptr ? 1 : 0));
+    config_.metrics->GetCounter("player.tracks_quarantined")
+        ->Add(playback.quarantined.size());
   }
   return playback;
 }

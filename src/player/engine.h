@@ -115,6 +115,16 @@ struct PlayerConfig {
   /// precedence over `xkms` for key-binding location (Validate always goes
   /// to the live service — revocation verdicts are never cached).
   xkms::LocateCache* xkms_cache = nullptr;
+  /// Observability (DESIGN.md §10). When `tracer` is set the engine emits
+  /// "player.play_disc" / "player.launch" root spans with per-track
+  /// "player.track" children (parent-correct across ThreadPool workers) and
+  /// per-phase spans, and propagates the tracer into parsing, signature
+  /// verification, decryption, PEP checks and XKMS calls. When `metrics` is
+  /// set, phase-latency histograms ("player.<phase>_us") and pipeline
+  /// counters are recorded, and SnapshotMetrics() absorbs the configured
+  /// caches' stats. Both null (the default) adds nothing to the hot path.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One drawing operation the application performed (the graphics plane).
@@ -241,7 +251,17 @@ class InteractiveApplicationEngine {
       const std::string& cluster_xml, Origin origin,
       xmldsig::ExternalResolver resolver = nullptr);
 
+  /// Folds the cumulative stats of the configured components (digest cache,
+  /// XKMS locate cache, retrying-transport stats when registered via
+  /// PlayerConfig, fault injector) into PlayerConfig::metrics. Idempotent;
+  /// no-op when metrics is null. Call right before Snapshot()/ToJson().
+  void AbsorbComponentMetrics();
+
  private:
+  /// Named phase histogram from PlayerConfig::metrics; null when metrics
+  /// are off (ScopedLatency treats null as disabled).
+  obs::Histogram* Hist(const char* name) const;
+
   Status VerifyPhase(xml::Document* doc, Origin origin,
                      const xmldsig::ExternalResolver& resolver,
                      LaunchReport* report);

@@ -44,6 +44,9 @@ Transport XkmsClient::DirectTransport(XkmsService* service,
 }
 
 Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
+  obs::ScopedSpan span(tracer_, "xkms.locate");
+  span.SetAttr("name", name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.locate")->Add();
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildLocateRequest(name)));
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
@@ -87,6 +90,9 @@ Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
 
 Result<KeyStatus> XkmsClient::Validate(const std::string& name,
                                        const crypto::RsaPublicKey& key) {
+  obs::ScopedSpan span(tracer_, "xkms.validate");
+  span.SetAttr("name", name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.validate")->Add();
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildValidateRequest(name, key)));
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
@@ -97,12 +103,16 @@ Result<KeyStatus> XkmsClient::Validate(const std::string& name,
         .WithContext("XKMS response");
   }
   std::string s = status->TextContent();
+  span.SetAttr("status", s);
   if (s == "Valid") return KeyStatus::kValid;
   if (s == "Invalid") return KeyStatus::kInvalid;
   return KeyStatus::kIndeterminate;
 }
 
 Status XkmsClient::Register(const KeyBinding& binding) {
+  obs::ScopedSpan span(tracer_, "xkms.register");
+  span.SetAttr("name", binding.name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.register")->Add();
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildRegisterRequest(binding)));
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
@@ -114,6 +124,9 @@ Status XkmsClient::Register(const KeyBinding& binding) {
 }
 
 Status XkmsClient::Revoke(const std::string& name) {
+  obs::ScopedSpan span(tracer_, "xkms.revoke");
+  span.SetAttr("name", name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.revoke")->Add();
   DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
                            transport_(BuildRevokeRequest(name)));
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));

@@ -6,6 +6,8 @@
 
 #include "common/fault.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xkms/service.h"
 
 namespace discsec {
@@ -55,8 +57,18 @@ class XkmsClient {
   static Transport DirectTransport(XkmsService* service,
                                    fault::FaultInjector* injector = nullptr);
 
+  /// Observability (DESIGN.md §10): "xkms.locate" / "xkms.validate" /
+  /// "xkms.register" / "xkms.revoke" spans (attributes: name, and the
+  /// binding status on validate) and "xkms.<op>" counters. Null = no-op.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
  private:
   Transport transport_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace xkms

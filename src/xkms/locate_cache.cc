@@ -23,6 +23,8 @@ LocateCache::LocateCache(XkmsClient* client, Options options)
                             : std::function<int64_t()>(SteadyNowUs)) {}
 
 Result<KeyBinding> LocateCache::Locate(const std::string& name) {
+  obs::ScopedSpan span(tracer_, "xkms.locate_cache");
+  span.SetAttr("name", name);
   std::shared_ptr<Flight> flight;
   bool leader = false;
   {
@@ -31,6 +33,7 @@ Result<KeyBinding> LocateCache::Locate(const std::string& name) {
     if (it != entries_.end()) {
       if (clock_() < it->second.expires_us) {
         ++stats_.hits;
+        span.SetAttr("outcome", "hit");
         return it->second.binding;
       }
       entries_.erase(it);
@@ -39,11 +42,13 @@ Result<KeyBinding> LocateCache::Locate(const std::string& name) {
     auto in_flight = flights_.find(name);
     if (in_flight != flights_.end()) {
       ++stats_.coalesced;
+      span.SetAttr("outcome", "coalesced");
       flight = in_flight->second;
     } else {
       leader = true;
       ++stats_.misses;
       ++stats_.transport_calls;
+      span.SetAttr("outcome", "miss");
       flight = std::make_shared<Flight>();
       flights_.emplace(name, flight);
     }

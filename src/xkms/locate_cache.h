@@ -66,6 +66,12 @@ class LocateCache {
   LocateCacheStats stats() const;
   size_t size() const;
 
+  /// Observability (DESIGN.md §10): "xkms.locate_cache" spans with an
+  /// "outcome" attribute (hit / miss / coalesced). Null = no-op. The
+  /// cache's own counters stay authoritative; obs::AbsorbLocateCacheStats
+  /// folds them into a MetricsRegistry.
+  void set_observability(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct Entry {
     KeyBinding binding;
@@ -87,6 +93,7 @@ class LocateCache {
   std::map<std::string, Entry> entries_;
   std::map<std::string, std::shared_ptr<Flight>> flights_;
   LocateCacheStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace xkms

@@ -187,8 +187,21 @@ struct C14NWriter {
 
 }  // namespace
 
+namespace {
+
+// Shared span prologue for both canonicalization entry points.
+void AnnotateC14NSpan(obs::ScopedSpan* span, const C14NOptions& options) {
+  if (!span->enabled()) return;
+  span->SetAttr("mode", options.exclusive ? "exclusive" : "inclusive");
+  span->SetAttr("comments", options.with_comments ? "with" : "without");
+}
+
+}  // namespace
+
 void Canonicalize(const Document& doc, const C14NOptions& options,
                   ByteSink* sink) {
+  obs::ScopedSpan span(options.tracer, "xml.c14n");
+  AnnotateC14NSpan(&span, options);
   C14NWriter writer{options, sink};
   // Document-level children: PIs (and comments in WithComments mode) that
   // precede the root are followed by #xA; those after are preceded by #xA.
@@ -221,6 +234,8 @@ std::string Canonicalize(const Document& doc) {
 
 void CanonicalizeElement(const Element& apex, const C14NOptions& options,
                          ByteSink* sink) {
+  obs::ScopedSpan span(options.tracer, "xml.c14n");
+  AnnotateC14NSpan(&span, options);
   if (options.exclusive) {
     // Exclusive C14N does not inherit ancestor xml:* attributes, and
     // namespace context comes from LookupNamespaceUri on demand.

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/byte_sink.h"
+#include "obs/trace.h"
 #include "xml/dom.h"
 
 namespace discsec {
@@ -32,6 +33,9 @@ struct C14NOptions {
   /// ec:InclusiveNamespaces PrefixList; "#default" names the default
   /// namespace).
   std::vector<std::string> inclusive_prefixes;
+  /// Observability: when set, each canonicalization emits an "xml.c14n"
+  /// span with "mode" and "comments" attributes. Null = no-op.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Canonicalizes the entire document.

@@ -385,11 +385,15 @@ class ParserImpl {
 }  // namespace
 
 Result<Document> Parse(std::string_view input, const ParseOptions& options) {
+  obs::ScopedSpan span(options.tracer, "xml.parse");
+  span.SetAttr("bytes", static_cast<uint64_t>(input.size()));
   if (input.size() > options.max_input) {
     return Status::ResourceExhausted("XML input exceeds max_input");
   }
   ParserImpl parser(input, options);
-  return parser.Run();
+  Result<Document> result = parser.Run();
+  if (!result.ok()) span.SetAttr("error", result.status().ToString());
+  return result;
 }
 
 Result<Document> Parse(std::string_view input) {

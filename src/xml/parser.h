@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "xml/dom.h"
 
 namespace discsec {
@@ -28,6 +29,9 @@ struct ParseOptions {
   /// DOCTYPE handling: the player profile rejects DTDs outright (they are a
   /// well-known XML attack surface and C14N discards them anyway).
   bool allow_doctype = false;
+  /// Observability: when set, each Parse emits an "xml.parse" span with a
+  /// "bytes" attribute. Null (the default) is a zero-cost no-op.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Parses an XML 1.0 document (UTF-8) into a Document.

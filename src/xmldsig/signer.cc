@@ -73,6 +73,11 @@ Result<Bytes> Signer::ComputeSignatureValue(
 Result<std::unique_ptr<xml::Element>> Signer::BuildUnsigned(
     const std::vector<ReferenceSpec>& refs, const ReferenceContext& ctx,
     const std::string& signature_id) const {
+  obs::ScopedSpan span(tracer_, "xmldsig.sign");
+  span.SetAttr("references", static_cast<uint64_t>(refs.size()));
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("xmldsig.signatures_created")->Add();
+  }
   if (refs.empty()) {
     return Status::InvalidArgument("signature needs at least one reference");
   }
@@ -127,6 +132,7 @@ Result<std::unique_ptr<xml::Element>> Signer::BuildUnsigned(
 }
 
 Status Signer::Finalize(xml::Element* signature) const {
+  obs::ScopedSpan span(tracer_, "xmldsig.sign.finalize");
   xml::Element* signed_info =
       signature->FirstChildElementByLocalName("SignedInfo");
   xml::Element* sig_value =
@@ -140,6 +146,7 @@ Status Signer::Finalize(xml::Element* signature) const {
   // is read back from the element so Finalize agrees with what BuildUnsigned
   // recorded.
   xml::C14NOptions options;
+  options.tracer = tracer_;
   const xml::Element* method =
       signed_info->FirstChildElementByLocalName("CanonicalizationMethod");
   if (method != nullptr && method->GetAttribute("Algorithm") != nullptr) {

@@ -8,6 +8,8 @@
 #include "common/result.h"
 #include "crypto/algorithms.h"
 #include "crypto/rsa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pki/certificate.h"
 #include "xml/c14n.h"
 #include "xml/dom.h"
@@ -86,6 +88,15 @@ class Signer {
     c14n_method_ = std::move(uri);
   }
 
+  /// Observability (DESIGN.md §10): spans "xmldsig.sign" (one per
+  /// BuildUnsigned, attribute: reference count) and "xmldsig.sign.finalize"
+  /// (SignedInfo canonicalize + sign), plus the "xmldsig.signatures_created"
+  /// counter. Null (the default) costs nothing.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
   /// Builds a detached/standalone <ds:Signature> over `refs` and returns it
   /// (not attached to any document). `ctx.document` must be set when any
   /// reference is same-document.
@@ -133,6 +144,8 @@ class Signer {
   SigningKey key_;
   KeyInfoSpec key_info_;
   std::string c14n_method_ = crypto::kAlgC14N;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace xmldsig

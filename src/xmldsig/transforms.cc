@@ -260,6 +260,7 @@ Status ProcessReferenceTo(const xml::Element& reference,
       return Status::ParseError("Transform missing Algorithm attribute");
     }
     xml::C14NOptions c14n_options;
+    c14n_options.tracer = ctx.parse_options.tracer;
     if (ReadC14NTransform(*t, *alg, &c14n_options)) {
       if (i + 1 == chain.size()) {
         // Terminal canonicalization: stream straight into the sink.
@@ -280,7 +281,9 @@ Status ProcessReferenceTo(const xml::Element& reference,
 
   // Implicit final canonicalization when still in node-set form; buffered
   // octet state (external URI, base64 output) is forwarded as-is.
-  CanonicalizeStateTo(state, xml::C14NOptions(), sink);
+  xml::C14NOptions final_c14n;
+  final_c14n.tracer = ctx.parse_options.tracer;
+  CanonicalizeStateTo(state, final_c14n, sink);
   return Status::OK();
 }
 

@@ -130,6 +130,11 @@ std::vector<xml::Element*> Verifier::FindSignatures(xml::Element* root) {
 Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
                                     const xml::Element& signature,
                                     const VerifyOptions& options) {
+  obs::ScopedSpan verify_span(options.tracer, "xmldsig.verify");
+  obs::ScopedLatency verify_latency(
+      options.metrics != nullptr
+          ? options.metrics->GetHistogram("xmldsig.verify_us")
+          : nullptr);
   if (!IsDsElement(signature, "Signature")) {
     return Status::InvalidArgument("element is not a ds:Signature");
   }
@@ -177,6 +182,11 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
   ctx.resolver = options.resolver;
   ctx.decrypt_hook = options.decrypt_hook;
   ctx.parse_options = options.parse_options;
+  // The tracer rides ReferenceContext::parse_options into the transform
+  // pipeline, so inner re-parses and canonicalizations emit child spans.
+  if (ctx.parse_options.tracer == nullptr) {
+    ctx.parse_options.tracer = options.tracer;
+  }
   if (doc != nullptr && signature.parent() != nullptr) {
     ctx.signature_path = ComputePath(&signature);
   }
@@ -192,6 +202,8 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
   if (refs.empty()) {
     return Status::VerificationFailed("signature has no references");
   }
+  verify_span.SetAttr("algorithm", signature_algorithm);
+  verify_span.SetAttr("references", static_cast<uint64_t>(refs.size()));
 
   // Each Reference canonicalizes + digests independently: same-document
   // targets clone the source document into a private working copy and the
@@ -205,10 +217,33 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
     VerifiedReference verified;
   };
   std::vector<RefOutcome> outcomes(refs.size());
+  // Reference spans parent onto the verify span via its captured context —
+  // thread-local nesting alone would orphan them on pool workers.
+  const obs::SpanContext verify_ctx = verify_span.context();
   auto process_reference = [&](const xml::Element& ref) -> RefOutcome {
+    obs::ScopedSpan ref_span(verify_ctx, "xmldsig.reference");
     RefOutcome out;
     const std::string* uri = ref.GetAttribute("URI");
     std::string uri_str = uri != nullptr ? *uri : std::string();
+    ref_span.SetAttr("uri", uri_str);
+    if (ref_span.enabled()) {
+      // Transform chain as written, comma-joined in document order.
+      std::string chain;
+      const xml::Element* transforms =
+          ref.FirstChildElementByLocalName("Transforms");
+      if (transforms != nullptr) {
+        for (const auto& child : transforms->children()) {
+          if (!child->IsElement()) continue;
+          const auto* t = static_cast<const xml::Element*>(child.get());
+          if (t->LocalName() != "Transform") continue;
+          const std::string* alg = t->GetAttribute("Algorithm");
+          if (alg == nullptr) continue;
+          if (!chain.empty()) chain += ",";
+          chain += *alg;
+        }
+      }
+      ref_span.SetAttr("transforms", chain);
+    }
     const xml::Element* digest_method =
         ref.FirstChildElementByLocalName("DigestMethod");
     const xml::Element* digest_value =
@@ -219,6 +254,7 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
       return out;
     }
     const std::string& digest_alg = *digest_method->GetAttribute("Algorithm");
+    ref_span.SetAttr("digest_alg", digest_alg);
     auto digest = crypto::MakeDigest(digest_alg);
     if (!digest.ok()) {
       out.status = digest.status();
@@ -232,6 +268,17 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
     out.status = ProcessReferenceTo(ref, ctx, &sink, &resolution);
     if (!out.status.ok()) return out;
     Bytes actual = sink.Finalize();
+    if (options.digest_cache != nullptr) {
+      ref_span.SetAttr("cache", sink.was_hit() ? "hit" : "miss");
+      if (options.metrics != nullptr) {
+        options.metrics
+            ->GetCounter(sink.was_hit() ? "xmldsig.cache_hits"
+                                        : "xmldsig.cache_misses")
+            ->Add();
+      }
+    } else {
+      ref_span.SetAttr("cache", "off");
+    }
     auto expected = Base64Decode(digest_value->TextContent());
     if (!expected.ok()) {
       out.status = expected.status();
@@ -255,6 +302,10 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
     if (!outcome.status.ok()) return outcome.status;
     info.reference_uris.push_back(outcome.verified.uri);
     info.references.push_back(std::move(outcome.verified));
+  }
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("xmldsig.references_verified")
+        ->Add(info.references.size());
   }
 
   // See-what-is-signed policy over the resolved reference set.
@@ -301,6 +352,9 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
 
   // Signature value over canonical SignedInfo, streamed straight into the
   // MAC/digest so the canonical form is never materialized.
+  obs::ScopedSpan si_span(options.tracer, "xmldsig.signed_info");
+  si_span.SetAttr("algorithm", signature_algorithm);
+  signed_info_c14n.tracer = options.tracer;
   if (key.is_hmac) {
     crypto::Hmac hmac(std::make_unique<crypto::Sha1>(), key.hmac_secret);
     crypto::HmacSink sink(&hmac);

@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 #include "crypto/rsa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pki/cert_store.h"
 #include "xml/dom.h"
 #include "xmldsig/transforms.h"
@@ -76,6 +78,17 @@ struct VerifyOptions {
   /// octets). Safe to share across verifiers and threads; see DESIGN.md §9
   /// for why a hit cannot weaken the wrapping defenses.
   crypto::DigestCache* digest_cache = nullptr;
+
+  /// Observability (DESIGN.md §10): when `tracer` is set the verifier emits
+  /// an "xmldsig.verify" span, one "xmldsig.reference" span per <Reference>
+  /// (attributes: uri, transforms, digest_alg, cache hit/miss — parented
+  /// correctly even when references digest on `pool` workers) and an
+  /// "xmldsig.signed_info" span for the SignedInfo signature check. When
+  /// `metrics` is set, "xmldsig.references_verified" / ".cache_hits" /
+  /// ".cache_misses" counters and the "xmldsig.verify_us" histogram are
+  /// recorded. Both null (the default) costs nothing.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Where one verified Reference resolved — the per-reference

@@ -116,6 +116,10 @@ Result<Bytes> Decryptor::ResolveContentKey(const xml::Element& encrypted_data,
 
 Result<Bytes> Decryptor::DecryptData(
     const xml::Element& encrypted_data) const {
+  obs::ScopedSpan span(tracer_, "xmlenc.decrypt");
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("xmlenc.decryptions")->Add();
+  }
   if (!IsEncryptedData(encrypted_data)) {
     return Status::InvalidArgument("element is not xenc:EncryptedData");
   }
@@ -124,13 +128,18 @@ Result<Bytes> Decryptor::DecryptData(
   if (method == nullptr || method->GetAttribute("Algorithm") == nullptr) {
     return Status::ParseError("EncryptedData missing EncryptionMethod");
   }
+  span.SetAttr("algorithm", *method->GetAttribute("Algorithm"));
   DISCSEC_ASSIGN_OR_RETURN(size_t key_size,
                            KeySizeForAlgorithm(*method->GetAttribute(
                                "Algorithm")));
   DISCSEC_ASSIGN_OR_RETURN(Bytes cek,
                            ResolveContentKey(encrypted_data, key_size));
   DISCSEC_ASSIGN_OR_RETURN(Bytes ciphertext, CipherValueOf(encrypted_data));
-  return crypto::AesCbcDecrypt(cek, ciphertext);
+  Result<Bytes> plaintext = crypto::AesCbcDecrypt(cek, ciphertext);
+  if (plaintext.ok()) {
+    span.SetAttr("bytes", static_cast<uint64_t>(plaintext.value().size()));
+  }
+  return plaintext;
 }
 
 Status Decryptor::DecryptInPlace(xml::Document* doc,

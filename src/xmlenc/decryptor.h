@@ -8,6 +8,8 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "crypto/rsa.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "xml/dom.h"
 #include "xmldsig/transforms.h"
 
@@ -53,6 +55,14 @@ class Decryptor {
   }
   const xml::ParseOptions& parse_options() const { return parse_options_; }
 
+  /// Observability (DESIGN.md §10): "xmlenc.decrypt" spans (one per
+  /// EncryptedData, attributes: algorithm, bytes) and the
+  /// "xmlenc.decryptions" counter. Null (the default) costs nothing.
+  void set_observability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+    tracer_ = tracer;
+    metrics_ = metrics;
+  }
+
   /// Decrypts a standalone EncryptedData element to raw octets.
   Result<Bytes> DecryptData(const xml::Element& encrypted_data) const;
 
@@ -78,6 +88,8 @@ class Decryptor {
 
   KeyRing key_ring_;
   xml::ParseOptions parse_options_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 /// True when `e` is an xenc:EncryptedData element.

@@ -1,0 +1,112 @@
+// Golden-vector conformance suite: regenerates every §5 signing-level and
+// §6 encryption-target fixture from the deterministic testing world and
+// byte-compares against the checked-in copies. Any drift in
+// canonicalization, digesting, signing or encryption fails loudly with the
+// first differing byte. Refresh intentionally changed fixtures with
+//   discsec_tool regen-golden --write
+// (which diffs by default, so accidental regeneration is visible too).
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "tests/golden/golden_vectors.h"
+
+namespace discsec {
+namespace {
+
+std::string GoldenPath(const std::string& filename) {
+  return std::string(DISCSEC_GOLDEN_DIR) + "/" + filename;
+}
+
+Result<std::string> ReadGolden(const std::string& filename) {
+  std::ifstream in(GoldenPath(filename), std::ios::binary);
+  if (!in) {
+    return Status::NotFound("missing golden fixture '" + filename +
+                            "' — run discsec_tool regen-golden --write");
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class GoldenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto generated = golden::GenerateGoldenVectors();
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    vectors_ = new std::vector<golden::GoldenVector>(
+        std::move(generated).value());
+  }
+  static void TearDownTestSuite() {
+    delete vectors_;
+    vectors_ = nullptr;
+  }
+
+  static std::vector<golden::GoldenVector>* vectors_;
+};
+
+std::vector<golden::GoldenVector>* GoldenTest::vectors_ = nullptr;
+
+TEST_F(GoldenTest, CoversEverySigningLevelAndEncryptionTarget) {
+  std::set<std::string> names;
+  for (const auto& vector : *vectors_) names.insert(vector.filename);
+  for (const char* required :
+       {"sign_cluster.c14n", "sign_cluster.sig", "sign_track.c14n",
+        "sign_track.sig", "sign_manifest.c14n", "sign_manifest.sig",
+        "sign_markup-part.c14n", "sign_markup-part.sig",
+        "sign_code-part.c14n", "sign_code-part.sig", "sign_script.c14n",
+        "sign_script.sig", "sign_submarkup.c14n", "sign_submarkup.sig",
+        "enc_manifest.c14n", "enc_markup-part.c14n", "enc_code-part.c14n",
+        "enc_track-data.c14n"}) {
+    EXPECT_TRUE(names.count(required)) << "generator lost " << required;
+  }
+}
+
+TEST_F(GoldenTest, GenerationIsDeterministic) {
+  // The whole suite rests on reproducibility: a second generation pass
+  // (fresh world, fresh RNGs) must produce identical bytes.
+  auto again = golden::GenerateGoldenVectors();
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  ASSERT_EQ(again->size(), vectors_->size());
+  for (size_t i = 0; i < vectors_->size(); ++i) {
+    EXPECT_EQ((*again)[i].filename, (*vectors_)[i].filename);
+    Status st = golden::CompareGolden((*again)[i].filename,
+                                      (*vectors_)[i].content,
+                                      (*again)[i].content);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST_F(GoldenTest, MatchesCheckedInFixtures) {
+  ASSERT_FALSE(vectors_->empty());
+  for (const auto& vector : *vectors_) {
+    SCOPED_TRACE(vector.filename);
+    auto expected = ReadGolden(vector.filename);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    Status st = golden::CompareGolden(vector.filename, expected.value(),
+                                      vector.content);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+}
+
+TEST_F(GoldenTest, SignatureRecordsNameEveryAlgorithm) {
+  // The .sig records must pin the full algorithm suite, not just values:
+  // a silent algorithm swap with a correct value is still drift.
+  for (const auto& vector : *vectors_) {
+    if (vector.filename.size() < 4 ||
+        vector.filename.substr(vector.filename.size() - 4) != ".sig") {
+      continue;
+    }
+    SCOPED_TRACE(vector.filename);
+    EXPECT_NE(vector.content.find("signature-method: "), std::string::npos);
+    EXPECT_NE(vector.content.find("digest-method="), std::string::npos);
+    EXPECT_NE(vector.content.find("signature-value: "), std::string::npos);
+    EXPECT_EQ(vector.content.find("digest=?"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace discsec

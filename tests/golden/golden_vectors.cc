@@ -1,0 +1,200 @@
+#include "tests/golden/golden_vectors.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+#include "authoring/author.h"
+#include "disc/content.h"
+#include "tests/test_world.h"
+#include "xml/c14n.h"
+#include "xml/serializer.h"
+#include "xmlenc/encryptor.h"
+
+namespace discsec {
+namespace golden {
+
+namespace {
+
+void CollectByLocalName(const xml::Element* element, std::string_view local,
+                        std::vector<const xml::Element*>* out) {
+  if (element->LocalName() == local) out->push_back(element);
+  for (const auto& child : element->children()) {
+    if (!child->IsElement()) continue;
+    CollectByLocalName(static_cast<const xml::Element*>(child.get()), local,
+                       out);
+  }
+}
+
+std::string AttrOrEmpty(const xml::Element* element, std::string_view name) {
+  const std::string* value = element->GetAttribute(name);
+  return value == nullptr ? std::string() : *value;
+}
+
+/// A stable plain-text record of everything cryptographic in the document's
+/// signatures: method URIs, per-Reference transform chains, digest values
+/// and the signature value itself. RSA PKCS#1 v1.5 is deterministic, so
+/// with fixed-seed keys these bytes never change unless the implementation
+/// does.
+std::string SignatureRecord(const std::string& level,
+                            const xml::Document& doc) {
+  std::string out = "level: " + level + "\n";
+  std::vector<const xml::Element*> signatures;
+  CollectByLocalName(doc.root(), "Signature", &signatures);
+  for (const xml::Element* signature : signatures) {
+    const xml::Element* signed_info =
+        signature->FirstChildElementByLocalName("SignedInfo");
+    if (signed_info == nullptr) continue;
+    const xml::Element* method =
+        signed_info->FirstChildElementByLocalName("SignatureMethod");
+    out += "signature-method: " +
+           (method != nullptr ? AttrOrEmpty(method, "Algorithm") : "?") + "\n";
+    std::vector<const xml::Element*> references;
+    CollectByLocalName(signed_info, "Reference", &references);
+    for (const xml::Element* reference : references) {
+      out += "reference: uri=\"" + AttrOrEmpty(reference, "URI") + "\"";
+      std::vector<const xml::Element*> transforms;
+      CollectByLocalName(reference, "Transform", &transforms);
+      out += " transforms=";
+      for (size_t i = 0; i < transforms.size(); ++i) {
+        if (i > 0) out += ",";
+        out += AttrOrEmpty(transforms[i], "Algorithm");
+      }
+      const xml::Element* digest_method =
+          reference->FirstChildElementByLocalName("DigestMethod");
+      out += " digest-method=" + (digest_method != nullptr
+                                      ? AttrOrEmpty(digest_method, "Algorithm")
+                                      : "?");
+      const xml::Element* digest_value =
+          reference->FirstChildElementByLocalName("DigestValue");
+      out += " digest=" +
+             (digest_value != nullptr ? digest_value->TextContent() : "?") +
+             "\n";
+    }
+    const xml::Element* value =
+        signature->FirstChildElementByLocalName("SignatureValue");
+    out += "signature-value: " +
+           (value != nullptr ? value->TextContent() : "?") + "\n";
+  }
+  return out;
+}
+
+struct LevelSpec {
+  authoring::SignLevel level;
+  const char* name;  ///< script/submarkup selector, empty otherwise
+};
+
+constexpr LevelSpec kLevels[] = {
+    {authoring::SignLevel::kCluster, ""},
+    {authoring::SignLevel::kTrack, ""},
+    {authoring::SignLevel::kManifest, ""},
+    {authoring::SignLevel::kMarkupPart, ""},
+    {authoring::SignLevel::kCodePart, ""},
+    {authoring::SignLevel::kScript, "main"},
+    {authoring::SignLevel::kSubMarkup, "menu"},
+};
+
+struct EncTargetSpec {
+  const char* name;       ///< file stem, e.g. "manifest"
+  const char* target_id;  ///< cluster-document Id to encrypt in place
+  uint32_t rng_seed;      ///< dedicated IV stream, so targets are independent
+};
+
+constexpr EncTargetSpec kEncTargets[] = {
+    {"manifest", "quiz", 9101},
+    {"markup-part", "quiz-markup", 9102},
+    {"code-part", "quiz-code", 9103},
+};
+
+std::string Printable(char c) {
+  if (std::isprint(static_cast<unsigned char>(c)) != 0) return {c};
+  char buffer[8];
+  std::snprintf(buffer, sizeof(buffer), "\\x%02x",
+                static_cast<unsigned char>(c));
+  return buffer;
+}
+
+}  // namespace
+
+Result<std::vector<GoldenVector>> GenerateGoldenVectors() {
+  testing_world::World world;
+  disc::InteractiveCluster cluster = world.DemoCluster();
+  authoring::Author author = world.MakeAuthor();
+  xml::C14NOptions c14n;
+
+  std::vector<GoldenVector> vectors;
+
+  // §5 signing levels: canonical form + signature record per level.
+  for (const LevelSpec& spec : kLevels) {
+    DISCSEC_ASSIGN_OR_RETURN(
+        xml::Document doc,
+        author.BuildSigned(cluster, spec.level, "track-app", spec.name));
+    std::string stem =
+        std::string("sign_") + authoring::SignLevelName(spec.level);
+    vectors.push_back({stem + ".c14n", xml::Canonicalize(doc, c14n)});
+    vectors.push_back(
+        {stem + ".sig",
+         SignatureRecord(authoring::SignLevelName(spec.level), doc)});
+  }
+
+  // §6 encryption targets, each with its own fixed IV stream.
+  for (const EncTargetSpec& spec : kEncTargets) {
+    xml::Document doc = cluster.ToXml();
+    Rng rng(spec.rng_seed);
+    DISCSEC_ASSIGN_OR_RETURN(
+        xmlenc::Encryptor encryptor,
+        xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &rng));
+    xml::Element* target = doc.FindById(spec.target_id);
+    if (target == nullptr) {
+      return Status::NotFound(std::string("no encryption target id '") +
+                              spec.target_id + "'");
+    }
+    DISCSEC_RETURN_IF_ERROR(
+        encryptor
+            .EncryptElement(&doc, target, std::string("enc-") + spec.target_id)
+            .status());
+    vectors.push_back({std::string("enc_") + spec.name + ".c14n",
+                       xml::Canonicalize(doc, c14n)});
+  }
+
+  // §6 Fig. 7 Track target: non-markup octets as a standalone
+  // EncryptedData element.
+  {
+    Rng rng(9104);
+    DISCSEC_ASSIGN_OR_RETURN(
+        xmlenc::Encryptor encryptor,
+        xmlenc::Encryptor::Create(world.MakeEncryptionSpec(), &rng));
+    Bytes essence = disc::GenerateTransportStream(1, 64);
+    DISCSEC_ASSIGN_OR_RETURN(
+        std::unique_ptr<xml::Element> data,
+        encryptor.EncryptData(essence, "video/mp2t", "enc-track"));
+    vectors.push_back(
+        {"enc_track-data.c14n", xml::SerializeElement(*data)});
+  }
+
+  return vectors;
+}
+
+Status CompareGolden(const std::string& name, const std::string& expected,
+                     const std::string& actual) {
+  if (expected == actual) return Status::OK();
+  size_t offset = 0;
+  size_t limit = std::min(expected.size(), actual.size());
+  while (offset < limit && expected[offset] == actual[offset]) ++offset;
+  auto context = [offset](const std::string& text) {
+    size_t begin = offset > 20 ? offset - 20 : 0;
+    std::string window;
+    for (size_t i = begin; i < std::min(text.size(), offset + 20); ++i) {
+      window += Printable(text[i]);
+    }
+    return window;
+  };
+  return Status::InvalidArgument(
+      name + ": golden mismatch at byte " + std::to_string(offset) +
+      " (expected " + std::to_string(expected.size()) + " bytes, got " +
+      std::to_string(actual.size()) + ")\n  expected ..." +
+      context(expected) + "...\n  actual   ..." + context(actual) + "...");
+}
+
+}  // namespace golden
+}  // namespace discsec

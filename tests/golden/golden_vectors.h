@@ -1,0 +1,45 @@
+#ifndef DISCSEC_TESTS_GOLDEN_GOLDEN_VECTORS_H_
+#define DISCSEC_TESTS_GOLDEN_GOLDEN_VECTORS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace discsec {
+namespace golden {
+
+/// One checked-in conformance fixture: a filename under tests/golden/ and
+/// the exact bytes the current implementation produces for it.
+struct GoldenVector {
+  std::string filename;
+  std::string content;
+};
+
+/// Regenerates every golden vector from the deterministic testing world
+/// (fixed Rng seeds, so RSA keys, signature values and encryption IVs are
+/// all reproducible):
+///
+///   sign_<level>.c14n  canonical form of the cluster document signed at
+///                      that §5 level (cluster, track, manifest,
+///                      markup-part, code-part, script, submarkup)
+///   sign_<level>.sig   digest/signature-value record extracted from the
+///                      ds:Signature of that document
+///   enc_<target>.c14n  canonical form after encrypting that §6 target
+///                      (manifest, markup-part, code-part in place;
+///                      track-data as a standalone EncryptedData)
+///
+/// Any byte drift in canonicalization, digesting, signing or encryption
+/// shows up as a diff against the checked-in copies.
+Result<std::vector<GoldenVector>> GenerateGoldenVectors();
+
+/// Byte-compares `actual` against `expected`, returning OK on equality or
+/// an InvalidArgument whose message pinpoints the first differing offset
+/// (with a short hex/ASCII context window) otherwise.
+Status CompareGolden(const std::string& name, const std::string& expected,
+                     const std::string& actual);
+
+}  // namespace golden
+}  // namespace discsec
+
+#endif  // DISCSEC_TESTS_GOLDEN_GOLDEN_VECTORS_H_

@@ -1,0 +1,4 @@
+level: cluster
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="" transforms=http://www.w3.org/2000/09/xmldsig#enveloped-signature,http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=LDLMhlnqY8u0G31KHxvG8vRr0XU=
+signature-value: w6luVmdIaIgDa3HHDaz+RE3/7BYbmnS68JrsXU1SbBAZPb8p/doqyoNBnpFtSWDmfKJNwUEKr09wy+qA0pAGlg==

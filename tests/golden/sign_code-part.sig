@@ -1,0 +1,4 @@
+level: code-part
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#quiz-code" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=iWt6QKURV4KYAXapnfxtbc6Qboo=
+signature-value: 1AQQAT5HYq4tSDaniecIfjB+EspStzeqKmCcQOw+PGpT3cOTTg8cQhJrDNNZlI9FukSObPTckexSnrfy/D9Yqg==

@@ -1,0 +1,4 @@
+level: manifest
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#quiz" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=QYrEdHOgBKhYygFOz83IO2c1zOI=
+signature-value: JVRFtaiHc9klog/Pv7efD8Pxe7m3AjGBDwZC3M8NthJP5HsSvlVsAYL+94bvcGf/sColPtjEWfcdYr5vwQp9mQ==

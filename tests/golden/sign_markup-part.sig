@@ -1,0 +1,4 @@
+level: markup-part
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#quiz-markup" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=hr76aDvgXpc24TJ6OGBp8c3LbIo=
+signature-value: njghriKwTyKkE9l5awCphU0KGDb1b9GRl85l2NeIY601ME8TpHmyk80zaEhTSAuNC+zHTtcHZpzjJw9mc2JhXQ==

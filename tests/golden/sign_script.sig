@@ -1,0 +1,4 @@
+level: script
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#quiz-script-main" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=KxYxekPQ5vg9D8jNZS5fvP3fiFs=
+signature-value: C9a+d8U/Wy6G1vUn7/DOPdzustp3Yg4Ps0YpKrCGcErEo8WRwTe2zMtR9g+4rPXf2vx16DfFUIPATTa6ytWGlA==

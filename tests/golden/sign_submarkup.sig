@@ -1,0 +1,4 @@
+level: submarkup
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#quiz-sub-menu" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=FMWEIQn7YePXnP6Lo5UNKddJX+M=
+signature-value: Fpv8KQAEnQyiuvZx/zARvMbgFhFsCkS+OkaVXs3eSEwdKUTRfTGBTRdbEIp+graI/g1ctEQr7pfiSqe2m94KSg==

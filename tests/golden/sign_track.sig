@@ -1,0 +1,4 @@
+level: track
+signature-method: http://www.w3.org/2000/09/xmldsig#rsa-sha1
+reference: uri="#track-app" transforms=http://www.w3.org/TR/2001/REC-xml-c14n-20010315 digest-method=http://www.w3.org/2000/09/xmldsig#sha1 digest=CubFViXlPdIHLN77rm6n84bp8a4=
+signature-value: 0K7oLj2bt2BE07s5PsScwqnGoC0J8yqxBeGbMEkKNRgo02P1SZxVNIJCGLj4NcFql7FKtyW3iJ/2BtN0Ei8DLw==

@@ -16,6 +16,8 @@
 //   discsec_tool decrypt --in enc.xml --key-hex <32 hex> --key-name <name>
 //                --out dec.xml
 //   discsec_tool c14n --in doc.xml [--with-comments]
+//   discsec_tool play-demo [--repeat N] [--pool N]
+//   discsec_tool regen-golden [--dir tests/golden] [--write]
 //
 // Any command also accepts --inject-fault point:kind:rate (repeatable),
 // arming the process-global fault injector before the command runs — e.g.
@@ -23,22 +25,50 @@
 // rehearsing how the pipeline reports damaged inputs. Kinds: error,
 // corrupt, truncate; rate is a probability in [0, 1].
 //
+// Observability (DESIGN.md §10) — every command also accepts:
+//   --trace FILE        write a Chrome-trace-format JSON of every span the
+//                       command produced (open in chrome://tracing or
+//                       https://ui.perfetto.dev)
+//   --trace-text FILE   the same spans as an indented plain-text tree
+//   --metrics FILE      write the final metrics snapshot as JSON
+// `play-demo` masters a protected demo disc (signed + encrypted manifest +
+// AV-essence references), stands up an in-process XKMS service behind a
+// retrying transport, and plays the disc --repeat times (default 2, so the
+// second pass shows digest/locate cache hits) — the quickest way to get a
+// real trace of the whole pipeline.
+//
+// `regen-golden` regenerates the golden conformance vectors and DIFFS them
+// against tests/golden/ (exit 1 on drift); --write updates the files
+// instead, for intentional format changes.
+//
 // Exit status: 0 on success, 1 on any error (including failed
-// verification), 2 on usage errors.
+// verification and golden drift), 2 on usage errors.
 
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/bytes.h"
 #include "common/fault.h"
+#include "common/thread_pool.h"
+#include "crypto/digest_cache.h"
+#include "obs/bridge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pki/cert_store.h"
 #include "pki/certificate.h"
 #include "pki/key_codec.h"
+#include "player/engine.h"
+#include "tests/golden/golden_vectors.h"
+#include "tests/test_world.h"
+#include "xkms/locate_cache.h"
+#include "xkms/retrying_transport.h"
+#include "xkms/service.h"
 #include "xml/c14n.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -50,6 +80,11 @@
 namespace {
 
 using namespace discsec;
+
+/// Process-wide observability sinks; null unless --trace/--metrics was
+/// given. Commands thread these into whatever they run.
+obs::Tracer* g_tracer = nullptr;
+obs::MetricsRegistry* g_metrics = nullptr;
 
 struct Args {
   std::string command;
@@ -99,6 +134,14 @@ Status ArmInjectedFault(const std::string& flag) {
   }
   fault::GlobalFaultInjector().Arm(std::move(spec));
   return Status::OK();
+}
+
+/// Parses command input under the global tracer, so --trace covers the
+/// "xml.parse" spans of every command.
+Result<xml::Document> ParseInput(const std::string& text) {
+  xml::ParseOptions options;
+  options.tracer = g_tracer;
+  return xml::Parse(text, options);
 }
 
 Status WriteFile(const std::string& path, const std::string& content) {
@@ -212,7 +255,7 @@ int CmdSign(const Args& args) {
   if (!key.ok()) return Fail(key.status());
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = xml::Parse(text.value());
+  auto doc = ParseInput(text.value());
   if (!doc.ok()) return Fail(doc.status());
 
   xmldsig::KeyInfoSpec key_info;
@@ -227,6 +270,7 @@ int CmdSign(const Args& args) {
     key_info.certificate_chain.push_back(std::move(cert).value());
   }
   xmldsig::Signer signer(xmldsig::SigningKey::Rsa(key.value()), key_info);
+  signer.set_observability(g_tracer, g_metrics);
 
   if (args.Has("detached-id")) {
     xml::Element* target = doc->FindById(args.Get("detached-id"));
@@ -252,10 +296,12 @@ int CmdVerify(const Args& args) {
   if (!args.Has("in")) return Usage("verify needs --in");
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = xml::Parse(text.value());
+  auto doc = ParseInput(text.value());
   if (!doc.ok()) return Fail(doc.status());
 
   xmldsig::VerifyOptions options;
+  options.tracer = g_tracer;
+  options.metrics = g_metrics;
   pki::CertStore store;
   if (args.Has("root")) {
     auto root_text = ReadFile(args.Get("root"));
@@ -297,7 +343,7 @@ int CmdEncrypt(const Args& args) {
   if (!key.ok()) return Fail(key.status());
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = xml::Parse(text.value());
+  auto doc = ParseInput(text.value());
   if (!doc.ok()) return Fail(doc.status());
   xml::Element* target = doc->FindById(args.Get("target-id"));
   if (target == nullptr) {
@@ -333,11 +379,12 @@ int CmdDecrypt(const Args& args) {
   if (!key.ok()) return Fail(key.status());
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = xml::Parse(text.value());
+  auto doc = ParseInput(text.value());
   if (!doc.ok()) return Fail(doc.status());
   xmlenc::KeyRing ring;
   ring.AddKey(args.Get("key-name"), key.value());
   xmlenc::Decryptor decryptor(std::move(ring));
+  decryptor.set_observability(g_tracer, g_metrics);
   Status st = decryptor.DecryptAll(&doc.value(), nullptr, {});
   if (!st.ok()) return Fail(st);
   st = WriteFile(args.Get("out"), xml::Serialize(doc.value()));
@@ -351,13 +398,157 @@ int CmdC14n(const Args& args) {
   if (!args.Has("in")) return Usage("c14n needs --in");
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = xml::Parse(text.value());
+  auto doc = ParseInput(text.value());
   if (!doc.ok()) return Fail(doc.status());
   xml::C14NOptions options;
+  options.tracer = g_tracer;
   options.with_comments = args.Has("with-comments");
   std::fputs(xml::Canonicalize(doc.value(), options).c_str(), stdout);
   std::fputc('\n', stdout);
   return 0;
+}
+
+// ------------------------------------------------------ play-demo
+
+int CmdPlayDemo(const Args& args) {
+  size_t repeat = static_cast<size_t>(
+      std::strtoul(args.Get("repeat", "2").c_str(), nullptr, 10));
+  if (repeat == 0) repeat = 1;
+  size_t pool_threads = static_cast<size_t>(
+      std::strtoul(args.Get("pool", "0").c_str(), nullptr, 10));
+
+  // Deterministic end-to-end fixture: root CA, studio chain, demo cluster.
+  testing_world::World world;
+  disc::InteractiveCluster cluster = world.DemoCluster();
+  authoring::Author author = world.MakeAuthor();
+
+  // Master the fully protected disc: enveloped signature (with the
+  // Decryption Transform in the chain), encrypted manifest, and external
+  // references over the AV essence.
+  authoring::Author::ProtectOptions protect;
+  protect.sign = true;
+  protect.sign_av_essence = true;
+  protect.encrypt_ids = {"quiz"};
+  protect.encryption = world.MakeEncryptionSpec();
+  auto image = author.MasterProtected(cluster, protect, &world.rng);
+  if (!image.ok()) return Fail(image.status());
+
+  // In-process trust service behind the production transport stack:
+  // retries + circuit breaker, then a TTL/single-flight locate cache.
+  xkms::XkmsService service;
+  std::string fingerprint = pki::KeyFingerprint(world.studio_key.public_key);
+  Status st = service.Register({fingerprint, world.studio_key.public_key,
+                                {"Signature"}, xkms::KeyStatus::kValid});
+  if (!st.ok()) return Fail(st);
+  std::shared_ptr<const xkms::RetryingTransportStats> transport_stats;
+  xkms::XkmsClient client(xkms::MakeRetryingTransport(
+      xkms::XkmsClient::DirectTransport(&service),
+      xkms::RetryingTransportOptions{}, &transport_stats));
+  xkms::LocateCache locate_cache(&client);
+  crypto::DigestCache digest_cache;
+  std::unique_ptr<ThreadPool> pool;
+  if (pool_threads > 0) pool = std::make_unique<ThreadPool>(pool_threads);
+
+  player::PlayerConfig config = world.MakePlayerConfig();
+  config.xkms = &client;
+  config.xkms_cache = &locate_cache;
+  config.digest_cache = &digest_cache;
+  config.pool = pool.get();
+  config.tracer = g_tracer;
+  config.metrics = g_metrics;
+  player::InteractiveApplicationEngine engine(std::move(config));
+
+  for (size_t round = 1; round <= repeat; ++round) {
+    auto playback = engine.PlayDisc(image.value());
+    if (!playback.ok()) return Fail(playback.status());
+    std::printf("round %zu: played %zu track(s), quarantined %zu, app %s\n",
+                round, playback->played.size() + (playback->app ? 1u : 0u),
+                playback->quarantined.size(),
+                playback->app ? "launched" : "absent");
+  }
+
+  // Fold every component's cumulative counters into the snapshot the
+  // --metrics file will carry.
+  engine.AbsorbComponentMetrics();
+  if (g_metrics != nullptr && transport_stats != nullptr) {
+    obs::AbsorbRetryingTransportStats(*transport_stats, g_metrics);
+  }
+  crypto::DigestCacheStats cache_stats = digest_cache.stats();
+  xkms::LocateCacheStats locate_stats = locate_cache.stats();
+  std::printf("digest cache: %llu hit(s), %llu miss(es)\n",
+              static_cast<unsigned long long>(cache_stats.hits),
+              static_cast<unsigned long long>(cache_stats.misses));
+  std::printf("xkms locate cache: %llu hit(s), %llu transport call(s)\n",
+              static_cast<unsigned long long>(locate_stats.hits),
+              static_cast<unsigned long long>(locate_stats.transport_calls));
+  if (g_tracer != nullptr) {
+    std::printf("captured %zu span(s)\n", g_tracer->size());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------- regen-golden
+
+int CmdRegenGolden(const Args& args) {
+  std::string dir = args.Get("dir", "tests/golden");
+  bool write = args.Has("write");
+  auto vectors = golden::GenerateGoldenVectors();
+  if (!vectors.ok()) return Fail(vectors.status());
+  size_t drifted = 0, updated = 0;
+  for (const golden::GoldenVector& vector : vectors.value()) {
+    std::string path = dir + "/" + vector.filename;
+    auto existing = ReadFile(path);
+    bool matches = existing.ok() &&
+                   golden::CompareGolden(vector.filename, existing.value(),
+                                         vector.content)
+                       .ok();
+    if (matches) continue;
+    if (write) {
+      Status st = WriteFile(path, vector.content);
+      if (!st.ok()) return Fail(st);
+      std::printf("updated %s (%zu bytes)\n", path.c_str(),
+                  vector.content.size());
+      ++updated;
+      continue;
+    }
+    ++drifted;
+    if (!existing.ok()) {
+      std::fprintf(stderr, "MISSING %s (%zu bytes to write)\n", path.c_str(),
+                   vector.content.size());
+      continue;
+    }
+    Status diff = golden::CompareGolden(vector.filename, existing.value(),
+                                        vector.content);
+    std::fprintf(stderr, "DRIFT   %s\n", diff.message().c_str());
+  }
+  if (write) {
+    std::printf("%zu file(s) updated, %zu unchanged\n", updated,
+                vectors->size() - updated);
+    return 0;
+  }
+  if (drifted > 0) {
+    std::fprintf(stderr,
+                 "%zu golden vector(s) drifted; rerun with --write after "
+                 "confirming the change is intentional\n",
+                 drifted);
+    return 1;
+  }
+  std::printf("all %zu golden vector(s) match\n", vectors->size());
+  return 0;
+}
+
+int Dispatch(const Args& args) {
+  if (args.command == "keygen") return CmdKeygen(args);
+  if (args.command == "cert-root") return CmdCertRoot(args);
+  if (args.command == "cert-issue") return CmdCertIssue(args);
+  if (args.command == "sign") return CmdSign(args);
+  if (args.command == "verify") return CmdVerify(args);
+  if (args.command == "encrypt") return CmdEncrypt(args);
+  if (args.command == "decrypt") return CmdDecrypt(args);
+  if (args.command == "c14n") return CmdC14n(args);
+  if (args.command == "play-demo") return CmdPlayDemo(args);
+  if (args.command == "regen-golden") return CmdRegenGolden(args);
+  return Usage(("unknown command '" + args.command + "'").c_str());
 }
 
 }  // namespace
@@ -371,7 +562,8 @@ int main(int argc, char** argv) {
     if (arg.rfind("--", 0) != 0) return Usage("expected --option");
     std::string name = arg.substr(2);
     // Flags without values.
-    if (name == "ca" || name == "allow-bare-key" || name == "with-comments") {
+    if (name == "ca" || name == "allow-bare-key" || name == "with-comments" ||
+        name == "write") {
       args.options[name] = "1";
       continue;
     }
@@ -386,13 +578,31 @@ int main(int argc, char** argv) {
       args.options[name] = value;
     }
   }
-  if (args.command == "keygen") return CmdKeygen(args);
-  if (args.command == "cert-root") return CmdCertRoot(args);
-  if (args.command == "cert-issue") return CmdCertIssue(args);
-  if (args.command == "sign") return CmdSign(args);
-  if (args.command == "verify") return CmdVerify(args);
-  if (args.command == "encrypt") return CmdEncrypt(args);
-  if (args.command == "decrypt") return CmdDecrypt(args);
-  if (args.command == "c14n") return CmdC14n(args);
-  return Usage(("unknown command '" + args.command + "'").c_str());
+
+  // Observability sinks live for the whole command; the files are written
+  // after it finishes (success or failure — a trace of a failing run is
+  // exactly what you want to look at).
+  obs::Tracer tracer;
+  obs::MetricsRegistry metrics;
+  if (args.Has("trace") || args.Has("trace-text")) g_tracer = &tracer;
+  if (args.Has("metrics")) g_metrics = &metrics;
+
+  int rc = Dispatch(args);
+
+  if (args.Has("trace")) {
+    Status st = WriteFile(args.Get("trace"), tracer.ChromeTraceJson());
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "trace: %zu span(s) -> %s\n", tracer.size(),
+                 args.Get("trace").c_str());
+  }
+  if (args.Has("trace-text")) {
+    Status st = WriteFile(args.Get("trace-text"), tracer.TextReport());
+    if (!st.ok()) return Fail(st);
+  }
+  if (args.Has("metrics")) {
+    Status st = WriteFile(args.Get("metrics"), metrics.Snapshot().ToJson());
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "metrics -> %s\n", args.Get("metrics").c_str());
+  }
+  return rc;
 }
