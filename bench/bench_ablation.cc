@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 #include "crypto/sha1.h"
 #include "xml/c14n.h"
@@ -170,4 +172,4 @@ BENCHMARK(BM_DigestPath_PlainSerialize)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("ablation");

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "access/pep.h"
 #include "access/permission_request.h"
 #include "access/policy.h"
@@ -106,4 +108,4 @@ BENCHMARK(BM_PepLaunchGrantTable)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace access
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("access_control");

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/alloc_tracker.h"
 #include "bench/bench_util.h"
 #include "crypto/digest.h"
@@ -200,4 +202,4 @@ BENCHMARK(BM_SignatureMode_Enveloping)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("c14n");

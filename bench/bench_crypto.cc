@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "common/random.h"
 #include "crypto/aes.h"
 #include "crypto/algorithms.h"
@@ -147,4 +149,4 @@ BENCHMARK(BM_BigIntModPow)
 }  // namespace crypto
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("crypto");

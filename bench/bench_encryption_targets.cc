@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 #include "disc/content.h"
 #include "xmlenc/decryptor.h"
@@ -194,4 +196,4 @@ BENCHMARK(BM_KeyMode)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("encryption_targets");

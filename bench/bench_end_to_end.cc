@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 
 namespace discsec {
@@ -115,4 +117,4 @@ BENCHMARK(BM_SecureVsPlainTransport)
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("end_to_end");

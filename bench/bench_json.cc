@@ -1,0 +1,184 @@
+#include "bench/bench_json.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace discsec {
+namespace bench {
+
+namespace {
+
+/// Collects per-repetition runs while still printing the familiar console
+/// table (the JSON artifact is additive, not a replacement).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) runs_.push_back(run);
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+  const std::vector<Run>& runs() const { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  *out += buf;
+}
+
+/// Nearest-rank percentile over an ascending sample vector.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+struct ResultRow {
+  std::string name;
+  std::string params;
+  int64_t iterations = 0;
+  std::vector<double> samples_us;  ///< mean iteration time per repetition
+  std::map<std::string, double> counters;
+};
+
+}  // namespace
+
+int RunAndExport(const std::string& bench_name) {
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  // Group per-repetition iteration runs by full benchmark name; aggregate
+  // rows (mean/median/stddev) would double-count, so they are skipped.
+  std::vector<ResultRow> rows;
+  std::map<std::string, size_t> row_index;
+  for (const auto& run : reporter.runs()) {
+    if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Iteration) {
+      continue;
+    }
+    if (run.error_occurred) continue;
+    const std::string full = run.benchmark_name();
+    auto [it, inserted] = row_index.emplace(full, rows.size());
+    if (inserted) {
+      ResultRow row;
+      size_t slash = full.find('/');
+      row.name = full.substr(0, slash);
+      row.params = slash == std::string::npos ? "" : full.substr(slash + 1);
+      rows.push_back(std::move(row));
+    }
+    ResultRow& row = rows[it->second];
+    row.iterations += run.iterations;
+    if (run.iterations > 0) {
+      row.samples_us.push_back(run.real_accumulated_time /
+                               static_cast<double>(run.iterations) * 1e6);
+    }
+    for (const auto& [key, counter] : run.counters) {
+      row.counters[key] = counter.value;
+    }
+  }
+
+  std::string out;
+  out += "{\n  \"schema\": \"discsec-bench-v1\",\n  \"bench\": ";
+  AppendJsonString(&out, bench_name);
+  out += ",\n  \"results\": [";
+  bool first = true;
+  for (ResultRow& row : rows) {
+    std::sort(row.samples_us.begin(), row.samples_us.end());
+    double mean = 0.0;
+    for (double s : row.samples_us) mean += s;
+    if (!row.samples_us.empty()) {
+      mean /= static_cast<double>(row.samples_us.size());
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": ";
+    AppendJsonString(&out, row.name);
+    out += ", \"params\": ";
+    AppendJsonString(&out, row.params);
+    out += ", \"iterations\": ";
+    AppendJsonNumber(&out, static_cast<double>(row.iterations));
+    out += ", \"samples\": ";
+    AppendJsonNumber(&out, static_cast<double>(row.samples_us.size()));
+    out += ", \"real_us\": {\"p50\": ";
+    AppendJsonNumber(&out, Percentile(row.samples_us, 0.50));
+    out += ", \"p99\": ";
+    AppendJsonNumber(&out, Percentile(row.samples_us, 0.99));
+    out += ", \"mean\": ";
+    AppendJsonNumber(&out, mean);
+    out += "}";
+    auto allocs = row.counters.find("allocs_per_iter");
+    if (allocs != row.counters.end()) {
+      out += ", \"allocs\": ";
+      AppendJsonNumber(&out, allocs->second);
+    }
+    out += ", \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [key, value] : row.counters) {
+      if (!first_counter) out += ", ";
+      first_counter = false;
+      AppendJsonString(&out, key);
+      out += ": ";
+      AppendJsonNumber(&out, value);
+    }
+    out += "}}";
+  }
+  out += "\n  ]\n}\n";
+
+  const std::string path = "BENCH_" + bench_name + ".json";
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  file << out;
+  std::fprintf(stderr, "bench_json: wrote %s (%zu result rows)\n",
+               path.c_str(), rows.size());
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace discsec

@@ -1,0 +1,51 @@
+#ifndef DISCSEC_BENCH_BENCH_JSON_H_
+#define DISCSEC_BENCH_BENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+namespace discsec {
+namespace bench {
+
+/// Runs every registered benchmark (honoring the usual --benchmark_* flags,
+/// console output included) and writes `BENCH_<bench_name>.json` into the
+/// current directory with the repository-wide result schema:
+///
+///   {
+///     "schema": "discsec-bench-v1",
+///     "bench": "<bench_name>",
+///     "results": [
+///       {
+///         "name": "BM_Case",          // benchmark family
+///         "params": "16384/2",        // the /arg suffix, "" when none
+///         "iterations": 12345,
+///         "samples": 3,               // repetition count behind p50/p99
+///         "real_us": {"p50": ..., "p99": ..., "mean": ...},
+///         "allocs": 12.0,             // allocs_per_iter, only when tracked
+///         "counters": { ... every user counter ... }
+///       }, ...
+///     ]
+///   }
+///
+/// p50/p99 are nearest-rank percentiles over the per-repetition mean
+/// iteration times; a benchmark run without --benchmark_repetitions has one
+/// sample and p50 == p99 == mean. Returns the process exit code.
+int RunAndExport(const std::string& bench_name);
+
+}  // namespace bench
+}  // namespace discsec
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the shared
+/// BENCH_<name>.json artifact (the name is the bare experiment name, e.g.
+/// "taskgraph" -> BENCH_taskgraph.json).
+#define DISCSEC_BENCH_MAIN(bench_name)                                \
+  int main(int argc, char** argv) {                                   \
+    benchmark::Initialize(&argc, argv);                               \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    int rc = discsec::bench::RunAndExport(bench_name);                \
+    benchmark::Shutdown();                                            \
+    return rc;                                                        \
+  }
+
+#endif  // DISCSEC_BENCH_BENCH_JSON_H_

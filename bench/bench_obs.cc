@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/alloc_tracker.h"
 #include "bench/bench_util.h"
 #include "obs/metrics.h"
@@ -152,4 +154,4 @@ BENCHMARK(BM_HistogramObserve);
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("obs");

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 #include "dcf/dcf.h"
 #include "xmldsig/verifier.h"
@@ -88,4 +90,4 @@ BENCHMARK(BM_ProtectionOverhead)
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("overhead");

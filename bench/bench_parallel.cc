@@ -11,6 +11,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include <map>
 #include <memory>
 #include <string>
@@ -206,4 +208,4 @@ BENCHMARK(BM_DigestSink_Hit)->Arg(4096)->Arg(262144);
 }  // namespace player
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("parallel");

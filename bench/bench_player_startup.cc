@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 
 namespace discsec {
@@ -113,4 +115,4 @@ BENCHMARK(BM_ScriptExecutionBudget)
 }  // namespace
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("player_startup");

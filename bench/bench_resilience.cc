@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "authoring/author.h"
 #include "bench/bench_util.h"
 #include "common/fault.h"
@@ -155,4 +157,4 @@ BENCHMARK(BM_XkmsLocate_Retrying)->Unit(benchmark::kMicrosecond);
 }  // namespace player
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("resilience");

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/alloc_tracker.h"
+#include "bench/bench_json.h"
 #include "bench/bench_util.h"
 #include "common/byte_sink.h"
 #include "xml/c14n.h"
@@ -129,7 +130,8 @@ void RegisterAll() {
 int main(int argc, char** argv) {
   discsec::RegisterAll();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  int rc = discsec::bench::RunAndExport("signing_levels");
   benchmark::Shutdown();
-  return 0;
+  return rc;
 }

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.h"
+
 #include "bench/bench_util.h"
 #include "xkms/client.h"
 #include "xkms/service.h"
@@ -94,4 +96,4 @@ BENCHMARK(BM_RevokeThenValidate)->Unit(benchmark::kMicrosecond);
 }  // namespace xkms
 }  // namespace discsec
 
-BENCHMARK_MAIN();
+DISCSEC_BENCH_MAIN("xkms");

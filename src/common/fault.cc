@@ -1,5 +1,8 @@
 #include "common/fault.h"
 
+#include <chrono>
+#include <thread>
+
 namespace discsec {
 namespace fault {
 
@@ -11,6 +14,8 @@ const char* KindName(Kind kind) {
       return "corrupt";
     case Kind::kTruncate:
       return "truncate";
+    case Kind::kDelay:
+      return "delay";
   }
   return "unknown";
 }
@@ -19,8 +24,9 @@ Result<Kind> KindFromName(std::string_view name) {
   if (name == "error") return Kind::kError;
   if (name == "corrupt") return Kind::kCorrupt;
   if (name == "truncate") return Kind::kTruncate;
+  if (name == "delay") return Kind::kDelay;
   return Status::InvalidArgument("unknown fault kind '" + std::string(name) +
-                                 "' (want error|corrupt|truncate)");
+                                 "' (want error|corrupt|truncate|delay)");
 }
 
 void FaultInjector::Arm(FaultSpec spec) {
@@ -96,6 +102,7 @@ bool FaultInjector::ApplyDataFault(Kind kind, Container* data) {
       data->resize(static_cast<size_t>(rng_.NextBelow(data->size())));
       return true;
     case Kind::kError:
+    case Kind::kDelay:
       return true;  // unreachable; handled by the caller
   }
   return false;
@@ -103,36 +110,58 @@ bool FaultInjector::ApplyDataFault(Kind kind, Container* data) {
 
 template <typename Container>
 Status FaultInjector::HitImpl(std::string_view point, std::string_view detail,
-                              Container* data) {
+                              Container* data, int64_t* deferred_delay_us) {
+  if (deferred_delay_us != nullptr) *deferred_delay_us = 0;
   // Disarmed fast path: no lock, one relaxed-ish load. Arm/Hit races are
   // benign — a hit that overlaps Arm may miss the brand-new spec, exactly
   // as if it had run a moment earlier.
   if (!armed_.load(std::memory_order_acquire)) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = points_.find(point);
-  if (it == points_.end()) return Status::OK();
-  PointState& state = it->second;
-  if (!ShouldFire(&state, detail)) return Status::OK();
-  if (state.spec.kind == Kind::kError) {
-    ++state.fires;
-    std::string msg = state.spec.message.empty() ? "injected fault"
-                                                 : state.spec.message;
-    msg += " at '" + std::string(point) + "'";
-    if (!detail.empty()) msg += " (" + std::string(detail) + ")";
-    return Status::Make(state.spec.code, std::move(msg));
+  int64_t sleep_us = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    if (!ShouldFire(&state, detail)) return Status::OK();
+    if (state.spec.kind == Kind::kError) {
+      ++state.fires;
+      std::string msg = state.spec.message.empty() ? "injected fault"
+                                                   : state.spec.message;
+      msg += " at '" + std::string(point) + "'";
+      if (!detail.empty()) msg += " (" + std::string(detail) + ")";
+      return Status::Make(state.spec.code, std::move(msg));
+    }
+    if (state.spec.kind == Kind::kDelay) {
+      if (state.spec.delay_us > 0) {
+        ++state.fires;
+        sleep_us = state.spec.delay_us;
+      }
+    } else if (ApplyDataFault(state.spec.kind, data)) {
+      // Data faults on payload-less or empty operations have nothing to
+      // mangle; they do not count as fires, so a chaos sweep can tell
+      // "fault landed" from "fault had no effect here".
+      ++state.fires;
+    }
   }
-  // Data faults on payload-less or empty operations have nothing to mangle;
-  // they do not count as fires, so a chaos sweep can tell "fault landed"
-  // from "fault had no effect here".
-  if (ApplyDataFault(state.spec.kind, data)) ++state.fires;
+  if (sleep_us > 0) {
+    // Delay is served outside the injector lock so concurrent hitters are
+    // delayed, not serialized. Async callers take the deferred route and
+    // park the latency on a timer wheel instead of a sleeping thread.
+    if (deferred_delay_us != nullptr) {
+      *deferred_delay_us = sleep_us;
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    }
+  }
   return Status::OK();
 }
 
 template Status FaultInjector::HitImpl<Bytes>(std::string_view,
-                                              std::string_view, Bytes*);
+                                              std::string_view, Bytes*,
+                                              int64_t*);
 template Status FaultInjector::HitImpl<std::string>(std::string_view,
                                                     std::string_view,
-                                                    std::string*);
+                                                    std::string*, int64_t*);
 
 FaultInjector& GlobalFaultInjector() {
   static FaultInjector injector;

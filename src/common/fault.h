@@ -44,6 +44,7 @@ enum class Kind {
   kError,     ///< the operation fails with an injected Status
   kCorrupt,   ///< one byte of the payload is bit-flipped (silent bit-rot)
   kTruncate,  ///< the payload is cut short (torn read/write)
+  kDelay,     ///< the operation succeeds after FaultSpec::delay_us of latency
 };
 
 const char* KindName(Kind kind);
@@ -67,6 +68,11 @@ struct FaultSpec {
   /// Status injected by kError faults.
   Status::Code code = Status::Code::kUnavailable;
   std::string message;        ///< defaults to "injected fault"
+  /// Latency injected by kDelay faults, microseconds. A fired delay either
+  /// sleeps on the hitting thread (the plain Hit* entry points) or is
+  /// handed back through the *Deferred variants so an async caller can park
+  /// it on a TimerWheel instead of blocking a worker.
+  int64_t delay_us = 0;
 };
 
 /// Seedable fault injector: equal seeds give equal corruption positions and
@@ -94,7 +100,8 @@ class FaultInjector {
   /// `point` for an operation whose payload is `data` (null for payload-
   /// less operations). Returns the injected Status for a fired kError
   /// fault; for kCorrupt/kTruncate mangles *data in place and returns OK
-  /// (the caller's integrity layer is expected to notice). `detail`
+  /// (the caller's integrity layer is expected to notice); a fired kDelay
+  /// fault sleeps spec.delay_us on this thread and returns OK. `detail`
   /// describes the operation (file path, direction) for filtering.
   Status Hit(std::string_view point, std::string_view detail = {}) {
     return HitImpl(point, detail, static_cast<Bytes*>(nullptr));
@@ -106,6 +113,22 @@ class FaultInjector {
   Status HitData(std::string_view point, std::string* data,
                  std::string_view detail = {}) {
     return HitImpl(point, detail, data);
+  }
+
+  /// Non-blocking variants for async callers: identical to Hit/HitData
+  /// except that a fired kDelay fault never sleeps here — its latency is
+  /// written to *deferred_delay_us (0 when no delay fired) and the caller
+  /// is expected to park the continuation on a TimerWheel for that long.
+  /// Every other kind behaves exactly as in the blocking entry points.
+  Status HitDeferred(std::string_view point, std::string_view detail,
+                     int64_t* deferred_delay_us) {
+    return HitImpl(point, detail, static_cast<Bytes*>(nullptr),
+                   deferred_delay_us);
+  }
+  Status HitDataDeferred(std::string_view point, std::string* data,
+                         std::string_view detail,
+                         int64_t* deferred_delay_us) {
+    return HitImpl(point, detail, data, deferred_delay_us);
   }
 
   /// Instrumentation counters, for "did the fault actually land" asserts.
@@ -122,7 +145,7 @@ class FaultInjector {
 
   template <typename Container>
   Status HitImpl(std::string_view point, std::string_view detail,
-                 Container* data);
+                 Container* data, int64_t* deferred_delay_us = nullptr);
   bool ShouldFire(PointState* state, std::string_view detail);
   template <typename Container>
   bool ApplyDataFault(Kind kind, Container* data);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
+
+#include "common/timer_wheel.h"
 
 namespace discsec {
 
@@ -109,6 +112,113 @@ CircuitBreaker::State CircuitBreaker::state(int64_t now_us) const {
     return State::kHalfOpen;
   }
   return State::kOpen;
+}
+
+namespace {
+
+/// One in-flight RetryAsync loop. Kept alive by the attempt callbacks and
+/// wheel entries that reference it; state is only touched by the single
+/// outstanding continuation, so no lock is needed.
+struct AsyncRetryLoop : std::enable_shared_from_this<AsyncRetryLoop> {
+  AsyncRetryLoop(const RetryPolicy& p, TimerWheel* w, Retryer::Clock c,
+                 uint64_t jitter_seed, RetryAsyncAttempt a,
+                 std::function<void(Status)> d)
+      : policy(p),
+        wheel(w),
+        clock(c ? std::move(c) : Retryer::Clock(SteadyNowUs)),
+        rng(jitter_seed),
+        attempt(std::move(a)),
+        done(std::move(d)),
+        max_attempts(std::max(p.max_attempts, 1)) {}
+
+  RetryPolicy policy;
+  TimerWheel* wheel;
+  Retryer::Clock clock;
+  Rng rng;
+  RetryAsyncAttempt attempt;
+  std::function<void(Status)> done;
+  const int max_attempts;
+  int n = 1;
+  int64_t start_us = 0;
+  int64_t attempt_start_us = 0;
+
+  // Mirrors Retryer::BackoffForAttempt.
+  int64_t BackoffForAttempt(int a) const {
+    double backoff = static_cast<double>(policy.initial_backoff_us);
+    for (int i = 1; i < a; ++i) backoff *= policy.backoff_multiplier;
+    backoff = std::min(backoff, static_cast<double>(policy.max_backoff_us));
+    return static_cast<int64_t>(backoff);
+  }
+
+  void Start() {
+    start_us = clock();
+    StartAttempt();
+  }
+
+  void StartAttempt() {
+    attempt_start_us = clock();
+    auto self = shared_from_this();
+    attempt([self](Status s) { self->OnAttemptDone(std::move(s)); });
+  }
+
+  // The verdict ladder below is Retryer::Run's loop body, verbatim, so the
+  // sync and async paths cannot drift apart in messages or edge cases.
+  void OnAttemptDone(Status last) {
+    const int64_t now_us = clock();
+    if (last.ok() || !last.IsRetryable()) {
+      done(std::move(last));
+      return;
+    }
+    if (policy.attempt_deadline_us > 0 &&
+        now_us - attempt_start_us > policy.attempt_deadline_us) {
+      done(Status::DeadlineExceeded(
+          "attempt " + std::to_string(n) + " ran " +
+          std::to_string(now_us - attempt_start_us) +
+          "us, past the per-attempt deadline of " +
+          std::to_string(policy.attempt_deadline_us) + "us: " +
+          last.ToString()));
+      return;
+    }
+    if (n == max_attempts) {
+      done(last.WithContext("after " + std::to_string(max_attempts) +
+                            " attempts"));
+      return;
+    }
+    int64_t backoff_us = BackoffForAttempt(n);
+    if (policy.jitter > 0.0) {
+      double fraction = static_cast<double>(rng.NextUint64() >> 11) *
+                        0x1.0p-53;  // [0, 1)
+      backoff_us -= static_cast<int64_t>(static_cast<double>(backoff_us) *
+                                         policy.jitter * fraction);
+    }
+    if (policy.overall_deadline_us > 0 &&
+        (now_us - start_us) + backoff_us >= policy.overall_deadline_us) {
+      done(Status::DeadlineExceeded(
+          "retry budget of " + std::to_string(policy.overall_deadline_us) +
+          "us exhausted after " + std::to_string(n) + " attempt(s): " +
+          last.ToString()));
+      return;
+    }
+    ++n;
+    auto self = shared_from_this();
+    if (wheel != nullptr) {
+      wheel->ScheduleAfter(backoff_us, [self] { self->StartAttempt(); });
+    } else {
+      RealSleepUs(backoff_us);
+      StartAttempt();
+    }
+  }
+};
+
+}  // namespace
+
+void RetryAsync(const RetryPolicy& policy, TimerWheel* wheel,
+                Retryer::Clock clock, uint64_t jitter_seed,
+                RetryAsyncAttempt attempt, std::function<void(Status)> done) {
+  auto loop = std::make_shared<AsyncRetryLoop>(policy, wheel, std::move(clock),
+                                               jitter_seed, std::move(attempt),
+                                               std::move(done));
+  loop->Start();
 }
 
 const char* CircuitStateName(CircuitBreaker::State state) {

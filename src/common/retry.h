@@ -72,6 +72,28 @@ class Retryer {
   Rng rng_;
 };
 
+class TimerWheel;
+
+/// An attempt that completes through a callback — possibly on another
+/// thread — instead of returning. The attempt must invoke its callback
+/// exactly once.
+using RetryAsyncAttempt =
+    std::function<void(std::function<void(Status)> attempt_done)>;
+
+/// Asynchronous counterpart of Retryer::Run with identical verdicts: same
+/// retryability rules, per-attempt and overall deadline messages, backoff
+/// schedule and jitter stream (equal seeds replay equal schedules). The
+/// difference is mechanical — between attempts the continuation parks on
+/// `wheel` instead of a thread sleeping through the backoff, so a pool
+/// worker is never held hostage by a struggling trust service. `done`
+/// fires exactly once, on whatever thread finished the last attempt (or
+/// the wheel thread when the verdict was reached during a backoff wait).
+/// With a null wheel the backoff degrades to a blocking sleep on the
+/// completing thread, which keeps the call usable in fully-sync setups.
+void RetryAsync(const RetryPolicy& policy, TimerWheel* wheel,
+                Retryer::Clock clock, uint64_t jitter_seed,
+                RetryAsyncAttempt attempt, std::function<void(Status)> done);
+
 /// A minimal circuit breaker (closed -> open -> half-open): after
 /// `failure_threshold` consecutive failures the circuit opens and calls are
 /// rejected outright until `open_duration_us` has passed; then one probe is

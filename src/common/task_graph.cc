@@ -1,0 +1,304 @@
+#include "common/task_graph.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+
+namespace discsec {
+namespace taskgraph {
+
+/// Mutable per-run scheduling state, shared (via shared_ptr) with helper
+/// tasks on the pool and with async completion handles, so a helper that
+/// dequeues after the run already finished — or a completion firing from a
+/// timer thread — touches live memory and no-ops instead of a dead frame.
+struct TaskGraph::RunState {
+  enum class NState {
+    kPending,
+    kReady,
+    kRunning,
+    kDoneOk,
+    kDoneFailed,
+    kCancelled,
+  };
+
+  struct NodeRun {
+    NState state = NState::kPending;
+    size_t preds_remaining = 0;
+    /// Some predecessor failed or was cancelled; the node can never run.
+    bool poisoned = false;
+    /// Fail-fast marked the node for cancellation; honored lazily when it
+    /// would otherwise start.
+    bool cancel_requested = false;
+    Status status;
+  };
+
+  static bool Terminal(NState s) {
+    return s == NState::kDoneOk || s == NState::kDoneFailed ||
+           s == NState::kCancelled;
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  const TaskGraph* graph = nullptr;
+  ThreadPool* pool = nullptr;
+  bool fail_fast = true;
+  std::vector<NodeRun> nodes;
+  /// Min-heap: the lowest ready id always starts first, which is what makes
+  /// the null-pool path a deterministic topological order.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>>
+      ready;
+  size_t terminal = 0;
+  NodeId lowest_failed = kNoNode;
+};
+
+NodeId TaskGraph::AddNode(std::string label, std::function<Status()> fn) {
+  Node node;
+  node.label = std::move(label);
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+NodeId TaskGraph::AddAsyncNode(std::string label,
+                               std::function<void(CompletionHandle)> fn) {
+  Node node;
+  node.label = std::move(label);
+  node.async_fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::AddEdge(NodeId before, NodeId after) {
+  if (before >= nodes_.size() || after >= nodes_.size() || before == after) {
+    if (definition_error_.ok()) {
+      definition_error_ = Status::InvalidArgument(
+          "task graph edge " + std::to_string(before) + " -> " +
+          std::to_string(after) + " references invalid nodes");
+    }
+    return;
+  }
+  nodes_[before].dependents.push_back(after);
+  ++nodes_[after].preds;
+}
+
+Status TaskGraph::CheckAcyclic() const {
+  std::vector<size_t> preds(nodes_.size());
+  std::vector<NodeId> frontier;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    preds[i] = nodes_[i].preds;
+    if (preds[i] == 0) frontier.push_back(i);
+  }
+  size_t visited = 0;
+  while (!frontier.empty()) {
+    NodeId id = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (NodeId d : nodes_[id].dependents) {
+      if (--preds[d] == 0) frontier.push_back(d);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return Status::InvalidArgument("task graph contains a dependency cycle");
+  }
+  return Status::OK();
+}
+
+void TaskGraph::MakeReadyLocked(const std::shared_ptr<RunState>& state,
+                                NodeId id) {
+  state->nodes[id].state = RunState::NState::kReady;
+  state->ready.push(id);
+  if (state->pool != nullptr) {
+    state->pool->Submit([state] { Drain(state, /*is_caller=*/false); });
+  }
+}
+
+/// Settles `id` into a terminal state and walks the consequences: newly
+/// unblocked dependents become ready, dependents of a failure cancel
+/// transitively, and a failure under fail-fast marks every unstarted
+/// higher-id node for cancellation. Caller holds state->mu.
+void TaskGraph::FinishLocked(const std::shared_ptr<RunState>& state,
+                             NodeId id, Status status) {
+  using NState = RunState::NState;
+  // Worklist of freshly-terminal nodes still owing propagation.
+  std::vector<std::pair<NodeId, bool>> settled;
+
+  auto settle = [&](NodeId nid, NState final_state, Status st) {
+    RunState::NodeRun& nr = state->nodes[nid];
+    if (RunState::Terminal(nr.state)) return;  // stale double-completion
+    nr.state = final_state;
+    nr.status = std::move(st);
+    ++state->terminal;
+    const bool ok = final_state == NState::kDoneOk;
+    if (final_state == NState::kDoneFailed && nid < state->lowest_failed) {
+      state->lowest_failed = nid;
+    }
+    settled.emplace_back(nid, ok);
+  };
+
+  settle(id, status.ok() ? NState::kDoneOk : NState::kDoneFailed,
+         std::move(status));
+
+  if (state->fail_fast && state->lowest_failed != kNoNode) {
+    // Everything after the lowest failure that has not started yet is moot:
+    // a serial in-order sweep would never have reached it. Lower ids keep
+    // running so a still-earlier failure can claim the verdict.
+    for (NodeId i = state->lowest_failed + 1; i < state->nodes.size(); ++i) {
+      RunState::NodeRun& nr = state->nodes[i];
+      if (nr.state == NState::kPending || nr.state == NState::kReady) {
+        nr.cancel_requested = true;
+      }
+    }
+  }
+
+  while (!settled.empty()) {
+    auto [nid, ok] = settled.back();
+    settled.pop_back();
+    for (NodeId d : state->graph->nodes_[nid].dependents) {
+      RunState::NodeRun& dr = state->nodes[d];
+      if (!ok) dr.poisoned = true;
+      if (--dr.preds_remaining != 0) continue;
+      if (dr.state != NState::kPending) continue;
+      if (dr.poisoned) {
+        settle(d, NState::kCancelled,
+               Status::Unavailable("cancelled: predecessor '" +
+                                   state->graph->nodes_[nid].label +
+                                   "' did not succeed"));
+      } else if (dr.cancel_requested) {
+        settle(d, NState::kCancelled,
+               Status::Unavailable("cancelled by fail-fast"));
+      } else {
+        MakeReadyLocked(state, d);
+      }
+    }
+  }
+  state->cv.notify_all();
+}
+
+void TaskGraph::CancelLocked(const std::shared_ptr<RunState>& state,
+                             NodeId id, Status status) {
+  using NState = RunState::NState;
+  RunState::NodeRun& nr = state->nodes[id];
+  if (RunState::Terminal(nr.state)) return;
+  nr.state = NState::kCancelled;
+  nr.status = std::move(status);
+  ++state->terminal;
+  // Dependents are poisoned exactly as by a failure; reuse the propagation
+  // walk by replaying through FinishLocked's worklist is not possible here
+  // without double-settling, so walk dependents directly.
+  std::vector<NodeId> work{id};
+  while (!work.empty()) {
+    NodeId nid = work.back();
+    work.pop_back();
+    for (NodeId d : state->graph->nodes_[nid].dependents) {
+      RunState::NodeRun& dr = state->nodes[d];
+      dr.poisoned = true;
+      if (--dr.preds_remaining != 0) continue;
+      if (dr.state != NState::kPending) continue;
+      dr.state = NState::kCancelled;
+      dr.status = Status::Unavailable("cancelled: predecessor '" +
+                                      state->graph->nodes_[nid].label +
+                                      "' did not succeed");
+      ++state->terminal;
+      work.push_back(d);
+    }
+  }
+  state->cv.notify_all();
+}
+
+void TaskGraph::Drain(const std::shared_ptr<RunState>& state,
+                      bool is_caller) {
+  using NState = RunState::NState;
+  const size_t n = state->nodes.size();
+  std::unique_lock<std::mutex> lock(state->mu);
+  for (;;) {
+    if (state->terminal == n) return;
+    if (state->ready.empty()) {
+      if (!is_caller) return;  // completions submit fresh helpers
+      state->cv.wait(lock, [&] {
+        return !state->ready.empty() || state->terminal == n;
+      });
+      continue;
+    }
+    const NodeId id = state->ready.top();
+    state->ready.pop();
+    RunState::NodeRun& nr = state->nodes[id];
+    if (nr.state != NState::kReady) continue;  // settled while queued
+    if (nr.cancel_requested) {
+      CancelLocked(state, id, Status::Unavailable("cancelled by fail-fast"));
+      continue;
+    }
+    nr.state = NState::kRunning;
+    const Node& def = state->graph->nodes_[id];
+    lock.unlock();
+    if (def.async_fn) {
+      {
+        CompletionHandle handle(std::make_shared<CompletionHandle::Shared>(
+            [state, id](Status s) {
+              std::lock_guard<std::mutex> inner(state->mu);
+              FinishLocked(state, id, std::move(s));
+            }));
+        def.async_fn(handle);
+        // The local reference must die *before* the lock below: if the body
+        // abandoned its copies, the last handle's destructor fires the
+        // completion, which takes state->mu itself.
+      }
+      lock.lock();
+      continue;  // terminal transition arrives through the handle
+    }
+    Status status = def.fn ? def.fn() : Status::OK();
+    lock.lock();
+    FinishLocked(state, id, std::move(status));
+  }
+}
+
+Status TaskGraph::Run(const RunOptions& options) {
+  if (!definition_error_.ok()) return definition_error_;
+  if (run_ != nullptr) {
+    return Status::InvalidArgument("task graph already ran");
+  }
+  DISCSEC_RETURN_IF_ERROR(CheckAcyclic());
+  auto state = std::make_shared<RunState>();
+  run_ = state;
+  state->graph = this;
+  state->pool = options.pool;
+  state->fail_fast = options.fail_fast;
+  state->nodes.resize(nodes_.size());
+  if (nodes_.empty()) return Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (NodeId i = 0; i < nodes_.size(); ++i) {
+      state->nodes[i].preds_remaining = nodes_[i].preds;
+      if (nodes_[i].preds == 0) MakeReadyLocked(state, i);
+    }
+  }
+  Drain(state, /*is_caller=*/true);
+  std::lock_guard<std::mutex> lock(state->mu);
+  if (state->lowest_failed != kNoNode) {
+    return state->nodes[state->lowest_failed].status;
+  }
+  return Status::OK();
+}
+
+const Status& TaskGraph::node_status(NodeId id) const {
+  static const Status kNotRun =
+      Status::Unavailable("task graph has not run");
+  if (run_ == nullptr || id >= run_->nodes.size()) return kNotRun;
+  std::lock_guard<std::mutex> lock(run_->mu);
+  return run_->nodes[id].status;
+}
+
+bool TaskGraph::node_cancelled(NodeId id) const {
+  if (run_ == nullptr || id >= run_->nodes.size()) return false;
+  std::lock_guard<std::mutex> lock(run_->mu);
+  return run_->nodes[id].state == RunState::NState::kCancelled;
+}
+
+bool TaskGraph::node_ran(NodeId id) const {
+  if (run_ == nullptr || id >= run_->nodes.size()) return false;
+  std::lock_guard<std::mutex> lock(run_->mu);
+  return run_->nodes[id].state == RunState::NState::kDoneOk ||
+         run_->nodes[id].state == RunState::NState::kDoneFailed;
+}
+
+}  // namespace taskgraph
+}  // namespace discsec

@@ -1,0 +1,111 @@
+#include "common/timer_wheel.h"
+
+#include <chrono>
+
+namespace discsec {
+
+namespace {
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TimerWheel::TimerWheel() : manual_(false) {
+  thread_ = std::thread([this] { ThreadLoop(); });
+}
+
+TimerWheel::TimerWheel(ManualClock) : manual_(true) {}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+int64_t TimerWheel::NowUs() const {
+  if (!manual_) return SteadyNowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  return manual_now_us_;
+}
+
+uint64_t TimerWheel::ScheduleAfter(int64_t delay_us, Callback cb) {
+  return ScheduleAt(NowUs() + (delay_us > 0 ? delay_us : 0), std::move(cb));
+}
+
+uint64_t TimerWheel::ScheduleAt(int64_t deadline_us, Callback cb) {
+  uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    std::pair<int64_t, uint64_t> key{deadline_us, next_seq_++};
+    entries_[key] = Entry{id, std::move(cb)};
+    by_id_[id] = key;
+  }
+  cv_.notify_all();
+  return id;
+}
+
+bool TimerWheel::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  entries_.erase(it->second);
+  by_id_.erase(it);
+  return true;
+}
+
+size_t TimerWheel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void TimerWheel::FireDue(std::unique_lock<std::mutex>& lock, int64_t now) {
+  while (!entries_.empty() && entries_.begin()->first.first <= now) {
+    Entry entry = std::move(entries_.begin()->second);
+    entries_.erase(entries_.begin());
+    by_id_.erase(entry.id);
+    lock.unlock();
+    entry.cb();
+    lock.lock();
+  }
+}
+
+void TimerWheel::AdvanceTo(int64_t now_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (now_us > manual_now_us_) manual_now_us_ = now_us;
+  FireDue(lock, manual_now_us_);
+}
+
+void TimerWheel::AdvanceBy(int64_t delta_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (delta_us > 0) manual_now_us_ += delta_us;
+  FireDue(lock, manual_now_us_);
+}
+
+void TimerWheel::ThreadLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (entries_.empty()) {
+      cv_.wait(lock, [this] { return shutdown_ || !entries_.empty(); });
+      continue;
+    }
+    const int64_t next_deadline = entries_.begin()->first.first;
+    const int64_t now = SteadyNowUs();
+    if (now < next_deadline) {
+      // Wake early on shutdown or when a sooner entry is scheduled.
+      cv_.wait_for(lock, std::chrono::microseconds(next_deadline - now));
+      continue;
+    }
+    FireDue(lock, now);
+  }
+}
+
+}  // namespace discsec

@@ -1,0 +1,101 @@
+#ifndef DISCSEC_COMMON_TIMER_WHEEL_H_
+#define DISCSEC_COMMON_TIMER_WHEEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace discsec {
+
+/// A deadline queue for non-blocking waits: callbacks parked here fire when
+/// their deadline passes instead of a thread sleeping through the interval.
+/// This is what lets a network-bound task-graph node (an XKMS retry backing
+/// off, an injected transport delay) release its pool worker between
+/// attempts — the paper's §7 broadband round-trips stop costing a CPU each.
+///
+/// Two modes:
+///  - Real time (default constructor): one dedicated timer thread waits on
+///    the earliest deadline (steady clock, microseconds) and runs callbacks
+///    as they come due. Callbacks run on the timer thread and must be cheap
+///    and non-blocking — hand real work to a ThreadPool.
+///  - Manual clock (TimerWheel(ManualClock{})): no thread is spawned and
+///    time only moves when the test calls AdvanceTo/AdvanceBy, which fire
+///    every due callback on the calling thread. Deterministic by
+///    construction.
+///
+/// Firing order is strict (deadline, schedule-sequence): two entries with
+/// the same deadline fire in the order they were scheduled.
+///
+/// Thread-safe. The destructor stops the timer thread and *drops* pending
+/// entries without firing them; owners must outlive every user that might
+/// still schedule (task-graph runs join all async completions first, so the
+/// usual wheel-outlives-pool-outlives-graph layering is safe).
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Tag type selecting the manual (test) clock.
+  struct ManualClock {};
+
+  TimerWheel();
+  explicit TimerWheel(ManualClock);
+  ~TimerWheel();
+
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// Current time in microseconds: steady clock in real mode, the manually
+  /// advanced clock otherwise.
+  int64_t NowUs() const;
+
+  /// Schedules `cb` to fire once `delay_us` has elapsed (non-positive delay
+  /// fires at the next dispatch opportunity). Returns a token for Cancel.
+  uint64_t ScheduleAfter(int64_t delay_us, Callback cb);
+
+  /// Schedules `cb` at an absolute NowUs()-based deadline.
+  uint64_t ScheduleAt(int64_t deadline_us, Callback cb);
+
+  /// Cancels a pending entry. Returns false when it already fired (or was
+  /// never scheduled); the callback will not run after Cancel returns true.
+  bool Cancel(uint64_t id);
+
+  /// Entries scheduled but not yet fired.
+  size_t pending() const;
+
+  /// Manual mode only: advances the clock and fires everything now due, in
+  /// (deadline, sequence) order, on the calling thread. AdvanceTo with a
+  /// time in the past is a no-op (the clock never moves backwards).
+  void AdvanceTo(int64_t now_us);
+  void AdvanceBy(int64_t delta_us);
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    Callback cb;
+  };
+
+  void ThreadLoop();
+  /// Pops and runs every entry due at `now`, releasing the lock around each
+  /// callback. Caller holds `lock`.
+  void FireDue(std::unique_lock<std::mutex>& lock, int64_t now);
+
+  const bool manual_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Ordered by (deadline_us, sequence); the map key *is* the firing order.
+  std::map<std::pair<int64_t, uint64_t>, Entry> entries_;
+  std::map<uint64_t, std::pair<int64_t, uint64_t>> by_id_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  int64_t manual_now_us_ = 0;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+}  // namespace discsec
+
+#endif  // DISCSEC_COMMON_TIMER_WHEEL_H_

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -101,10 +102,12 @@ struct PlayerConfig {
   /// callers wiring the same instance into disc images and downloaders).
   /// Null means the process-global injector.
   fault::FaultInjector* fault = nullptr;
-  /// Parallel verification engine: when set, PlayDisc verifies tracks
-  /// concurrently and signature references digest on their own tasks. Null
-  /// (the default) keeps every path serial. Results are identical either
-  /// way: reports keep deterministic (cluster) ordering, and strict-mode
+  /// Parallel verification engine: when set, PlayDisc dispatches per-track
+  /// security/playback work as a dependency graph (taskgraph::TaskGraph)
+  /// onto this pool, signature references digest on their own tasks, and
+  /// PlayDiscs() pipelines many discs through the one pool. Null (the
+  /// default) keeps every path serial. Results are identical either way:
+  /// reports keep deterministic (cluster) ordering, and strict-mode
   /// failure still surfaces the first failing track in track order.
   ThreadPool* pool = nullptr;
   /// Content-addressed digest cache shared across verifications (and, when
@@ -224,6 +227,16 @@ class InteractiveApplicationEngine {
   /// track failed.
   Result<DiscPlayback> PlayDisc(const disc::DiscImage& image);
 
+  /// Inserts a batch of discs through one shared task graph: every track of
+  /// every disc becomes nodes on PlayerConfig::pool, so a disc stalled on a
+  /// slow XKMS round-trip does not keep the other discs' tracks off the
+  /// workers (cross-disc pipelining). Element i of the result is exactly
+  /// what PlayDisc(*images[i]) reports — per-disc verdicts, quarantine
+  /// lists and status messages are unchanged; only the scheduling is
+  /// shared. With a null pool this degrades to serial PlayDisc calls.
+  std::vector<Result<DiscPlayback>> PlayDiscs(
+      const std::vector<const disc::DiscImage*>& images);
+
   /// Downloads a cluster document from a content server and launches it
   /// with Origin::kNetwork.
   Result<LaunchReport> LaunchFromServer(net::ContentServer* server,
@@ -258,13 +271,31 @@ class InteractiveApplicationEngine {
   void AbsorbComponentMetrics();
 
  private:
+  /// The launch pipeline split into graph-schedulable stages (defined in
+  /// engine.cc): security (parse/verify/decrypt), deferred XKMS key-binding
+  /// validation, and execute (cluster/coverage/rights/policy/markup/
+  /// script). BeginSession runs the stages inline — the serial pipeline is
+  /// the staged pipeline with no graph in between.
+  class StagedLaunch;
+
   /// Named phase histogram from PlayerConfig::metrics; null when metrics
   /// are off (ScopedLatency treats null as disabled).
   obs::Histogram* Hist(const char* name) const;
 
+  /// Wraps the staged pipeline's products into a live session (needs this
+  /// class's friendship with ApplicationSession).
+  std::unique_ptr<ApplicationSession> AssembleSession(
+      std::unique_ptr<LaunchReport> report,
+      std::unique_ptr<access::PolicyEnforcementPoint> pep,
+      std::unique_ptr<script::Interpreter> interpreter);
+
+  /// When `defer_xkms` is non-null, signer key names that would have been
+  /// validated against XKMS inline are appended there (in signature order)
+  /// for a later pipeline stage instead.
   Status VerifyPhase(xml::Document* doc, Origin origin,
                      const xmldsig::ExternalResolver& resolver,
-                     LaunchReport* report);
+                     LaunchReport* report,
+                     std::vector<std::string>* defer_xkms = nullptr);
   Status DecryptPhase(xml::Document* doc, LaunchReport* report);
   Status PolicyPhase(const disc::ApplicationManifest& manifest,
                      LaunchReport* report,
@@ -276,6 +307,10 @@ class InteractiveApplicationEngine {
 
   PlayerConfig config_;
   disc::LocalStorage storage_;
+  /// LocalStorage (and the script host API over it) is unsynchronized, so
+  /// concurrent discs' execute stages take turns; the security stages — the
+  /// expensive part — still overlap freely.
+  std::mutex launch_exec_mu_;
 };
 
 }  // namespace player

@@ -1,5 +1,8 @@
 #include "xkms/client.h"
 
+#include <chrono>
+#include <thread>
+
 #include "pki/key_codec.h"
 #include "xml/parser.h"
 
@@ -15,40 +18,10 @@ Result<xml::Document> ParseResponse(const std::string& response_xml) {
   return doc;
 }
 
-}  // namespace
-
-XkmsClient XkmsClient::Direct(XkmsService* service) {
-  return XkmsClient(DirectTransport(service));
-}
-
-Transport XkmsClient::DirectTransport(XkmsService* service,
-                                      fault::FaultInjector* injector) {
-  return [service,
-          injector](const std::string& request) -> Result<std::string> {
-    std::string wire_request = request;
-    DISCSEC_RETURN_IF_ERROR(
-        fault::Effective(injector)
-            ->HitData(fault::kXkmsTransport, &wire_request, "request")
-            .WithContext("XKMS transport"));
-    Result<std::string> response = service->HandleRequest(wire_request);
-    if (!response.ok()) {
-      return response.status().WithContext("XKMS service");
-    }
-    std::string wire_response = std::move(response).value();
-    DISCSEC_RETURN_IF_ERROR(
-        fault::Effective(injector)
-            ->HitData(fault::kXkmsTransport, &wire_response, "response")
-            .WithContext("XKMS transport"));
-    return wire_response;
-  };
-}
-
-Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
-  obs::ScopedSpan span(tracer_, "xkms.locate");
-  span.SetAttr("name", name);
-  if (metrics_ != nullptr) metrics_->GetCounter("xkms.locate")->Add();
-  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
-                           transport_(BuildLocateRequest(name)));
+/// Response decoding shared by the sync and async call shapes, so the two
+/// paths cannot drift in error taxonomy or field handling.
+Result<KeyBinding> ParseLocateResponse(const std::string& name,
+                                       const std::string& response_xml) {
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const xml::Element* root = doc.root();
   const std::string* minor = root->GetAttribute("ResultMinor");
@@ -88,13 +61,10 @@ Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
   return binding;
 }
 
-Result<KeyStatus> XkmsClient::Validate(const std::string& name,
-                                       const crypto::RsaPublicKey& key) {
-  obs::ScopedSpan span(tracer_, "xkms.validate");
-  span.SetAttr("name", name);
-  if (metrics_ != nullptr) metrics_->GetCounter("xkms.validate")->Add();
-  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
-                           transport_(BuildValidateRequest(name, key)));
+/// `raw_status`, when non-null, receives the Status element's literal text
+/// (what the sync path records as the span attribute).
+Result<KeyStatus> ParseValidateResponse(const std::string& response_xml,
+                                        std::string* raw_status) {
   DISCSEC_ASSIGN_OR_RETURN(xml::Document doc, ParseResponse(response_xml));
   const xml::Element* status =
       doc.root()->FirstChildElementByLocalName("Status");
@@ -103,10 +73,170 @@ Result<KeyStatus> XkmsClient::Validate(const std::string& name,
         .WithContext("XKMS response");
   }
   std::string s = status->TextContent();
-  span.SetAttr("status", s);
+  if (raw_status != nullptr) *raw_status = s;
   if (s == "Valid") return KeyStatus::kValid;
   if (s == "Invalid") return KeyStatus::kInvalid;
   return KeyStatus::kIndeterminate;
+}
+
+}  // namespace
+
+XkmsClient XkmsClient::Direct(XkmsService* service) {
+  return XkmsClient(DirectTransport(service));
+}
+
+Transport XkmsClient::DirectTransport(XkmsService* service,
+                                      fault::FaultInjector* injector) {
+  return [service,
+          injector](const std::string& request) -> Result<std::string> {
+    std::string wire_request = request;
+    DISCSEC_RETURN_IF_ERROR(
+        fault::Effective(injector)
+            ->HitData(fault::kXkmsTransport, &wire_request, "request")
+            .WithContext("XKMS transport"));
+    Result<std::string> response = service->HandleRequest(wire_request);
+    if (!response.ok()) {
+      return response.status().WithContext("XKMS service");
+    }
+    std::string wire_response = std::move(response).value();
+    DISCSEC_RETURN_IF_ERROR(
+        fault::Effective(injector)
+            ->HitData(fault::kXkmsTransport, &wire_response, "response")
+            .WithContext("XKMS transport"));
+    return wire_response;
+  };
+}
+
+AsyncTransport XkmsClient::DirectAsyncTransport(XkmsService* service,
+                                                TimerWheel* wheel,
+                                                fault::FaultInjector* injector) {
+  return [service, wheel, injector](const std::string& request,
+                                    AsyncCallback done) {
+    fault::FaultInjector* fi = fault::Effective(injector);
+    std::string wire_request = request;
+    int64_t request_delay_us = 0;
+    Status hit = fi->HitDataDeferred(fault::kXkmsTransport, &wire_request,
+                                     "request", &request_delay_us)
+                     .WithContext("XKMS transport");
+    if (!hit.ok()) {
+      done(std::move(hit));
+      return;
+    }
+    // The service call plus the response-side fault point; runs after the
+    // request-side latency (if any) has been served off the wheel.
+    auto respond = [service, wheel, fi,
+                    wire_request = std::move(wire_request), done]() {
+      Result<std::string> response = service->HandleRequest(wire_request);
+      if (!response.ok()) {
+        done(response.status().WithContext("XKMS service"));
+        return;
+      }
+      std::string wire_response = std::move(response).value();
+      int64_t response_delay_us = 0;
+      Status hit = fi->HitDataDeferred(fault::kXkmsTransport, &wire_response,
+                                       "response", &response_delay_us)
+                       .WithContext("XKMS transport");
+      if (!hit.ok()) {
+        done(std::move(hit));
+        return;
+      }
+      if (response_delay_us > 0) {
+        if (wheel != nullptr) {
+          wheel->ScheduleAfter(
+              response_delay_us,
+              [done, wire_response = std::move(wire_response)]() mutable {
+                done(std::move(wire_response));
+              });
+          return;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(response_delay_us));
+      }
+      done(std::move(wire_response));
+    };
+    if (request_delay_us > 0) {
+      if (wheel != nullptr) {
+        wheel->ScheduleAfter(request_delay_us, respond);
+        return;
+      }
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(request_delay_us));
+    }
+    respond();
+  };
+}
+
+Result<KeyBinding> XkmsClient::Locate(const std::string& name) {
+  obs::ScopedSpan span(tracer_, "xkms.locate");
+  span.SetAttr("name", name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.locate")->Add();
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildLocateRequest(name)));
+  return ParseLocateResponse(name, response_xml);
+}
+
+Result<KeyStatus> XkmsClient::Validate(const std::string& name,
+                                       const crypto::RsaPublicKey& key) {
+  obs::ScopedSpan span(tracer_, "xkms.validate");
+  span.SetAttr("name", name);
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.validate")->Add();
+  DISCSEC_ASSIGN_OR_RETURN(std::string response_xml,
+                           transport_(BuildValidateRequest(name, key)));
+  std::string raw_status;
+  Result<KeyStatus> parsed = ParseValidateResponse(response_xml, &raw_status);
+  if (parsed.ok()) span.SetAttr("status", raw_status);
+  return parsed;
+}
+
+void XkmsClient::LocateAsync(const std::string& name,
+                             std::function<void(Result<KeyBinding>)> done) {
+  if (async_transport_ == nullptr) {
+    done(Locate(name));
+    return;
+  }
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.locate")->Add();
+  // The completion may land on another thread, so the span is opened there
+  // (around response decoding) instead of spanning the in-flight gap —
+  // ScopedSpan's thread-local parent stack must begin and end on one
+  // thread.
+  obs::Tracer* tracer = tracer_;
+  async_transport_(
+      BuildLocateRequest(name),
+      [name, tracer, done = std::move(done)](Result<std::string> response) {
+        obs::ScopedSpan span(tracer, "xkms.locate");
+        span.SetAttr("name", name);
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        done(ParseLocateResponse(name, response.value()));
+      });
+}
+
+void XkmsClient::ValidateAsync(const std::string& name,
+                               const crypto::RsaPublicKey& key,
+                               std::function<void(Result<KeyStatus>)> done) {
+  if (async_transport_ == nullptr) {
+    done(Validate(name, key));
+    return;
+  }
+  if (metrics_ != nullptr) metrics_->GetCounter("xkms.validate")->Add();
+  obs::Tracer* tracer = tracer_;
+  async_transport_(
+      BuildValidateRequest(name, key),
+      [name, tracer, done = std::move(done)](Result<std::string> response) {
+        obs::ScopedSpan span(tracer, "xkms.validate");
+        span.SetAttr("name", name);
+        if (!response.ok()) {
+          done(response.status());
+          return;
+        }
+        std::string raw_status;
+        Result<KeyStatus> parsed =
+            ParseValidateResponse(response.value(), &raw_status);
+        if (parsed.ok()) span.SetAttr("status", raw_status);
+        done(std::move(parsed));
+      });
 }
 
 Status XkmsClient::Register(const KeyBinding& binding) {

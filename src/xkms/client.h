@@ -6,6 +6,7 @@
 
 #include "common/fault.h"
 #include "common/result.h"
+#include "common/timer_wheel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "xkms/service.h"
@@ -18,6 +19,17 @@ namespace xkms {
 /// tests bind it straight to an XkmsService.
 using Transport =
     std::function<Result<std::string>(const std::string& request_xml)>;
+
+/// Completion callback of an asynchronous transport call. May be invoked
+/// from any thread (a TimerWheel thread, a pool worker); exactly once.
+using AsyncCallback = std::function<void(Result<std::string>)>;
+
+/// Asynchronous transport: ships the request and completes through the
+/// callback instead of blocking the caller. This is what lets an XKMS
+/// round-trip ride a task-graph async node — the pool worker that issued
+/// the request is released while the "network" is in flight.
+using AsyncTransport =
+    std::function<void(const std::string& request_xml, AsyncCallback done)>;
 
 /// Player/author-side XKMS client: builds request markup, sends it through
 /// the transport, parses the response.
@@ -39,6 +51,18 @@ class XkmsClient {
   Result<KeyStatus> Validate(const std::string& name,
                              const crypto::RsaPublicKey& key);
 
+  /// Async counterparts: identical request markup, response parsing and
+  /// error taxonomy as the blocking calls, completing through `done`
+  /// (invoked exactly once, possibly on another thread). They use the
+  /// async transport when one is set and otherwise degrade to the blocking
+  /// transport with an inline completion, so callers can always take the
+  /// async shape and let configuration decide whether anything overlaps.
+  void LocateAsync(const std::string& name,
+                   std::function<void(Result<KeyBinding>)> done);
+  void ValidateAsync(const std::string& name,
+                     const crypto::RsaPublicKey& key,
+                     std::function<void(Result<KeyStatus>)> done);
+
   /// Registers a binding with the trust service.
   Status Register(const KeyBinding& binding);
 
@@ -57,6 +81,16 @@ class XkmsClient {
   static Transport DirectTransport(XkmsService* service,
                                    fault::FaultInjector* injector = nullptr);
 
+  /// Async flavor of DirectTransport: same fault points and error labels,
+  /// but a fired kDelay fault at xkms.transport parks the continuation on
+  /// `wheel` for its latency instead of sleeping a thread — the injected
+  /// "broadband round-trip" costs wall-clock, not a worker. With a null
+  /// wheel delays degrade to blocking sleeps. The service and wheel must
+  /// outlive the returned closure.
+  static AsyncTransport DirectAsyncTransport(
+      XkmsService* service, TimerWheel* wheel,
+      fault::FaultInjector* injector = nullptr);
+
   /// Observability (DESIGN.md §10): "xkms.locate" / "xkms.validate" /
   /// "xkms.register" / "xkms.revoke" spans (attributes: name, and the
   /// binding status on validate) and "xkms.<op>" counters. Null = no-op.
@@ -65,8 +99,16 @@ class XkmsClient {
     metrics_ = metrics;
   }
 
+  /// Attaches the transport LocateAsync/ValidateAsync ride. The sync calls
+  /// never touch it, so one client can serve both paths.
+  void set_async_transport(AsyncTransport transport) {
+    async_transport_ = std::move(transport);
+  }
+  bool has_async_transport() const { return async_transport_ != nullptr; }
+
  private:
   Transport transport_;
+  AsyncTransport async_transport_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
 };

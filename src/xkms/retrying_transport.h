@@ -57,6 +57,17 @@ Transport MakeRetryingTransport(
     Transport inner, RetryingTransportOptions options,
     std::shared_ptr<const RetryingTransportStats>* stats = nullptr);
 
+/// Async counterpart of MakeRetryingTransport: the same breaker verdicts,
+/// stats accounting and per-call jitter-seed derivation, driven by
+/// RetryAsync so backoff between attempts parks on `wheel` instead of
+/// holding a thread. A call rejected by the open circuit completes
+/// immediately (inline) with the same kUnavailable status the sync wrapper
+/// returns. The wheel must outlive every copy of the returned transport;
+/// null degrades the backoff to blocking sleeps on the completing thread.
+AsyncTransport MakeAsyncRetryingTransport(
+    AsyncTransport inner, RetryingTransportOptions options, TimerWheel* wheel,
+    std::shared_ptr<const RetryingTransportStats>* stats = nullptr);
+
 }  // namespace xkms
 }  // namespace discsec
 

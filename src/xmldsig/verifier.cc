@@ -1,6 +1,7 @@
 #include "xmldsig/verifier.h"
 
 #include "common/base64.h"
+#include "common/task_graph.h"
 #include "common/thread_pool.h"
 #include "crypto/algorithms.h"
 #include "crypto/digest.h"
@@ -296,8 +297,32 @@ Result<VerifyInfo> Verifier::Verify(const xml::Document* doc,
     out.verified.same_document = resolution.same_document;
     return out;
   };
-  ParallelFor(options.pool, refs.size(),
-              [&](size_t i) { outcomes[i] = process_reference(*refs[i]); });
+  if (options.pool == nullptr) {
+    // Serial path, untouched: references digest in document order.
+    for (size_t i = 0; i < refs.size(); ++i) {
+      outcomes[i] = process_reference(*refs[i]);
+    }
+  } else {
+    // Each Reference is an independent task-graph node. Fail-fast cancels
+    // only nodes *after* the lowest failing reference, so every reference
+    // the serial sweep would have reached still runs and the document-order
+    // fold below reproduces the serial verdict byte-for-byte.
+    taskgraph::TaskGraph graph;
+    for (size_t i = 0; i < refs.size(); ++i) {
+      graph.AddNode("xmldsig.reference#" + std::to_string(i),
+                    [&outcomes, &process_reference, &refs, i]() -> Status {
+                      outcomes[i] = process_reference(*refs[i]);
+                      return outcomes[i].status;
+                    });
+    }
+    taskgraph::TaskGraph::RunOptions run;
+    run.pool = options.pool;
+    run.fail_fast = true;
+    // The verdict is re-derived from `outcomes` in document order below;
+    // Run's return (the lowest failing node) is the same status by
+    // construction.
+    (void)graph.Run(run);
+  }
   for (RefOutcome& outcome : outcomes) {
     if (!outcome.status.ok()) return outcome.status;
     info.reference_uris.push_back(outcome.verified.uri);

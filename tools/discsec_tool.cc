@@ -16,14 +16,18 @@
 //   discsec_tool decrypt --in enc.xml --key-hex <32 hex> --key-name <name>
 //                --out dec.xml
 //   discsec_tool c14n --in doc.xml [--with-comments]
-//   discsec_tool play-demo [--repeat N] [--pool N]
+//   discsec_tool play-demo [--repeat N] [--jobs N] [--async]
+//   discsec_tool play [--discs N] [--repeat N] [--jobs N] [--async]
 //   discsec_tool regen-golden [--dir tests/golden] [--write]
 //
-// Any command also accepts --inject-fault point:kind:rate (repeatable),
-// arming the process-global fault injector before the command runs — e.g.
-// --inject-fault tool.read:corrupt:1.0 flips a bit in every file read, for
-// rehearsing how the pipeline reports damaged inputs. Kinds: error,
-// corrupt, truncate; rate is a probability in [0, 1].
+// Any command also accepts --inject-fault point:kind:rate[:delay_us]
+// (repeatable), arming the process-global fault injector before the
+// command runs — e.g. --inject-fault tool.read:corrupt:1.0 flips a bit in
+// every file read, for rehearsing how the pipeline reports damaged inputs,
+// and --inject-fault xkms.transport:delay:1.0:100000 makes every XKMS hop
+// cost a 100ms "broadband round-trip". Kinds: error, corrupt, truncate,
+// delay (delay requires the delay_us field); rate is a probability in
+// [0, 1].
 //
 // Observability (DESIGN.md §10) — every command also accepts:
 //   --trace FILE        write a Chrome-trace-format JSON of every span the
@@ -36,6 +40,15 @@
 // retrying transport, and plays the disc --repeat times (default 2, so the
 // second pass shows digest/locate cache hits) — the quickest way to get a
 // real trace of the whole pipeline.
+//
+// `play` is the multi-disc variant: it masters one protected disc and
+// plays --discs copies of it as a batch through the task-graph engine
+// (DESIGN.md §11), so the per-disc decrypt -> verify -> launch chains
+// pipeline across --jobs workers. --async additionally routes the XKMS
+// traffic through the timer-wheel async transport, releasing workers for
+// the duration of every (possibly fault-delayed) trust-service
+// round-trip. Both flags also work on play-demo; --jobs is the preferred
+// spelling of the older --pool.
 //
 // `regen-golden` regenerates the golden conformance vectors and DIFFS them
 // against tests/golden/ (exit 1 on drift); --write updates the files
@@ -56,6 +69,7 @@
 #include "common/bytes.h"
 #include "common/fault.h"
 #include "common/thread_pool.h"
+#include "common/timer_wheel.h"
 #include "crypto/digest_cache.h"
 #include "obs/bridge.h"
 #include "obs/metrics.h"
@@ -110,27 +124,44 @@ Result<std::string> ReadFile(const std::string& path) {
   return text;
 }
 
-/// Parses one --inject-fault value ("point:kind:rate") and arms the global
-/// injector with it.
+/// Parses one --inject-fault value ("point:kind:rate[:delay_us]") and arms
+/// the global injector with it.
 Status ArmInjectedFault(const std::string& flag) {
   size_t first = flag.find(':');
   size_t second =
       first == std::string::npos ? std::string::npos : flag.find(':', first + 1);
   if (second == std::string::npos) {
     return Status::InvalidArgument(
-        "--inject-fault wants point:kind:rate, got '" + flag + "'");
+        "--inject-fault wants point:kind:rate[:delay_us], got '" + flag +
+        "'");
   }
+  size_t third = flag.find(':', second + 1);
   fault::FaultSpec spec;
   spec.point = flag.substr(0, first);
   DISCSEC_ASSIGN_OR_RETURN(
       spec.kind, fault::KindFromName(flag.substr(first + 1,
                                                  second - first - 1)));
-  const char* rate_text = flag.c_str() + second + 1;
+  std::string rate_str = flag.substr(
+      second + 1, third == std::string::npos ? std::string::npos
+                                             : third - second - 1);
   char* end = nullptr;
-  spec.probability = std::strtod(rate_text, &end);
-  if (end == rate_text || *end != '\0' || spec.probability < 0.0 ||
+  spec.probability = std::strtod(rate_str.c_str(), &end);
+  if (end == rate_str.c_str() || *end != '\0' || spec.probability < 0.0 ||
       spec.probability > 1.0) {
     return Status::InvalidArgument("--inject-fault rate must be in [0, 1]");
+  }
+  if (third != std::string::npos) {
+    std::string delay_str = flag.substr(third + 1);
+    spec.delay_us = std::strtoll(delay_str.c_str(), &end, 10);
+    if (end == delay_str.c_str() || *end != '\0' || spec.delay_us < 0) {
+      return Status::InvalidArgument(
+          "--inject-fault delay_us must be a non-negative integer");
+    }
+  }
+  if (spec.kind == fault::Kind::kDelay && spec.delay_us <= 0) {
+    return Status::InvalidArgument(
+        "--inject-fault kind 'delay' needs a delay_us field "
+        "(point:delay:rate:delay_us)");
   }
   fault::GlobalFaultInjector().Arm(std::move(spec));
   return Status::OK();
@@ -408,82 +439,148 @@ int CmdC14n(const Args& args) {
   return 0;
 }
 
-// ------------------------------------------------------ play-demo
+// ------------------------------------------------- play / play-demo
 
-int CmdPlayDemo(const Args& args) {
-  size_t repeat = static_cast<size_t>(
-      std::strtoul(args.Get("repeat", "2").c_str(), nullptr, 10));
-  if (repeat == 0) repeat = 1;
-  size_t pool_threads = static_cast<size_t>(
-      std::strtoul(args.Get("pool", "0").c_str(), nullptr, 10));
-
-  // Deterministic end-to-end fixture: root CA, studio chain, demo cluster.
+/// Shared fixture for the playback commands: a mastered protected demo
+/// disc plus the production trust stack (retrying transport, TTL locate
+/// cache, content-addressed digest cache, optional worker pool, and —
+/// with --async — the timer-wheel async XKMS transport). Member order is
+/// destruction order in reverse: the engine dies first, the wheel outlives
+/// the client whose async transport parks continuations on it.
+struct PlayRig {
   testing_world::World world;
-  disc::InteractiveCluster cluster = world.DemoCluster();
-  authoring::Author author = world.MakeAuthor();
-
-  // Master the fully protected disc: enveloped signature (with the
-  // Decryption Transform in the chain), encrypted manifest, and external
-  // references over the AV essence.
-  authoring::Author::ProtectOptions protect;
-  protect.sign = true;
-  protect.sign_av_essence = true;
-  protect.encrypt_ids = {"quiz"};
-  protect.encryption = world.MakeEncryptionSpec();
-  auto image = author.MasterProtected(cluster, protect, &world.rng);
-  if (!image.ok()) return Fail(image.status());
-
-  // In-process trust service behind the production transport stack:
-  // retries + circuit breaker, then a TTL/single-flight locate cache.
+  Result<disc::DiscImage> image = Status::Unavailable("not mastered");
   xkms::XkmsService service;
-  std::string fingerprint = pki::KeyFingerprint(world.studio_key.public_key);
-  Status st = service.Register({fingerprint, world.studio_key.public_key,
-                                {"Signature"}, xkms::KeyStatus::kValid});
-  if (!st.ok()) return Fail(st);
+  std::unique_ptr<TimerWheel> wheel;  // only with --async
   std::shared_ptr<const xkms::RetryingTransportStats> transport_stats;
-  xkms::XkmsClient client(xkms::MakeRetryingTransport(
-      xkms::XkmsClient::DirectTransport(&service),
-      xkms::RetryingTransportOptions{}, &transport_stats));
-  xkms::LocateCache locate_cache(&client);
+  std::unique_ptr<xkms::XkmsClient> client;
+  std::unique_ptr<xkms::LocateCache> locate_cache;
   crypto::DigestCache digest_cache;
   std::unique_ptr<ThreadPool> pool;
-  if (pool_threads > 0) pool = std::make_unique<ThreadPool>(pool_threads);
+  std::unique_ptr<player::InteractiveApplicationEngine> engine;
 
-  player::PlayerConfig config = world.MakePlayerConfig();
-  config.xkms = &client;
-  config.xkms_cache = &locate_cache;
-  config.digest_cache = &digest_cache;
-  config.pool = pool.get();
-  config.tracer = g_tracer;
-  config.metrics = g_metrics;
-  player::InteractiveApplicationEngine engine(std::move(config));
+  Status Init(size_t jobs, bool async) {
+    // Deterministic end-to-end fixture: root CA, studio chain, demo
+    // cluster, mastered fully protected (enveloped signature with the
+    // Decryption Transform in the chain, encrypted manifest, external
+    // references over the AV essence).
+    disc::InteractiveCluster cluster = world.DemoCluster();
+    authoring::Author author = world.MakeAuthor();
+    authoring::Author::ProtectOptions protect;
+    protect.sign = true;
+    protect.sign_av_essence = true;
+    protect.encrypt_ids = {"quiz"};
+    protect.encryption = world.MakeEncryptionSpec();
+    image = author.MasterProtected(cluster, protect, &world.rng);
+    if (!image.ok()) return image.status();
+
+    std::string fingerprint =
+        pki::KeyFingerprint(world.studio_key.public_key);
+    DISCSEC_RETURN_IF_ERROR(
+        service.Register({fingerprint, world.studio_key.public_key,
+                          {"Signature"}, xkms::KeyStatus::kValid}));
+    client = std::make_unique<xkms::XkmsClient>(xkms::MakeRetryingTransport(
+        xkms::XkmsClient::DirectTransport(&service),
+        xkms::RetryingTransportOptions{}, &transport_stats));
+    if (async) {
+      // The async leg gets its own retrying wrapper so XKMS backoff also
+      // parks on the wheel instead of a worker sleeping through it.
+      wheel = std::make_unique<TimerWheel>();
+      client->set_async_transport(xkms::MakeAsyncRetryingTransport(
+          xkms::XkmsClient::DirectAsyncTransport(&service, wheel.get()),
+          xkms::RetryingTransportOptions{}, wheel.get()));
+    }
+    locate_cache = std::make_unique<xkms::LocateCache>(client.get());
+    if (jobs > 0) pool = std::make_unique<ThreadPool>(jobs);
+
+    player::PlayerConfig config = world.MakePlayerConfig();
+    config.xkms = client.get();
+    config.xkms_cache = locate_cache.get();
+    config.digest_cache = &digest_cache;
+    config.pool = pool.get();
+    config.tracer = g_tracer;
+    config.metrics = g_metrics;
+    engine = std::make_unique<player::InteractiveApplicationEngine>(
+        std::move(config));
+    return Status::OK();
+  }
+
+  /// Folds component counters into the --metrics snapshot and prints the
+  /// cache/trace summary lines.
+  void PrintStats() {
+    engine->AbsorbComponentMetrics();
+    if (g_metrics != nullptr && transport_stats != nullptr) {
+      obs::AbsorbRetryingTransportStats(*transport_stats, g_metrics);
+    }
+    crypto::DigestCacheStats cache_stats = digest_cache.stats();
+    xkms::LocateCacheStats locate_stats = locate_cache->stats();
+    std::printf("digest cache: %llu hit(s), %llu miss(es)\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses));
+    std::printf("xkms locate cache: %llu hit(s), %llu transport call(s)\n",
+                static_cast<unsigned long long>(locate_stats.hits),
+                static_cast<unsigned long long>(locate_stats.transport_calls));
+    if (g_tracer != nullptr) {
+      std::printf("captured %zu span(s)\n", g_tracer->size());
+    }
+  }
+};
+
+size_t SizeOption(const Args& args, const std::string& name,
+                  const std::string& fallback) {
+  return static_cast<size_t>(
+      std::strtoul(args.Get(name, fallback).c_str(), nullptr, 10));
+}
+
+int CmdPlayDemo(const Args& args) {
+  size_t repeat = SizeOption(args, "repeat", "2");
+  if (repeat == 0) repeat = 1;
+  // --jobs is the preferred spelling; --pool stays accepted.
+  size_t jobs = SizeOption(args, "jobs", args.Get("pool", "0"));
+
+  PlayRig rig;
+  Status st = rig.Init(jobs, args.Has("async"));
+  if (!st.ok()) return Fail(st);
 
   for (size_t round = 1; round <= repeat; ++round) {
-    auto playback = engine.PlayDisc(image.value());
+    auto playback = rig.engine->PlayDisc(rig.image.value());
     if (!playback.ok()) return Fail(playback.status());
     std::printf("round %zu: played %zu track(s), quarantined %zu, app %s\n",
                 round, playback->played.size() + (playback->app ? 1u : 0u),
                 playback->quarantined.size(),
                 playback->app ? "launched" : "absent");
   }
+  rig.PrintStats();
+  return 0;
+}
 
-  // Fold every component's cumulative counters into the snapshot the
-  // --metrics file will carry.
-  engine.AbsorbComponentMetrics();
-  if (g_metrics != nullptr && transport_stats != nullptr) {
-    obs::AbsorbRetryingTransportStats(*transport_stats, g_metrics);
+int CmdPlay(const Args& args) {
+  size_t discs = SizeOption(args, "discs", "4");
+  if (discs == 0) discs = 1;
+  size_t repeat = SizeOption(args, "repeat", "1");
+  if (repeat == 0) repeat = 1;
+  size_t jobs = SizeOption(args, "jobs", "0");
+
+  PlayRig rig;
+  Status st = rig.Init(jobs, args.Has("async"));
+  if (!st.ok()) return Fail(st);
+
+  std::vector<const disc::DiscImage*> batch(discs, &rig.image.value());
+  for (size_t round = 1; round <= repeat; ++round) {
+    auto results = rig.engine->PlayDiscs(batch);
+    size_t tracks = 0, quarantined = 0;
+    for (const auto& playback : results) {
+      if (!playback.ok()) return Fail(playback.status());
+      tracks += playback->played.size() + (playback->app ? 1u : 0u);
+      quarantined += playback->quarantined.size();
+    }
+    std::printf(
+        "round %zu: %zu disc(s), %zu track(s) played, %zu quarantined "
+        "(%s, %zu job(s))\n",
+        round, results.size(), tracks, quarantined,
+        args.Has("async") ? "async xkms" : "sync xkms", jobs);
   }
-  crypto::DigestCacheStats cache_stats = digest_cache.stats();
-  xkms::LocateCacheStats locate_stats = locate_cache.stats();
-  std::printf("digest cache: %llu hit(s), %llu miss(es)\n",
-              static_cast<unsigned long long>(cache_stats.hits),
-              static_cast<unsigned long long>(cache_stats.misses));
-  std::printf("xkms locate cache: %llu hit(s), %llu transport call(s)\n",
-              static_cast<unsigned long long>(locate_stats.hits),
-              static_cast<unsigned long long>(locate_stats.transport_calls));
-  if (g_tracer != nullptr) {
-    std::printf("captured %zu span(s)\n", g_tracer->size());
-  }
+  rig.PrintStats();
   return 0;
 }
 
@@ -547,6 +644,7 @@ int Dispatch(const Args& args) {
   if (args.command == "decrypt") return CmdDecrypt(args);
   if (args.command == "c14n") return CmdC14n(args);
   if (args.command == "play-demo") return CmdPlayDemo(args);
+  if (args.command == "play") return CmdPlay(args);
   if (args.command == "regen-golden") return CmdRegenGolden(args);
   return Usage(("unknown command '" + args.command + "'").c_str());
 }
@@ -563,7 +661,7 @@ int main(int argc, char** argv) {
     std::string name = arg.substr(2);
     // Flags without values.
     if (name == "ca" || name == "allow-bare-key" || name == "with-comments" ||
-        name == "write") {
+        name == "write" || name == "async") {
       args.options[name] = "1";
       continue;
     }
