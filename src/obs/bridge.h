@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "xkms/locate_cache.h"
 #include "xkms/retrying_transport.h"
+#include "xrml/decision_cache.h"
 
 namespace discsec {
 namespace obs {
@@ -43,6 +44,18 @@ inline void AbsorbLocateCacheStats(const xkms::LocateCacheStats& stats,
   metrics->GetCounter("locate_cache.coalesced")->MaxTo(stats.coalesced);
   metrics->GetCounter("locate_cache.transport_calls")
       ->MaxTo(stats.transport_calls);
+}
+
+inline void AbsorbDecisionCacheStats(const xrml::DecisionCacheStats& stats,
+                                     MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("decision_cache.hits")->MaxTo(stats.hits);
+  metrics->GetCounter("decision_cache.misses")->MaxTo(stats.misses);
+  metrics->GetCounter("decision_cache.stale_drops")->MaxTo(stats.stale_drops);
+  metrics->GetCounter("decision_cache.evictions")->MaxTo(stats.evictions);
+  metrics->GetCounter("decision_cache.invalidations")
+      ->MaxTo(stats.invalidations);
+  metrics->GetCounter("decision_cache.entries")->Set(stats.entries);
 }
 
 inline void AbsorbRetryingTransportStats(

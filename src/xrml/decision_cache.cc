@@ -1,0 +1,128 @@
+#include "xrml/decision_cache.h"
+
+namespace discsec {
+namespace xrml {
+
+DecisionCache::DecisionCache(Options options) : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  if (options_.max_entries == 0) options_.max_entries = 1;
+  per_shard_budget_ = (options_.max_entries + options_.shards - 1) /
+                      options_.shards;
+  if (per_shard_budget_ == 0) per_shard_budget_ = 1;
+  shards_.reserve(options_.shards);
+  for (size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::string DecisionCache::MakeKey(Right right, const std::string& resource,
+                                   const ExerciseContext& context) {
+  // Length-prefixed fields: distinct queries can never serialize to the
+  // same key, so a hit can never hand one context another context's
+  // verdict.
+  std::string out = RightName(right);
+  auto append = [&out](const std::string& field) {
+    out += '|';
+    out += std::to_string(field.size());
+    out += ':';
+    out += field;
+  };
+  append(resource);
+  append(context.principal);
+  append(context.territory);
+  out += '|';
+  out += std::to_string(context.now);
+  return out;
+}
+
+DecisionCache::Shard& DecisionCache::ShardFor(const std::string& key) {
+  size_t h = std::hash<std::string>{}(key);
+  return *shards_[h % shards_.size()];
+}
+
+void DecisionCache::Invalidate() {
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<bool> DecisionCache::Lookup(const std::string& key) {
+  uint64_t current = generation();
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return std::nullopt;
+  }
+  if (it->second.generation != current) {
+    // A verdict from a previous store generation: drop it on sight.
+    shard.lru.erase(it->second.lru_pos);
+    shard.entries.erase(it);
+    ++shard.stale_drops;
+    ++shard.misses;
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+  ++shard.hits;
+  return it->second.permitted;
+}
+
+void DecisionCache::Insert(const std::string& key, bool permitted,
+                           uint64_t generation) {
+  if (generation != this->generation()) return;  // already stale
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    it->second.permitted = permitted;
+    it->second.generation = generation;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_pos);
+    return;
+  }
+  shard.lru.push_front(key);
+  Shard::Entry entry;
+  entry.permitted = permitted;
+  entry.generation = generation;
+  entry.lru_pos = shard.lru.begin();
+  shard.entries.emplace(key, entry);
+  while (shard.entries.size() > per_shard_budget_) {
+    const std::string& victim = shard.lru.back();
+    shard.entries.erase(victim);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+DecisionCacheStats DecisionCache::stats() const {
+  DecisionCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.stale_drops += shard->stale_drops;
+    out.evictions += shard->evictions;
+    out.entries += shard->entries.size();
+  }
+  out.invalidations = invalidations_.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t DecisionCache::size() const {
+  size_t out = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out += shard->entries.size();
+  }
+  return out;
+}
+
+void DecisionCache::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->entries.clear();
+    shard->lru.clear();
+  }
+}
+
+}  // namespace xrml
+}  // namespace discsec

@@ -1,0 +1,120 @@
+#ifndef DISCSEC_XRML_DECISION_CACHE_H_
+#define DISCSEC_XRML_DECISION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xrml/license.h"
+
+namespace discsec {
+namespace xrml {
+
+/// Counter snapshot for telemetry (bridged into MetricsRegistry by
+/// obs::AbsorbDecisionCacheStats) and the bench_xrml cold/warm comparison.
+struct DecisionCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Lookups that found an entry from a previous generation (counted as
+  /// misses too; the stale entry is dropped on sight).
+  uint64_t stale_drops = 0;
+  uint64_t evictions = 0;
+  /// Times Invalidate() advanced the generation.
+  uint64_t invalidations = 0;
+  size_t entries = 0;
+};
+
+/// A sharded, generation-versioned cache of RightsManager::IsPermitted
+/// verdicts — the PEP-side answer to fleet-scale query rates, where the
+/// same (principal, right, resource, time, territory) tuple is asked for
+/// every track of every disc.
+///
+/// Correctness model: the cache never invalidates entries in place.
+/// Instead every mutation of the rights store (license install, counted
+/// exercise) bumps a single atomic *generation*; entries are tagged with
+/// the generation they were computed under and a lookup only returns an
+/// entry whose tag equals the current generation. A verdict can therefore
+/// never survive a store mutation, which is exactly the property the
+/// differential harness asserts (cache-on ≡ cache-off on every query,
+/// including under concurrent exercise of nearly-exhausted grants).
+///
+/// Sharded LRU: the key hash picks a shard; each shard has its own mutex
+/// and LRU list so concurrent PEP queries mostly touch different locks.
+/// Thread-safe throughout.
+class DecisionCache {
+ public:
+  struct Options {
+    /// Total entry budget across all shards.
+    size_t max_entries = 8192;
+    /// Number of independent LRU shards (rounded up to at least 1).
+    size_t shards = 8;
+  };
+
+  DecisionCache() : DecisionCache(Options()) {}
+  explicit DecisionCache(Options options);
+
+  /// Unambiguous cache key for a decision query (length-prefixed fields, so
+  /// no two distinct queries can collide).
+  static std::string MakeKey(Right right, const std::string& resource,
+                             const ExerciseContext& context);
+
+  /// The current store generation. RightsManager reads this under its own
+  /// mutex (so the value is ordered against the verdict computation) and
+  /// passes it to Insert.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Advances the generation, logically invalidating every cached verdict.
+  /// Stale entries are dropped lazily when a lookup encounters them.
+  void Invalidate();
+
+  /// The cached verdict for `key`, or nullopt on miss / stale entry.
+  std::optional<bool> Lookup(const std::string& key);
+
+  /// Inserts a verdict computed under `generation`. A no-op when the store
+  /// has moved on since (the verdict may describe a dead state).
+  void Insert(const std::string& key, bool permitted, uint64_t generation);
+
+  DecisionCacheStats stats() const;
+  size_t size() const;
+  void Clear();
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recent-first list of keys; the map points into it.
+    std::list<std::string> lru;
+    struct Entry {
+      bool permitted = false;
+      uint64_t generation = 0;
+      std::list<std::string>::iterator lru_pos;
+    };
+    std::unordered_map<std::string, Entry> entries;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_drops = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  Options options_;
+  size_t per_shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> generation_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace xrml
+}  // namespace discsec
+
+#endif  // DISCSEC_XRML_DECISION_CACHE_H_

@@ -1,0 +1,232 @@
+#include "xrml/formal/semantics.h"
+
+#include <cstdlib>
+
+namespace discsec {
+namespace xrml {
+namespace formal {
+
+namespace {
+
+// Environment predicate names. These atoms are interpreted against the
+// query context instead of derived by clauses; everything else is derived.
+constexpr char kRightIs[] = "right_is";
+constexpr char kPrincipalMatches[] = "principal_matches";
+constexpr char kResourceMatches[] = "resource_matches";
+constexpr char kTimeAtOrAfter[] = "time_at_or_after";
+constexpr char kTimeAtOrBefore[] = "time_at_or_before";
+constexpr char kTerritoryIn[] = "territory_in";
+constexpr char kUsesBelow[] = "uses_below";
+
+// Derived predicate names.
+constexpr char kIssued[] = "issued";
+constexpr char kGrantActive[] = "grant_active";
+constexpr char kPermitted[] = "permitted";
+
+/// The XrML pattern-matching rule shared by key holders and resources:
+/// "*" denotes the universal set, anything else denotes itself.
+bool PatternCovers(const std::string& pattern, const std::string& value) {
+  return pattern == "*" || pattern == value;
+}
+
+/// Evaluates an environment atom against the query context. Returns
+/// nullopt when `atom` is not an environment predicate (i.e. it must be
+/// derived).
+std::optional<bool> EvalEnvironment(const Atom& atom,
+                                    const std::string& principal, Right right,
+                                    const std::string& resource,
+                                    const ExerciseContext& context,
+                                    const UseCounts& uses) {
+  if (atom.predicate == kRightIs) {
+    return atom.args.size() == 1 && atom.args[0] == RightName(right);
+  }
+  if (atom.predicate == kPrincipalMatches) {
+    return atom.args.size() == 1 && PatternCovers(atom.args[0], principal);
+  }
+  if (atom.predicate == kResourceMatches) {
+    return atom.args.size() == 1 && PatternCovers(atom.args[0], resource);
+  }
+  if (atom.predicate == kTimeAtOrAfter) {
+    return context.now >=
+           std::strtoll(atom.args.at(0).c_str(), nullptr, 10);
+  }
+  if (atom.predicate == kTimeAtOrBefore) {
+    return context.now <=
+           std::strtoll(atom.args.at(0).c_str(), nullptr, 10);
+  }
+  if (atom.predicate == kTerritoryIn) {
+    for (const std::string& code : atom.args) {
+      if (code == context.territory) return true;
+    }
+    return false;
+  }
+  if (atom.predicate == kUsesBelow) {
+    const std::string& license_id = atom.args.at(0);
+    size_t grant_index = std::strtoull(atom.args.at(1).c_str(), nullptr, 10);
+    uint32_t limit = static_cast<uint32_t>(
+        std::strtoul(atom.args.at(2).c_str(), nullptr, 10));
+    auto it = uses.find({license_id, grant_index});
+    uint32_t used = it == uses.end() ? 0 : it->second;
+    return used < limit;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string Atom::ToString() const {
+  std::string out = predicate;
+  out += '(';
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i];
+  }
+  out += ')';
+  return out;
+}
+
+RuleSet RuleSet::Compile(const std::vector<License>& licenses) {
+  RuleSet out;
+  for (size_t li = 0; li < licenses.size(); ++li) {
+    const License& license = licenses[li];
+    const std::string li_str = std::to_string(li);
+    // Fact: the license exists in the store.
+    Clause issued;
+    issued.head = {kIssued, {li_str, license.license_id, license.issuer}};
+    issued.origin = "license[" + li_str + "]";
+    out.clauses_.push_back(std::move(issued));
+
+    for (size_t gi = 0; gi < license.grants.size(); ++gi) {
+      const Grant& grant = license.grants[gi];
+      const Conditions& c = grant.conditions;
+      const std::string gi_str = std::to_string(gi);
+      const std::string origin =
+          "license[" + li_str + "]/grant[" + gi_str + "]";
+
+      // grant_active(li, gi) :- issued(li, ...), right_is(r),
+      //   principal_matches(kh), resource_matches(res), <conditions>.
+      Clause active;
+      active.head = {kGrantActive, {li_str, gi_str}};
+      active.origin = origin;
+      active.body.push_back(
+          {kIssued, {li_str, license.license_id, license.issuer}});
+      active.body.push_back({kRightIs, {RightName(grant.right)}});
+      active.body.push_back({kPrincipalMatches, {grant.key_holder}});
+      active.body.push_back({kResourceMatches, {grant.resource}});
+      if (c.not_before) {
+        active.body.push_back({kTimeAtOrAfter,
+                               {std::to_string(*c.not_before)}});
+      }
+      if (c.not_after) {
+        active.body.push_back({kTimeAtOrBefore,
+                               {std::to_string(*c.not_after)}});
+      }
+      if (!c.territories.empty()) {
+        active.body.push_back({kTerritoryIn, c.territories});
+      }
+      if (c.exercise_limit) {
+        active.body.push_back({kUsesBelow,
+                               {license.license_id, gi_str,
+                                std::to_string(*c.exercise_limit)}});
+      }
+      out.clauses_.push_back(std::move(active));
+
+      // permitted(KH, right, RES) :- grant_active(li, gi). The wildcard
+      // arguments stay symbolic here and are grounded per query.
+      Clause permitted;
+      permitted.head = {kPermitted,
+                        {grant.key_holder, RightName(grant.right),
+                         grant.resource}};
+      permitted.body.push_back({kGrantActive, {li_str, gi_str}});
+      permitted.origin = origin;
+      out.clauses_.push_back(std::move(permitted));
+
+      GrantMeta meta;
+      meta.key_holder = grant.key_holder;
+      meta.resource = grant.resource;
+      meta.license_id = license.license_id;
+      meta.limited = c.exercise_limit.has_value();
+      out.grants_[{li, gi}] = std::move(meta);
+    }
+  }
+  return out;
+}
+
+std::set<Atom> RuleSet::Saturate(const std::string& principal, Right right,
+                                 const std::string& resource,
+                                 const ExerciseContext& context,
+                                 const UseCounts& uses,
+                                 std::vector<std::string>* trace) const {
+  // Ground the clause templates against the query: a "*" in a permitted
+  // head stands for every constant, so under a ground query it denotes the
+  // query's own principal/resource.
+  std::vector<Clause> grounded = clauses_;
+  for (Clause& clause : grounded) {
+    if (clause.head.predicate != kPermitted) continue;
+    if (clause.head.args[0] == "*") clause.head.args[0] = principal;
+    if (clause.head.args[2] == "*") clause.head.args[2] = resource;
+  }
+
+  // Bottom-up saturation: fire every clause whose body holds until no new
+  // atom is derivable. The clause set is stratified (issued ->
+  // grant_active -> permitted) so this converges in a few passes.
+  std::set<Atom> derived;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : grounded) {
+      if (derived.count(clause.head) != 0) continue;
+      bool satisfied = true;
+      for (const Atom& atom : clause.body) {
+        std::optional<bool> env = EvalEnvironment(atom, principal, right,
+                                                  resource, context, uses);
+        bool holds = env.has_value() ? *env : derived.count(atom) != 0;
+        if (!holds) {
+          satisfied = false;
+          break;
+        }
+      }
+      if (!satisfied) continue;
+      derived.insert(clause.head);
+      if (trace != nullptr) {
+        trace->push_back(clause.origin + " |- " + clause.head.ToString());
+      }
+      changed = true;
+    }
+  }
+  return derived;
+}
+
+bool RuleSet::Permitted(const std::string& principal, Right right,
+                        const std::string& resource,
+                        const ExerciseContext& context, const UseCounts& uses,
+                        std::vector<std::string>* trace) const {
+  std::set<Atom> derived =
+      Saturate(principal, right, resource, context, uses, trace);
+  Atom query{kPermitted, {principal, RightName(right), resource}};
+  return derived.count(query) != 0;
+}
+
+std::vector<ActiveGrant> RuleSet::ActiveGrants(
+    const std::string& principal, Right right, const std::string& resource,
+    const ExerciseContext& context, const UseCounts& uses) const {
+  std::set<Atom> derived =
+      Saturate(principal, right, resource, context, uses, nullptr);
+  std::vector<ActiveGrant> out;
+  for (const Atom& atom : derived) {
+    if (atom.predicate != kGrantActive) continue;
+    ActiveGrant active;
+    active.license_index = std::strtoull(atom.args.at(0).c_str(), nullptr, 10);
+    active.grant_index = std::strtoull(atom.args.at(1).c_str(), nullptr, 10);
+    auto it = grants_.find({active.license_index, active.grant_index});
+    if (it == grants_.end()) continue;
+    active.license_id = it->second.license_id;
+    active.limited = it->second.limited;
+    out.push_back(std::move(active));
+  }
+  return out;
+}
+
+}  // namespace formal
+}  // namespace xrml
+}  // namespace discsec

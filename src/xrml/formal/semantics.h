@@ -1,0 +1,146 @@
+#ifndef DISCSEC_XRML_FORMAL_SEMANTICS_H_
+#define DISCSEC_XRML_FORMAL_SEMANTICS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "xrml/license.h"
+
+namespace discsec {
+namespace xrml {
+namespace formal {
+
+/// An independent implementation of the license-decision semantics, in the
+/// style of Halpern & Weissman's "A Formal Foundation for XrML"
+/// (arXiv 0808.1215): each license is compiled into a set of closed
+/// Horn-style permission rules, and queries are answered by saturating the
+/// rule set to a fixed point and testing membership of the Permitted atom.
+///
+/// This module exists to be a *test oracle* for xrml::RightsManager, so it
+/// is deliberately written in a different style from the production
+/// evaluator — declarative compile + bottom-up forward chaining over ground
+/// atoms, instead of an imperative first-match scan — so the two
+/// implementations cannot share bugs. It is pure (no mutexes, no counters):
+/// the stateful exercise-limit condition reads an explicit use-count
+/// environment supplied by the caller.
+///
+/// Correspondence with RightsManager (the property the differential harness
+/// in tests/xrml_oracle_test.cc asserts):
+///
+///   RuleSet::Compile(L).Permitted(p, r, res, ctx, uses)
+///     == RightsManager{licenses = L, uses_ = uses}.IsPermitted(r, res, ctx)
+///
+/// for every license set L, use-count environment and query.
+
+/// A ground atom: a predicate applied to constant arguments. The semantics
+/// uses a handful of predicates:
+///
+///   issued(li, license_id, issuer)      — license li exists (a fact)
+///   grant_active(li, gi)                — grant gi of license li is
+///                                         exercisable in the query context
+///   permitted(principal, right, resource)
+///
+/// plus *environment* predicates interpreted against the query context
+/// rather than derived (time_at_or_after, time_at_or_before, territory_in,
+/// uses_below).
+struct Atom {
+  std::string predicate;
+  std::vector<std::string> args;
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && args == other.args;
+  }
+  bool operator<(const Atom& other) const {
+    if (predicate != other.predicate) return predicate < other.predicate;
+    return args < other.args;
+  }
+
+  /// "pred(a, b, c)" — for counterexample diagnostics.
+  std::string ToString() const;
+};
+
+/// A closed Horn clause: every body atom holds -> the head holds. Facts are
+/// clauses with an empty body.
+struct Clause {
+  Atom head;
+  std::vector<Atom> body;
+  /// Provenance ("license[2]/grant[0]") surfaced in derivation traces.
+  std::string origin;
+};
+
+/// The use-count environment the stateful exerciseLimit condition reads,
+/// keyed exactly as RightsManager keys its counters: (license id, grant
+/// index). Absent keys read as zero.
+using UseCounts = std::map<std::pair<std::string, size_t>, uint32_t>;
+
+/// A grant the fixed point derived grant_active for, decoded back to the
+/// compiled license set. `limited` distinguishes grants that consume a use
+/// when exercised from unconstrained ones.
+struct ActiveGrant {
+  size_t license_index = 0;  ///< index into the compiled license vector
+  size_t grant_index = 0;
+  std::string license_id;
+  bool limited = false;
+};
+
+/// Licenses compiled to Horn rules. Compile once per license set; query
+/// freely (the object is immutable and thread-compatible).
+class RuleSet {
+ public:
+  /// Compiles every grant of every license into its issued / grant_active /
+  /// permitted clause chain. Wildcards ("*" key holders and resources) stay
+  /// symbolic in the clause templates and are grounded against the concrete
+  /// query before saturation.
+  static RuleSet Compile(const std::vector<License>& licenses);
+
+  /// Does the fixed point derive permitted(principal, right, resource)
+  /// under `context` and `uses`? When `trace` is non-null it receives the
+  /// origin of every clause that fired, in derivation order.
+  bool Permitted(const std::string& principal, Right right,
+                 const std::string& resource, const ExerciseContext& context,
+                 const UseCounts& uses,
+                 std::vector<std::string>* trace = nullptr) const;
+
+  /// Every grant whose grant_active atom is derivable for a query that the
+  /// grant's key holder / resource patterns match. The harness uses this to
+  /// validate *which* counter an Exercise consumed, independent of the
+  /// production first-match rule.
+  std::vector<ActiveGrant> ActiveGrants(const std::string& principal,
+                                        Right right,
+                                        const std::string& resource,
+                                        const ExerciseContext& context,
+                                        const UseCounts& uses) const;
+
+  size_t clause_count() const { return clauses_.size(); }
+
+ private:
+  struct GrantMeta {
+    std::string key_holder;
+    std::string resource;
+    std::string license_id;
+    bool limited = false;
+  };
+
+  /// Runs the forward-chaining saturation for one grounded query and
+  /// returns the derived atom set.
+  std::set<Atom> Saturate(const std::string& principal, Right right,
+                          const std::string& resource,
+                          const ExerciseContext& context,
+                          const UseCounts& uses,
+                          std::vector<std::string>* trace) const;
+
+  std::vector<Clause> clauses_;
+  /// (license_index, grant_index) -> pattern metadata, for grounding and
+  /// ActiveGrants decoding.
+  std::map<std::pair<size_t, size_t>, GrantMeta> grants_;
+};
+
+}  // namespace formal
+}  // namespace xrml
+}  // namespace discsec
+
+#endif  // DISCSEC_XRML_FORMAL_SEMANTICS_H_

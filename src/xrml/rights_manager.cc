@@ -27,14 +27,21 @@ Status RightsManager::InstallLicense(const std::string& signed_license_xml) {
   xmldsig::VerifyOptions options;
   options.cert_store = trust_;
   options.now = now_;
+  // A license signature must cover the whole license body; a signature over
+  // an attacker-chosen fragment leaves its siblings mutable.
+  options.require_signed_root = true;
   DISCSEC_RETURN_IF_ERROR(
       xmldsig::Verifier::VerifyFirstSignature(doc, options)
           .status()
           .WithContext("license signature"));
+  xml::IdRegistry ids(doc);
+  if (ids.HasDuplicates()) {
+    return Status::VerificationFailed(
+        "duplicate Id '" + ids.duplicate_ids().front() +
+        "' in license body (duplicate-ID wrapping)");
+  }
   DISCSEC_ASSIGN_OR_RETURN(License license, License::FromXml(*doc.root()));
-  std::lock_guard<std::mutex> lock(mu_);
-  licenses_.push_back(std::move(license));
-  return Status::OK();
+  return InstallUnsigned(license);
 }
 
 Status RightsManager::InstallUnsigned(const License& license) {
@@ -43,6 +50,7 @@ Status RightsManager::InstallUnsigned(const License& license) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   licenses_.push_back(license);
+  if (cache_ != nullptr) cache_->Invalidate();
   return Status::OK();
 }
 
@@ -99,10 +107,27 @@ const Grant* RightsManager::FindGrant(Right right,
 
 bool RightsManager::IsPermitted(Right right, const std::string& resource,
                                 const ExerciseContext& context) const {
-  std::lock_guard<std::mutex> lock(mu_);
   const License* license = nullptr;
   size_t index = 0;
-  return FindGrant(right, resource, context, &license, &index) != nullptr;
+  if (cache_ == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return FindGrant(right, resource, context, &license, &index) != nullptr;
+  }
+  std::string key = DecisionCache::MakeKey(right, resource, context);
+  if (std::optional<bool> hit = cache_->Lookup(key)) return *hit;
+  uint64_t generation = 0;
+  bool permitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The generation is read under mu_, alongside the verdict computation:
+    // any later mutation bumps it (also under mu_), so this Insert — and
+    // every Lookup after the mutation — will see the entry as stale rather
+    // than serve a verdict about a dead store state.
+    generation = cache_->generation();
+    permitted = FindGrant(right, resource, context, &license, &index) != nullptr;
+  }
+  cache_->Insert(key, permitted, generation);
+  return permitted;
 }
 
 Status RightsManager::Exercise(Right right, const std::string& resource,
@@ -118,6 +143,9 @@ Status RightsManager::Exercise(Right right, const std::string& resource,
   }
   if (grant->conditions.exercise_limit) {
     ++uses_[{license->license_id, index}];
+    // The store's observable decision state changed (a use was consumed),
+    // so cached verdicts must not survive.
+    if (cache_ != nullptr) cache_->Invalidate();
   }
   return Status::OK();
 }

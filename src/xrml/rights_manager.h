@@ -6,6 +6,7 @@
 
 #include "crypto/rsa.h"
 #include "pki/cert_store.h"
+#include "xrml/decision_cache.h"
 #include "xrml/license.h"
 
 namespace discsec {
@@ -34,8 +35,16 @@ class RightsManager {
   RightsManager(const pki::CertStore* trust, int64_t now)
       : trust_(trust), now_(now) {}
 
+  /// Attaches a decision cache for IsPermitted verdicts (not owned; must
+  /// outlive this manager). Every store mutation — license install, counted
+  /// exercise — advances the cache generation while mu_ is held, so a
+  /// cached verdict can never outlive the store state it was computed from.
+  void set_decision_cache(DecisionCache* cache) { cache_ = cache; }
+
   /// Parses, signature-checks and installs a signed license. Rejects
-  /// licenses whose signature does not anchor in the trust store.
+  /// licenses whose signature does not anchor in the trust store, whose
+  /// signature does not cover the license root (fragment signatures are a
+  /// relocation vector), or whose body declares duplicate Ids.
   Status InstallLicense(const std::string& signed_license_xml);
 
   /// Installs without signature checking (e.g. a license mastered onto an
@@ -70,6 +79,7 @@ class RightsManager {
 
   const pki::CertStore* trust_;
   int64_t now_;
+  DecisionCache* cache_ = nullptr;  // optional, not owned
   mutable std::mutex mu_;
   std::vector<License> licenses_;                          // guarded by mu_
   std::map<std::pair<std::string, size_t>, uint32_t> uses_;  // guarded by mu_

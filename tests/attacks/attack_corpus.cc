@@ -189,6 +189,33 @@ std::vector<AttackCase> BuildAttackCorpus(const World& world) {
                           TruncateBase64After(wire, "<ds:SignatureValue>"),
                           kVerify, "signature length mismatch"));
 
+    // XPath-transform relocation (the arXiv 2106.10460 §5 taxonomy):
+    // smuggle an XPath transform into the reference's transform chain so
+    // the digested node set could be steered to attacker-chosen content
+    // while the URI still names the legitimate target. The transform
+    // engine whitelists c14n + enveloped-signature only, so the algorithm
+    // is refused outright — before any signature math could "succeed" over
+    // the relocated node set.
+    corpus.push_back(Make(
+        scenario, "xpath-transform-relocation", AttackRoute::kVerifier,
+        ReplaceOnce(wire, "<ds:Transforms>",
+                    "<ds:Transforms><ds:Transform Algorithm=\""
+                    "http://www.w3.org/TR/1999/REC-xpath-19991116\">"
+                    "<ds:XPath>//*[@Id='track-evil']</ds:XPath>"
+                    "</ds:Transform>"),
+        Status::Code::kUnsupported, "transform algorithm"));
+
+    // Namespace-injection wrapping: declare an attacker namespace on the
+    // root element. Inclusive C14N renders inherited namespace
+    // declarations on every descendant apex, so the canonical form of each
+    // signed subtree — even a detached fragment far below the root —
+    // changes, and the reference digest catches the injection.
+    corpus.push_back(Make(scenario, "namespace-injection-wrapping",
+                          AttackRoute::kVerifier,
+                          ReplaceOnce(wire, "<cluster",
+                                      "<cluster xmlns:atk=\"urn:evil:wrap\""),
+                          kVerify, "digest mismatch"));
+
     // Duplicate-ID wrapping (detached scenarios): a decoy element declares
     // the referenced Id a second time; strict resolution refuses to pick.
     if (scenario.level != SignLevel::kCluster) {

@@ -86,7 +86,7 @@ TEST(AttackCorpusBaseline, PristineDocumentsVerify) {
   }
 }
 
-// The corpus itself must stay broad: at least 7 distinct attack classes,
+// The corpus itself must stay broad: at least 9 distinct attack classes,
 // and the per-signature classes must cover every §5 scenario.
 TEST(AttackCorpusShape, CoversClassesAndScenarios) {
   std::set<std::string> classes;
@@ -95,11 +95,12 @@ TEST(AttackCorpusShape, CoversClassesAndScenarios) {
     classes.insert(attack.attack_class);
     scenarios.insert(attack.scenario);
   }
-  EXPECT_GE(classes.size(), 7u);
+  EXPECT_GE(classes.size(), 9u);
   EXPECT_EQ(scenarios.size(), 7u);  // all §5 signing scenarios represented
   for (const char* cls :
        {"digest-tamper", "content-tamper", "signedinfo-tamper",
-        "algorithm-substitution", "signature-truncation"}) {
+        "algorithm-substitution", "signature-truncation",
+        "xpath-transform-relocation", "namespace-injection-wrapping"}) {
     size_t count = 0;
     for (const AttackCase& attack : Corpus()) {
       if (attack.attack_class == cls) ++count;

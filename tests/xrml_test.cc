@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+
+#include "common/thread_pool.h"
 #include "tests/test_world.h"
 #include "xml/serializer.h"
+#include "xmldsig/signer.h"
 #include "xrml/license.h"
 #include "xrml/rights_manager.h"
 
@@ -141,6 +145,77 @@ TEST_F(XrmlFixture, UntrustedIssuerRejected) {
       manager.InstallLicense(signed_xml.value()).IsVerificationFailed());
 }
 
+// ------------------------------------------------- license-focused attacks
+
+// A signature that covers only one grant (a sibling of whatever the
+// attacker later mutates) must not admit the license: InstallLicense
+// requires the signature to cover the license root. Pinned regression —
+// before the signed-root policy, a fragment signature was accepted and the
+// unsigned sibling grants were trusted.
+TEST_F(XrmlFixture, SiblingCoverageSignatureRejected) {
+  License license = DemoLicense();
+  xml::Document doc = xml::Document::WithRoot(license.ToXml());
+  xml::Element* first_grant = doc.root()->FirstChildElement("grant");
+  ASSERT_NE(first_grant, nullptr);
+
+  xmldsig::KeyInfoSpec key_info;
+  key_info.certificate_chain = {world_->studio_cert, world_->root_cert};
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world_->studio_key.private_key), key_info);
+  ASSERT_TRUE(
+      signer.SignDetached(&doc, first_grant, "grant-benign", doc.root())
+          .ok());
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+  std::string wire = xml::Serialize(doc, options);
+
+  // The signature itself is valid over the first grant — the sibling
+  // grants (including the exercise-limited copy grant an attacker would
+  // inflate) are simply not covered.
+  RightsManager manager(trust_, kNow);
+  Status status = manager.InstallLicense(wire);
+  EXPECT_TRUE(status.IsVerificationFailed()) << status.ToString();
+  EXPECT_NE(status.message().find("possible signature relocation"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(manager.LicenseCount(), 0u);
+
+  // And a mutated sibling rides in unnoticed by the signature layer —
+  // which is exactly why the coverage policy has to fire.
+  size_t pos = wire.find("count=\"2\"");
+  ASSERT_NE(pos, std::string::npos);
+  wire.replace(pos, 9, "count=\"9\"");
+  EXPECT_TRUE(manager.InstallLicense(wire).IsVerificationFailed());
+  EXPECT_EQ(manager.LicenseCount(), 0u);
+}
+
+// A license body carrying duplicate Ids must be rejected even when its
+// enveloped signature verifies: duplicate declarations are the ambiguity
+// every Id-based wrapping attack needs. Pinned regression — the decoys are
+// present *before* signing, so the signature is honest and only the
+// duplicate-Id defense stands between the document and the store.
+TEST_F(XrmlFixture, DuplicateIdLicenseBodyRejected) {
+  License license = DemoLicense();
+  xml::Document doc = xml::Document::WithRoot(license.ToXml());
+  doc.root()->AppendElement("data")->SetAttribute("Id", "dup-anchor");
+  doc.root()->AppendElement("data")->SetAttribute("Id", "dup-anchor");
+
+  xmldsig::KeyInfoSpec key_info;
+  key_info.certificate_chain = {world_->studio_cert, world_->root_cert};
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world_->studio_key.private_key), key_info);
+  ASSERT_TRUE(signer.SignEnveloped(&doc, doc.root()).ok());
+  xml::SerializeOptions options;
+  options.xml_declaration = false;
+
+  RightsManager manager(trust_, kNow);
+  Status status = manager.InstallLicense(xml::Serialize(doc, options));
+  EXPECT_TRUE(status.IsVerificationFailed()) << status.ToString();
+  EXPECT_NE(status.message().find("duplicate Id"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ(manager.LicenseCount(), 0u);
+}
+
 // --------------------------------------------------------- evaluation
 
 TEST_F(XrmlFixture, GrantsEvaluate) {
@@ -210,6 +285,136 @@ TEST_F(XrmlFixture, WildcardResourceGrant) {
   ASSERT_TRUE(manager.InstallUnsigned(license).ok());
   EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "anything", Context()));
   EXPECT_FALSE(manager.IsPermitted(Right::kCopy, "anything", Context()));
+}
+
+// ---------------------------------------------------------- edge semantics
+
+// Validity-window boundaries are inclusive on both ends: the instant
+// now == notBefore and the instant now == notAfter are inside the window,
+// one second either side is outside.
+TEST_F(XrmlFixture, ValidityWindowBoundaryInstants) {
+  License license;
+  license.license_id = "lic-window";
+  license.issuer = "x";
+  Grant g;
+  g.key_holder = "*";
+  g.right = Right::kPlay;
+  g.resource = "track-movie";
+  g.conditions.not_before = kNow;
+  g.conditions.not_after = kNow + 100;
+  license.grants = {g};
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(license).ok());
+
+  ExerciseContext context = Context();
+  context.now = kNow;  // == notBefore
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "track-movie", context));
+  context.now = kNow - 1;
+  EXPECT_FALSE(manager.IsPermitted(Right::kPlay, "track-movie", context));
+  context.now = kNow + 100;  // == notAfter
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "track-movie", context));
+  context.now = kNow + 101;
+  EXPECT_FALSE(manager.IsPermitted(Right::kPlay, "track-movie", context));
+  // A point window (notBefore == notAfter) is exercisable at exactly that
+  // instant; an inverted window never is.
+  License point = license;
+  point.license_id = "lic-point";
+  point.grants[0].resource = "track-point";
+  point.grants[0].conditions.not_after = kNow;
+  ASSERT_TRUE(manager.InstallUnsigned(point).ok());
+  context.now = kNow;
+  EXPECT_TRUE(manager.IsPermitted(Right::kPlay, "track-point", context));
+  License inverted = license;
+  inverted.license_id = "lic-inverted";
+  inverted.grants[0].resource = "track-inverted";
+  inverted.grants[0].conditions.not_before = kNow + 100;
+  inverted.grants[0].conditions.not_after = kNow;
+  ASSERT_TRUE(manager.InstallUnsigned(inverted).ok());
+  for (int64_t t : {kNow - 1, kNow, kNow + 50, kNow + 100, kNow + 101}) {
+    context.now = t;
+    EXPECT_FALSE(manager.IsPermitted(Right::kPlay, "track-inverted", context));
+  }
+}
+
+// Racing exercisers across a thread pool must consume exactly `limit` uses
+// of a nearly-exhausted grant — no lost updates, no over-consumption.
+TEST_F(XrmlFixture, ExerciseLimitExactUnderConcurrency) {
+  constexpr uint32_t kLimit = 5;
+  License license;
+  license.license_id = "lic-race";
+  license.issuer = "x";
+  Grant g;
+  g.key_holder = "*";
+  g.right = Right::kCopy;
+  g.resource = "quiz";
+  g.conditions.exercise_limit = kLimit;
+  license.grants = {g};
+  RightsManager manager(trust_, kNow);
+  ASSERT_TRUE(manager.InstallUnsigned(license).ok());
+
+  ThreadPool pool(8);
+  std::atomic<uint32_t> successes{0};
+  ParallelFor(&pool, 40, [&](size_t i) {
+    ExerciseContext context;
+    context.principal = "racer-" + std::to_string(i % 8);
+    context.now = kNow;
+    if (manager.Exercise(Right::kCopy, "quiz", context).ok()) {
+      successes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(successes.load(), kLimit);
+  EXPECT_EQ(manager.UsesRecorded("lic-race", 0), kLimit);
+  EXPECT_FALSE(manager.IsPermitted(Right::kCopy, "quiz", Context()));
+}
+
+// InstallLicense (the signed path) and InstallUnsigned must admit the same
+// license bodies and answer queries identically afterwards.
+TEST_F(XrmlFixture, InstallUnsignedAndInstallLicenseAgree) {
+  auto signed_xml = IssueSignedLicense(
+      DemoLicense(), world_->studio_key.private_key,
+      {world_->studio_cert, world_->root_cert});
+  ASSERT_TRUE(signed_xml.ok());
+  RightsManager via_signed(trust_, kNow);
+  RightsManager via_unsigned(trust_, kNow);
+  ASSERT_TRUE(via_signed.InstallLicense(signed_xml.value()).ok());
+  ASSERT_TRUE(via_unsigned.InstallUnsigned(DemoLicense()).ok());
+  EXPECT_EQ(via_signed.LicenseCount(), via_unsigned.LicenseCount());
+
+  for (Right right : {Right::kPlay, Right::kExecute, Right::kCopy,
+                      Right::kExtract}) {
+    for (const char* resource : {"track-movie", "quiz", "other"}) {
+      for (const char* principal : {"player-device", "stranger"}) {
+        for (const char* territory : {"EU", "JP"}) {
+          ExerciseContext context;
+          context.principal = principal;
+          context.territory = territory;
+          context.now = kNow;
+          EXPECT_EQ(via_signed.IsPermitted(right, resource, context),
+                    via_unsigned.IsPermitted(right, resource, context))
+              << RightName(right) << " " << resource << " " << principal
+              << " " << territory;
+        }
+      }
+    }
+  }
+}
+
+// Pinned regression: an id-less license must be refused by *both* install
+// paths. The signed path used to admit what InstallUnsigned rejected,
+// creating licenses whose exercise counters all aliased the empty key.
+TEST_F(XrmlFixture, InstallParityForEmptyLicenseId) {
+  License license = DemoLicense();
+  license.license_id.clear();
+  RightsManager manager(trust_, kNow);
+  EXPECT_TRUE(manager.InstallUnsigned(license).IsInvalidArgument());
+
+  auto signed_xml = IssueSignedLicense(
+      license, world_->studio_key.private_key,
+      {world_->studio_cert, world_->root_cert});
+  ASSERT_TRUE(signed_xml.ok());
+  Status status = manager.InstallLicense(signed_xml.value());
+  EXPECT_FALSE(status.ok()) << "id-less license admitted via signed path";
+  EXPECT_EQ(manager.LicenseCount(), 0u);
 }
 
 // --------------------------------------------------------- player wiring
