@@ -33,10 +33,18 @@ inline constexpr std::string_view kNetOpen = "net.open";
 inline constexpr std::string_view kNetWire = "net.wire";
 inline constexpr std::string_view kXkmsTransport = "xkms.transport";
 inline constexpr std::string_view kToolRead = "tool.read";
+/// Server-side (xkmsd) fault points: the admission front door, the
+/// authoritative sharded key store, and the degradation snapshot. Hit
+/// details are "<op> <key name>" (e.g. "locate studio-1"), so a chaos
+/// scenario can break reads while writes stay healthy via detail_filter.
+inline constexpr std::string_view kXkmsdQueue = "xkmsd.queue";
+inline constexpr std::string_view kXkmsdStore = "xkmsd.store";
+inline constexpr std::string_view kXkmsdSnapshot = "xkmsd.snapshot";
 
 inline constexpr std::string_view kAllPoints[] = {
     kDiscRead,  kStorageRead,    kStorageWrite, kNetSeal,
     kNetOpen,   kNetWire,        kXkmsTransport, kToolRead,
+    kXkmsdQueue, kXkmsdStore,    kXkmsdSnapshot,
 };
 
 /// What a fired fault does to the operation it interrupts.

@@ -57,7 +57,13 @@ Status Retryer::Run(const std::function<Status()>& attempt) {
           last.ToString());
     }
     if (n == max_attempts) break;
-    int64_t backoff_us = BackoffForAttempt(n);
+    // A server-supplied hint (an overloaded responder's shed status)
+    // overrides the exponential step: the responder knows how long its
+    // queues need to drain better than our local schedule does. Jitter
+    // still applies below, so a whole shed fleet re-spreads instead of
+    // returning in lockstep at hint expiry.
+    int64_t backoff_us = last.retry_after_us() > 0 ? last.retry_after_us()
+                                                   : BackoffForAttempt(n);
     if (policy_.jitter > 0.0) {
       double fraction = static_cast<double>(rng_.NextUint64() >> 11) *
                         0x1.0p-53;  // [0, 1)
@@ -184,7 +190,9 @@ struct AsyncRetryLoop : std::enable_shared_from_this<AsyncRetryLoop> {
                             " attempts"));
       return;
     }
-    int64_t backoff_us = BackoffForAttempt(n);
+    // Same hint-over-schedule rule as Retryer::Run above.
+    int64_t backoff_us = last.retry_after_us() > 0 ? last.retry_after_us()
+                                                   : BackoffForAttempt(n);
     if (policy.jitter > 0.0) {
       double fraction = static_cast<double>(rng.NextUint64() >> 11) *
                         0x1.0p-53;  // [0, 1)

@@ -12,7 +12,10 @@ namespace discsec {
 /// gRPC-style retry policy: bounded attempts, exponential backoff with
 /// jitter, and two deadlines. All times are microseconds. Only statuses
 /// with Status::IsRetryable() (kUnavailable) are retried; everything else
-/// is returned to the caller on the first attempt.
+/// is returned to the caller on the first attempt. A failed attempt whose
+/// Status carries a retry_after_us() hint (a shedding responder's
+/// retry-after) replaces the exponential step for that backoff — jitter
+/// still applies, so hinted fleets decorrelate.
 struct RetryPolicy {
   int max_attempts = 3;
   int64_t initial_backoff_us = 1000;

@@ -43,6 +43,11 @@ std::string Status::ToString() const {
     out += ": ";
     out += message_;
   }
+  if (retry_after_us_ > 0) {
+    out += " [retry-after ";
+    out += std::to_string(retry_after_us_);
+    out += "us]";
+  }
   return out;
 }
 

@@ -1,6 +1,7 @@
 #ifndef DISCSEC_COMMON_STATUS_H_
 #define DISCSEC_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -111,15 +112,34 @@ class Status {
   std::string ToString() const;
 
   /// Returns a copy of this status with extra context prepended to the
-  /// message, preserving the code. OK statuses are returned unchanged.
+  /// message, preserving the code (and any retry-after hint). OK statuses
+  /// are returned unchanged.
   /// Chains: st.WithContext("a").WithContext("b") reads "b: a: <msg>".
   Status WithContext(std::string_view context) const;
+
+  /// Server-supplied backoff hint: how long the caller should wait before
+  /// retrying, microseconds. 0 means "no hint" (the normal case); an
+  /// overloaded responder sets it on the kUnavailable it sheds with, and
+  /// common::Retryer then uses it in place of its own exponential step (its
+  /// jitter still applies, so a shed fleet re-spreads instead of retrying
+  /// in lockstep). Carried by value through WithContext/Result plumbing.
+  int64_t retry_after_us() const { return retry_after_us_; }
+
+  /// Returns a copy of this status carrying `retry_after_us` as its backoff
+  /// hint. OK statuses are returned unchanged (a success carries no hint).
+  Status WithRetryAfter(int64_t retry_after_us) const {
+    if (ok()) return *this;
+    Status copy = *this;
+    copy.retry_after_us_ = retry_after_us < 0 ? 0 : retry_after_us;
+    return copy;
+  }
 
  private:
   Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
 
   Code code_;
   std::string message_;
+  int64_t retry_after_us_ = 0;
 };
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing

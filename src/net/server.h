@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "net/channel.h"
 #include "xkms/service.h"
+#include "xkms/xkmsd.h"
 
 namespace discsec {
 namespace net {
@@ -31,6 +32,20 @@ class ContentServer {
   /// The trust service co-hosted at this server (paper §7).
   xkms::XkmsService* xkms() { return &xkms_; }
 
+  /// Routes XKMS traffic through a fleet-scale responder instead of the
+  /// in-line toy service: every Downloader::XkmsExchange then goes through
+  /// xkmsd's admission front door (same wire markup, so clients are none
+  /// the wiser — except that overload now sheds with retry-after hints
+  /// instead of queueing forever). `request_budget_us` > 0 gives each
+  /// dispatched request that much of the responder's clock as deadline.
+  /// The responder must outlive this server; null detaches.
+  void AttachXkmsd(xkms::Xkmsd* xkmsd, int64_t request_budget_us = 0) {
+    xkmsd_ = xkmsd;
+    xkmsd_budget_us_ = request_budget_us;
+  }
+  xkms::Xkmsd* attached_xkmsd() const { return xkmsd_; }
+  int64_t xkmsd_budget_us() const { return xkmsd_budget_us_; }
+
   /// Server identity for the secure channel.
   void SetIdentity(std::vector<pki::Certificate> chain,
                    crypto::RsaPrivateKey key) {
@@ -43,6 +58,8 @@ class ContentServer {
  private:
   std::map<std::string, Bytes> content_;
   xkms::XkmsService xkms_;
+  xkms::Xkmsd* xkmsd_ = nullptr;
+  int64_t xkmsd_budget_us_ = 0;
   std::vector<pki::Certificate> chain_;
   crypto::RsaPrivateKey key_;
 };

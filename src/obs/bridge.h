@@ -20,6 +20,7 @@
 #include "obs/metrics.h"
 #include "xkms/locate_cache.h"
 #include "xkms/retrying_transport.h"
+#include "xkms/xkmsd.h"
 #include "xrml/decision_cache.h"
 
 namespace discsec {
@@ -72,6 +73,23 @@ inline void AbsorbRetryingTransportStats(
   metrics->GetCounter("xkms_transport.breaker_state")
       ->Set(static_cast<uint64_t>(
           stats.breaker_state.load(std::memory_order_relaxed)));
+}
+
+inline void AbsorbXkmsdStats(const xkms::XkmsdStats& stats,
+                             MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("xkmsd.admitted")->MaxTo(stats.admitted);
+  metrics->GetCounter("xkmsd.served")->MaxTo(stats.served);
+  metrics->GetCounter("xkmsd.shed.queue_full")->MaxTo(stats.shed_queue_full);
+  metrics->GetCounter("xkmsd.shed.deadline")->MaxTo(stats.shed_deadline);
+  metrics->GetCounter("xkmsd.shed.oversized")->MaxTo(stats.shed_oversized);
+  metrics->GetCounter("xkmsd.shed.malformed")->MaxTo(stats.shed_malformed);
+  metrics->GetCounter("xkmsd.shed.fault")->MaxTo(stats.shed_fault);
+  metrics->GetCounter("xkmsd.coalesced")->MaxTo(stats.coalesced_locates);
+  metrics->GetCounter("xkmsd.store_lookups")->MaxTo(stats.store_lookups);
+  metrics->GetCounter("xkmsd.degraded")->MaxTo(stats.degraded_locates);
+  metrics->GetCounter("xkmsd.store_errors")->MaxTo(stats.store_errors);
+  metrics->GetCounter("xkmsd.queue_depth")->Set(stats.queue_depth);
 }
 
 inline void AbsorbFaultInjectorStats(const fault::FaultInjector& injector,

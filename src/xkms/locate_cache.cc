@@ -63,6 +63,19 @@ Result<KeyBinding> LocateCache::Locate(const std::string& name) {
   // Leader: the transport call happens outside every cache lock, so slow
   // lookups for one name never block hits on others.
   Result<KeyBinding> result = client_->Locate(name);
+  // Publish into the flight BEFORE retiring it from flights_. Callers that
+  // attach in between still find the flight and share this verdict —
+  // crucially including an error verdict, which is never cached: without
+  // this ordering a failure storm turns every late arrival into a fresh
+  // leader and each one hammers the struggling upstream in series. After
+  // the erase below, the next caller starts a clean flight (one retry per
+  // storm wave, not one per caller).
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->result = result;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.ok()) {
@@ -77,12 +90,6 @@ Result<KeyBinding> LocateCache::Locate(const std::string& name) {
     }
     flights_.erase(name);
   }
-  {
-    std::lock_guard<std::mutex> lock(flight->mu);
-    flight->result = result;
-    flight->done = true;
-  }
-  flight->cv.notify_all();
   return result;
 }
 

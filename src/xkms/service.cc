@@ -7,22 +7,20 @@
 namespace discsec {
 namespace xkms {
 
-namespace {
-
-std::string SerializeRequest(std::unique_ptr<xml::Element> root) {
+std::string SerializeXkmsDocument(std::unique_ptr<xml::Element> root) {
   xml::Document doc = xml::Document::WithRoot(std::move(root));
   xml::SerializeOptions options;
   options.xml_declaration = false;
   return xml::Serialize(doc, options);
 }
 
-std::unique_ptr<xml::Element> MakeRoot(const std::string& name) {
+std::unique_ptr<xml::Element> MakeXkmsRoot(const std::string& name) {
   auto root = std::make_unique<xml::Element>("xkms:" + name);
   root->SetAttribute("xmlns:xkms", kXkmsNamespace);
   return root;
 }
 
-void AppendBinding(xml::Element* parent, const KeyBinding& binding) {
+void AppendKeyBinding(xml::Element* parent, const KeyBinding& binding) {
   xml::Element* kb = parent->AppendElement("xkms:KeyBinding");
   kb->AppendElement("xkms:KeyName")->SetTextContent(binding.name);
   kb->AppendChild(pki::RsaKeyToXml(binding.key, "xkms:RSAKeyValue"));
@@ -33,7 +31,7 @@ void AppendBinding(xml::Element* parent, const KeyBinding& binding) {
       ->SetTextContent(KeyStatusName(binding.status));
 }
 
-Result<KeyBinding> ParseBinding(const xml::Element& kb) {
+Result<KeyBinding> ParseKeyBinding(const xml::Element& kb) {
   KeyBinding binding;
   const xml::Element* name = kb.FirstChildElementByLocalName("KeyName");
   const xml::Element* key = kb.FirstChildElementByLocalName("RSAKeyValue");
@@ -56,8 +54,6 @@ Result<KeyBinding> ParseBinding(const xml::Element& kb) {
   }
   return binding;
 }
-
-}  // namespace
 
 const char* KeyStatusName(KeyStatus status) {
   switch (status) {
@@ -120,16 +116,16 @@ Result<std::string> XkmsService::HandleRequest(
     if (name == nullptr) {
       return Status::ParseError("LocateRequest missing KeyName");
     }
-    auto response = MakeRoot("LocateResult");
+    auto response = MakeXkmsRoot("LocateResult");
     auto found = Locate(name->TextContent());
     if (found.ok()) {
       response->SetAttribute("ResultMajor", "Success");
-      AppendBinding(response.get(), found.value());
+      AppendKeyBinding(response.get(), found.value());
     } else {
       response->SetAttribute("ResultMajor", "Success");
       response->SetAttribute("ResultMinor", "NoMatch");
     }
-    return SerializeRequest(std::move(response));
+    return SerializeXkmsDocument(std::move(response));
   }
 
   if (op == "ValidateRequest") {
@@ -138,13 +134,13 @@ Result<std::string> XkmsService::HandleRequest(
     if (kb == nullptr) {
       return Status::ParseError("ValidateRequest missing KeyBinding");
     }
-    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseBinding(*kb));
+    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseKeyBinding(*kb));
     KeyStatus status = Validate(binding.name, binding.key);
-    auto response = MakeRoot("ValidateResult");
+    auto response = MakeXkmsRoot("ValidateResult");
     response->SetAttribute("ResultMajor", "Success");
     response->AppendElement("xkms:Status")
         ->SetTextContent(KeyStatusName(status));
-    return SerializeRequest(std::move(response));
+    return SerializeXkmsDocument(std::move(response));
   }
 
   if (op == "RegisterRequest") {
@@ -152,8 +148,8 @@ Result<std::string> XkmsService::HandleRequest(
     if (kb == nullptr) {
       return Status::ParseError("RegisterRequest missing KeyBinding");
     }
-    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseBinding(*kb));
-    auto response = MakeRoot("RegisterResult");
+    DISCSEC_ASSIGN_OR_RETURN(KeyBinding binding, ParseKeyBinding(*kb));
+    auto response = MakeXkmsRoot("RegisterResult");
     Status status = Register(binding);
     response->SetAttribute("ResultMajor",
                            status.ok() ? "Success" : "Receiver");
@@ -161,7 +157,7 @@ Result<std::string> XkmsService::HandleRequest(
       response->AppendElement("xkms:Reason")
           ->SetTextContent(status.ToString());
     }
-    return SerializeRequest(std::move(response));
+    return SerializeXkmsDocument(std::move(response));
   }
 
   if (op == "RevokeRequest") {
@@ -170,45 +166,45 @@ Result<std::string> XkmsService::HandleRequest(
       return Status::ParseError("RevokeRequest missing KeyName");
     }
     Status status = Revoke(name->TextContent());
-    auto response = MakeRoot("RevokeResult");
+    auto response = MakeXkmsRoot("RevokeResult");
     response->SetAttribute("ResultMajor",
                            status.ok() ? "Success" : "Receiver");
     if (!status.ok()) {
       response->AppendElement("xkms:Reason")
           ->SetTextContent(status.ToString());
     }
-    return SerializeRequest(std::move(response));
+    return SerializeXkmsDocument(std::move(response));
   }
 
   return Status::Unsupported("XKMS operation: " + op);
 }
 
 std::string BuildLocateRequest(const std::string& name) {
-  auto root = MakeRoot("LocateRequest");
+  auto root = MakeXkmsRoot("LocateRequest");
   root->AppendElement("xkms:KeyName")->SetTextContent(name);
-  return SerializeRequest(std::move(root));
+  return SerializeXkmsDocument(std::move(root));
 }
 
 std::string BuildValidateRequest(const std::string& name,
                                  const crypto::RsaPublicKey& key) {
-  auto root = MakeRoot("ValidateRequest");
+  auto root = MakeXkmsRoot("ValidateRequest");
   KeyBinding binding;
   binding.name = name;
   binding.key = key;
-  AppendBinding(root.get(), binding);
-  return SerializeRequest(std::move(root));
+  AppendKeyBinding(root.get(), binding);
+  return SerializeXkmsDocument(std::move(root));
 }
 
 std::string BuildRegisterRequest(const KeyBinding& binding) {
-  auto root = MakeRoot("RegisterRequest");
-  AppendBinding(root.get(), binding);
-  return SerializeRequest(std::move(root));
+  auto root = MakeXkmsRoot("RegisterRequest");
+  AppendKeyBinding(root.get(), binding);
+  return SerializeXkmsDocument(std::move(root));
 }
 
 std::string BuildRevokeRequest(const std::string& name) {
-  auto root = MakeRoot("RevokeRequest");
+  auto root = MakeXkmsRoot("RevokeRequest");
   root->AppendElement("xkms:KeyName")->SetTextContent(name);
-  return SerializeRequest(std::move(root));
+  return SerializeXkmsDocument(std::move(root));
 }
 
 }  // namespace xkms

@@ -79,6 +79,14 @@ std::string BuildValidateRequest(const std::string& name,
 std::string BuildRegisterRequest(const KeyBinding& binding);
 std::string BuildRevokeRequest(const std::string& name);
 
+/// Server-side codec helpers, shared by the toy single-threaded XkmsService
+/// above and the fleet-scale responder in xkmsd.h so the two emit
+/// byte-identical response markup and the client cannot tell them apart.
+std::unique_ptr<xml::Element> MakeXkmsRoot(const std::string& name);
+std::string SerializeXkmsDocument(std::unique_ptr<xml::Element> root);
+void AppendKeyBinding(xml::Element* parent, const KeyBinding& binding);
+Result<KeyBinding> ParseKeyBinding(const xml::Element& kb);
+
 }  // namespace xkms
 }  // namespace discsec
 

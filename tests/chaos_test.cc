@@ -16,17 +16,23 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/fault.h"
 #include "common/retry.h"
+#include "common/thread_pool.h"
 #include "player/session.h"
 #include "tests/test_world.h"
 #include "xkms/retrying_transport.h"
+#include "xkms/xkmsd.h"
 
 namespace discsec {
 namespace player {
@@ -536,6 +542,121 @@ TEST(ChaosRetry, PersistentXkmsOutageExhaustsRetriesWithContext) {
   EXPECT_NE(outcome.status.ToString().find("XKMS"), std::string::npos);
   // max_attempts = 3 in the scenario's retry policy, all failing.
   EXPECT_EQ(injector.fires(fault::kXkmsTransport), 3u);
+}
+
+// ------------------------------------------------ xkmsd revocation storm
+
+TEST(ChaosXkmsd, RevocationStormWithShardFaultNeverServesStaleValid) {
+  // A licensing-breach revocation storm while the key store itself is
+  // throwing seeded faults: the one verdict that may never escape is a
+  // stale Valid for a key the fleet has already revoked. Degraded answers
+  // (Indeterminate from the snapshot) and sheds (kUnavailable) are fine —
+  // lying is not.
+  constexpr size_t kKeys = 32;
+  constexpr size_t kClientThreads = 4;
+
+  fault::FaultInjector injector(ChaosSeed());
+  fault::FaultSpec spec;
+  spec.point = std::string(fault::kXkmsdStore);
+  spec.kind = fault::Kind::kError;
+  spec.probability = 0.25;  // the storm rages on a quarter-broken store
+  injector.Arm(spec);
+
+  ThreadPool pool(4);
+  xkms::XkmsdOptions options;
+  options.pool = &pool;
+  options.fault = &injector;
+  options.degrade_to_snapshot = true;
+  xkms::Xkmsd xkmsd(options);
+
+  Rng key_rng(ChaosSeed());
+  crypto::RsaKeyPair pair = crypto::RsaGenerateKeyPair(512, &key_rng).value();
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kKeys; ++i) {
+    xkms::KeyBinding binding;
+    binding.name = "fleet-key-" + std::to_string(i);
+    binding.key = pair.public_key;
+    binding.key_usage = {"Signature"};
+    ASSERT_TRUE(xkmsd.SeedBinding(binding).ok());
+    names.push_back(binding.name);
+  }
+  xkmsd.RefreshSnapshot();
+
+  // Keys enter this set only after their Revoke round-trip *succeeded*, so
+  // membership at request time is a hard happens-before: the store and the
+  // eager snapshot invalidation are already in place.
+  std::mutex revoked_mu;
+  std::set<std::string> revoked;
+  std::atomic<bool> storm_done{false};
+  std::atomic<uint64_t> stale_valids{0};
+  std::atomic<uint64_t> checked_after_revoke{0};
+
+  std::vector<std::thread> clients;
+  for (size_t t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&, t] {
+      xkms::XkmsClient client([&](const std::string& request) {
+        return xkmsd.Handle(request);
+      });
+      Rng rng(ChaosSeed() + 100 + t);
+      while (!storm_done.load()) {
+        const std::string& name = names[rng.NextUint64() % kKeys];
+        bool was_revoked;
+        {
+          std::lock_guard<std::mutex> lock(revoked_mu);
+          was_revoked = revoked.count(name) > 0;
+        }
+        if (rng.NextUint64() % 2 == 0) {
+          Result<xkms::KeyBinding> found = client.Locate(name);
+          if (was_revoked) {
+            checked_after_revoke.fetch_add(1);
+            if (found.ok() && found->status == xkms::KeyStatus::kValid) {
+              stale_valids.fetch_add(1);
+            }
+          }
+        } else {
+          Result<xkms::KeyStatus> verdict =
+              client.Validate(name, pair.public_key);
+          if (was_revoked) {
+            checked_after_revoke.fetch_add(1);
+            if (verdict.ok() && verdict.value() == xkms::KeyStatus::kValid) {
+              stale_valids.fetch_add(1);
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // The storm: revoke every key, retrying through injected store faults so
+  // each revocation eventually lands while clients hammer away.
+  {
+    xkms::XkmsClient revoker([&](const std::string& request) {
+      return xkmsd.Handle(request);
+    });
+    for (const std::string& name : names) {
+      Status status;
+      do {
+        status = revoker.Revoke(name);
+      } while (!status.ok());
+      std::lock_guard<std::mutex> lock(revoked_mu);
+      revoked.insert(name);
+    }
+  }
+  // Let the clients observe the fully-revoked world for a beat.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  storm_done.store(true);
+  for (auto& thread : clients) thread.join();
+
+  EXPECT_EQ(stale_valids.load(), 0u)
+      << "a revoked key was reported Valid during the storm";
+  EXPECT_GT(checked_after_revoke.load(), 0u)
+      << "storm ended before any post-revocation check ran";
+  EXPECT_GT(injector.fires(fault::kXkmsdStore), 0u)
+      << "the seeded store fault never fired; storm was not chaotic";
+  // Degradation actually engaged: some locates were answered from the
+  // snapshot (all of which forced Valid down to Indeterminate).
+  xkms::XkmsdStats stats = xkmsd.stats();
+  EXPECT_GT(stats.degraded_locates + stats.store_errors, 0u);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "common/base64.h"
 #include "common/byte_sink.h"
 #include "common/bytes.h"
@@ -223,6 +225,19 @@ TEST(StatusTest, WithContextStacksOutermostFirst) {
             "Unavailable: key-binding validation: XKMS transport: "
             "socket reset");
   EXPECT_TRUE(s.IsRetryable());  // context never changes the code
+}
+
+TEST(StatusTest, RetryAfterHintSurvivesContextAndPrints) {
+  Status s = Status::Unavailable("queue full").WithRetryAfter(12500);
+  EXPECT_EQ(s.retry_after_us(), 12500);
+  // Context stacking (what every transport layer does on the way up) must
+  // not strip the hint, or the client falls back to blind exponential.
+  Status wrapped = s.WithContext("XKMS service").WithContext("player");
+  EXPECT_EQ(wrapped.retry_after_us(), 12500);
+  EXPECT_NE(wrapped.ToString().find("[retry-after 12500us]"),
+            std::string::npos)
+      << wrapped.ToString();
+  EXPECT_EQ(Status::Unavailable("no hint").retry_after_us(), 0);
 }
 
 TEST(FaultInjectorTest, DisarmedPointIsPassThrough) {
@@ -457,6 +472,51 @@ TEST(RetryerTest, JitterStaysWithinWindowAndIsSeeded) {
     EXPECT_GE(a[i], base / 2);
     EXPECT_LE(a[i], base);
   }
+}
+
+TEST(RetryerTest, RetryAfterHintOverridesExponentialSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 1000;  // schedule would be 1000, 2000, 4000
+  FakeTime time;
+  Retryer retryer(policy, time.clock(), time.sleep());
+  int calls = 0;
+  Status s = retryer.Run([&]() -> Status {
+    ++calls;
+    // A shed responder tells us when its queues should have drained. The
+    // second attempt carries no hint, so the schedule falls back to the
+    // exponential step for that round.
+    if (calls == 2) return Status::Unavailable("shed, no hint");
+    return Status::Unavailable("shed").WithRetryAfter(9000);
+  });
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(time.sleeps, (std::vector<int64_t>{9000, 2000, 9000}));
+}
+
+TEST(RetryerTest, HintedFleetReSpreadsThroughJitter) {
+  // Ten clients shed at the same instant with the same retry-after hint.
+  // Without jitter they would all come back at hint expiry in lockstep and
+  // re-trigger the shed; with jitter each sleeps a distinct fraction of the
+  // hint, so the second wave arrives spread out.
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.jitter = 0.5;
+  constexpr int64_t kHintUs = 80000;
+  std::set<int64_t> wakeups;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    FakeTime time;
+    Retryer retryer(policy, time.clock(), time.sleep(), seed);
+    retryer.Run(
+        [&] { return Status::Unavailable("shed").WithRetryAfter(kHintUs); });
+    ASSERT_EQ(time.sleeps.size(), 1u);
+    // Jitter only ever shortens: every client honors the hint window.
+    EXPECT_GE(time.sleeps[0], kHintUs / 2);
+    EXPECT_LE(time.sleeps[0], kHintUs);
+    wakeups.insert(time.sleeps[0]);
+  }
+  // The fleet decorrelated instead of stampeding back together.
+  EXPECT_GE(wakeups.size(), 8u) << "fleet woke in lockstep";
 }
 
 TEST(RetryerTest, AttemptDeadlineMakesSlowFailureTerminal) {

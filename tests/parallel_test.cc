@@ -277,6 +277,54 @@ TEST(LocateCacheTest, SingleFlightCoalescesConcurrentLookups) {
   EXPECT_EQ(stats.coalesced + stats.hits, kThreads - 1);
 }
 
+TEST(LocateCacheTest, SingleFlightFailureIsSharedNotAmplified) {
+  // A fleet-side storm against a *down* responder: every waiter must share
+  // the leader's error instead of each issuing its own doomed transport
+  // call, or the cache amplifies the outage by exactly the storm size.
+  constexpr size_t kThreads = 8;
+  std::atomic<size_t> transport_calls{0};
+  xkms::LocateCache* cache_ptr = nullptr;
+  xkms::Transport transport = [&](const std::string&) {
+    transport_calls.fetch_add(1);
+    // Hold the leader in flight until every follower has *attached* to the
+    // flight (coalesced is bumped under the cache lock at attach time), so
+    // all of them share this failure — no follower can arrive after the
+    // flight retires and become a second leader.
+    for (int spin = 0;
+         spin < 5000 && cache_ptr->stats().coalesced < kThreads - 1; ++spin) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Result<std::string>(
+        Status::Unavailable("XKMS transport: responder down"));
+  };
+  xkms::XkmsClient client(transport);
+  xkms::LocateCache cache(&client);
+  cache_ptr = &cache;
+
+  std::atomic<size_t> got_error{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Result<xkms::KeyBinding> binding = cache.Locate("studio-key");
+      if (!binding.ok() && binding.status().IsUnavailable()) {
+        got_error.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  // One storm wave, one upstream call — and everyone saw the same verdict.
+  EXPECT_EQ(transport_calls.load(), 1u);
+  EXPECT_EQ(got_error.load(), kThreads);
+  xkms::LocateCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.transport_calls, 1u);
+  EXPECT_EQ(stats.coalesced, kThreads - 1);
+  // The shared failure was never cached: the next call retries upstream.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Locate("studio-key").ok());
+  EXPECT_EQ(transport_calls.load(), 2u);
+}
+
 TEST(LocateCacheTest, TtlExpiryForcesRefresh) {
   xkms::XkmsService service;
   ASSERT_TRUE(service.Register(TestBinding("studio-key")).ok());

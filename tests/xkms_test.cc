@@ -5,6 +5,7 @@
 #include "xkms/client.h"
 #include "xkms/retrying_transport.h"
 #include "xkms/service.h"
+#include "xkms/xkmsd.h"
 
 namespace discsec {
 namespace xkms {
@@ -346,6 +347,90 @@ TEST_F(XkmsFixture, CircuitBreakerFailsFastAfterConsecutiveFailedCalls) {
   // (The inner transport still fails; verify the probe was attempted.)
   EXPECT_TRUE(client.Locate("k1").status().IsUnavailable());
   EXPECT_EQ(sends, 3);
+}
+
+// ------------------------------------------------- xkmsd admission front door
+//
+// The responder's front door must reject hostile input using the bounded
+// ParseOptions limits *before* any store work — each abuse class with its
+// own distinct error, so clients (and dashboards) can tell an oversized
+// upload from a depth bomb from plain garbage.
+
+TEST_F(XkmsFixture, XkmsdShedsOversizedRequestBeforeParsing) {
+  XkmsdOptions options;
+  options.parse.max_input = 4096;  // tight budget for the test
+  Xkmsd xkmsd(options);
+  ASSERT_TRUE(xkmsd.SeedBinding(MakeBinding("studio-1", key_a_->public_key))
+                  .ok());
+
+  std::string huge(8192, 'A');
+  Result<std::string> response = xkmsd.Handle(huge);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsResourceExhausted()) << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("max_input"),
+            std::string::npos);
+  EXPECT_NE(response.status().ToString().find("xkmsd admission"),
+            std::string::npos);
+
+  XkmsdStats stats = xkmsd.stats();
+  EXPECT_EQ(stats.shed_oversized, 1u);
+  EXPECT_EQ(stats.admitted, 0u);      // never made it past the door
+  EXPECT_EQ(stats.store_lookups, 0u);  // the store was never touched
+}
+
+TEST_F(XkmsFixture, XkmsdRejectsDepthBombWithBoundedParse) {
+  Xkmsd xkmsd{XkmsdOptions{}};
+  // 300 nested elements beats the default max_depth of 256. The first 256
+  // bytes still look like a LocateRequest, so this rides the Locate queue.
+  std::string bomb = "<LocateRequest xmlns=\"" + std::string(kXkmsNamespace) +
+                     "\">";
+  for (int i = 0; i < 300; ++i) bomb += "<d>";
+  for (int i = 0; i < 300; ++i) bomb += "</d>";
+  bomb += "</LocateRequest>";
+
+  Result<std::string> response = xkmsd.Handle(bomb);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsResourceExhausted()) << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("max_depth"),
+            std::string::npos);
+  EXPECT_NE(response.status().ToString().find("xkmsd request"),
+            std::string::npos);
+  EXPECT_EQ(xkmsd.stats().shed_malformed, 1u);
+  EXPECT_EQ(xkmsd.stats().store_lookups, 0u);
+}
+
+TEST_F(XkmsFixture, XkmsdRejectsAttributeBombWithBoundedParse) {
+  Xkmsd xkmsd{XkmsdOptions{}};
+  std::string bomb = "<LocateRequest xmlns=\"" + std::string(kXkmsNamespace) +
+                     "\"><e";
+  for (int i = 0; i < 300; ++i) {
+    bomb += " a" + std::to_string(i) + "=\"x\"";
+  }
+  bomb += "/></LocateRequest>";
+
+  Result<std::string> response = xkmsd.Handle(bomb);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsResourceExhausted()) << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("max_attributes"),
+            std::string::npos);
+  EXPECT_NE(response.status().ToString().find("xkmsd request"),
+            std::string::npos);
+  EXPECT_EQ(xkmsd.stats().shed_malformed, 1u);
+}
+
+TEST_F(XkmsFixture, XkmsdRejectsGarbageAsMalformedNotServerError) {
+  Xkmsd xkmsd{XkmsdOptions{}};
+  Result<std::string> response = xkmsd.Handle("this is not xml at all");
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsParseError()) << response.status().ToString();
+  EXPECT_NE(response.status().ToString().find("xkmsd request"),
+            std::string::npos);
+
+  XkmsdStats stats = xkmsd.stats();
+  EXPECT_EQ(stats.shed_malformed, 1u);
+  // Distinct classes stay distinct: garbage is not counted as oversized.
+  EXPECT_EQ(stats.shed_oversized, 0u);
+  EXPECT_EQ(stats.store_lookups, 0u);
 }
 
 }  // namespace

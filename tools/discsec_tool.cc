@@ -18,6 +18,7 @@
 //   discsec_tool c14n --in doc.xml [--with-comments]
 //   discsec_tool play-demo [--repeat N] [--jobs N] [--async]
 //   discsec_tool play [--discs N] [--repeat N] [--jobs N] [--async]
+//   discsec_tool xkmsd-demo [--players N] [--keys K] [--jobs N] [--burst N]
 //   discsec_tool regen-golden [--dir tests/golden] [--write]
 //
 // Any command also accepts --inject-fault point:kind:rate[:delay_us]
@@ -50,6 +51,14 @@
 // round-trip. Both flags also work on play-demo; --jobs is the preferred
 // spelling of the older --pool.
 //
+// `xkmsd-demo` stands up the overload-safe xkmsd responder (DESIGN.md §13)
+// plus a simulated zipfian player fleet in one process: a warm phase
+// through a shared edge LocateCache, a revocation storm, and an async
+// overload burst past the Locate queue bound. It prints the
+// shed/coalesce/hit-rate summary and exits non-zero if a revoked key was
+// ever reported Valid. Chaos-friendly:
+//   discsec_tool xkmsd-demo --inject-fault xkmsd.store:error:0.2 --trace t.json
+//
 // `regen-golden` regenerates the golden conformance vectors and DIFFS them
 // against tests/golden/ (exit 1 on drift); --write updates the files
 // instead, for intentional format changes.
@@ -57,11 +66,14 @@
 // Exit status: 0 on success, 1 on any error (including failed
 // verification and golden drift), 2 on usage errors.
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdio>
 #include <ctime>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -83,6 +95,7 @@
 #include "xkms/locate_cache.h"
 #include "xkms/retrying_transport.h"
 #include "xkms/service.h"
+#include "xkms/xkmsd.h"
 #include "xml/c14n.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -584,6 +597,170 @@ int CmdPlay(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------- xkmsd-demo
+
+/// Responder + simulated fleet in one process: seeds a keyspace, drives
+/// zipfian Locate traffic through a shared edge LocateCache, runs a
+/// revocation storm, then an async overload burst past the Locate queue
+/// bound — and prints the shed/coalesce/hit-rate summary. The responder
+/// rides the global fault injector, so --inject-fault xkmsd.store:error:0.2
+/// (or xkmsd.queue / xkmsd.snapshot) makes the demo degrade live.
+int CmdXkmsdDemo(const Args& args) {
+  size_t players = SizeOption(args, "players", "200");
+  if (players == 0) players = 1;
+  size_t keys = SizeOption(args, "keys", "32");
+  if (keys == 0) keys = 1;
+  size_t jobs = SizeOption(args, "jobs", "4");
+  size_t burst = SizeOption(args, "burst", "2000");
+
+  ThreadPool pool(jobs);
+  xkms::XkmsdOptions options;
+  options.pool = &pool;
+  options.tracer = g_tracer;
+  options.metrics = g_metrics;
+  options.queue_limits[static_cast<size_t>(xkms::XkmsdPriority::kLocate)] =
+      256;
+  xkms::Xkmsd xkmsd(options);
+
+  testing_world::World world;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < keys; ++i) {
+    xkms::KeyBinding binding;
+    binding.name = "studio-key-" + std::to_string(i);
+    binding.key = world.studio_key.public_key;
+    binding.key_usage = {"Signature"};
+    Status st = xkmsd.SeedBinding(binding);
+    if (!st.ok()) return Fail(st);
+    names.push_back(binding.name);
+  }
+  xkmsd.RefreshSnapshot();
+
+  // Zipfian popularity (exponent 1): the head keys carry the fleet.
+  std::vector<double> cdf(keys);
+  double total = 0.0;
+  for (size_t i = 0; i < keys; ++i) total += 1.0 / static_cast<double>(i + 1);
+  double acc = 0.0;
+  for (size_t i = 0; i < keys; ++i) {
+    acc += 1.0 / static_cast<double>(i + 1) / total;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;
+  Rng rng(20050915);
+  auto sample = [&] {
+    double u = static_cast<double>(rng.NextUint64() >> 11) * 0x1.0p-53;
+    for (size_t i = 0; i < keys; ++i) {
+      if (u <= cdf[i]) return i;
+    }
+    return keys - 1;
+  };
+
+  // Phase 1: the fleet locates through one shared edge cache.
+  xkms::XkmsClient client(xkms::MakeServerTransport(&xkmsd));
+  xkms::LocateCache cache(&client);
+  size_t fleet_errors = 0;
+  for (size_t p = 0; p < players; ++p) {
+    for (int r = 0; r < 3; ++r) {
+      if (!cache.Locate(names[sample()]).ok()) ++fleet_errors;
+    }
+  }
+
+  // Phase 2: revocation storm over the hot half of the keyspace, then the
+  // fleet re-checks it (cache invalidated: revocation is exactly the event
+  // an edge cache must not paper over).
+  size_t stale_valids = 0;
+  for (size_t i = 0; i < keys / 2; ++i) {
+    // Retry through injected faults until the revocation lands — the
+    // post-storm check below assumes every one of these keys is revoked.
+    Status st;
+    do {
+      st = client.Revoke(names[i]);
+      if (!st.ok() && !st.IsRetryable()) return Fail(st);
+    } while (!st.ok());
+    cache.Invalidate(names[i]);
+  }
+  for (size_t i = 0; i < keys / 2; ++i) {
+    auto found = cache.Locate(names[i]);
+    if (found.ok() && found->status == xkms::KeyStatus::kValid) {
+      ++stale_valids;
+    }
+  }
+
+  // Phase 3: async overload burst straight into the front door, far past
+  // the Locate queue bound; the surplus sheds with retry-after hints.
+  std::atomic<size_t> completions{0};
+  std::atomic<size_t> shed_hints{0};
+  std::atomic<int64_t> max_hint_us{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  for (size_t i = 0; i < burst; ++i) {
+    xkmsd.Submit(xkms::BuildLocateRequest(names[sample()]), {},
+                 [&](Result<std::string> response) {
+                   if (!response.ok() &&
+                       response.status().retry_after_us() > 0) {
+                     shed_hints.fetch_add(1);
+                     int64_t hint = response.status().retry_after_us();
+                     int64_t seen = max_hint_us.load();
+                     while (hint > seen &&
+                            !max_hint_us.compare_exchange_weak(seen, hint)) {
+                     }
+                   }
+                   if (completions.fetch_add(1) + 1 == burst) {
+                     std::lock_guard<std::mutex> lock(done_mu);
+                     done_cv.notify_all();
+                   }
+                 });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&] { return completions.load() == burst; });
+  }
+
+  xkms::XkmsdStats stats = xkmsd.stats();
+  xkms::LocateCacheStats edge = cache.stats();
+  if (g_metrics != nullptr) obs::AbsorbXkmsdStats(stats, g_metrics);
+  if (g_metrics != nullptr) obs::AbsorbLocateCacheStats(edge, g_metrics);
+
+  std::printf("xkmsd-demo: %zu player(s), %zu key(s), %zu job(s)\n", players,
+              keys, jobs);
+  std::printf(
+      "responder: %llu admitted, %llu served, %llu coalesced, "
+      "%llu store lookup(s), %llu degraded\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.served),
+      static_cast<unsigned long long>(stats.coalesced_locates),
+      static_cast<unsigned long long>(stats.store_lookups),
+      static_cast<unsigned long long>(stats.degraded_locates));
+  std::printf(
+      "sheds: %llu queue-full, %llu deadline, %llu oversized, "
+      "%llu malformed, %llu fault (max retry-after %lldus)\n",
+      static_cast<unsigned long long>(stats.shed_queue_full),
+      static_cast<unsigned long long>(stats.shed_deadline),
+      static_cast<unsigned long long>(stats.shed_oversized),
+      static_cast<unsigned long long>(stats.shed_malformed),
+      static_cast<unsigned long long>(stats.shed_fault),
+      static_cast<long long>(max_hint_us.load()));
+  double hit_rate =
+      edge.hits + edge.misses > 0
+          ? static_cast<double>(edge.hits) /
+                static_cast<double>(edge.hits + edge.misses)
+          : 0.0;
+  std::printf(
+      "edge cache: %.1f%% hit rate (%llu hit(s), %llu transport call(s))\n",
+      hit_rate * 100.0, static_cast<unsigned long long>(edge.hits),
+      static_cast<unsigned long long>(edge.transport_calls));
+  std::printf("storm: %zu revoked, %zu stale Valid answer(s)%s\n", keys / 2,
+              stale_valids, stale_valids == 0 ? " (good)" : "  <-- BUG");
+  if (fleet_errors > 0) {
+    std::printf("fleet: %zu request(s) failed (expected under injected "
+                "faults)\n",
+                fleet_errors);
+  }
+  if (g_tracer != nullptr) {
+    std::printf("captured %zu span(s)\n", g_tracer->size());
+  }
+  return stale_valids == 0 ? 0 : 1;
+}
+
 // ---------------------------------------------------- regen-golden
 
 int CmdRegenGolden(const Args& args) {
@@ -645,6 +822,7 @@ int Dispatch(const Args& args) {
   if (args.command == "c14n") return CmdC14n(args);
   if (args.command == "play-demo") return CmdPlayDemo(args);
   if (args.command == "play") return CmdPlay(args);
+  if (args.command == "xkmsd-demo") return CmdXkmsdDemo(args);
   if (args.command == "regen-golden") return CmdRegenGolden(args);
   return Usage(("unknown command '" + args.command + "'").c_str());
 }
