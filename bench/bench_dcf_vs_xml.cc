@@ -12,8 +12,10 @@
 #include <chrono>
 #include <functional>
 
+#include "bench/alloc_tracker.h"
 #include "bench/bench_json.h"
 #include "bench/bench_util.h"
+#include "xml/stream_verify.h"
 #include "dcf/dcf.h"
 #include "xmldsig/verifier.h"
 #include "xmlenc/decryptor.h"
@@ -207,6 +209,131 @@ void BM_XmlVsDcfRatio(benchmark::State& state) {
   state.counters["paper_band_hi"] = 5.1;
 }
 BENCHMARK(BM_XmlVsDcfRatio)->Arg(1 << 10)->Arg(16 << 10)->Arg(256 << 10);
+
+// The fast-path headline (DESIGN.md §14): player-side signature
+// verification straight off the wire bytes, DOM pipeline vs the
+// single-pass streaming pipeline vs DCF, on an HMAC-signed element-dense
+// cluster (Arg = script count) so the XML and DCF sides check the same
+// primitive (HMAC-SHA1 + SHA digesting) and the measured gap is pure XML
+// machinery — parse, clone, canonicalize — not asymmetric crypto. Rows:
+//
+//   dom_verify_us        wire -> verdict through the DOM pipeline:
+//                        xml::Parse + VerifyFirstSignature (clone +
+//                        enveloped removal + C14N tree walk)
+//   streaming_verify_us  wire -> verdict through Verifier::VerifyStream:
+//                        one fused scan+canonicalize pass, no DOM
+//   dcf_unprotect_us     binary container baseline (AES + HMAC)
+//   streaming_speedup    dom_verify_us / streaming_verify_us
+//   *_over_dcf           each XML verify over the DCF baseline
+//   *_allocs             heap allocations per wire->verdict on each path
+//   alloc_reduction      dom_verify_allocs / streaming_verify_allocs
+//   serialize_allocs     allocations for one xml::Serialize of the signed
+//                        document (pins the serializer reserve() path)
+void BM_VerifyRatio(benchmark::State& state) {
+  auto& world = SharedWorld();
+  xmldsig::KeyInfoSpec key_info;
+  key_info.key_name = "disc-content-key";
+  authoring::Author author(
+      xmldsig::SigningKey::HmacSecret(world.disc_content_key), key_info);
+  auto doc = author.BuildSigned(
+      bench::ElementDenseCluster(static_cast<size_t>(state.range(0))),
+      authoring::SignLevel::kCluster);
+  if (!doc.ok()) {
+    state.SkipWithError("sign failed");
+    return;
+  }
+  std::string wire = xml::Serialize(doc.value());
+  std::string raw =
+      bench::ElementDenseCluster(static_cast<size_t>(state.range(0)))
+          .ToXmlString();
+  Bytes container =
+      dcf::DcfProtect(ToBytes(raw), "application/xml", "disc-content-key",
+                      world.disc_content_key, world.disc_content_key,
+                      &world.rng)
+          .value();
+
+  auto make_options = [&]() {
+    xmldsig::VerifyOptions verify;
+    verify.hmac_secret = world.disc_content_key;
+    return verify;
+  };
+  auto dom_verify = [&]() {
+    auto parsed = xml::Parse(wire);
+    if (!parsed.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    auto result =
+        xmldsig::Verifier::VerifyFirstSignature(parsed.value(), make_options());
+    if (!result.ok()) state.SkipWithError("dom verify failed");
+    benchmark::DoNotOptimize(result.ok());
+  };
+  auto streaming_verify = [&]() {
+    auto result = xmldsig::Verifier::VerifyStream(wire, make_options());
+    if (!result.ok()) state.SkipWithError("streaming verify failed");
+    benchmark::DoNotOptimize(result.ok());
+  };
+  auto dcf_unprotect = [&]() {
+    auto plain = dcf::DcfUnprotect(container, world.disc_content_key,
+                                   world.disc_content_key);
+    if (!plain.ok()) state.SkipWithError("unprotect failed");
+    benchmark::DoNotOptimize(plain.value().size());
+  };
+  auto probe_us = [](const std::function<void()>& op) {
+    constexpr int kProbes = 8;
+    double best = 0.0;
+    for (int i = 0; i < kProbes; ++i) {
+      auto start = std::chrono::steady_clock::now();
+      op();
+      double us = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count() /
+                  1e3;
+      if (i == 0 || us < best) best = us;
+    }
+    return best;
+  };
+  auto probe_allocs = [](const std::function<void()>& op) {
+    op();  // warm up so lazy one-time allocations don't count
+    bench::ResetAllocStats();
+    op();
+    return static_cast<double>(bench::AllocCount());
+  };
+
+  const size_t streamed_before = xml::StreamedCanonicalizationCount();
+  const double dom_us = probe_us(dom_verify);
+  const double stream_us = probe_us(streaming_verify);
+  const double dcf_us = probe_us(dcf_unprotect);
+  if (xml::StreamedCanonicalizationCount() == streamed_before) {
+    state.SkipWithError("streaming fast path never engaged");
+    return;
+  }
+  const double dom_allocs = probe_allocs(dom_verify);
+  const double stream_allocs = probe_allocs(streaming_verify);
+  xml::Document parsed_once = xml::Parse(wire).value();
+  const double serialize_allocs = probe_allocs(
+      [&]() { benchmark::DoNotOptimize(xml::Serialize(parsed_once).size()); });
+
+  for (auto _ : state) {
+    streaming_verify();
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(wire.size()));
+  state.counters["dom_verify_us"] = dom_us;
+  state.counters["streaming_verify_us"] = stream_us;
+  state.counters["dcf_unprotect_us"] = dcf_us;
+  state.counters["streaming_speedup"] =
+      stream_us > 0.0 ? dom_us / stream_us : 0.0;
+  state.counters["dom_over_dcf"] = dcf_us > 0.0 ? dom_us / dcf_us : 0.0;
+  state.counters["streaming_over_dcf"] =
+      dcf_us > 0.0 ? stream_us / dcf_us : 0.0;
+  state.counters["dom_verify_allocs"] = dom_allocs;
+  state.counters["streaming_verify_allocs"] = stream_allocs;
+  state.counters["alloc_reduction"] =
+      stream_allocs > 0.0 ? dom_allocs / stream_allocs : 0.0;
+  state.counters["serialize_allocs"] = serialize_allocs;
+}
+BENCHMARK(BM_VerifyRatio)->Arg(200)->Arg(1000)->Arg(4000);
 
 }  // namespace
 }  // namespace discsec

@@ -33,6 +33,22 @@ inline disc::InteractiveCluster ClusterWithPayload(size_t payload_bytes) {
   return cluster;
 }
 
+/// A cluster with `script_count` small scripts — element-dense rather than
+/// text-dense, the menu/quiz markup shape from the paper's interactive
+/// clusters. This is the workload where DOM construction and tree walks
+/// dominate (thousands of nodes, tiny text), i.e. where the streaming
+/// verify fast path earns its keep.
+inline disc::InteractiveCluster ElementDenseCluster(size_t script_count) {
+  disc::InteractiveCluster cluster = SharedWorld().DemoCluster();
+  auto& scripts = cluster.tracks[1].manifest.scripts;
+  scripts.reserve(scripts.size() + script_count);
+  for (size_t i = 0; i < script_count; ++i) {
+    scripts.push_back({"s" + std::to_string(i),
+                       "var v" + std::to_string(i) + " = on();"});
+  }
+  return cluster;
+}
+
 }  // namespace bench
 }  // namespace discsec
 

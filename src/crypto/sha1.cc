@@ -2,12 +2,20 @@
 
 #include <cstring>
 
+#include "crypto/sha_hw.h"
+
 namespace discsec {
 namespace crypto {
 
 namespace {
 inline uint32_t Rol(uint32_t v, int bits) {
   return (v << bits) | (v >> (32 - bits));
+}
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
 }
 }  // namespace
 
@@ -21,50 +29,70 @@ void Sha1::Reset() {
   total_len_ = 0;
 }
 
-void Sha1::ProcessBlock(const uint8_t* block) {
-  uint32_t w[80];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
+// Round body with explicit state rotation: each round updates e in place and
+// rotates b, so calling the macro with cyclically shifted register names
+// (period 5) avoids the 5-way register shuffle of the textbook loop. The
+// message schedule lives in a 16-word ring; WEXT extends it in place for
+// rounds 16-79 (j-3, j-8, j-14, j-16 are j+13, j+8, j+2, j+0 mod 16).
+#define DISCSEC_SHA1_F1(b, c, d) ((d) ^ ((b) & ((c) ^ (d))))
+#define DISCSEC_SHA1_F2(b, c, d) ((b) ^ (c) ^ (d))
+#define DISCSEC_SHA1_F3(b, c, d) (((b) & (c)) | ((d) & ((b) | (c))))
+#define DISCSEC_SHA1_WEXT(j)                                      \
+  (w[(j) & 15] = Rol(w[((j) + 13) & 15] ^ w[((j) + 8) & 15] ^     \
+                         w[((j) + 2) & 15] ^ w[(j) & 15],         \
+                     1))
+#define DISCSEC_SHA1_WV(j) ((j) < 16 ? w[(j) & 15] : DISCSEC_SHA1_WEXT(j))
+#define DISCSEC_SHA1_RND(a, b, c, d, e, F, k, wv)         \
+  do {                                                    \
+    (e) += Rol((a), 5) + F((b), (c), (d)) + (k) + (wv);   \
+    (b) = Rol((b), 30);                                   \
+  } while (0)
+#define DISCSEC_SHA1_RND5(F, k, j)                                 \
+  DISCSEC_SHA1_RND(a, b, c, d, e, F, k, DISCSEC_SHA1_WV((j) + 0)); \
+  DISCSEC_SHA1_RND(e, a, b, c, d, F, k, DISCSEC_SHA1_WV((j) + 1)); \
+  DISCSEC_SHA1_RND(d, e, a, b, c, F, k, DISCSEC_SHA1_WV((j) + 2)); \
+  DISCSEC_SHA1_RND(c, d, e, a, b, F, k, DISCSEC_SHA1_WV((j) + 3)); \
+  DISCSEC_SHA1_RND(b, c, d, e, a, F, k, DISCSEC_SHA1_WV((j) + 4))
+#define DISCSEC_SHA1_RND20(F, k, j)  \
+  DISCSEC_SHA1_RND5(F, k, (j) + 0);  \
+  DISCSEC_SHA1_RND5(F, k, (j) + 5);  \
+  DISCSEC_SHA1_RND5(F, k, (j) + 10); \
+  DISCSEC_SHA1_RND5(F, k, (j) + 15)
+
+void Sha1::ProcessBlocks(const uint8_t* data, size_t count) {
+#if DISCSEC_HAVE_SHA_HW
+  if (ShaNiAvailable()) {
+    Sha1CompressHw(h_, data, count);
+    return;
   }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = Rol(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+#endif
+  uint32_t s0 = h_[0], s1 = h_[1], s2 = h_[2], s3 = h_[3], s4 = h_[4];
+  uint32_t w[16];
+  while (count-- > 0) {
+    for (int t = 0; t < 16; ++t) w[t] = LoadBe32(data + 4 * t);
+    uint32_t a = s0, b = s1, c = s2, d = s3, e = s4;
+    DISCSEC_SHA1_RND20(DISCSEC_SHA1_F1, 0x5a827999u, 0);
+    DISCSEC_SHA1_RND20(DISCSEC_SHA1_F2, 0x6ed9eba1u, 20);
+    DISCSEC_SHA1_RND20(DISCSEC_SHA1_F3, 0x8f1bbcdcu, 40);
+    DISCSEC_SHA1_RND20(DISCSEC_SHA1_F2, 0xca62c1d6u, 60);
+    s0 += a;
+    s1 += b;
+    s2 += c;
+    s3 += d;
+    s4 += e;
+    data += 64;
   }
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
-  for (int i = 0; i < 80; ++i) {
-    uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | ((~b) & d);
-      k = 0x5a827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ed9eba1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8f1bbcdcu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xca62c1d6u;
-    }
-    uint32_t tmp = Rol(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = Rol(b, 30);
-    b = a;
-    a = tmp;
-  }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
+  h_[0] = s0;
+  h_[1] = s1;
+  h_[2] = s2;
+  h_[3] = s3;
+  h_[4] = s4;
 }
 
 void Sha1::Update(const uint8_t* data, size_t len) {
   total_len_ += len;
-  while (len > 0) {
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
     size_t take = 64 - buffer_len_;
     if (take > len) take = len;
     std::memcpy(buffer_ + buffer_len_, data, take);
@@ -72,9 +100,20 @@ void Sha1::Update(const uint8_t* data, size_t len) {
     data += take;
     len -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  // Bulk: compress whole blocks straight from the input, no staging copy.
+  size_t blocks = len / 64;
+  if (blocks > 0) {
+    ProcessBlocks(data, blocks);
+    data += blocks * 64;
+    len -= blocks * 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 

@@ -27,7 +27,12 @@ class Sha1 final : public Digest {
   static Bytes Hash(const Bytes& data);
 
  private:
-  void ProcessBlock(const uint8_t* block);
+  /// Compresses `count` consecutive 64-byte blocks straight from `data`
+  /// (no staging through buffer_). Dispatches to the SHA-NI compressor at
+  /// runtime when the build carries it and CPUID reports the extensions;
+  /// the scalar fallback runs a fully unrolled round sequence over a
+  /// rolling 16-word schedule.
+  void ProcessBlocks(const uint8_t* data, size_t count);
 
   uint32_t h_[5];
   uint8_t buffer_[64];

@@ -2,12 +2,20 @@
 
 #include <cstring>
 
+#include "crypto/sha_hw.h"
+
 namespace discsec {
 namespace crypto {
 
 namespace {
 inline uint32_t Ror(uint32_t v, int bits) {
   return (v >> bits) | (v << (32 - bits));
+}
+
+inline uint32_t LoadBe32(const uint8_t* p) {
+  return (static_cast<uint32_t>(p[0]) << 24) |
+         (static_cast<uint32_t>(p[1]) << 16) |
+         (static_cast<uint32_t>(p[2]) << 8) | static_cast<uint32_t>(p[3]);
 }
 
 const uint32_t kK[64] = {
@@ -37,50 +45,97 @@ void Sha256::Reset() {
   total_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           static_cast<uint32_t>(block[i * 4 + 3]);
+void Sha256::ProcessBlock(const uint8_t* block) { ProcessBlocks(block, 1); }
+
+// Round body with explicit state rotation: after 8 rounds the register
+// pattern returns to (a..h), so a 16-round group repeats the 8-line
+// sequence twice. The message schedule lives in a 16-word ring; WEXT
+// extends it in place for rounds 16-63.
+#define DISCSEC_SHA_S0(x) (Ror((x), 7) ^ Ror((x), 18) ^ ((x) >> 3))
+#define DISCSEC_SHA_S1(x) (Ror((x), 17) ^ Ror((x), 19) ^ ((x) >> 10))
+#define DISCSEC_SHA_WEXT(j)                                          \
+  (w[(j) & 15] += DISCSEC_SHA_S0(w[((j) + 1) & 15]) +                \
+                  w[((j) + 9) & 15] + DISCSEC_SHA_S1(w[((j) + 14) & 15]))
+#define DISCSEC_SHA_RND(a, b, c, d, e, f, g, h, k, wv)               \
+  do {                                                               \
+    uint32_t t1 = (h) + (Ror((e), 6) ^ Ror((e), 11) ^ Ror((e), 25)) + \
+                  (((e) & (f)) ^ (~(e) & (g))) + (k) + (wv);         \
+    uint32_t t2 = (Ror((a), 2) ^ Ror((a), 13) ^ Ror((a), 22)) +      \
+                  (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));         \
+    (d) += t1;                                                       \
+    (h) = t1 + t2;                                                   \
+  } while (0)
+#define DISCSEC_SHA_RND8(B, WV)                                      \
+  DISCSEC_SHA_RND(a, b, c, d, e, f, g, h, kK[(B) + 0], WV((B) + 0)); \
+  DISCSEC_SHA_RND(h, a, b, c, d, e, f, g, kK[(B) + 1], WV((B) + 1)); \
+  DISCSEC_SHA_RND(g, h, a, b, c, d, e, f, kK[(B) + 2], WV((B) + 2)); \
+  DISCSEC_SHA_RND(f, g, h, a, b, c, d, e, kK[(B) + 3], WV((B) + 3)); \
+  DISCSEC_SHA_RND(e, f, g, h, a, b, c, d, kK[(B) + 4], WV((B) + 4)); \
+  DISCSEC_SHA_RND(d, e, f, g, h, a, b, c, kK[(B) + 5], WV((B) + 5)); \
+  DISCSEC_SHA_RND(c, d, e, f, g, h, a, b, kK[(B) + 6], WV((B) + 6)); \
+  DISCSEC_SHA_RND(b, c, d, e, f, g, h, a, kK[(B) + 7], WV((B) + 7))
+#define DISCSEC_SHA_WLOAD(j) (w[(j) & 15])
+
+void Sha256::ProcessBlocks(const uint8_t* data, size_t count) {
+#if DISCSEC_HAVE_SHA_HW
+  if (ShaNiAvailable()) {
+    Sha256CompressHw(h_, data, count);
+    return;
   }
-  for (int i = 16; i < 64; ++i) {
-    uint32_t s0 = Ror(w[i - 15], 7) ^ Ror(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Ror(w[i - 2], 17) ^ Ror(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+#endif
+  uint32_t s0 = h_[0], s1 = h_[1], s2 = h_[2], s3 = h_[3];
+  uint32_t s4 = h_[4], s5 = h_[5], s6 = h_[6], s7 = h_[7];
+  uint32_t w[16];
+  auto one = [&](const uint8_t* block) {
+    for (int t = 0; t < 16; ++t) w[t] = LoadBe32(block + 4 * t);
+    uint32_t a = s0, b = s1, c = s2, d = s3;
+    uint32_t e = s4, f = s5, g = s6, h = s7;
+    DISCSEC_SHA_RND8(0, DISCSEC_SHA_WLOAD);
+    DISCSEC_SHA_RND8(8, DISCSEC_SHA_WLOAD);
+    DISCSEC_SHA_RND8(16, DISCSEC_SHA_WEXT);
+    DISCSEC_SHA_RND8(24, DISCSEC_SHA_WEXT);
+    DISCSEC_SHA_RND8(32, DISCSEC_SHA_WEXT);
+    DISCSEC_SHA_RND8(40, DISCSEC_SHA_WEXT);
+    DISCSEC_SHA_RND8(48, DISCSEC_SHA_WEXT);
+    DISCSEC_SHA_RND8(56, DISCSEC_SHA_WEXT);
+    s0 += a;
+    s1 += b;
+    s2 += c;
+    s3 += d;
+    s4 += e;
+    s5 += f;
+    s6 += g;
+    s7 += h;
+  };
+  // 4-block interleaved outer loop: the chaining state stays in registers
+  // across all four compressions instead of round-tripping through h_.
+  while (count >= 4) {
+    one(data);
+    one(data + 64);
+    one(data + 128);
+    one(data + 192);
+    data += 256;
+    count -= 4;
   }
-  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3];
-  uint32_t e = h_[4], f = h_[5], g = h_[6], h = h_[7];
-  for (int i = 0; i < 64; ++i) {
-    uint32_t s1 = Ror(e, 6) ^ Ror(e, 11) ^ Ror(e, 25);
-    uint32_t ch = (e & f) ^ ((~e) & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Ror(a, 2) ^ Ror(a, 13) ^ Ror(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
+  while (count > 0) {
+    one(data);
+    data += 64;
+    --count;
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
-  h_[5] += f;
-  h_[6] += g;
-  h_[7] += h;
+  h_[0] = s0;
+  h_[1] = s1;
+  h_[2] = s2;
+  h_[3] = s3;
+  h_[4] = s4;
+  h_[5] = s5;
+  h_[6] = s6;
+  h_[7] = s7;
 }
 
 void Sha256::Update(const uint8_t* data, size_t len) {
   total_len_ += len;
-  while (len > 0) {
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
     size_t take = 64 - buffer_len_;
     if (take > len) take = len;
     std::memcpy(buffer_ + buffer_len_, data, take);
@@ -88,9 +143,20 @@ void Sha256::Update(const uint8_t* data, size_t len) {
     data += take;
     len -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffer_len_ = 0;
     }
+  }
+  // Bulk: compress whole blocks straight from the input, no staging copy.
+  size_t blocks = len / 64;
+  if (blocks > 0) {
+    ProcessBlocks(data, blocks);
+    data += blocks * 64;
+    len -= blocks * 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, data, len);
+    buffer_len_ = len;
   }
 }
 

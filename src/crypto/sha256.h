@@ -26,6 +26,12 @@ class Sha256 final : public Digest {
 
  private:
   void ProcessBlock(const uint8_t* block);
+  /// Compresses `count` consecutive 64-byte blocks straight from `data`
+  /// (no staging through buffer_). Dispatches to the SHA-NI compressor at
+  /// runtime when the build carries it and CPUID reports the extensions;
+  /// the scalar fallback runs a 4-block unrolled outer loop with a rolling
+  /// 16-word schedule.
+  void ProcessBlocks(const uint8_t* data, size_t count);
 
   uint32_t h_[8];
   uint8_t buffer_[64];

@@ -1,0 +1,32 @@
+#ifndef DISCSEC_CRYPTO_SHA_HW_H_
+#define DISCSEC_CRYPTO_SHA_HW_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// SHA-NI block compressors. This header is only meaningful when the build
+// carries sha_hw.cc (x86-64 with a compiler that accepts -msha); the crypto
+// CMakeLists defines DISCSEC_HAVE_SHA_HW=1 in that case and the generic
+// sha1.cc / sha256.cc dispatch here at runtime after a CPUID probe. Nothing
+// outside src/crypto should include this.
+
+#if DISCSEC_HAVE_SHA_HW
+
+namespace discsec {
+namespace crypto {
+
+/// True when the CPU reports the SHA extensions (CPUID.7.0:EBX bit 29) plus
+/// SSSE3/SSE4.1. Probed once, cached; safe to call from any thread.
+bool ShaNiAvailable();
+
+/// Compress `count` consecutive 64-byte blocks into `state` with SHA-NI.
+/// Callers must check ShaNiAvailable() first.
+void Sha1CompressHw(uint32_t state[5], const uint8_t* data, size_t count);
+void Sha256CompressHw(uint32_t state[8], const uint8_t* data, size_t count);
+
+}  // namespace crypto
+}  // namespace discsec
+
+#endif  // DISCSEC_HAVE_SHA_HW
+
+#endif  // DISCSEC_CRYPTO_SHA_HW_H_

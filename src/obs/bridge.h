@@ -18,6 +18,7 @@
 #include "common/retry.h"
 #include "crypto/digest_cache.h"
 #include "obs/metrics.h"
+#include "xml/arena.h"
 #include "xkms/locate_cache.h"
 #include "xkms/retrying_transport.h"
 #include "xkms/xkmsd.h"
@@ -90,6 +91,18 @@ inline void AbsorbXkmsdStats(const xkms::XkmsdStats& stats,
   metrics->GetCounter("xkmsd.degraded")->MaxTo(stats.degraded_locates);
   metrics->GetCounter("xkmsd.store_errors")->MaxTo(stats.store_errors);
   metrics->GetCounter("xkmsd.queue_depth")->Set(stats.queue_depth);
+}
+
+/// Process-wide xml::Arena counters (xml::GlobalArenaStats()): how much
+/// node storage the bump allocator served and in how many block
+/// reservations — the observable face of the DOM-path allocation drop.
+inline void AbsorbArenaStats(const xml::ArenaStats& stats,
+                             MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->GetCounter("xml_arena.bytes_reserved")->MaxTo(stats.bytes_reserved);
+  metrics->GetCounter("xml_arena.bytes_used")->MaxTo(stats.bytes_used);
+  metrics->GetCounter("xml_arena.allocations")->MaxTo(stats.allocations);
+  metrics->GetCounter("xml_arena.resets")->MaxTo(stats.resets);
 }
 
 inline void AbsorbFaultInjectorStats(const fault::FaultInjector& injector,

@@ -1,0 +1,130 @@
+#include "xml/arena.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "xml/dom.h"
+
+namespace discsec {
+namespace xml {
+
+namespace {
+
+constexpr size_t kAlign = 16;
+
+// Process-wide cumulative counters (relaxed: observability only, no
+// ordering is derived from them).
+std::atomic<size_t> g_bytes_reserved{0};
+std::atomic<size_t> g_bytes_used{0};
+std::atomic<size_t> g_allocations{0};
+std::atomic<size_t> g_resets{0};
+
+thread_local Arena* g_current_arena = nullptr;
+
+constexpr size_t AlignUp(size_t n) { return (n + (kAlign - 1)) & ~(kAlign - 1); }
+
+}  // namespace
+
+Arena::Arena(size_t block_size) : block_size_(block_size == 0 ? kDefaultBlockSize : block_size) {}
+
+Arena::~Arena() = default;
+
+void Arena::AddBlock(size_t capacity) {
+  Block block;
+  block.data = std::make_unique<uint8_t[]>(capacity);
+  block.capacity = capacity;
+  blocks_.push_back(std::move(block));
+  stats_.bytes_reserved += capacity;
+  g_bytes_reserved.fetch_add(capacity, std::memory_order_relaxed);
+}
+
+void* Arena::Allocate(size_t size) {
+  size = AlignUp(size == 0 ? 1 : size);
+  stats_.bytes_used += size;
+  ++stats_.allocations;
+  g_bytes_used.fetch_add(size, std::memory_order_relaxed);
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (size > block_size_) {
+    // Oversized request: a dedicated block outside the bump sequence.
+    Block block;
+    block.data = std::make_unique<uint8_t[]>(size);
+    block.capacity = size;
+    stats_.bytes_reserved += size;
+    g_bytes_reserved.fetch_add(size, std::memory_order_relaxed);
+    oversized_.push_back(std::move(block));
+    return oversized_.back().data.get();
+  }
+  // Every bump block has capacity block_size_, so after advancing (or
+  // appending) the request always fits.
+  if (blocks_.empty()) AddBlock(block_size_);
+  if (offset_ + size > blocks_[current_].capacity) {
+    ++current_;
+    offset_ = 0;
+    if (current_ >= blocks_.size()) AddBlock(block_size_);
+  }
+  uint8_t* ptr = blocks_[current_].data.get() + offset_;
+  offset_ += size;
+  return ptr;
+}
+
+void Arena::Reset() {
+  current_ = 0;
+  offset_ = 0;
+  oversized_.clear();  // odd sizes are not reusable across generations
+  ++stats_.resets;
+  g_resets.fetch_add(1, std::memory_order_relaxed);
+}
+
+ArenaScope::ArenaScope(Arena* arena) : previous_(g_current_arena) {
+  if (arena != nullptr) g_current_arena = arena;
+}
+
+ArenaScope::~ArenaScope() { g_current_arena = previous_; }
+
+Arena* CurrentArena() { return g_current_arena; }
+
+ArenaStats GlobalArenaStats() {
+  ArenaStats stats;
+  stats.bytes_reserved = g_bytes_reserved.load(std::memory_order_relaxed);
+  stats.bytes_used = g_bytes_used.load(std::memory_order_relaxed);
+  stats.allocations = g_allocations.load(std::memory_order_relaxed);
+  stats.resets = g_resets.load(std::memory_order_relaxed);
+  return stats;
+}
+
+// --- Node arena hooks (declared in xml/dom.h) -------------------------------
+//
+// Every Node allocation carries a 16-byte header tagging its origin, so
+// `delete` (always reached through Node's virtual destructor) can tell an
+// arena node (header non-zero: memory is reclaimed when the arena dies)
+// from a heap node (header zero: free it now). Clones and pool-worker
+// allocations happen outside any ArenaScope and therefore stay on the heap
+// even when the document they join is arena-backed.
+
+namespace {
+constexpr size_t kHeader = 16;
+constexpr uint64_t kArenaTag = 0x415245'4e41ull;  // "ARENA"
+}  // namespace
+
+void* Node::operator new(size_t size) {
+  Arena* arena = g_current_arena;
+  if (arena != nullptr) {
+    auto* raw = static_cast<uint8_t*>(arena->Allocate(size + kHeader));
+    *reinterpret_cast<uint64_t*>(raw) = kArenaTag;
+    return raw + kHeader;
+  }
+  auto* raw = static_cast<uint8_t*>(::operator new(size + kHeader));
+  *reinterpret_cast<uint64_t*>(raw) = 0;
+  return raw + kHeader;
+}
+
+void Node::operator delete(void* ptr) {
+  if (ptr == nullptr) return;
+  auto* raw = static_cast<uint8_t*>(ptr) - kHeader;
+  if (*reinterpret_cast<uint64_t*>(raw) == kArenaTag) return;  // arena-owned
+  ::operator delete(raw);
+}
+
+}  // namespace xml
+}  // namespace discsec

@@ -1,0 +1,99 @@
+#ifndef DISCSEC_XML_ARENA_H_
+#define DISCSEC_XML_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace discsec {
+namespace xml {
+
+/// Counters of one Arena (and, via GlobalArenaStats, of every arena in the
+/// process). Cumulative over the arena's lifetime; Reset() recycles the
+/// memory but keeps the counters growing so deltas stay meaningful.
+struct ArenaStats {
+  /// Heap bytes reserved in blocks (block capacity, not what was handed out).
+  size_t bytes_reserved = 0;
+  /// Bytes handed out to allocations, headers and alignment included.
+  size_t bytes_used = 0;
+  /// Individual allocations served.
+  size_t allocations = 0;
+  /// Reset() calls (block memory recycled for a new generation).
+  size_t resets = 0;
+};
+
+/// Bump allocator for DOM nodes (DESIGN.md §14).
+///
+/// A parse with ParseOptions::arena set allocates every Node (elements,
+/// text, comments, PIs) from this arena instead of the general heap: one
+/// pointer bump per node, one malloc per 64 KiB block, and a single bulk
+/// free when the arena dies. The owning Document keeps the arena alive via
+/// shared_ptr, so node lifetime is unchanged for callers; nodes moved OUT of
+/// an arena-backed document must not outlive it (the engine only does this
+/// for nodes it discards immediately, e.g. the enveloped-signature removal).
+///
+/// Not thread-safe: one arena belongs to one parsing thread at a time. The
+/// verifier strips the arena from transform-reparse options precisely so
+/// pool workers never share one.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to 16 (max_align_t on every target this
+  /// builds for). Never returns null; oversized requests get a dedicated
+  /// block.
+  void* Allocate(size_t size);
+
+  /// Recycles every block for reuse without releasing them to the heap.
+  /// Only valid when no node allocated from this arena is still alive.
+  void Reset();
+
+  const ArenaStats& stats() const { return stats_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<uint8_t[]> data;
+    size_t capacity = 0;
+  };
+
+  void AddBlock(size_t capacity);
+
+  std::vector<Block> blocks_;
+  std::vector<Block> oversized_;  ///< dedicated blocks, outside the bump walk
+  size_t block_size_;
+  size_t current_ = 0;  ///< index into blocks_ of the bump block
+  size_t offset_ = 0;   ///< bump offset inside blocks_[current_]
+  ArenaStats stats_;
+};
+
+/// RAII scope routing Node allocations on this thread into `arena` (null is
+/// a no-op scope). The parser opens one around a parse when
+/// ParseOptions::arena is set; nesting restores the previous arena.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* previous_;
+};
+
+/// The thread's active arena (null when Node allocations go to the heap).
+Arena* CurrentArena();
+
+/// Process-wide cumulative arena counters across every Arena ever created —
+/// the observability feed for obs::AbsorbArenaStats (monotonic, atomic).
+ArenaStats GlobalArenaStats();
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_ARENA_H_

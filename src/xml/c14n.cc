@@ -20,6 +20,20 @@ using NsMap = std::map<std::string, std::string>;
 struct C14NWriter {
   const C14NOptions& options;
   ByteSink* out;
+  /// Namespace nodes rendered on the open ancestor chain, innermost last.
+  /// A flat overlay stack instead of the per-element NsMap copy the walk
+  /// used to make: lookups scan backward (nearest rendering wins) and each
+  /// element truncates back to its mark on exit — zero allocations per
+  /// element once the vector has warmed up.
+  std::vector<std::pair<std::string, std::string>> rendered_;
+
+  /// Nearest rendered URI for `prefix`, or null when never rendered.
+  const std::string* RenderedValue(std::string_view prefix) const {
+    for (auto it = rendered_.rbegin(); it != rendered_.rend(); ++it) {
+      if (it->first == prefix) return &it->second;
+    }
+    return nullptr;
+  }
 
   void WriteText(const Text& text) { EscapeText(text.data(), out); }
 
@@ -58,13 +72,11 @@ struct C14NWriter {
 
   /// `extra_ns` / `extra_attrs` carry the inherited declarations for a
   /// document-subset apex; both are empty for non-apex elements.
-  void WriteElement(const Element& e, const NsMap& rendered,
-                    const NsMap& extra_ns,
+  void WriteElement(const Element& e, const NsMap& extra_ns,
                     const std::vector<Attribute>& extra_attrs) {
     out->Append('<');
     out->Append(e.name());
 
-    NsMap next_rendered = rendered;
     std::vector<std::pair<std::string, std::string>> to_render;
     if (options.exclusive) {
       // Exclusive: render a declaration for each visibly utilized prefix
@@ -76,14 +88,12 @@ struct C14NWriter {
       }
       for (const std::string& prefix : wanted) {
         std::string uri = e.LookupNamespaceUri(prefix);
-        auto it = rendered.find(prefix);
-        std::string current =
-            it == rendered.end() ? std::string() : it->second;
-        if (current == uri) continue;
-        if (prefix.empty() && uri.empty() && it == rendered.end()) continue;
+        const std::string* current = RenderedValue(prefix);
+        if ((current != nullptr ? *current : std::string_view()) == uri) {
+          continue;
+        }
         if (uri.empty() && !prefix.empty()) continue;  // unbound prefix
-        to_render.emplace_back(prefix, uri);
-        next_rendered[prefix] = uri;
+        to_render.emplace_back(prefix, std::move(uri));
       }
     } else {
       // Inclusive: gather this element's namespace declarations (own xmlns
@@ -98,13 +108,12 @@ struct C14NWriter {
         }
       }
       for (const auto& [prefix, uri] : declared) {
-        auto it = rendered.find(prefix);
-        std::string current =
-            it == rendered.end() ? std::string() : it->second;
-        if (current == uri) continue;
-        if (prefix.empty() && uri.empty() && it == rendered.end()) continue;
+        const std::string* current = RenderedValue(prefix);
+        if ((current != nullptr ? *current : std::string_view()) == uri) {
+          continue;
+        }
+        if (prefix.empty() && uri.empty() && current == nullptr) continue;
         to_render.emplace_back(prefix, uri);
-        next_rendered[prefix] = uri;
       }
     }
     // Namespace nodes sort by prefix (default namespace, "", sorts first).
@@ -121,10 +130,15 @@ struct C14NWriter {
       EscapeAttribute(uri, out);
       out->Append('"');
     }
+    const size_t rendered_mark = rendered_.size();
+    for (auto& entry : to_render) rendered_.push_back(std::move(entry));
 
     // Regular attributes sorted by (namespace URI of prefix, local name);
-    // unprefixed attributes have no namespace, so their URI key is "".
+    // unprefixed attributes have no namespace, so their URI key is "". The
+    // key is computed once per attribute up front — the comparator used to
+    // re-derive (and re-allocate) both keys on every comparison.
     std::vector<const Attribute*> attrs;
+    attrs.reserve(extra_attrs.size() + e.attributes().size());
     for (const auto& attr : extra_attrs) attrs.push_back(&attr);
     for (const auto& attr : e.attributes()) {
       if (!attr.IsNamespaceDecl()) {
@@ -137,38 +151,49 @@ struct C14NWriter {
         attrs.push_back(&attr);
       }
     }
-    auto sort_key = [&](const Attribute* a) {
-      auto [prefix, local] = SplitQName(a->name);
+    struct KeyedAttr {
       std::string uri;
-      if (!prefix.empty()) uri = e.LookupNamespaceUri(prefix);
-      return std::make_pair(uri, std::string(local));
+      std::string_view local;
+      const Attribute* attr;
     };
-    std::sort(attrs.begin(), attrs.end(),
-              [&](const Attribute* a, const Attribute* b) {
-                return sort_key(a) < sort_key(b);
-              });
+    std::vector<KeyedAttr> keyed;
+    keyed.reserve(attrs.size());
     for (const Attribute* attr : attrs) {
+      auto [prefix, local] = SplitQName(attr->name);
+      KeyedAttr k;
+      if (!prefix.empty()) k.uri = e.LookupNamespaceUri(prefix);
+      k.local = local;
+      k.attr = attr;
+      keyed.push_back(std::move(k));
+    }
+    std::sort(keyed.begin(), keyed.end(),
+              [](const KeyedAttr& a, const KeyedAttr& b) {
+                if (a.uri != b.uri) return a.uri < b.uri;
+                return a.local < b.local;
+              });
+    for (const KeyedAttr& k : keyed) {
       out->Append(' ');
-      out->Append(attr->name);
+      out->Append(k.attr->name);
       out->Append("=\"");
-      EscapeAttribute(attr->value, out);
+      EscapeAttribute(k.attr->value, out);
       out->Append('"');
     }
     out->Append('>');
 
     for (const auto& child : e.children()) {
-      WriteNode(*child, next_rendered);
+      WriteNode(*child);
     }
 
     out->Append("</");
     out->Append(e.name());
     out->Append('>');
+    rendered_.resize(rendered_mark);
   }
 
-  void WriteNode(const Node& node, const NsMap& rendered) {
+  void WriteNode(const Node& node) {
     switch (node.kind()) {
       case NodeKind::kElement:
-        WriteElement(static_cast<const Element&>(node), rendered, {}, {});
+        WriteElement(static_cast<const Element&>(node), {}, {});
         break;
       case NodeKind::kText:
         WriteText(static_cast<const Text&>(node));
@@ -208,13 +233,13 @@ void Canonicalize(const Document& doc, const C14NOptions& options,
   bool seen_root = false;
   for (const auto& child : doc.children()) {
     if (child->IsElement()) {
-      writer.WriteNode(*child, NsMap());
+      writer.WriteNode(*child);
       seen_root = true;
       continue;
     }
     if (child->IsComment() && !options.with_comments) continue;
     if (seen_root) sink->Append('\n');
-    writer.WriteNode(*child, NsMap());
+    writer.WriteNode(*child);
     if (!seen_root) sink->Append('\n');
   }
 }
@@ -240,7 +265,7 @@ void CanonicalizeElement(const Element& apex, const C14NOptions& options,
     // Exclusive C14N does not inherit ancestor xml:* attributes, and
     // namespace context comes from LookupNamespaceUri on demand.
     C14NWriter writer{options, sink};
-    writer.WriteElement(apex, NsMap(), {}, {});
+    writer.WriteElement(apex, {}, {});
     return;
   }
   // Collect in-scope namespace declarations from ancestors (nearest wins)
@@ -275,7 +300,7 @@ void CanonicalizeElement(const Element& apex, const C14NOptions& options,
     inherited_ns.erase(def);
   }
   C14NWriter writer{options, sink};
-  writer.WriteElement(apex, NsMap(), inherited_ns, inherited_xml_attrs);
+  writer.WriteElement(apex, inherited_ns, inherited_xml_attrs);
 }
 
 std::string CanonicalizeElement(const Element& apex,

@@ -125,15 +125,25 @@ Element* Element::FirstChildElementByLocalName(std::string_view local) const {
   return nullptr;
 }
 
-std::string Element::TextContent() const {
-  std::string out;
-  for (const auto& child : children_) {
+namespace {
+
+void AppendTextContent(const Element& e, std::string* out) {
+  for (const auto& child : e.children()) {
     if (child->IsText()) {
-      out += static_cast<Text*>(child.get())->data();
+      *out += static_cast<const Text*>(child.get())->data();
     } else if (child->IsElement()) {
-      out += static_cast<Element*>(child.get())->TextContent();
+      AppendTextContent(*static_cast<const Element*>(child.get()), out);
     }
   }
+}
+
+}  // namespace
+
+std::string Element::TextContent() const {
+  // One output buffer for the whole subtree — the recursion used to build
+  // (and discard) an intermediate string per nested element.
+  std::string out;
+  AppendTextContent(*this, &out);
   return out;
 }
 
@@ -144,10 +154,18 @@ void Element::SetTextContent(std::string text) {
 
 std::string Element::LookupNamespaceUri(std::string_view prefix) const {
   if (prefix == "xml") return kXmlNamespace;
-  std::string decl_name =
-      prefix.empty() ? std::string("xmlns") : "xmlns:" + std::string(prefix);
+  // Match xmlns / xmlns:prefix in place — this is the canonicalizer's
+  // innermost lookup, so it must not build a temporary declaration name.
   for (const Element* e = this; e != nullptr; e = e->parent()) {
-    if (const std::string* v = e->GetAttribute(decl_name)) return *v;
+    for (const Attribute& attr : e->attributes_) {
+      if (prefix.empty()) {
+        if (attr.name == "xmlns") return attr.value;
+      } else if (attr.name.size() == 6 + prefix.size() &&
+                 attr.name.compare(0, 6, "xmlns:") == 0 &&
+                 std::string_view(attr.name).substr(6) == prefix) {
+        return attr.value;
+      }
+    }
   }
   return std::string();
 }

@@ -1,24 +1,41 @@
 #include "xml/serializer.h"
 
+#include <array>
+
 namespace discsec {
 namespace xml {
 
 namespace {
 
-/// Shared run-based escaper: unescaped spans are appended in bulk so the
-/// sink sees long contiguous writes, not one call per character.
-/// `Replacement` maps a char to its entity (or nullptr to pass through).
+/// 256-entry byte classifier marking exactly the bytes an escaper rewrites.
+constexpr std::array<bool, 256> MakeStopTable(std::string_view stops) {
+  std::array<bool, 256> table{};
+  for (char c : stops) table[static_cast<unsigned char>(c)] = true;
+  return table;
+}
+
+constexpr std::array<bool, 256> kTextStops = MakeStopTable("&<>\r");
+constexpr std::array<bool, 256> kAttributeStops = MakeStopTable("&<\"\t\n\r");
+
+/// Shared run-based escaper: the inner loop is a pure table scan, so
+/// `replacement` (which maps a stop byte to its entity) is only consulted
+/// at the rare bytes that actually need rewriting, and unescaped spans are
+/// appended in bulk — the sink sees long contiguous writes, not one call
+/// per character.
 template <typename Replacement>
-void EscapeRuns(std::string_view s, Replacement replacement, ByteSink* sink) {
+void EscapeRuns(std::string_view s, const std::array<bool, 256>& stops,
+                Replacement replacement, ByteSink* sink) {
+  const size_t n = s.size();
   size_t start = 0;
-  for (size_t i = 0; i < s.size(); ++i) {
-    const char* entity = replacement(s[i]);
-    if (entity == nullptr) continue;
+  size_t i = 0;
+  while (i < n) {
+    while (i < n && !stops[static_cast<unsigned char>(s[i])]) ++i;
+    if (i == n) break;
     if (i > start) sink->Append(s.substr(start, i - start));
-    sink->Append(std::string_view(entity));
-    start = i + 1;
+    sink->Append(std::string_view(replacement(s[i])));
+    start = ++i;
   }
-  if (start < s.size()) sink->Append(s.substr(start));
+  if (start < n) sink->Append(s.substr(start));
 }
 
 const char* TextEntity(char c) {
@@ -58,7 +75,7 @@ const char* AttributeEntity(char c) {
 }  // namespace
 
 void EscapeText(std::string_view s, ByteSink* sink) {
-  EscapeRuns(s, TextEntity, sink);
+  EscapeRuns(s, kTextStops, TextEntity, sink);
 }
 
 std::string EscapeText(std::string_view s) {
@@ -70,7 +87,7 @@ std::string EscapeText(std::string_view s) {
 }
 
 void EscapeAttribute(std::string_view s, ByteSink* sink) {
-  EscapeRuns(s, AttributeEntity, sink);
+  EscapeRuns(s, kAttributeStops, AttributeEntity, sink);
 }
 
 std::string EscapeAttribute(std::string_view s) {
@@ -85,6 +102,32 @@ namespace {
 
 void SerializeNode(const Node& node, const SerializeOptions& options,
                    int depth, ByteSink* out);
+
+/// Lower bound on the serialized size of `node` (escapes and indentation
+/// excluded) — lets the string-returning wrappers reserve once instead of
+/// growing the output through repeated reallocation.
+size_t EstimateSize(const Node& node) {
+  switch (node.kind()) {
+    case NodeKind::kElement: {
+      const auto& e = static_cast<const Element&>(node);
+      size_t n = 2 * e.name().size() + 5;
+      for (const auto& attr : e.attributes()) {
+        n += attr.name.size() + attr.value.size() + 4;
+      }
+      for (const auto& child : e.children()) n += EstimateSize(*child);
+      return n;
+    }
+    case NodeKind::kText:
+      return static_cast<const Text&>(node).data().size();
+    case NodeKind::kComment:
+      return static_cast<const Comment&>(node).data().size() + 7;
+    case NodeKind::kProcessingInstruction: {
+      const auto& pi = static_cast<const Pi&>(node);
+      return pi.target().size() + pi.data().size() + 5;
+    }
+  }
+  return 0;
+}
 
 void Indent(const SerializeOptions& options, int depth, ByteSink* out) {
   if (options.indent > 0) {
@@ -184,6 +227,9 @@ void Serialize(const Document& doc, const SerializeOptions& options,
 
 std::string Serialize(const Document& doc, const SerializeOptions& options) {
   std::string out;
+  size_t estimate = options.xml_declaration ? 40 : 0;
+  for (const auto& child : doc.children()) estimate += EstimateSize(*child);
+  out.reserve(estimate);
   StringSink sink(&out);
   Serialize(doc, options, &sink);
   return out;
@@ -202,6 +248,7 @@ void SerializeElement(const Element& element, const SerializeOptions& options,
 std::string SerializeElement(const Element& element,
                              const SerializeOptions& options) {
   std::string out;
+  out.reserve(EstimateSize(element));
   StringSink sink(&out);
   SerializeElement(element, options, &sink);
   return out;

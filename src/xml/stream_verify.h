@@ -1,0 +1,277 @@
+#ifndef DISCSEC_XML_STREAM_VERIFY_H_
+#define DISCSEC_XML_STREAM_VERIFY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/byte_sink.h"
+#include "common/result.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace discsec {
+namespace xml {
+
+/// Single-pass verify fast path (DESIGN.md §14): StreamLexer re-tokenizes
+/// the exact source text a document was parsed from, StreamingC14N turns
+/// the token stream into Canonical XML octets, and the verifier points the
+/// output at a DigestSink — lex → canonicalize → digest fused into one pass
+/// with no DOM clone, no canonicalization tree walk and no intermediate
+/// buffers. The pipeline is verify-only: any divergence from the DOM path
+/// changes the computed digest and therefore can only cause a *rejection*
+/// (the signed DigestValue no longer matches), never a false Valid.
+
+/// Pull-based XML tokenizer over raw source text.
+///
+/// Token-for-node faithful to the DOM parser (src/xml/parser.cc): the same
+/// ParseOptions bounds with the same ResourceExhausted messages, the same
+/// ParseError strings and line/column positions, the same text coalescing
+/// (CDATA folded raw into adjacent character data, entity and character
+/// references expanded, \r / \r\n normalized to \n outside CDATA), the same
+/// attribute-value normalization. One kText token is produced exactly where
+/// the DOM parser would have produced one Text node, so child indices
+/// derived from the stream match xmldsig::ComputePath on the parsed tree.
+class StreamLexer {
+ public:
+  enum class TokenKind {
+    kStartElement,  ///< name + attributes (an end token always follows later)
+    kEndElement,    ///< name; synthesized for self-closing tags too
+    kText,          ///< coalesced character data (never empty)
+    kComment,       ///< data between <!-- and -->
+    kPi,            ///< name = target, value = data
+    kEndDocument,   ///< input fully consumed
+  };
+
+  /// Views are valid only until the next call to Next(): name/value either
+  /// point into the source text or into internal scratch reused per token.
+  struct Token {
+    TokenKind kind = TokenKind::kEndDocument;
+    std::string_view name;
+    std::string_view value;
+    const std::vector<Attribute>* attributes = nullptr;  // kStartElement only
+  };
+
+  /// `input` must outlive the lexer; `options` is copied.
+  StreamLexer(std::string_view input, const ParseOptions& options);
+
+  /// Advances to the next token, ending with kEndDocument. After an error
+  /// the lexer is in an unspecified state and must not be advanced again.
+  Result<Token> Next();
+
+  /// Byte offset of the '<' that opened the most recent kStartElement token.
+  size_t StartTagOffset() const { return start_tag_offset_; }
+
+  /// Current byte offset. Immediately after a kEndElement token this is one
+  /// past the element's closing '>' (or '/>'), so
+  /// [StartTagOffset(), Offset()) brackets a whole element's source bytes.
+  size_t Offset() const { return pos_; }
+
+ private:
+  enum class Phase { kInit, kProlog, kContent, kEpilog, kDone };
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  void Advance() { ++pos_; }
+  bool Lookahead(std::string_view s) const;
+  bool Consume(std::string_view s);
+  Status Error(const std::string& what) const;
+  void SkipWhitespace();
+  Result<Token> NextProlog();
+  Result<Token> NextContent();
+  Result<Token> NextEpilog();
+  Result<Token> ParseStartTag();
+  Result<Token> ParseComment();
+  Result<Token> ParsePi();
+  Result<std::string_view> ParseName();
+  Status ParseAttributeValue(std::string* out);
+  Status AppendReference(std::string* out);
+  Status AppendReferenceUncounted(std::string* out);
+  Status SkipDoctype();
+
+  std::string_view input_;
+  ParseOptions options_;
+  size_t pos_ = 0;
+  size_t start_tag_offset_ = 0;
+  size_t entity_output_ = 0;
+  Phase phase_ = Phase::kInit;
+  std::vector<std::string_view> open_;  ///< start-tag names, innermost last
+  bool pending_end_ = false;  ///< a self-closing tag owes its end token
+  std::string text_;          ///< scratch for the current kText token
+  std::vector<Attribute> attrs_;  ///< scratch for the current start tag
+};
+
+/// What StreamingC14N should emit. Inclusive C14N only (with or without
+/// comments) — the verifier falls back to the DOM path for exclusive C14N.
+struct StreamingC14NOptions {
+  bool with_comments = false;
+  /// Child-index path (xmldsig::ComputePath form, all node kinds counted)
+  /// of the subtree to canonicalize as a document-subset apex: it inherits
+  /// ancestor namespace declarations and xml:* attributes per the C14N
+  /// rules. Null canonicalizes the whole document (document-level PIs and
+  /// comments included per the #xA placement rules).
+  const std::vector<size_t>* apex_path = nullptr;
+  /// Child-index path of one subtree to omit entirely — the enveloped
+  /// ds:Signature. The omitted subtree still occupies its child index.
+  const std::vector<size_t>* skip_path = nullptr;
+};
+
+/// Streaming Canonical XML filter: feed it every token from a StreamLexer
+/// (kEndDocument excluded), then call Finish(). Canonical octets for the
+/// selected subset appear on `out` as the stream passes by.
+class StreamingC14N {
+ public:
+  /// `options` (and the paths it points at) and `out` must outlive this.
+  StreamingC14N(const StreamingC14NOptions& options, ByteSink* out);
+
+  Status Consume(const StreamLexer::Token& token);
+
+  /// Arms (or replaces) the skip subtree mid-stream, BEFORE the skip root's
+  /// kStartElement is consumed. The fused scan+canonicalize pass uses this
+  /// the moment the scanner recognizes the signature's start tag — the
+  /// filter itself never has to resolve namespaces speculatively.
+  void SetSkipPath(const std::vector<size_t>* path) {
+    options_.skip_path = path;
+  }
+
+  /// Validates that the requested apex was actually reached.
+  Status Finish() const;
+
+ private:
+  // Owned strings: attribute values live in the lexer's per-tag scratch and
+  // do not survive past the next token, but these stacks span the subtree.
+  struct NsEntry {
+    std::string prefix;
+    std::string uri;
+  };
+  struct Frame {
+    std::string_view name;
+    size_t ns_mark = 0;        ///< in_scope_ size to restore on end
+    size_t rendered_mark = 0;  ///< rendered_ size to restore on end
+    size_t child_count = 0;    ///< next child index (all node kinds)
+    bool emitted = false;
+    bool tracked_xml_attrs = false;
+    std::vector<Attribute> saved_xml_attrs;  ///< pre-element inherited state
+  };
+
+  Status OnStart(const StreamLexer::Token& token);
+  Status OnEnd();
+  void OnText(std::string_view data);
+  void OnComment(std::string_view data);
+  void OnPi(std::string_view target, std::string_view data);
+  void EmitStart(std::string_view name, const std::vector<Attribute>& attrs,
+                 const std::vector<NsEntry>* extra_ns,
+                 const std::vector<Attribute>* extra_attrs);
+  const std::string* RenderedValue(std::string_view prefix) const;
+  std::string_view LookupInScope(std::string_view prefix) const;
+  bool Emitting() const;
+
+  StreamingC14NOptions options_;
+  ByteSink* out_;
+  // Per-element scratch reused across EmitStart calls so the steady-state
+  // emit loop stays allocation-free (capacity persists, clear() is cheap).
+  struct KeyedAttr {
+    std::string uri;
+    std::string_view local;
+    const Attribute* attr = nullptr;
+  };
+  std::vector<NsEntry> scratch_declared_;
+  std::vector<const NsEntry*> scratch_to_render_;
+  std::vector<const Attribute*> scratch_merged_;
+  std::vector<KeyedAttr> scratch_keyed_;
+  std::vector<NsEntry> in_scope_;   ///< declarations of every open element
+  std::vector<NsEntry> rendered_;   ///< namespace nodes written to output
+  std::vector<Attribute> xml_attrs_;  ///< inheritable xml:* state (apex mode)
+  std::vector<Frame> frames_;       ///< open non-skipped elements
+  std::vector<size_t> path_;        ///< child-index path of innermost element
+  size_t skip_depth_ = 0;           ///< >0 while inside the skipped subtree
+  bool in_apex_ = false;
+  bool apex_done_ = false;
+  size_t apex_frame_depth_ = 0;
+  bool seen_root_ = false;
+};
+
+/// Drives StreamLexer + StreamingC14N over `source` in one pass. Parse
+/// errors and resource-limit violations surface with the DOM parser's exact
+/// messages. Bumps StreamedCanonicalizationCount() on success.
+Status StreamCanonicalize(std::string_view source,
+                          const ParseOptions& parse_options,
+                          const StreamingC14NOptions& options, ByteSink* out);
+
+/// One element matched by ScanForSignatures, with everything needed to
+/// parse its subtree out of context: the exact source byte range, its
+/// child-index path, and the namespace / xml:* environment inherited from
+/// ancestors at its start tag (the element's own declarations are inside
+/// the byte range and excluded here).
+struct ScannedSignature {
+  std::vector<size_t> path;  ///< xmldsig::ComputePath form (all node kinds)
+  size_t begin = 0;          ///< offset of the opening '<'
+  size_t end = 0;            ///< one past the closing '>' / '/>'
+  /// In-scope declarations, innermost-wins, one entry per distinct name
+  /// ("xmlns" or "xmlns:p"). Values are the unescaped URIs.
+  std::vector<Attribute> ns_in_scope;
+  /// Inherited xml:* attributes (xml:lang, xml:space, ...), innermost-wins.
+  std::vector<Attribute> xml_attrs;
+};
+
+/// One Id-bearing element ('Id' preferred over 'id', exactly like
+/// xml::IdRegistry).
+struct ScannedId {
+  std::vector<size_t> path;  ///< xmldsig::ComputePath form
+  std::string element_name;  ///< qualified name as written
+  std::string element_path;  ///< xml::ElementPath format
+  size_t count = 0;          ///< elements declaring this id (>1 = ambiguous)
+};
+
+/// Everything the wire-level verify fast path needs to know about a
+/// document without building its DOM.
+struct SignatureScanResult {
+  std::string root_name;  ///< qualified name of the document element
+  std::unordered_map<std::string, ScannedId> ids;
+  std::vector<ScannedSignature> signatures;  ///< document (pre-)order
+};
+
+/// Single StreamLexer pass over `source` locating every {ns_uri}local_name
+/// element and every Id attribute. Enforces the full ParseOptions bounds
+/// and fails with the DOM parser's exact error for malformed input, so a
+/// successful scan implies xml::Parse would have succeeded too.
+Result<SignatureScanResult> ScanForSignatures(std::string_view source,
+                                              const ParseOptions& parse_options,
+                                              std::string_view ns_uri,
+                                              std::string_view local_name);
+
+/// Indexes exactly the Id values in `ids` (duplicate counting included) —
+/// the pass a #id reference triggers when the fused scan ran id-free.
+/// Only the `ids` field of the result is meaningful.
+Result<SignatureScanResult> ScanForIds(std::string_view source,
+                                       const ParseOptions& parse_options,
+                                       const std::vector<std::string>& ids);
+
+/// The fused single pass behind Verifier::VerifyStream: ONE lexer run both
+/// scans (everything ScanForSignatures reports) and speculatively emits the
+/// whole document's Canonical XML (without comments) with the FIRST matched
+/// signature subtree omitted — i.e. exactly the reference octets of the
+/// dominant [enveloped-signature, C14N] whole-document shape. When the
+/// signature's SignedInfo later confirms that shape, the buffered octets
+/// feed the digest directly and the source is never traversed again; any
+/// other shape just reuses the scan and re-canonicalizes per reference.
+/// No signature in the document leaves `canonical` holding the plain
+/// whole-document canonical form (nothing omitted).
+Result<SignatureScanResult> ScanAndCanonicalize(
+    std::string_view source, const ParseOptions& parse_options,
+    std::string_view ns_uri, std::string_view local_name,
+    std::string* canonical);
+
+/// Process-wide count of completed streaming canonicalization passes — the
+/// instrumentation tests and benches use to prove the fast path engaged.
+size_t StreamedCanonicalizationCount();
+
+namespace internal {
+void NoteStreamedCanonicalization();
+}  // namespace internal
+
+}  // namespace xml
+}  // namespace discsec
+
+#endif  // DISCSEC_XML_STREAM_VERIFY_H_

@@ -11,13 +11,16 @@
 //   discsec_tool sign --key key.xml --in doc.xml --out signed.xml
 //                [--cert leaf.xml --cert root.xml] [--detached-id <id>]
 //   discsec_tool verify --in signed.xml [--root root.xml | --allow-bare-key]
+//                [--streaming-verify]
 //   discsec_tool encrypt --in doc.xml --target-id <id> --key-hex <32 hex>
 //                --key-name <name> --out enc.xml
 //   discsec_tool decrypt --in enc.xml --key-hex <32 hex> --key-name <name>
 //                --out dec.xml
 //   discsec_tool c14n --in doc.xml [--with-comments]
 //   discsec_tool play-demo [--repeat N] [--jobs N] [--async]
+//                [--streaming-verify]
 //   discsec_tool play [--discs N] [--repeat N] [--jobs N] [--async]
+//                [--streaming-verify]
 //   discsec_tool xkmsd-demo [--players N] [--keys K] [--jobs N] [--burst N]
 //   discsec_tool regen-golden [--dir tests/golden] [--write]
 //
@@ -340,12 +343,11 @@ int CmdVerify(const Args& args) {
   if (!args.Has("in")) return Usage("verify needs --in");
   auto text = ReadFile(args.Get("in"));
   if (!text.ok()) return Fail(text.status());
-  auto doc = ParseInput(text.value());
-  if (!doc.ok()) return Fail(doc.status());
 
   xmldsig::VerifyOptions options;
   options.tracer = g_tracer;
   options.metrics = g_metrics;
+  options.parse_options.tracer = g_tracer;
   pki::CertStore store;
   if (args.Has("root")) {
     auto root_text = ReadFile(args.Get("root"));
@@ -361,7 +363,18 @@ int CmdVerify(const Args& args) {
   } else {
     return Usage("verify needs --root <cert> or --allow-bare-key");
   }
-  auto result = xmldsig::Verifier::VerifyFirstSignature(doc.value(), options);
+  Result<xmldsig::VerifyInfo> result = [&]() -> Result<xmldsig::VerifyInfo> {
+    // Wire-level fast path (DESIGN.md §14): --streaming-verify skips the
+    // DOM build entirely — one fused scan+canonicalize pass over the input
+    // bytes, only the Signature subtree is parsed. The verdict is
+    // identical to the DOM route by construction.
+    if (args.Has("streaming-verify")) {
+      return xmldsig::Verifier::VerifyStream(text.value(), options);
+    }
+    auto doc = ParseInput(text.value());
+    if (!doc.ok()) return doc.status();
+    return xmldsig::Verifier::VerifyFirstSignature(doc.value(), options);
+  }();
   if (!result.ok()) return Fail(result.status());
   std::printf("VALID");
   if (!result->signer_subject.empty()) {
@@ -472,7 +485,7 @@ struct PlayRig {
   std::unique_ptr<ThreadPool> pool;
   std::unique_ptr<player::InteractiveApplicationEngine> engine;
 
-  Status Init(size_t jobs, bool async) {
+  Status Init(size_t jobs, bool async, bool streaming_verify = false) {
     // Deterministic end-to-end fixture: root CA, studio chain, demo
     // cluster, mastered fully protected (enveloped signature with the
     // Decryption Transform in the chain, encrypted manifest, external
@@ -511,6 +524,8 @@ struct PlayRig {
     config.xkms_cache = locate_cache.get();
     config.digest_cache = &digest_cache;
     config.pool = pool.get();
+    config.streaming_verify = streaming_verify;
+    config.arena_parse = streaming_verify;
     config.tracer = g_tracer;
     config.metrics = g_metrics;
     engine = std::make_unique<player::InteractiveApplicationEngine>(
@@ -552,7 +567,7 @@ int CmdPlayDemo(const Args& args) {
   size_t jobs = SizeOption(args, "jobs", args.Get("pool", "0"));
 
   PlayRig rig;
-  Status st = rig.Init(jobs, args.Has("async"));
+  Status st = rig.Init(jobs, args.Has("async"), args.Has("streaming-verify"));
   if (!st.ok()) return Fail(st);
 
   for (size_t round = 1; round <= repeat; ++round) {
@@ -575,7 +590,7 @@ int CmdPlay(const Args& args) {
   size_t jobs = SizeOption(args, "jobs", "0");
 
   PlayRig rig;
-  Status st = rig.Init(jobs, args.Has("async"));
+  Status st = rig.Init(jobs, args.Has("async"), args.Has("streaming-verify"));
   if (!st.ok()) return Fail(st);
 
   std::vector<const disc::DiscImage*> batch(discs, &rig.image.value());
@@ -839,7 +854,7 @@ int main(int argc, char** argv) {
     std::string name = arg.substr(2);
     // Flags without values.
     if (name == "ca" || name == "allow-bare-key" || name == "with-comments" ||
-        name == "write" || name == "async") {
+        name == "write" || name == "async" || name == "streaming-verify") {
       args.options[name] = "1";
       continue;
     }
