@@ -1,0 +1,32 @@
+#ifndef DISCSEC_SIM_REPORT_H_
+#define DISCSEC_SIM_REPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "sim/fleet.h"
+
+namespace discsec {
+namespace sim {
+
+/// Renders the human-readable scenario-matrix table. Deliberately contains
+/// only seed-deterministic columns (counters, invariant tallies, the event
+/// digest prefix) and no latencies or wall-clock figures, so an
+/// all-deterministic matrix (jobs == 0 everywhere, e.g. SmokeMatrix) renders
+/// byte-identically for an identical (matrix, seed) pair on any machine.
+std::string MatrixTable(const FleetReport& report);
+
+/// Serializes the report in the repository-wide discsec-bench-v1 schema
+/// (bench/bench_json.h): one result row per scenario, `real_us` percentiles
+/// from the "sim.event_us" histogram, and the fleet counters — throughput,
+/// per-phase p50/p99, cache hit rates, shed rate, per-attack-class rejection
+/// counts, and the invariant tallies — in `counters`.
+std::string FleetBenchJson(const FleetReport& report);
+
+/// FleetBenchJson straight to a file (the BENCH_fleet.json artifact).
+Status WriteFleetBenchJson(const FleetReport& report, const std::string& path);
+
+}  // namespace sim
+}  // namespace discsec
+
+#endif  // DISCSEC_SIM_REPORT_H_

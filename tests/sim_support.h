@@ -1,0 +1,56 @@
+#ifndef DISCSEC_TESTS_SIM_SUPPORT_H_
+#define DISCSEC_TESTS_SIM_SUPPORT_H_
+
+#include <utility>
+
+#include "pki/key_codec.h"
+#include "sim/fleet.h"
+#include "tests/attacks/attack_corpus.h"
+#include "tests/test_world.h"
+
+namespace discsec {
+namespace sim_support {
+
+/// Adapts the shared test World (and, when requested, the full attack
+/// corpus) into the simulator's environment shape. The sim library itself
+/// must not depend on tests/, so this is where AttackCase becomes
+/// sim::AttackDisc.
+inline sim::FleetEnvironment MakeFleetEnvironment(
+    const testing_world::World& world, bool with_attacks = true) {
+  sim::FleetEnvironment env;
+  env.cluster = world.DemoCluster();
+  env.signing_key = xmldsig::SigningKey::Rsa(world.studio_key.private_key);
+  env.key_info.certificate_chain = {world.studio_cert, world.root_cert};
+  env.key_info.key_name = pki::KeyFingerprint(world.studio_key.public_key);
+  env.root_cert = world.root_cert;
+  env.studio_key_name = env.key_info.key_name;
+  env.studio_public_key = world.studio_key.public_key;
+  env.pdp = world.MakePdp();
+  env.content_key = world.disc_content_key;
+  env.encryption = world.MakeEncryptionSpec();
+  env.now = testing_world::kNow;
+
+  if (with_attacks) {
+    for (attacks::AttackCase& attack : [&world] {
+           auto corpus = attacks::BuildAttackCorpus(world);
+           return corpus;
+         }()) {
+      sim::AttackDisc disc;
+      disc.name = std::move(attack.name);
+      disc.attack_class = std::move(attack.attack_class);
+      disc.route = attack.route == attacks::AttackRoute::kPlayer
+                       ? sim::AttackDisc::Route::kPlayer
+                       : sim::AttackDisc::Route::kVerifier;
+      disc.xml = std::move(attack.xml);
+      disc.expected_code = attack.expected_code;
+      disc.expected_substring = std::move(attack.expected_substring);
+      env.attacks.push_back(std::move(disc));
+    }
+  }
+  return env;
+}
+
+}  // namespace sim_support
+}  // namespace discsec
+
+#endif  // DISCSEC_TESTS_SIM_SUPPORT_H_

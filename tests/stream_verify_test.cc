@@ -32,6 +32,7 @@
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xml/stream_verify.h"
+#include "xmldsig/signer.h"
 #include "xmldsig/transforms.h"
 #include "xmldsig/verifier.h"
 
@@ -479,7 +480,185 @@ TEST(StreamVerifyDifferential, VerifyStreamEdgeVerdictsMatchDom) {
 }
 
 // ---------------------------------------------------------------------------
-// 6. ParseOptions parity: identical ResourceExhausted errors per bound.
+// 6. Mixed-eligibility documents: the FIRST signature in document order is
+//    stream-ineligible (exclusive-C14N reference transform) while a LATER
+//    signature is fully eligible. The fast path must fall back transparently
+//    on the first — sink untouched, no streamed canonicalization — and still
+//    engage on the second, with verdicts identical to DOM on both.
+// ---------------------------------------------------------------------------
+
+/// Two detached same-document signatures over sibling subtrees: sig[0]
+/// covers "#menu" through exc-C14N (refused by the streaming planner),
+/// sig[1] covers "#movie" through the plain transform chain.
+std::string BuildMixedEligibilityDocument() {
+  const World& world = SharedWorld();
+  auto parsed = xml::Parse(
+      "<bundle>"
+      "<menu id=\"menu\"><item>alpha</item></menu>"
+      "<movie id=\"movie\"><clip>beta</clip></movie>"
+      "</bundle>");
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  xml::Document& doc = parsed.value();
+
+  xmldsig::KeyInfoSpec key_info;
+  key_info.certificate_chain = {world.studio_cert, world.root_cert};
+  xmldsig::Signer signer(
+      xmldsig::SigningKey::Rsa(world.studio_key.private_key), key_info);
+
+  xmldsig::ReferenceSpec ineligible;
+  ineligible.uri = "#menu";
+  ineligible.transforms = {crypto::kAlgExcC14N};
+  xmldsig::ReferenceContext ctx;
+  ctx.document = &doc;
+  auto first = signer.BuildUnsigned({ineligible}, ctx);
+  EXPECT_TRUE(first.ok()) << first.status().ToString();
+  auto* first_el = static_cast<xml::Element*>(
+      doc.root()->AppendChild(std::move(first).value()));
+  Status finalized = signer.Finalize(first_el);
+  EXPECT_TRUE(finalized.ok()) << finalized.ToString();
+
+  xml::IdRegistry ids(doc);
+  auto movie = ids.Find("movie");
+  EXPECT_TRUE(movie.ok()) << movie.status().ToString();
+  auto second = signer.SignDetached(&doc, movie.value(), "movie", doc.root());
+  EXPECT_TRUE(second.ok()) << second.status().ToString();
+
+  return xml::Serialize(doc);
+}
+
+TEST(StreamVerifyDifferential, MixedEligibilityFirstIneligibleLaterEligible) {
+  const World& world = SharedWorld();
+  pki::CertStore trust;
+  ASSERT_TRUE(trust.AddTrustedRoot(world.root_cert).ok());
+  const std::string text = BuildMixedEligibilityDocument();
+
+  auto parsed = xml::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const xml::Document& doc = parsed.value();
+  std::vector<xml::Element*> signatures =
+      xmldsig::Verifier::FindSignatures(doc.root());
+  ASSERT_EQ(signatures.size(), 2u);
+
+  // The mirror planner must classify the split exactly as designed: the
+  // first signature's only reference refused, the later one's accepted.
+  auto only_reference = [](xml::Element* signature) -> xml::Element* {
+    xml::Element* signed_info =
+        signature->FirstChildElementByLocalName("SignedInfo");
+    EXPECT_NE(signed_info, nullptr);
+    return signed_info->FirstChildElementByLocalName("Reference");
+  };
+  ASSERT_NE(only_reference(signatures[0]), nullptr);
+  EXPECT_FALSE(PlanReference(*only_reference(signatures[0])).eligible);
+  ASSERT_NE(only_reference(signatures[1]), nullptr);
+  EXPECT_TRUE(PlanReference(*only_reference(signatures[1])).eligible);
+
+  // First signature (the ineligible one): DOM and streaming agree the
+  // document is Valid, and the fast path provably never engaged — the
+  // fallback is per-reference, not per-document.
+  auto dom = xmldsig::Verifier::VerifyFirstSignature(doc,
+                                                     TrustedOptions(trust));
+  ASSERT_TRUE(dom.ok()) << dom.status().ToString();
+  const size_t streamed_before = xml::StreamedCanonicalizationCount();
+  xmldsig::VerifyOptions with_text = TrustedOptions(trust);
+  with_text.source_text = text;
+  auto fast = xmldsig::Verifier::VerifyFirstSignature(doc, with_text);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(xml::StreamedCanonicalizationCount(), streamed_before)
+      << "exc-C14N reference must fall back to the DOM pipeline";
+  EXPECT_EQ(dom.value().reference_uris, fast.value().reference_uris);
+  EXPECT_EQ(dom.value().signer_subject, fast.value().signer_subject);
+
+  // Later signature: identical verdict AND the streamed counter moves —
+  // eligibility is decided per reference, so the same document exercises
+  // both pipelines.
+  auto dom2 = xmldsig::Verifier::Verify(&doc, *signatures[1],
+                                        TrustedOptions(trust));
+  ASSERT_TRUE(dom2.ok()) << dom2.status().ToString();
+  const size_t streamed_mid = xml::StreamedCanonicalizationCount();
+  auto fast2 = xmldsig::Verifier::Verify(&doc, *signatures[1], with_text);
+  ASSERT_TRUE(fast2.ok()) << fast2.status().ToString();
+  EXPECT_GT(xml::StreamedCanonicalizationCount(), streamed_mid)
+      << "eligible later signature never engaged the fast path";
+  EXPECT_EQ(dom2.value().reference_uris, fast2.value().reference_uris);
+  ASSERT_EQ(dom2.value().references.size(), fast2.value().references.size());
+  for (size_t i = 0; i < dom2.value().references.size(); ++i) {
+    EXPECT_EQ(dom2.value().references[i].resolved_path,
+              fast2.value().references[i].resolved_path);
+  }
+
+  // Wire-level route on the same document: VerifyStream pre-flights the
+  // first signature, sees the ineligible transform chain, and must produce
+  // the DOM route's exact verdict through its internal fallback.
+  Status dom_route = DomRouteStatus(text, TrustedOptions(trust));
+  auto wire = xmldsig::Verifier::VerifyStream(text, TrustedOptions(trust));
+  EXPECT_TRUE(dom_route.ok()) << dom_route.ToString();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_EQ(dom.value().reference_uris, wire.value().reference_uris);
+  EXPECT_EQ(dom.value().signer_subject, wire.value().signer_subject);
+}
+
+TEST(StreamVerifyDifferential, MixedEligibilityTamperFailsIdentically) {
+  const World& world = SharedWorld();
+  pki::CertStore trust;
+  ASSERT_TRUE(trust.AddTrustedRoot(world.root_cert).ok());
+  const std::string pristine = BuildMixedEligibilityDocument();
+
+  struct Tamper {
+    const char* name;
+    const char* needle;
+    const char* replacement;
+    size_t broken_signature;  // index into FindSignatures
+  };
+  const Tamper kTampers[] = {
+      {"menu-subtree (breaks the ineligible first signature)",
+       "<item>alpha</item>", "<item>ALPHA</item>", 0},
+      {"movie-subtree (breaks the eligible later signature)",
+       "<clip>beta</clip>", "<clip>BETA</clip>", 1},
+  };
+  for (const Tamper& tamper : kTampers) {
+    SCOPED_TRACE(tamper.name);
+    std::string text = pristine;
+    const size_t pos = text.find(tamper.needle);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string(tamper.needle).size(), tamper.replacement);
+
+    auto parsed = xml::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    std::vector<xml::Element*> signatures =
+        xmldsig::Verifier::FindSignatures(parsed.value().root());
+    ASSERT_EQ(signatures.size(), 2u);
+    xml::Element* broken = signatures[tamper.broken_signature];
+
+    Status dom = xmldsig::Verifier::Verify(&parsed.value(), *broken,
+                                           TrustedOptions(trust))
+                     .status();
+    xmldsig::VerifyOptions with_text = TrustedOptions(trust);
+    with_text.source_text = text;
+    Status fast =
+        xmldsig::Verifier::Verify(&parsed.value(), *broken, with_text)
+            .status();
+    ASSERT_FALSE(dom.ok());
+    EXPECT_EQ(static_cast<int>(dom.code()), static_cast<int>(fast.code()))
+        << "dom: " << dom.ToString() << "\nfast: " << fast.ToString();
+    EXPECT_EQ(dom.message(), fast.message());
+
+    // The wire-level route verifies the FIRST signature; the menu tamper
+    // must fail it with the DOM route's exact status, the movie tamper
+    // must leave it Valid (sig[0] does not cover the movie subtree).
+    Status dom_route = DomRouteStatus(text, TrustedOptions(trust));
+    Status wire =
+        xmldsig::Verifier::VerifyStream(text, TrustedOptions(trust)).status();
+    EXPECT_EQ(dom_route.ok(), wire.ok());
+    EXPECT_EQ(static_cast<int>(dom_route.code()),
+              static_cast<int>(wire.code()))
+        << "dom: " << dom_route.ToString() << "\nwire: " << wire.ToString();
+    EXPECT_EQ(dom_route.message(), wire.message());
+    EXPECT_EQ(dom_route.ok(), tamper.broken_signature == 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 7. ParseOptions parity: identical ResourceExhausted errors per bound.
 // ---------------------------------------------------------------------------
 
 /// Drains the streaming lexer over `text`; OK when the document tokenizes

@@ -13,8 +13,11 @@
 //                 completes exactly once.
 //
 // This is the PR-sized smoke: ~500 players, a few thousand requests,
-// finishes in seconds. The full 10^4–10^5 player sweep with latency
-// percentiles lives in bench/bench_xkmsd.cc (run nightly).
+// finishes in seconds. One ctest invocation runs the whole thing under
+// THREE fixed seeds (CHAOS_SEED, +101, +202) with every invariant asserted
+// per-seed — one seed's lucky schedule must not vouch for the others. The
+// full 10^4–10^5 player sweep with latency percentiles lives in
+// bench/bench_xkmsd.cc (run nightly).
 
 #include <gtest/gtest.h>
 
@@ -75,14 +78,17 @@ class Zipf {
   std::vector<double> cdf_;
 };
 
-TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
+/// One complete warm/storm/overload pass, fully parameterized by `seed`:
+/// the injector, the key generator, and every per-thread request stream
+/// derive from it, so a red run replays with CHAOS_SEED=<seed - offset>.
+void RunFleetSmoke(uint64_t seed) {
   constexpr size_t kPlayers = 500;
   constexpr size_t kKeys = 48;
   constexpr size_t kClientThreads = 8;
   constexpr size_t kWarmRequestsPerPlayer = 3;
   constexpr size_t kBurst = 3000;
 
-  fault::FaultInjector injector(ChaosSeed());
+  fault::FaultInjector injector(seed);
   ThreadPool pool(4);
   XkmsdOptions options;
   options.pool = &pool;
@@ -91,7 +97,7 @@ TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
   options.retry_after_base_us = 10000;
   Xkmsd xkmsd(options);
 
-  Rng key_rng(ChaosSeed());
+  Rng key_rng(seed);
   crypto::RsaKeyPair pair = crypto::RsaGenerateKeyPair(512, &key_rng).value();
   std::vector<std::string> names;
   for (size_t i = 0; i < kKeys; ++i) {
@@ -112,7 +118,7 @@ TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
     for (size_t t = 0; t < kClientThreads; ++t) {
       threads.emplace_back([&, t] {
         XkmsClient client(MakeServerTransport(&xkmsd));
-        Rng rng(ChaosSeed() + 1000 + t);
+        Rng rng(seed + 1000 + t);
         for (size_t p = t; p < kPlayers; p += kClientThreads) {
           for (size_t r = 0; r < kWarmRequestsPerPlayer; ++r) {
             const std::string& name = names[zipf.Sample(&rng)];
@@ -150,7 +156,7 @@ TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
   for (size_t t = 0; t < kClientThreads; ++t) {
     stormers.emplace_back([&, t] {
       XkmsClient client(MakeServerTransport(&xkmsd));
-      Rng rng(ChaosSeed() + 2000 + t);
+      Rng rng(seed + 2000 + t);
       while (!storm_done.load()) {
         const std::string& name = names[zipf.Sample(&rng)];
         bool was_revoked;
@@ -213,7 +219,7 @@ TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
   std::atomic<uint64_t> burst_valid_for_revoked{0};
   std::mutex done_mu;
   std::condition_variable done_cv;
-  Rng burst_rng(ChaosSeed() + 3000);
+  Rng burst_rng(seed + 3000);
   for (size_t i = 0; i < kBurst; ++i) {
     const std::string& name = names[zipf.Sample(&burst_rng)];
     bool was_revoked = revoked.count(name) > 0;  // storm threads are done
@@ -251,6 +257,15 @@ TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverload) {
   // Accounting closes: everything admitted was eventually served or failed
   // in service; nothing vanished.
   EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(XkmsdLoadTest, FleetSmokeWarmStormAndOverloadUnderThreeSeeds) {
+  for (uint64_t offset : {uint64_t{0}, uint64_t{101}, uint64_t{202}}) {
+    const uint64_t seed = ChaosSeed() + offset;
+    SCOPED_TRACE("seed " + std::to_string(seed) + " (offset " +
+                 std::to_string(offset) + ")");
+    ASSERT_NO_FATAL_FAILURE(RunFleetSmoke(seed));
+  }
 }
 
 }  // namespace

@@ -22,6 +22,8 @@
 //   discsec_tool play [--discs N] [--repeat N] [--jobs N] [--async]
 //                [--streaming-verify]
 //   discsec_tool xkmsd-demo [--players N] [--keys K] [--jobs N] [--burst N]
+//   discsec_tool fleet [--players N] [--events-per-player N] [--seed S]
+//                [--matrix smoke|nightly] [--json BENCH_fleet.json]
 //   discsec_tool regen-golden [--dir tests/golden] [--write]
 //
 // Any command also accepts --inject-fault point:kind:rate[:delay_us]
@@ -93,7 +95,11 @@
 #include "pki/certificate.h"
 #include "pki/key_codec.h"
 #include "player/engine.h"
+#include "sim/fleet.h"
+#include "sim/report.h"
+#include "sim/scenario.h"
 #include "tests/golden/golden_vectors.h"
+#include "tests/sim_support.h"
 #include "tests/test_world.h"
 #include "xkms/locate_cache.h"
 #include "xkms/retrying_transport.h"
@@ -776,6 +782,66 @@ int CmdXkmsdDemo(const Args& args) {
   return stale_valids == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------- fleet
+
+/// Mass-playback fleet simulator (DESIGN.md §15): runs the smoke or nightly
+/// scenario matrix, prints the deterministic matrix table, optionally
+/// writes the discsec-bench-v1 BENCH_fleet.json artifact, and exits
+/// non-zero when any in-run invariant (attack acceptance, Valid after
+/// revoke, streaming/DOM parity, lost burst submissions) is violated.
+int CmdFleet(const Args& args) {
+  size_t players = SizeOption(args, "players", "1000");
+  if (players == 0) players = 1;
+  size_t events_per_player = SizeOption(args, "events-per-player", "1");
+  if (events_per_player == 0) events_per_player = 1;
+  uint64_t seed =
+      std::strtoull(args.Get("seed", "20050915").c_str(), nullptr, 10);
+  std::string matrix_name = args.Get("matrix", "smoke");
+
+  std::vector<sim::ScenarioSpec> matrix;
+  if (matrix_name == "smoke") {
+    matrix = sim::SmokeMatrix(static_cast<uint32_t>(players));
+  } else if (matrix_name == "nightly") {
+    matrix = sim::NightlyMatrix(static_cast<uint32_t>(players));
+  } else {
+    return Usage("fleet --matrix must be smoke or nightly");
+  }
+  for (sim::ScenarioSpec& spec : matrix) {
+    spec.events_per_player = static_cast<uint32_t>(events_per_player);
+  }
+
+  testing_world::World world;
+  auto simulator = sim::FleetSimulator::Create(
+      sim_support::MakeFleetEnvironment(world));
+  if (!simulator.ok()) return Fail(simulator.status());
+
+  auto report = simulator.value()->RunMatrix(matrix, seed);
+  if (!report.ok()) return Fail(report.status());
+
+  std::fputs(sim::MatrixTable(report.value()).c_str(), stdout);
+
+  if (args.Has("json")) {
+    std::string path = args.Get("json");
+    Status wrote = sim::WriteFleetBenchJson(report.value(), path);
+    if (!wrote.ok()) return Fail(wrote);
+    std::printf("bench report -> %s\n", path.c_str());
+  }
+
+  Status invariants = report.value().CheckInvariants();
+  if (!invariants.ok()) return Fail(invariants);
+  uint64_t events = 0, attacks_rejected = 0;
+  for (const sim::ScenarioResult& row : report.value().rows) {
+    events += row.events;
+    attacks_rejected += row.attack_rejected;
+  }
+  std::printf(
+      "fleet invariants hold: %llu event(s) across %zu scenario(s), "
+      "%llu attack disc(s) rejected, 0 accepted, 0 stale Valid\n",
+      static_cast<unsigned long long>(events), report.value().rows.size(),
+      static_cast<unsigned long long>(attacks_rejected));
+  return 0;
+}
+
 // ---------------------------------------------------- regen-golden
 
 int CmdRegenGolden(const Args& args) {
@@ -838,6 +904,7 @@ int Dispatch(const Args& args) {
   if (args.command == "play-demo") return CmdPlayDemo(args);
   if (args.command == "play") return CmdPlay(args);
   if (args.command == "xkmsd-demo") return CmdXkmsdDemo(args);
+  if (args.command == "fleet") return CmdFleet(args);
   if (args.command == "regen-golden") return CmdRegenGolden(args);
   return Usage(("unknown command '" + args.command + "'").c_str());
 }
